@@ -1,0 +1,54 @@
+//! Codec benchmarks on real delta data: the codes Figure 4 compares,
+//! plus the geometric-distribution codes the paper rejected.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use qbism_bench::population::region_population;
+use qbism_coding::{EliasDelta, EliasGamma, Golomb, IntCodec, Rice};
+use qbism_region::RegionCodec;
+
+fn real_deltas() -> Vec<u64> {
+    // Delta lengths of a real hemisphere region — the paper's workload.
+    let pop = region_population(6, 1, 0, 7);
+    pop[1].region.delta_lengths()
+}
+
+fn bench_int_codecs(c: &mut Criterion) {
+    let deltas = real_deltas();
+    let mut group = c.benchmark_group("int_codecs");
+    group.throughput(criterion::Throughput::Elements(deltas.len() as u64));
+    let codecs: Vec<(&str, Box<dyn IntCodec>)> = vec![
+        ("elias_gamma", Box::new(EliasGamma)),
+        ("elias_delta", Box::new(EliasDelta)),
+        ("golomb_8", Box::new(Golomb::new(8))),
+        ("rice_3", Box::new(Rice::new(3))),
+    ];
+    for (name, codec) in &codecs {
+        group.bench_function(format!("{name}_encode"), |b| {
+            b.iter(|| black_box(codec.encode_all(&deltas).expect("encodes")))
+        });
+        let bytes = codec.encode_all(&deltas).expect("encodes");
+        group.bench_function(format!("{name}_decode"), |b| {
+            b.iter(|| black_box(codec.decode_all(&bytes, deltas.len()).expect("decodes")))
+        });
+    }
+    group.finish();
+}
+
+fn bench_region_codecs(c: &mut Criterion) {
+    let pop = region_population(6, 1, 0, 7);
+    let region = &pop[1].region;
+    let mut group = c.benchmark_group("region_codecs");
+    for codec in RegionCodec::ALL {
+        group.bench_function(format!("{}_encode", codec.name()), |b| {
+            b.iter(|| black_box(codec.encode(region).expect("encodes")))
+        });
+        let bytes = codec.encode(region).expect("encodes");
+        group.bench_function(format!("{}_decode", codec.name()), |b| {
+            b.iter(|| black_box(RegionCodec::decode(&bytes).expect("decodes")))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_int_codecs, bench_region_codecs);
+criterion_main!(benches);

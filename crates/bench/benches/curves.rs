@@ -1,0 +1,47 @@
+//! Curve micro-benchmarks: the `O(n)` conversion cost the paper cites
+//! for both curves, plus run-count quality per curve on a brain REGION.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use qbism_sfc::{CurveKind, SpaceFillingCurve};
+
+fn bench_conversions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("curve_conversions_128");
+    for kind in CurveKind::ALL {
+        let curve = kind.curve(3, 7);
+        group.bench_function(format!("{kind}_index_of"), |b| {
+            let mut i = 0u32;
+            b.iter(|| {
+                i = (i + 37) & 127;
+                black_box(curve.index_of(&[i, (i * 3) & 127, (i * 7) & 127]))
+            })
+        });
+        group.bench_function(format!("{kind}_coords_of"), |b| {
+            let mut id = 0u64;
+            let mut out = [0u32; 3];
+            b.iter(|| {
+                id = (id + 40_503) & (2_097_152 - 1);
+                curve.coords_of(id, &mut out);
+                black_box(out)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_bulk_relayout(c: &mut Criterion) {
+    // The load-time cost of the paper's choice: sorting a study into
+    // Hilbert order (vs leaving it in scanline order).
+    let mut group = c.benchmark_group("volume_relayout_64");
+    group.sample_size(10);
+    let geom = qbism_region::GridGeometry::new(CurveKind::Scanline, 3, 6);
+    let vol = qbism_volume::Volume::from_fn3(geom, |x, y, z| (x ^ y ^ z) as u8);
+    for kind in [CurveKind::Hilbert, CurveKind::Morton] {
+        group.bench_function(format!("to_{kind}"), |b| {
+            b.iter(|| black_box(vol.relayout(kind)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_conversions, bench_bulk_relayout);
+criterion_main!(benches);

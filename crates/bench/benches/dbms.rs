@@ -1,0 +1,94 @@
+//! DBMS substrate benchmarks: parser throughput and join strategies —
+//! the relational work under every QBISM query.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use qbism_starburst::{Database, Value};
+
+fn seeded_db(rows: i64) -> Database {
+    let mut db = Database::new(1 << 20).expect("db");
+    db.execute("create table patient (patientId int, name string, age int)").expect("ddl");
+    db.execute("create table study (studyId int, patientId int, modality string)").expect("ddl");
+    for i in 0..rows {
+        db.insert_row(
+            "patient",
+            vec![Value::Int(i), Value::Str(format!("p{i}")), Value::Int(20 + i % 60)],
+        )
+        .expect("insert");
+        for j in 0..3 {
+            db.insert_row(
+                "study",
+                vec![
+                    Value::Int(i * 3 + j),
+                    Value::Int(i),
+                    Value::Str(if j == 0 { "MRI" } else { "PET" }.into()),
+                ],
+            )
+            .expect("insert");
+        }
+    }
+    db
+}
+
+fn bench_parser(c: &mut Criterion) {
+    let sql = "select a.n, a.x0, a.y0, a.z0, a.dx, a.dy, a.dz, a.atlasId, p.name, p.patientId, rv.date
+               from atlas a, rawVolume rv, warpedVolume wv, patient p
+               where a.atlasId = wv.atlasId and wv.studyId = rv.studyId and
+                     rv.patientId = p.patientId and rv.studyId = 53 and a.atlasName = 'Talairach'";
+    c.bench_function("parse_section34_query", |b| {
+        b.iter(|| black_box(qbism_starburst::parse_statement(sql).expect("parses")))
+    });
+}
+
+fn bench_joins(c: &mut Criterion) {
+    let mut db = seeded_db(2000);
+    let mut group = c.benchmark_group("joins_2000x6000");
+    group.sample_size(20);
+    group.bench_function("hash_join", |b| {
+        b.iter(|| {
+            black_box(
+                db.query(
+                    "select count(*) from patient p, study s where p.patientId = s.patientId",
+                )
+                .expect("join"),
+            )
+        })
+    });
+    group.bench_function("hash_join_with_filter", |b| {
+        b.iter(|| {
+            black_box(
+                db.query(
+                    "select count(*) from patient p, study s
+                     where p.patientId = s.patientId and p.age > 50 and s.modality = 'PET'",
+                )
+                .expect("join"),
+            )
+        })
+    });
+    group.finish();
+}
+
+fn bench_sort_and_aggregate(c: &mut Criterion) {
+    let mut db = seeded_db(2000);
+    let mut group = c.benchmark_group("sort_aggregate");
+    group.sample_size(20);
+    group.bench_function("order_by_limit", |b| {
+        b.iter(|| {
+            black_box(
+                db.query("select p.name from patient p order by p.age desc, p.name limit 10")
+                    .expect("sort"),
+            )
+        })
+    });
+    group.bench_function("aggregates", |b| {
+        b.iter(|| {
+            black_box(
+                db.query("select count(*), avg(p.age), min(p.age), max(p.age) from patient p")
+                    .expect("agg"),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_parser, bench_joins, bench_sort_and_aggregate);
+criterion_main!(benches);

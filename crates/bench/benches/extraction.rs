@@ -1,0 +1,67 @@
+//! Extraction ablation: the paper's Section 4.1 design decision.
+//!
+//! Storing the VOLUME in Hilbert order means a spatially compact REGION
+//! reads few pages; scanline order shatters the same REGION across many
+//! pages.  This bench extracts the same structure from volumes stored in
+//! each order and reports both wall time and page counts.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use qbism_bench::population::{region_population, sample_field};
+use qbism_lfm::LongFieldManager;
+use qbism_phantom::{build_atlas, PetField};
+use qbism_region::GridGeometry;
+use qbism_sfc::CurveKind;
+
+fn bench_layouts(c: &mut Criterion) {
+    let bits = 6;
+    let truth_geom = GridGeometry::new(CurveKind::Hilbert, 3, bits);
+    let atlas = build_atlas(truth_geom);
+    let field = PetField::new(&atlas, 7, 4);
+    let hvol = sample_field(truth_geom, &field);
+    let structure = atlas.structure("ntal").expect("exists");
+    let mut group = c.benchmark_group("extraction_layout");
+    let mut printed = Vec::new();
+    for kind in CurveKind::ALL {
+        let vol = hvol.relayout(kind);
+        let region = structure.region.to_curve(kind);
+        let mut lfm = LongFieldManager::new(1 << 22, 4096).expect("device");
+        let id = lfm.create(vol.values()).expect("store volume");
+        lfm.reset_stats();
+        // One measured extraction for the page counts.
+        let pieces: Vec<(u64, u64)> = region.runs().iter().map(|r| (r.start, r.len())).collect();
+        let mut out = Vec::new();
+        lfm.read_pieces_into(id, &pieces, &mut out).expect("extract");
+        printed.push(format!(
+            "{kind}: {} runs -> {} pages, {} extents",
+            region.run_count(),
+            lfm.stats().pages_read,
+            lfm.stats().extents_read
+        ));
+        group.bench_function(format!("extract_ntal_{kind}"), |b| {
+            b.iter(|| {
+                let mut buf = Vec::with_capacity(out.len());
+                lfm.read_pieces_into(id, &pieces, &mut buf).expect("extract");
+                black_box(buf)
+            })
+        });
+    }
+    group.finish();
+    for line in printed {
+        println!("layout ablation — {line}");
+    }
+}
+
+fn bench_in_memory_extract(c: &mut Criterion) {
+    // The pure CPU side of EXTRACT_DATA (no device).
+    let pop = region_population(6, 1, 0, 7);
+    let geom = pop[0].region.geometry();
+    let atlas = build_atlas(geom);
+    let vol = sample_field(geom, &PetField::new(&atlas, 9, 3));
+    let hemisphere = &pop[1].region;
+    c.bench_function("extract_hemisphere_in_memory", |b| {
+        b.iter(|| black_box(vol.extract(hemisphere).expect("geometry matches")))
+    });
+}
+
+criterion_group!(benches, bench_layouts, bench_in_memory_extract);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! End-to-end query benchmarks: the Table 3 and Table 4 workloads at a
+//! bench-friendly grid size (native wall times; the simulated-1994
+//! numbers come from `tablegen`).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use qbism::{QbismConfig, QbismSystem};
+
+fn config() -> QbismConfig {
+    QbismConfig {
+        atlas_bits: 6,
+        pet_studies: 5,
+        mri_studies: 1,
+        device_capacity: 1 << 28,
+        ..QbismConfig::paper_scale()
+    }
+}
+
+fn bench_single_study(c: &mut Criterion) {
+    let mut sys = QbismSystem::install(&config()).expect("install");
+    let study = sys.pet_study_ids[0];
+    let mut group = c.benchmark_group("single_study_queries_64");
+    group.sample_size(20);
+    group.bench_function("q1_full_study", |b| {
+        b.iter(|| black_box(sys.server.full_study(study).expect("q1")))
+    });
+    group.bench_function("q2_box", |b| {
+        b.iter(|| black_box(sys.server.box_data(study, [15, 15, 15], [50, 50, 50]).expect("q2")))
+    });
+    group.bench_function("q3_ntal", |b| {
+        b.iter(|| black_box(sys.server.structure_data(study, "ntal").expect("q3")))
+    });
+    group.bench_function("q4_hemisphere", |b| {
+        b.iter(|| black_box(sys.server.structure_data(study, "ntal1").expect("q4")))
+    });
+    group.bench_function("q5_band", |b| {
+        b.iter(|| black_box(sys.server.band_data(study, 128, 159).expect("q5")))
+    });
+    group.bench_function("q6_band_in_structure", |b| {
+        b.iter(|| {
+            black_box(sys.server.band_in_structure(study, 128, 159, "ntal1").expect("q6"))
+        })
+    });
+    group.finish();
+}
+
+fn bench_multi_study(c: &mut Criterion) {
+    let mut sys = QbismSystem::install(&config()).expect("install");
+    let ids = sys.pet_study_ids.clone();
+    let mut group = c.benchmark_group("multi_study_64");
+    group.sample_size(20);
+    group.bench_function("five_way_band_intersection", |b| {
+        b.iter(|| black_box(sys.server.multi_study_band_region(&ids, 128, 159).expect("t4")))
+    });
+    group.bench_function("population_average_ntal", |b| {
+        b.iter(|| black_box(sys.server.population_average(&ids, "ntal").expect("avg")))
+    });
+    group.finish();
+}
+
+fn bench_catalog_query(c: &mut Criterion) {
+    // The pure relational side: the Section 3.4 catalog join.
+    let mut sys = QbismSystem::install(&config()).expect("install");
+    let study = sys.pet_study_ids[0];
+    c.bench_function("catalog_join_query", |b| {
+        b.iter(|| black_box(sys.server.atlas_info(study).expect("info")))
+    });
+}
+
+criterion_group!(benches, bench_single_study, bench_multi_study, bench_catalog_query);
+criterion_main!(benches);

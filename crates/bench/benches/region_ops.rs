@@ -1,0 +1,84 @@
+//! REGION operation benchmarks: the merge-scan spatial operators and the
+//! octant decompositions they replaced.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use qbism_bench::population::region_population;
+use qbism_region::{intersect_all, OctantKind, Region};
+
+fn brain_regions() -> Vec<Region> {
+    region_population(6, 2, 0, 7)
+        .into_iter()
+        .map(|r| r.region)
+        .collect()
+}
+
+fn bench_pairwise_ops(c: &mut Criterion) {
+    let regions = brain_regions();
+    let a = &regions[1]; // ntal1 (hemisphere)
+    let b = &regions[3]; // ntal
+    let band = regions.iter().rev().find(|r| r.run_count() > 100).expect("a busy band");
+    let mut group = c.benchmark_group("region_ops");
+    group.bench_function("intersect_structure_band", |bch| {
+        bch.iter(|| black_box(a.intersect(band)))
+    });
+    group.bench_function("union_structure_band", |bch| {
+        bch.iter(|| black_box(a.union(band)))
+    });
+    group.bench_function("difference_structure_band", |bch| {
+        bch.iter(|| black_box(a.difference(band)))
+    });
+    group.bench_function("contains_structure_structure", |bch| {
+        bch.iter(|| black_box(a.contains_region(b)))
+    });
+    group.finish();
+}
+
+fn bench_nway(c: &mut Criterion) {
+    // Table 4's workload shape: intersect several band regions at once,
+    // k-way scan vs pairwise fold.
+    let regions = brain_regions();
+    let bands: Vec<&Region> = regions.iter().skip(11).take(5).collect();
+    let mut group = c.benchmark_group("nway_intersection");
+    group.bench_function("kway_scan_5", |b| {
+        b.iter(|| black_box(intersect_all(&bands).expect("non-empty input")))
+    });
+    group.bench_function("pairwise_fold_5", |b| {
+        b.iter(|| {
+            let mut acc = bands[0].clone();
+            for r in &bands[1..] {
+                acc = acc.intersect(r);
+            }
+            black_box(acc)
+        })
+    });
+    group.finish();
+}
+
+fn bench_octants(c: &mut Criterion) {
+    let regions = brain_regions();
+    let hemisphere = &regions[1];
+    let mut group = c.benchmark_group("octant_decomposition");
+    group.bench_function("cubic", |b| {
+        b.iter(|| black_box(hemisphere.octant_count(OctantKind::Cubic)))
+    });
+    group.bench_function("oblong", |b| {
+        b.iter(|| black_box(hemisphere.octant_count(OctantKind::Oblong)))
+    });
+    group.finish();
+}
+
+fn bench_approximation(c: &mut Criterion) {
+    let regions = brain_regions();
+    let band = regions.iter().rev().find(|r| r.run_count() > 100).expect("busy band").clone();
+    let mut group = c.benchmark_group("approximation");
+    group.bench_function("mingap_8", |b| {
+        b.iter(|| black_box(band.approximate_mingap(8)))
+    });
+    group.bench_function("min_octant_4", |b| {
+        b.iter(|| black_box(band.approximate_min_octant(4)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pairwise_ops, bench_nway, bench_octants, bench_approximation);
+criterion_main!(benches);

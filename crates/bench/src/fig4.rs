@@ -1,0 +1,153 @@
+//! Figure 4: REGION storage size versus the entropy bound.
+//!
+//! "The ratios of average REGION sizes were (entropy):(h-run-elias):
+//! (h-run-naive):(oblong-octant):(octant) = 1 : 1.17 : 9.50 : 10.4 :
+//! 17.8", with linear-fit correlations 0.968–0.985.  Conclusions: elias
+//! achieves ~1.2x the entropy bound (an 8-fold gain over naive), and
+//! naive beats octants roughly 2x.
+
+use crate::population::region_population;
+use qbism_region::{linear_fit_through_origin, DeltaStats};
+
+/// Per-region sizes, in bytes.
+#[derive(Debug, Clone)]
+pub struct Fig4Sample {
+    /// Region label.
+    pub name: String,
+    /// EQ 2 entropy bound.
+    pub entropy_bytes: f64,
+    /// h-run-elias payload.
+    pub elias: usize,
+    /// h-run-naive payload.
+    pub naive: usize,
+    /// Oblong-octant payload.
+    pub oblong: usize,
+    /// Octant payload.
+    pub octant: usize,
+}
+
+/// The measured Figure 4 report.
+#[derive(Debug, Clone)]
+pub struct Fig4Report {
+    /// Per-region samples.
+    pub samples: Vec<Fig4Sample>,
+    /// Slope+correlation of each method vs the entropy bound, in the
+    /// order elias, naive, oblong, octant.
+    pub fits: [(f64, f64); 4],
+}
+
+/// The paper's published size ratios (entropy first).
+pub const PAPER_RATIOS: [f64; 5] = [1.0, 1.17, 9.50, 10.4, 17.8];
+
+/// Measures Figure 4 over the population.
+pub fn measure(bits: u32, pet: usize, mri: usize, seed: u64) -> Fig4Report {
+    let pop = region_population(bits, pet, mri, seed);
+    let samples: Vec<Fig4Sample> = pop
+        .iter()
+        .map(|r| {
+            let [elias, naive, oblong, octant] =
+                r.region.encoding_sizes().expect("grid fits u32 codecs");
+            Fig4Sample {
+                name: r.name.clone(),
+                entropy_bytes: DeltaStats::measure(&r.region).entropy_bound_bytes(),
+                elias,
+                naive,
+                oblong,
+                octant,
+            }
+        })
+        .collect();
+    let fit = |f: fn(&Fig4Sample) -> f64| -> (f64, f64) {
+        let pts: Vec<(f64, f64)> = samples.iter().map(|s| (s.entropy_bytes, f(s))).collect();
+        linear_fit_through_origin(&pts).unwrap_or((f64::NAN, 0.0))
+    };
+    let fits = [
+        fit(|s| s.elias as f64),
+        fit(|s| s.naive as f64),
+        fit(|s| s.oblong as f64),
+        fit(|s| s.octant as f64),
+    ];
+    Fig4Report { samples, fits }
+}
+
+impl Fig4Report {
+    /// Measured ratio list `(entropy=1, elias, naive, oblong, octant)`.
+    pub fn ratios(&self) -> [f64; 5] {
+        [1.0, self.fits[0].0, self.fits[1].0, self.fits[2].0, self.fits[3].0]
+    }
+
+    /// Renders the paper-vs-measured comparison.
+    pub fn render(&self) -> String {
+        let r = self.ratios();
+        let p = PAPER_RATIOS;
+        let mut out = format!(
+            "Figure 4 REGION size vs entropy bound, {} REGIONs\n",
+            self.samples.len()
+        );
+        out.push_str(&format!(
+            "  measured (entropy:elias:naive:oblong:octant) = 1 : {:.2} : {:.2} : {:.2} : {:.2}\n",
+            r[1], r[2], r[3], r[4]
+        ));
+        out.push_str(&format!(
+            "  paper                                        = 1 : {:.2} : {:.2} : {:.2} : {:.2}\n",
+            p[1], p[2], p[3], p[4]
+        ));
+        out.push_str(&format!(
+            "  fit correlations: elias {:.3}, naive {:.3}, oblong {:.3}, octant {:.3} (paper: 0.968-0.985)\n",
+            self.fits[0].1, self.fits[1].1, self.fits[2].1, self.fits[3].1
+        ));
+        out.push_str(&format!(
+            "  derived: naive/elias = {:.1}x (paper ~8x), octant/naive = {:.1}x (paper ~1.9x)\n",
+            r[2] / r[1],
+            r[4] / r[2]
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn size_ordering_matches_the_paper() {
+        let rep = measure(5, 2, 1, 7);
+        let r = rep.ratios();
+        assert!(r[1] >= 1.0, "elias cannot beat entropy: {r:?}");
+        assert!(r[1] < 2.2, "elias should sit near the bound: {r:?}");
+        assert!(r[2] > r[1] * 2.5, "naive much larger than elias: {r:?}");
+        assert!(r[3] >= r[2] * 0.8, "oblong comparable to naive: {r:?}");
+        assert!(r[4] > r[3], "octant largest: {r:?}");
+    }
+
+    #[test]
+    fn fits_are_linear() {
+        let rep = measure(5, 2, 1, 7);
+        for (i, (_, corr)) in rep.fits.iter().enumerate() {
+            assert!(*corr > 0.9, "method {i} correlation {corr}");
+        }
+    }
+
+    #[test]
+    fn every_sample_respects_the_entropy_bound() {
+        let rep = measure(5, 1, 1, 3);
+        for s in &rep.samples {
+            // elias >= entropy, modulo the sub-byte rounding of tiny regions
+            assert!(
+                s.elias as f64 + 1.0 >= s.entropy_bytes,
+                "{}: elias {} below entropy {}",
+                s.name,
+                s.elias,
+                s.entropy_bytes
+            );
+        }
+    }
+
+    #[test]
+    fn render_mentions_all_methods() {
+        let text = measure(5, 1, 0, 7).render();
+        for needle in ["elias", "naive", "oblong", "octant", "paper"] {
+            assert!(text.contains(needle), "missing {needle}: {text}");
+        }
+    }
+}

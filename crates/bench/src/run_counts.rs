@@ -1,0 +1,117 @@
+//! Section 4.2's representation-count comparison.
+//!
+//! "For each of the various anatomic and intensity band REGIONs, we
+//! plotted the number of z-runs, octants, and oblong octants against the
+//! number of h-runs … the scatter-plots were well approximated by lines:
+//! the correlation coefficients were 0.998, 0.974, 0.991 … the numbers
+//! are in constant ratios (#h-runs):(#z-runs):(#oblong):(#octants)
+//! = 1 : 1.27 : 1.61 : 2.42."
+
+use crate::population::region_population;
+use qbism_region::{linear_fit_through_origin, RepresentationCounts};
+
+/// The measured Section 4.2 statistics.
+#[derive(Debug, Clone)]
+pub struct RunCountReport {
+    /// Per-region counts, labelled.
+    pub samples: Vec<(String, RepresentationCounts)>,
+    /// Slope and correlation of z-runs vs h-runs.
+    pub z_fit: (f64, f64),
+    /// Slope and correlation of oblong octants vs h-runs.
+    pub oblong_fit: (f64, f64),
+    /// Slope and correlation of octants vs h-runs.
+    pub octant_fit: (f64, f64),
+}
+
+/// The paper's published ratios and correlations.
+pub const PAPER_RATIOS: [f64; 4] = [1.0, 1.27, 1.61, 2.42];
+/// The paper's published linear-fit correlation coefficients.
+pub const PAPER_CORRELATIONS: [f64; 3] = [0.998, 0.974, 0.991];
+
+/// Measures the whole population at the given grid size.
+pub fn measure(bits: u32, pet: usize, mri: usize, seed: u64) -> RunCountReport {
+    let pop = region_population(bits, pet, mri, seed);
+    let samples: Vec<(String, RepresentationCounts)> = pop
+        .iter()
+        .map(|r| (r.name.clone(), RepresentationCounts::measure(&r.region)))
+        .collect();
+    let pts = |f: fn(&RepresentationCounts) -> usize| -> Vec<(f64, f64)> {
+        samples
+            .iter()
+            .map(|(_, c)| (c.h_runs as f64, f(c) as f64))
+            .collect()
+    };
+    let z_fit = linear_fit_through_origin(&pts(|c| c.z_runs)).unwrap_or((f64::NAN, 0.0));
+    let oblong_fit =
+        linear_fit_through_origin(&pts(|c| c.oblong_octants)).unwrap_or((f64::NAN, 0.0));
+    let octant_fit = linear_fit_through_origin(&pts(|c| c.octants)).unwrap_or((f64::NAN, 0.0));
+    RunCountReport { samples, z_fit, oblong_fit, octant_fit }
+}
+
+impl RunCountReport {
+    /// Measured ratio list `(1, z, oblong, octant)`.
+    pub fn ratios(&self) -> [f64; 4] {
+        [1.0, self.z_fit.0, self.oblong_fit.0, self.octant_fit.0]
+    }
+
+    /// Renders the paper-vs-measured comparison.
+    pub fn render(&self) -> String {
+        let r = self.ratios();
+        let mut out = String::new();
+        out.push_str(&format!(
+            "Section 4.2 run/octant count ratios over {} REGIONs\n",
+            self.samples.len()
+        ));
+        out.push_str(&format!(
+            "  measured  (h : z : oblong : octant) = 1 : {:.2} : {:.2} : {:.2}\n",
+            r[1], r[2], r[3]
+        ));
+        out.push_str(&format!(
+            "  paper                               = 1 : {:.2} : {:.2} : {:.2}\n",
+            PAPER_RATIOS[1], PAPER_RATIOS[2], PAPER_RATIOS[3]
+        ));
+        out.push_str(&format!(
+            "  correlations measured r = {:.3} / {:.3} / {:.3}   paper r = {:.3} / {:.3} / {:.3}\n",
+            self.z_fit.1, self.oblong_fit.1, self.octant_fit.1,
+            PAPER_CORRELATIONS[0], PAPER_CORRELATIONS[1], PAPER_CORRELATIONS[2]
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratios_have_the_paper_ordering_and_ballpark() {
+        // Small grid for test speed; the ordering and rough magnitudes
+        // are scale-stable (full scale runs in the bench harness).
+        let rep = measure(5, 2, 1, 7);
+        let r = rep.ratios();
+        assert!(r[1] > 1.0, "z-runs must exceed h-runs: {r:?}");
+        assert!(r[2] > r[1], "oblong octants exceed z-runs: {r:?}");
+        assert!(r[3] > r[2], "octants exceed oblong octants: {r:?}");
+        // The paper found 1.27 / 1.61 / 2.42 on brain data; allow a wide
+        // band at small scale.
+        assert!((1.05..1.8).contains(&r[1]), "z ratio {}", r[1]);
+        assert!((1.2..2.6).contains(&r[2]), "oblong ratio {}", r[2]);
+        assert!((1.7..3.6).contains(&r[3]), "octant ratio {}", r[3]);
+    }
+
+    #[test]
+    fn scatter_is_nearly_linear() {
+        let rep = measure(5, 2, 1, 7);
+        assert!(rep.z_fit.1 > 0.95, "z correlation {}", rep.z_fit.1);
+        assert!(rep.oblong_fit.1 > 0.93, "oblong correlation {}", rep.oblong_fit.1);
+        assert!(rep.octant_fit.1 > 0.93, "octant correlation {}", rep.octant_fit.1);
+    }
+
+    #[test]
+    fn render_mentions_both_sources() {
+        let rep = measure(5, 1, 0, 7);
+        let text = rep.render();
+        assert!(text.contains("measured"));
+        assert!(text.contains("paper"));
+    }
+}

@@ -1,0 +1,124 @@
+//! System configuration.
+
+use qbism_region::RegionCodec;
+use qbism_sfc::CurveKind;
+
+/// Configuration of one QBISM installation.
+///
+/// The defaults reproduce the paper's physical design choices: Hilbert
+/// order for VOLUMEs and REGION ids, the "naive" 8-bytes-per-run REGION
+/// encoding on disk (Section 6 measured with naive encoding), 32-wide
+/// intensity bands, 5 PET + 3 MRI studies.
+#[derive(Debug, Clone)]
+pub struct QbismConfig {
+    /// Atlas grid is `2^atlas_bits` per axis (paper: 7 → 128³).
+    pub atlas_bits: u32,
+    /// Linearization for VOLUMEs and REGIONs (paper: Hilbert; Table 4
+    /// compares Morton).
+    pub curve: CurveKind,
+    /// On-disk REGION encoding (paper Section 6 default: naive runs).
+    pub region_codec: RegionCodec,
+    /// Master seed for all synthetic data.
+    pub seed: u64,
+    /// Number of PET studies to load (paper: 5).
+    pub pet_studies: usize,
+    /// Number of MRI studies to load (paper: 3).
+    pub mri_studies: usize,
+    /// Intensity band width (paper: 32 → 8 bands over 0-255).
+    pub band_width: u16,
+    /// Number of patients in the demographic table.
+    pub patients: usize,
+    /// Activation blobs per PET study.
+    pub pet_blobs: usize,
+    /// Long-field device capacity in bytes.
+    pub device_capacity: u64,
+}
+
+impl QbismConfig {
+    /// The paper's full-scale installation: 128³ atlas, 5 PET + 3 MRI.
+    /// This is release-build work (tens of seconds); tests use
+    /// [`QbismConfig::small_test`].
+    pub fn paper_scale() -> Self {
+        QbismConfig {
+            atlas_bits: 7,
+            curve: CurveKind::Hilbert,
+            region_codec: RegionCodec::Naive,
+            seed: 0x51B1_5A17,
+            pet_studies: 5,
+            mri_studies: 3,
+            band_width: 32,
+            patients: 8,
+            pet_blobs: 4,
+            // volumes: (5+3) warped x 2 MiB + raws + regions; 1 GiB is roomy.
+            device_capacity: 1 << 30,
+        }
+    }
+
+    /// A small deterministic installation for unit and integration tests
+    /// (16³ atlas, 2 PET + 1 MRI).
+    pub fn small_test() -> Self {
+        QbismConfig {
+            atlas_bits: 4,
+            curve: CurveKind::Hilbert,
+            region_codec: RegionCodec::Naive,
+            seed: 7,
+            pet_studies: 2,
+            mri_studies: 1,
+            band_width: 32,
+            patients: 4,
+            pet_blobs: 2,
+            device_capacity: 1 << 24,
+        }
+    }
+
+    /// A mid-size installation (32³) — large enough for meaningful
+    /// statistics, small enough for debug builds.
+    pub fn medium() -> Self {
+        QbismConfig {
+            atlas_bits: 5,
+            pet_studies: 3,
+            mri_studies: 1,
+            device_capacity: 1 << 26,
+            ..QbismConfig::small_test()
+        }
+    }
+
+    /// Atlas grid side.
+    pub fn side(&self) -> u32 {
+        1 << self.atlas_bits
+    }
+
+    /// The grid geometry implied by this configuration.
+    pub fn geometry(&self) -> qbism_region::GridGeometry {
+        qbism_region::GridGeometry::new(self.curve, 3, self.atlas_bits)
+    }
+}
+
+impl Default for QbismConfig {
+    fn default() -> Self {
+        QbismConfig::paper_scale()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_scale_matches_paper() {
+        let c = QbismConfig::paper_scale();
+        assert_eq!(c.side(), 128);
+        assert_eq!(c.pet_studies, 5);
+        assert_eq!(c.mri_studies, 3);
+        assert_eq!(c.band_width, 32);
+        assert_eq!(c.curve, CurveKind::Hilbert);
+        assert_eq!(c.geometry().cell_count(), 2_097_152);
+    }
+
+    #[test]
+    fn small_test_is_small() {
+        let c = QbismConfig::small_test();
+        assert!(c.geometry().cell_count() <= 4096);
+        assert_eq!(QbismConfig::default().side(), 128);
+    }
+}

@@ -1,0 +1,239 @@
+//! The paper's Section 7 future directions, implemented.
+//!
+//! * **Spatial indexing** — an R-tree over the atlas structures'
+//!   bounding boxes answers "which structures does this point/beam/box
+//!   touch" without scanning every REGION (the paper's "efficiently
+//!   locating spatial objects" direction, after [3, 23]).
+//! * **Similarity search** — per-study feature vectors (intensity
+//!   histogram statistics inside a structure) indexed in a k-d tree
+//!   answer the paper's closing example: "find all the PET studies …
+//!   with intensities inside the cerebellum similar to Ms. Smith's
+//!   latest PET study" (after [3, 10, 17]).
+
+use crate::server::MedicalServer;
+use crate::{QbismError, Result};
+use qbism_geometry::Vec3;
+use qbism_index::{Aabb, KdTree, RTree};
+use qbism_volume::DataRegion;
+
+/// Dimension of the study feature vectors: 8 normalized intensity-band
+/// frequencies + normalized mean + normalized standard deviation.
+pub const FEATURE_DIMS: usize = 10;
+
+/// Extracts the feature vector of one answer (data inside a structure).
+///
+/// Features are scale-free (frequencies and 0-1 normalized moments) so
+/// studies of different acquisition gain remain comparable.
+pub fn feature_vector(data: &DataRegion<u8>) -> Option<Vec<f64>> {
+    if data.is_empty() {
+        return None;
+    }
+    let n = data.voxel_count() as f64;
+    let mut hist = [0f64; 8];
+    let mut sum = 0f64;
+    let mut sum2 = 0f64;
+    for &v in data.values() {
+        hist[(v / 32) as usize] += 1.0;
+        let x = f64::from(v);
+        sum += x;
+        sum2 += x * x;
+    }
+    let mean = sum / n;
+    let var = (sum2 / n - mean * mean).max(0.0);
+    let mut out: Vec<f64> = hist.iter().map(|c| c / n).collect();
+    out.push(mean / 255.0);
+    out.push(var.sqrt() / 255.0);
+    Some(out)
+}
+
+/// A structure-membership index over the atlas.
+pub struct StructureIndex {
+    tree: RTree<String>,
+}
+
+impl std::fmt::Debug for StructureIndex {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StructureIndex").field("structures", &self.tree.len()).finish()
+    }
+}
+
+impl StructureIndex {
+    /// Candidate structure names whose bounding boxes contain `p`
+    /// (grid coordinates).  Bounding boxes over-approximate; exact
+    /// membership still goes through the REGION — the classic
+    /// filter-and-refine split.
+    pub fn candidates_at(&self, p: Vec3) -> Vec<&String> {
+        self.tree.search_point(p)
+    }
+
+    /// Candidate structures overlapping an inclusive voxel box.
+    pub fn candidates_in_box(&self, min: [u32; 3], max: [u32; 3]) -> Vec<&String> {
+        let q = Aabb::new(
+            Vec3::new(f64::from(min[0]), f64::from(min[1]), f64::from(min[2])),
+            Vec3::new(
+                f64::from(max[0]) + 1.0,
+                f64::from(max[1]) + 1.0,
+                f64::from(max[2]) + 1.0,
+            ),
+        );
+        self.tree.search_box(&q)
+    }
+
+    /// Number of indexed structures.
+    pub fn len(&self) -> usize {
+        self.tree.len()
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.tree.is_empty()
+    }
+}
+
+impl MedicalServer {
+    /// Builds the R-tree over all atlas structures' REGION bounding
+    /// boxes (reads each stored REGION once).
+    pub fn build_structure_index(&mut self) -> Result<StructureIndex> {
+        let names: Vec<String> = {
+            let rs = self.database().query(
+                "select ns.structureName from neuralStructure ns order by ns.structureId",
+            )?;
+            rs.rows()
+                .iter()
+                .filter_map(|r| r[0].as_str().map(str::to_owned))
+                .collect()
+        };
+        let mut items = Vec::with_capacity(names.len());
+        for name in names {
+            let region = self.structure_region(&name)?;
+            let Some(bb) = region.bounding_box3() else { continue };
+            let aabb = Aabb::new(
+                Vec3::new(f64::from(bb.min.x), f64::from(bb.min.y), f64::from(bb.min.z)),
+                Vec3::new(
+                    f64::from(bb.max.x) + 1.0,
+                    f64::from(bb.max.y) + 1.0,
+                    f64::from(bb.max.z) + 1.0,
+                ),
+            );
+            items.push((aabb, name));
+        }
+        Ok(StructureIndex { tree: RTree::bulk_load(items) })
+    }
+
+    /// The paper's similarity query: among `candidate_studies`, the `k`
+    /// whose intensity pattern inside `structure` is most similar to
+    /// `reference_study`'s.  Returns `(study_id, distance)` pairs,
+    /// closest first; the reference itself is excluded.
+    pub fn similar_studies(
+        &mut self,
+        reference_study: i64,
+        candidate_studies: &[i64],
+        structure: &str,
+        k: usize,
+    ) -> Result<Vec<(i64, f64)>> {
+        let reference = self.structure_data(reference_study, structure)?;
+        let ref_features = feature_vector(&reference.data).ok_or_else(|| {
+            QbismError::NotFound(format!("structure {structure} is empty"))
+        })?;
+        let mut items = Vec::new();
+        for &id in candidate_studies {
+            if id == reference_study {
+                continue;
+            }
+            let answer = self.structure_data(id, structure)?;
+            if let Some(f) = feature_vector(&answer.data) {
+                items.push((f, id));
+            }
+        }
+        let tree = KdTree::build(FEATURE_DIMS, items);
+        Ok(tree
+            .nearest(&ref_features, k)
+            .into_iter()
+            .map(|(d, id)| (*id, d))
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{QbismConfig, QbismSystem};
+    use qbism_region::Region;
+
+    fn system() -> QbismSystem {
+        QbismSystem::install(&QbismConfig { pet_studies: 4, ..QbismConfig::small_test() })
+            .expect("install")
+    }
+
+    #[test]
+    fn feature_vectors_are_normalized() {
+        let mut sys = system();
+        let a = sys.server.structure_data(1, "ntal").unwrap();
+        let f = feature_vector(&a.data).unwrap();
+        assert_eq!(f.len(), FEATURE_DIMS);
+        let hist_sum: f64 = f[..8].iter().sum();
+        assert!((hist_sum - 1.0).abs() < 1e-9, "histogram sums to 1");
+        assert!((0.0..=1.0).contains(&f[8]), "mean normalized");
+        assert!((0.0..=1.0).contains(&f[9]), "stddev normalized");
+        // empty data has no features
+        let empty = DataRegion::new(
+            Region::empty(sys.server.config().geometry()),
+            Vec::new(),
+        );
+        assert!(feature_vector(&empty).is_none());
+    }
+
+    #[test]
+    fn structure_index_filter_and_refine() {
+        let mut sys = system();
+        let index = sys.server.build_structure_index().unwrap();
+        // Every non-empty structure gets an entry (at 16³ the thinnest
+        // structures can rasterize to nothing and are rightly skipped).
+        let non_empty = sys.atlas.structures().iter().filter(|s| !s.region.is_empty()).count();
+        assert_eq!(index.len(), non_empty);
+        assert!(index.len() >= 10, "almost all structures survive even at 16³");
+        assert!(!index.is_empty());
+        // The brain centre must at least produce candidates containing
+        // the structures whose regions actually hold the voxel.
+        let p = Vec3::new(8.5, 8.5, 8.5);
+        let candidates: Vec<String> =
+            index.candidates_at(p).into_iter().cloned().collect();
+        for s in sys.atlas.structures() {
+            let inside = s.region.contains_voxel(&[8, 8, 8]);
+            if inside {
+                assert!(
+                    candidates.contains(&s.name.to_string()),
+                    "{} contains the point but was not a candidate",
+                    s.name
+                );
+            }
+        }
+        // A corner voxel box should produce no candidates.
+        assert!(index.candidates_in_box([0, 0, 0], [0, 0, 0]).is_empty());
+    }
+
+    #[test]
+    fn similar_studies_orders_by_distance_and_excludes_reference() {
+        let mut sys = system();
+        let ids = sys.pet_study_ids.clone();
+        let got = sys.server.similar_studies(ids[0], &ids, "ntal", 10).unwrap();
+        assert_eq!(got.len(), ids.len() - 1, "reference excluded");
+        for w in got.windows(2) {
+            assert!(w[0].1 <= w[1].1, "sorted by distance");
+        }
+        // Self-similarity sanity: querying with the reference's own data
+        // as a candidate gives distance ~0.
+        let same = sys.server.similar_studies(ids[0], &[ids[0], ids[1]], "ntal", 1).unwrap();
+        assert_eq!(same.len(), 1);
+        assert_eq!(same[0].0, ids[1]);
+    }
+
+    #[test]
+    fn missing_structure_is_not_found() {
+        let mut sys = system();
+        assert!(matches!(
+            sys.server.similar_studies(1, &[1, 2], "amygdala", 1),
+            Err(QbismError::NotFound(_))
+        ));
+    }
+}

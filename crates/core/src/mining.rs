@@ -1,0 +1,270 @@
+//! Data-mining queries — the paper's second future direction.
+//!
+//! "The integration of data mining \[1\] and hypothesis testing
+//! techniques to support investigative queries like 'find PET study
+//! intensity patterns that are associated with any neurological
+//! condition in any subpopulation'."
+//!
+//! Following the cited framework (Agrawal, Imieliński & Swami: support /
+//! confidence over boolean item sets), each study becomes a transaction
+//! of boolean items — demographic facts (`age>=40`, `sex=F`) and imaging
+//! facts (`hot:putamen-l`, high mean activity inside a structure) — and
+//! [`mine_associations`] finds all rules `antecedent → consequent`
+//! meeting minimum support and confidence.
+
+use crate::server::MedicalServer;
+use crate::Result;
+use std::collections::BTreeSet;
+
+/// One boolean observation about a study.
+pub type Item = String;
+
+/// A mined rule `antecedent → consequent` with its statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AssociationRule {
+    /// Left-hand items (all present).
+    pub antecedent: Vec<Item>,
+    /// Right-hand item.
+    pub consequent: Item,
+    /// Fraction of studies containing antecedent ∪ consequent.
+    pub support: f64,
+    /// `support(antecedent ∪ consequent) / support(antecedent)`.
+    pub confidence: f64,
+}
+
+/// Extracts the transaction (item set) of one study: demographics plus
+/// per-structure activity flags.
+///
+/// A structure is "hot" when the study's mean intensity inside it
+/// exceeds `hot_threshold`.
+pub fn study_items(
+    server: &mut MedicalServer,
+    study_id: i64,
+    structures: &[&str],
+    hot_threshold: f64,
+) -> Result<BTreeSet<Item>> {
+    let mut items = BTreeSet::new();
+    let rs = server.database().query(&format!(
+        "select p.age, p.sex from patient p, rawVolume rv
+         where p.patientId = rv.patientId and rv.studyId = {study_id}"
+    ))?;
+    if let Some(row) = rs.rows().first() {
+        if let Some(age) = row[0].as_i64() {
+            items.insert(if age >= 40 { "age>=40".into() } else { "age<40".into() });
+        }
+        if let Some(sex) = row[1].as_str() {
+            items.insert(format!("sex={sex}"));
+        }
+    }
+    for s in structures {
+        let answer = server.structure_data(study_id, s)?;
+        if answer.data.mean().unwrap_or(0.0) > hot_threshold {
+            items.insert(format!("hot:{s}"));
+        }
+    }
+    Ok(items)
+}
+
+/// Mines single-consequent association rules over the studies'
+/// transactions (antecedents up to 2 items — plenty at clinical-cohort
+/// scale, and keeps the search exact).
+pub fn mine_associations(
+    transactions: &[BTreeSet<Item>],
+    min_support: f64,
+    min_confidence: f64,
+) -> Vec<AssociationRule> {
+    assert!((0.0..=1.0).contains(&min_support), "support is a fraction");
+    assert!((0.0..=1.0).contains(&min_confidence), "confidence is a fraction");
+    let n = transactions.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let all_items: Vec<Item> = transactions
+        .iter()
+        .flat_map(|t| t.iter().cloned())
+        .collect::<BTreeSet<_>>()
+        .into_iter()
+        .collect();
+    let count = |items: &[&Item]| -> usize {
+        transactions
+            .iter()
+            .filter(|t| items.iter().all(|i| t.contains(*i)))
+            .count()
+    };
+    let mut rules = Vec::new();
+    // Antecedent size 1 and 2, single consequent, all distinct.
+    for (i, a1) in all_items.iter().enumerate() {
+        for c in &all_items {
+            if c == a1 {
+                continue;
+            }
+            push_rule(&mut rules, vec![a1.clone()], c.clone(), count(&[a1]), count(&[a1, c]), n, min_support, min_confidence);
+        }
+        for a2 in all_items.iter().skip(i + 1) {
+            for c in &all_items {
+                if c == a1 || c == a2 {
+                    continue;
+                }
+                push_rule(
+                    &mut rules,
+                    vec![a1.clone(), a2.clone()],
+                    c.clone(),
+                    count(&[a1, a2]),
+                    count(&[a1, a2, c]),
+                    n,
+                    min_support,
+                    min_confidence,
+                );
+            }
+        }
+    }
+    // Strongest first: confidence, then support, then shorter antecedent.
+    rules.sort_by(|a, b| {
+        b.confidence
+            .partial_cmp(&a.confidence)
+            .expect("finite")
+            .then(b.support.partial_cmp(&a.support).expect("finite"))
+            .then(a.antecedent.len().cmp(&b.antecedent.len()))
+    });
+    rules
+}
+
+#[allow(clippy::too_many_arguments)]
+fn push_rule(
+    rules: &mut Vec<AssociationRule>,
+    antecedent: Vec<Item>,
+    consequent: Item,
+    antecedent_count: usize,
+    both_count: usize,
+    n: usize,
+    min_support: f64,
+    min_confidence: f64,
+) {
+    if antecedent_count == 0 {
+        return;
+    }
+    let support = both_count as f64 / n as f64;
+    let confidence = both_count as f64 / antecedent_count as f64;
+    if support >= min_support && confidence >= min_confidence {
+        rules.push(AssociationRule { antecedent, consequent, support, confidence });
+    }
+}
+
+impl AssociationRule {
+    /// Renders like `hot:putamen-l & sex=F => age>=40 (sup 0.40, conf 0.80)`.
+    pub fn render(&self) -> String {
+        format!(
+            "{} => {} (sup {:.2}, conf {:.2})",
+            self.antecedent.join(" & "),
+            self.consequent,
+            self.support,
+            self.confidence
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{QbismConfig, QbismSystem};
+
+    fn tx(items: &[&str]) -> BTreeSet<Item> {
+        items.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn perfect_implication_has_full_confidence() {
+        // Every F is hot; only half the Ms are.
+        let txs = vec![
+            tx(&["sex=F", "hot:x"]),
+            tx(&["sex=F", "hot:x"]),
+            tx(&["sex=M", "hot:x"]),
+            tx(&["sex=M"]),
+        ];
+        let rules = mine_associations(&txs, 0.25, 0.9);
+        let rule = rules
+            .iter()
+            .find(|r| r.antecedent == vec!["sex=F".to_string()] && r.consequent == "hot:x")
+            .expect("F => hot rule");
+        assert_eq!(rule.confidence, 1.0);
+        assert_eq!(rule.support, 0.5);
+        // The reverse direction has lower confidence (3/4 hot are not all F).
+        assert!(!rules
+            .iter()
+            .any(|r| r.antecedent == vec!["hot:x".to_string()]
+                && r.consequent == "sex=F"
+                && r.confidence >= 0.9));
+    }
+
+    #[test]
+    fn thresholds_filter_rules() {
+        let txs = vec![tx(&["a", "b"]), tx(&["a"]), tx(&["b"]), tx(&["c"])];
+        assert!(mine_associations(&txs, 0.9, 0.1).is_empty(), "support bar too high");
+        assert!(!mine_associations(&txs, 0.25, 0.5).is_empty());
+        assert!(mine_associations(&[], 0.1, 0.1).is_empty());
+    }
+
+    #[test]
+    fn two_item_antecedents_found() {
+        let txs = vec![
+            tx(&["a", "b", "c"]),
+            tx(&["a", "b", "c"]),
+            tx(&["a", "c"]),
+            tx(&["b", "c"]),
+            tx(&["a", "b"]),
+        ];
+        let rules = mine_associations(&txs, 0.3, 0.5);
+        let rule = rules
+            .iter()
+            .find(|r| r.antecedent == vec!["a".to_string(), "b".to_string()])
+            .expect("a & b => c");
+        assert_eq!(rule.consequent, "c");
+        // a&b in 3 of 5 transactions, a&b&c in 2: conf 2/3, support 2/5.
+        assert!((rule.confidence - 2.0 / 3.0).abs() < 1e-12);
+        assert!((rule.support - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rules_sorted_strongest_first() {
+        let txs = vec![tx(&["a", "b"]), tx(&["a", "b"]), tx(&["a", "c"]), tx(&["c", "b"])];
+        let rules = mine_associations(&txs, 0.1, 0.1);
+        for w in rules.windows(2) {
+            assert!(w[0].confidence >= w[1].confidence - 1e-12);
+        }
+    }
+
+    #[test]
+    fn study_transactions_from_the_live_system() {
+        let mut sys = QbismSystem::install(&QbismConfig { pet_studies: 3, ..QbismConfig::small_test() })
+            .expect("install");
+        let ids = sys.pet_study_ids.clone();
+        let mut txs = Vec::new();
+        for &id in &ids {
+            let items = study_items(&mut sys.server, id, &["ntal", "thalamus"], 60.0)
+                .expect("items");
+            // Demographics always present.
+            assert!(items.iter().any(|i| i.starts_with("sex=")));
+            assert!(items.iter().any(|i| i.starts_with("age")));
+            txs.push(items);
+        }
+        // Mining runs without error on live transactions.
+        let _ = mine_associations(&txs, 0.3, 0.5);
+    }
+
+    #[test]
+    fn render_is_readable() {
+        let r = AssociationRule {
+            antecedent: vec!["sex=F".into(), "hot:putamen-l".into()],
+            consequent: "age>=40".into(),
+            support: 0.4,
+            confidence: 0.8,
+        };
+        assert_eq!(r.render(), "sex=F & hot:putamen-l => age>=40 (sup 0.40, conf 0.80)");
+    }
+
+    #[test]
+    #[should_panic(expected = "support is a fraction")]
+    fn bad_threshold_panics() {
+        let _ = mine_associations(&[], 1.5, 0.5);
+    }
+}

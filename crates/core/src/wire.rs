@@ -1,0 +1,241 @@
+//! Long-field layouts and wire formats.
+//!
+//! Three large-object layouts exist in the system:
+//!
+//! * **VOLUME long field** — exactly `cell_count` intensity bytes "in a
+//!   linearized form in an implied order" (the configured curve).  No
+//!   header: the atlas row carries the geometry, as in the paper.
+//! * **REGION long field** — the self-describing [`RegionCodec`] bytes.
+//! * **DATA_REGION wire value** — what `extractVoxels` returns and the
+//!   MedicalServer ships to DX: a naive-coded REGION followed by one
+//!   intensity byte per voxel.
+
+use crate::{QbismError, Result};
+use qbism_region::{GridGeometry, RegionCodec};
+use qbism_volume::{DataRegion, Volume};
+
+/// Serializes a volume into its long-field layout (pure intensity bytes
+/// in curve order).
+pub fn volume_to_long_field(volume: &Volume) -> Vec<u8> {
+    volume.values().to_vec()
+}
+
+/// Reconstructs a volume from its long-field bytes and the geometry the
+/// atlas row implies.
+pub fn volume_from_long_field(geom: GridGeometry, bytes: &[u8]) -> Result<Volume> {
+    if bytes.len() as u64 != geom.cell_count() {
+        return Err(QbismError::Wire(format!(
+            "volume long field holds {} bytes, geometry needs {}",
+            bytes.len(),
+            geom.cell_count()
+        )));
+    }
+    let mut v = Volume::filled(geom, 0);
+    v.values_mut().copy_from_slice(bytes);
+    Ok(v)
+}
+
+/// Magic prefix of a DATA_REGION wire value ("QD").
+const DATA_REGION_MAGIC: [u8; 2] = *b"QD";
+
+/// Serializes a DATA_REGION: magic, naive-coded region, then values.
+///
+/// The region part uses the naive codec regardless of the on-disk
+/// configuration — this is the *wire* form whose size drives the
+/// network column of Table 3 (runs at 8 bytes plus one byte per voxel).
+pub fn encode_data_region(data: &DataRegion<u8>) -> Result<Vec<u8>> {
+    let mut out = Vec::with_capacity(2 + data.voxel_count() + data.region().run_count() * 8 + 16);
+    out.extend_from_slice(&DATA_REGION_MAGIC);
+    let region_bytes = RegionCodec::Naive.encode(data.region())?;
+    out.extend_from_slice(&(region_bytes.len() as u32).to_le_bytes());
+    out.extend_from_slice(&region_bytes);
+    out.extend_from_slice(data.values());
+    Ok(out)
+}
+
+/// Parses a DATA_REGION wire value.
+pub fn decode_data_region(bytes: &[u8]) -> Result<DataRegion<u8>> {
+    if bytes.len() < 6 || bytes[..2] != DATA_REGION_MAGIC {
+        return Err(QbismError::Wire("not a DATA_REGION payload".into()));
+    }
+    let rlen = u32::from_le_bytes(
+        bytes[2..6].try_into().expect("4 bytes"),
+    ) as usize;
+    let region_end = 6 + rlen;
+    if bytes.len() < region_end {
+        return Err(QbismError::Wire("truncated DATA_REGION region part".into()));
+    }
+    let region = RegionCodec::decode(&bytes[6..region_end])?;
+    let values = bytes[region_end..].to_vec();
+    if values.len() as u64 != region.voxel_count() {
+        return Err(QbismError::Wire(format!(
+            "DATA_REGION carries {} values for {} voxels",
+            values.len(),
+            region.voxel_count()
+        )));
+    }
+    Ok(DataRegion::new(region, values))
+}
+
+/// The payload size DX receives for an answer — the quantity the network
+/// model charges.
+pub fn data_region_wire_size(data: &DataRegion<u8>) -> u64 {
+    (2 + 4 + 10 + data.region().run_count() * 8 + data.voxel_count()) as u64
+}
+
+/// Serializes a triangle mesh into its long-field layout: vertex and
+/// triangle counts, then positions, normals (f32 triples) and index
+/// triples (u32) — the second long-field column of *Atlas Structure*.
+pub fn mesh_to_long_field(mesh: &qbism_geometry::TriMesh) -> Vec<u8> {
+    let mut out = Vec::with_capacity(mesh.encoded_len());
+    out.extend_from_slice(&(mesh.vertex_count() as u32).to_le_bytes());
+    out.extend_from_slice(&(mesh.triangle_count() as u32).to_le_bytes());
+    for v in &mesh.vertices {
+        for c in [v.x, v.y, v.z] {
+            out.extend_from_slice(&(c as f32).to_le_bytes());
+        }
+    }
+    for n in &mesh.normals {
+        for c in [n.x, n.y, n.z] {
+            out.extend_from_slice(&(c as f32).to_le_bytes());
+        }
+    }
+    for t in &mesh.triangles {
+        for &i in t {
+            out.extend_from_slice(&i.to_le_bytes());
+        }
+    }
+    out
+}
+
+/// Parses a mesh long field.
+pub fn mesh_from_long_field(bytes: &[u8]) -> Result<qbism_geometry::TriMesh> {
+    let fail = |m: &str| QbismError::Wire(format!("mesh long field: {m}"));
+    if bytes.len() < 8 {
+        return Err(fail("missing header"));
+    }
+    let nv = u32::from_le_bytes(bytes[0..4].try_into().expect("4 bytes")) as usize;
+    let nt = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes")) as usize;
+    let need = 8 + nv * 24 + nt * 12;
+    if bytes.len() != need {
+        return Err(fail("length mismatch"));
+    }
+    let f32_at = |off: usize| -> f64 {
+        f32::from_le_bytes(bytes[off..off + 4].try_into().expect("4 bytes")) as f64
+    };
+    let mut mesh = qbism_geometry::TriMesh::new();
+    for i in 0..nv {
+        let off = 8 + i * 12;
+        mesh.push_vertex(qbism_geometry::Vec3::new(
+            f32_at(off),
+            f32_at(off + 4),
+            f32_at(off + 8),
+        ));
+    }
+    for i in 0..nv {
+        let off = 8 + nv * 12 + i * 12;
+        mesh.normals[i] =
+            qbism_geometry::Vec3::new(f32_at(off), f32_at(off + 4), f32_at(off + 8));
+    }
+    for i in 0..nt {
+        let off = 8 + nv * 24 + i * 12;
+        let idx = |k: usize| u32::from_le_bytes(bytes[off + k * 4..off + k * 4 + 4].try_into().expect("4 bytes"));
+        let tri = [idx(0), idx(1), idx(2)];
+        if tri.iter().any(|&t| t as usize >= nv) {
+            return Err(fail("triangle index out of range"));
+        }
+        mesh.push_triangle(tri);
+    }
+    Ok(mesh)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qbism_region::Region;
+    use qbism_sfc::CurveKind;
+
+    fn geom() -> GridGeometry {
+        GridGeometry::new(CurveKind::Hilbert, 3, 3)
+    }
+
+    #[test]
+    fn volume_long_field_roundtrip() {
+        let v = Volume::from_fn3(geom(), |x, y, z| (x * 9 + y * 3 + z) as u8);
+        let bytes = volume_to_long_field(&v);
+        assert_eq!(bytes.len(), 512);
+        let back = volume_from_long_field(geom(), &bytes).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn volume_wrong_length_rejected() {
+        assert!(matches!(
+            volume_from_long_field(geom(), &[0u8; 100]),
+            Err(QbismError::Wire(_))
+        ));
+    }
+
+    #[test]
+    fn data_region_roundtrip() {
+        let region = Region::from_ids(geom(), vec![3, 4, 5, 100, 101, 300]);
+        let values = vec![10u8, 20, 30, 40, 50, 60];
+        let dr = DataRegion::new(region, values);
+        let bytes = encode_data_region(&dr).unwrap();
+        let back = decode_data_region(&bytes).unwrap();
+        assert_eq!(back, dr);
+    }
+
+    #[test]
+    fn empty_data_region_roundtrip() {
+        let dr = DataRegion::new(Region::empty(geom()), Vec::new());
+        let bytes = encode_data_region(&dr).unwrap();
+        assert_eq!(decode_data_region(&bytes).unwrap(), dr);
+    }
+
+    #[test]
+    fn corrupt_payloads_rejected() {
+        assert!(decode_data_region(&[]).is_err());
+        assert!(decode_data_region(b"XX123456").is_err());
+        let region = Region::from_ids(geom(), vec![1, 2]);
+        let dr = DataRegion::new(region, vec![9, 9]);
+        let mut bytes = encode_data_region(&dr).unwrap();
+        bytes.pop(); // drop one value byte
+        assert!(decode_data_region(&bytes).is_err());
+        let mut cut = encode_data_region(&dr).unwrap();
+        cut.truncate(8);
+        assert!(decode_data_region(&cut).is_err());
+    }
+
+    #[test]
+    fn mesh_long_field_roundtrip() {
+        use qbism_geometry::{TriMesh, Vec3};
+        let mut m = TriMesh::new();
+        let a = m.push_vertex(Vec3::new(0.0, 0.0, 0.0));
+        let b = m.push_vertex(Vec3::new(1.0, 0.0, 0.0));
+        let c = m.push_vertex(Vec3::new(0.0, 1.0, 0.0));
+        m.push_triangle([a, b, c]);
+        m.recompute_normals();
+        let bytes = mesh_to_long_field(&m);
+        let back = mesh_from_long_field(&bytes).unwrap();
+        assert_eq!(back.vertex_count(), 3);
+        assert_eq!(back.triangle_count(), 1);
+        assert_eq!(back.triangles, m.triangles);
+        assert!(back.normals[0].distance(m.normals[0]) < 1e-6);
+        // corrupt inputs
+        assert!(mesh_from_long_field(&bytes[..7]).is_err());
+        assert!(mesh_from_long_field(&bytes[..bytes.len() - 1]).is_err());
+        let mut bad = bytes.clone();
+        let off = bad.len() - 12;
+        bad[off..off + 4].copy_from_slice(&99u32.to_le_bytes());
+        assert!(mesh_from_long_field(&bad).is_err(), "index out of range");
+    }
+
+    #[test]
+    fn wire_size_matches_encoded_length() {
+        let region = Region::from_ids(geom(), vec![3, 4, 5, 90, 91, 200, 201, 202]);
+        let dr = DataRegion::new(region, vec![1u8; 8]);
+        let bytes = encode_data_region(&dr).unwrap();
+        assert_eq!(bytes.len() as u64, data_region_wire_size(&dr));
+    }
+}

@@ -1,0 +1,255 @@
+//! Affine transformations of 3-space.
+//!
+//! The paper registers each acquired study to a reference atlas with
+//! "affine transformations … warping matrices are computed and stored
+//! along with the original and warped study."  [`Affine3`] is that stored
+//! matrix: a 3x3 linear part plus a translation.
+
+use crate::Vec3;
+
+/// An affine map `p -> M p + t`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Affine3 {
+    /// Row-major 3x3 linear part.
+    pub m: [[f64; 3]; 3],
+    /// Translation.
+    pub t: Vec3,
+}
+
+impl Affine3 {
+    /// The identity transform.
+    pub const IDENTITY: Affine3 = Affine3 {
+        m: [[1.0, 0.0, 0.0], [0.0, 1.0, 0.0], [0.0, 0.0, 1.0]],
+        t: Vec3::ZERO,
+    };
+
+    /// Builds from a row-major 3x3 matrix and a translation.
+    pub const fn new(m: [[f64; 3]; 3], t: Vec3) -> Self {
+        Affine3 { m, t }
+    }
+
+    /// Pure translation.
+    pub fn translation(t: Vec3) -> Self {
+        Affine3 { t, ..Affine3::IDENTITY }
+    }
+
+    /// Anisotropic scaling about the origin.
+    pub fn scaling(s: Vec3) -> Self {
+        Affine3::new([[s.x, 0.0, 0.0], [0.0, s.y, 0.0], [0.0, 0.0, s.z]], Vec3::ZERO)
+    }
+
+    /// Uniform scaling about the origin.
+    pub fn uniform_scaling(s: f64) -> Self {
+        Affine3::scaling(Vec3::splat(s))
+    }
+
+    /// Rotation by `angle` radians about the x axis.
+    pub fn rotation_x(angle: f64) -> Self {
+        let (s, c) = angle.sin_cos();
+        Affine3::new([[1.0, 0.0, 0.0], [0.0, c, -s], [0.0, s, c]], Vec3::ZERO)
+    }
+
+    /// Rotation by `angle` radians about the y axis.
+    pub fn rotation_y(angle: f64) -> Self {
+        let (s, c) = angle.sin_cos();
+        Affine3::new([[c, 0.0, s], [0.0, 1.0, 0.0], [-s, 0.0, c]], Vec3::ZERO)
+    }
+
+    /// Rotation by `angle` radians about the z axis.
+    pub fn rotation_z(angle: f64) -> Self {
+        let (s, c) = angle.sin_cos();
+        Affine3::new([[c, -s, 0.0], [s, c, 0.0], [0.0, 0.0, 1.0]], Vec3::ZERO)
+    }
+
+    /// Applies the transform to a point.
+    pub fn apply(&self, p: Vec3) -> Vec3 {
+        Vec3::new(
+            self.m[0][0] * p.x + self.m[0][1] * p.y + self.m[0][2] * p.z + self.t.x,
+            self.m[1][0] * p.x + self.m[1][1] * p.y + self.m[1][2] * p.z + self.t.y,
+            self.m[2][0] * p.x + self.m[2][1] * p.y + self.m[2][2] * p.z + self.t.z,
+        )
+    }
+
+    /// Applies only the linear part (for directions/normals of rigid maps).
+    pub fn apply_linear(&self, v: Vec3) -> Vec3 {
+        Vec3::new(
+            self.m[0][0] * v.x + self.m[0][1] * v.y + self.m[0][2] * v.z,
+            self.m[1][0] * v.x + self.m[1][1] * v.y + self.m[1][2] * v.z,
+            self.m[2][0] * v.x + self.m[2][1] * v.y + self.m[2][2] * v.z,
+        )
+    }
+
+    /// Composition: `(self.then(g))(p) = g(self(p))`.
+    pub fn then(&self, g: &Affine3) -> Affine3 {
+        let mut m = [[0.0; 3]; 3];
+        for (i, row) in m.iter_mut().enumerate() {
+            for (j, cell) in row.iter_mut().enumerate() {
+                *cell = (0..3).map(|k| g.m[i][k] * self.m[k][j]).sum();
+            }
+        }
+        Affine3 { m, t: g.apply(self.t) }
+    }
+
+    /// Determinant of the linear part.
+    pub fn det(&self) -> f64 {
+        let m = &self.m;
+        m[0][0] * (m[1][1] * m[2][2] - m[1][2] * m[2][1])
+            - m[0][1] * (m[1][0] * m[2][2] - m[1][2] * m[2][0])
+            + m[0][2] * (m[1][0] * m[2][1] - m[1][1] * m[2][0])
+    }
+
+    /// Inverse transform, or `None` if the linear part is singular
+    /// (|det| below `1e-12`).
+    pub fn inverse(&self) -> Option<Affine3> {
+        let d = self.det();
+        if d.abs() < 1e-12 {
+            return None;
+        }
+        let m = &self.m;
+        let inv = [
+            [
+                (m[1][1] * m[2][2] - m[1][2] * m[2][1]) / d,
+                (m[0][2] * m[2][1] - m[0][1] * m[2][2]) / d,
+                (m[0][1] * m[1][2] - m[0][2] * m[1][1]) / d,
+            ],
+            [
+                (m[1][2] * m[2][0] - m[1][0] * m[2][2]) / d,
+                (m[0][0] * m[2][2] - m[0][2] * m[2][0]) / d,
+                (m[0][2] * m[1][0] - m[0][0] * m[1][2]) / d,
+            ],
+            [
+                (m[1][0] * m[2][1] - m[1][1] * m[2][0]) / d,
+                (m[0][1] * m[2][0] - m[0][0] * m[2][1]) / d,
+                (m[0][0] * m[1][1] - m[0][1] * m[1][0]) / d,
+            ],
+        ];
+        let inv_a = Affine3 { m: inv, t: Vec3::ZERO };
+        let t = -inv_a.apply_linear(self.t);
+        Some(Affine3 { m: inv, t })
+    }
+
+    /// Maximum absolute difference between two transforms' coefficients.
+    pub fn max_abs_diff(&self, other: &Affine3) -> f64 {
+        let mut worst: f64 = 0.0;
+        for i in 0..3 {
+            for j in 0..3 {
+                worst = worst.max((self.m[i][j] - other.m[i][j]).abs());
+            }
+        }
+        worst
+            .max((self.t.x - other.t.x).abs())
+            .max((self.t.y - other.t.y).abs())
+            .max((self.t.z - other.t.z).abs())
+    }
+}
+
+impl Default for Affine3 {
+    fn default() -> Self {
+        Affine3::IDENTITY
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::f64::consts::FRAC_PI_2;
+
+    #[test]
+    fn identity_is_identity() {
+        let p = Vec3::new(1.5, -2.0, 7.0);
+        assert_eq!(Affine3::IDENTITY.apply(p), p);
+        assert_eq!(Affine3::IDENTITY.det(), 1.0);
+    }
+
+    #[test]
+    fn rotations_move_axes_correctly() {
+        let x = Vec3::new(1.0, 0.0, 0.0);
+        let y = Vec3::new(0.0, 1.0, 0.0);
+        let z = Vec3::new(0.0, 0.0, 1.0);
+        assert!(Affine3::rotation_z(FRAC_PI_2).apply(x).distance(y) < 1e-12);
+        assert!(Affine3::rotation_x(FRAC_PI_2).apply(y).distance(z) < 1e-12);
+        assert!(Affine3::rotation_y(FRAC_PI_2).apply(z).distance(x) < 1e-12);
+    }
+
+    #[test]
+    fn composition_order() {
+        // then(): scale by 2 *then* translate by (1,0,0).
+        let f = Affine3::uniform_scaling(2.0).then(&Affine3::translation(Vec3::new(1.0, 0.0, 0.0)));
+        assert_eq!(f.apply(Vec3::new(1.0, 1.0, 1.0)), Vec3::new(3.0, 2.0, 2.0));
+        // the other order: translate first, then scale.
+        let g = Affine3::translation(Vec3::new(1.0, 0.0, 0.0)).then(&Affine3::uniform_scaling(2.0));
+        assert_eq!(g.apply(Vec3::new(1.0, 1.0, 1.0)), Vec3::new(4.0, 2.0, 2.0));
+    }
+
+    #[test]
+    fn inverse_of_known_transform() {
+        let f = Affine3::translation(Vec3::new(3.0, -1.0, 2.0))
+            .then(&Affine3::scaling(Vec3::new(2.0, 4.0, 0.5)));
+        let inv = f.inverse().unwrap();
+        let p = Vec3::new(0.3, 0.7, -0.2);
+        assert!(inv.apply(f.apply(p)).distance(p) < 1e-12);
+        assert!(f.apply(inv.apply(p)).distance(p) < 1e-12);
+    }
+
+    #[test]
+    fn singular_matrix_has_no_inverse() {
+        let f = Affine3::scaling(Vec3::new(1.0, 0.0, 1.0));
+        assert!(f.inverse().is_none());
+    }
+
+    #[test]
+    fn determinant_of_products() {
+        let a = Affine3::uniform_scaling(3.0);
+        let b = Affine3::rotation_y(0.7);
+        let ab = a.then(&b);
+        assert!((ab.det() - a.det() * b.det()).abs() < 1e-12);
+        assert!((b.det() - 1.0).abs() < 1e-12);
+    }
+
+    fn arb_affine() -> impl Strategy<Value = Affine3> {
+        (
+            -1.0f64..1.0,
+            -1.0f64..1.0,
+            -1.0f64..1.0,
+            0.5f64..2.0,
+            proptest::array::uniform3(-10.0f64..10.0),
+        )
+            .prop_map(|(rx, ry, rz, s, t)| {
+                Affine3::rotation_x(rx)
+                    .then(&Affine3::rotation_y(ry))
+                    .then(&Affine3::rotation_z(rz))
+                    .then(&Affine3::uniform_scaling(s))
+                    .then(&Affine3::translation(Vec3::from(t)))
+            })
+    }
+
+    proptest! {
+        #[test]
+        fn inverse_roundtrips(f in arb_affine(), p in proptest::array::uniform3(-50.0f64..50.0)) {
+            let p = Vec3::from(p);
+            let inv = f.inverse().expect("well-conditioned transform");
+            prop_assert!(inv.apply(f.apply(p)).distance(p) < 1e-6);
+        }
+
+        #[test]
+        fn composition_is_associative(
+            a in arb_affine(), b in arb_affine(), c in arb_affine(),
+            p in proptest::array::uniform3(-10.0f64..10.0),
+        ) {
+            let p = Vec3::from(p);
+            let left = a.then(&b).then(&c).apply(p);
+            let right = a.then(&b.then(&c)).apply(p);
+            prop_assert!(left.distance(right) < 1e-6);
+        }
+
+        #[test]
+        fn apply_matches_composition(a in arb_affine(), b in arb_affine(),
+                                     p in proptest::array::uniform3(-10.0f64..10.0)) {
+            let p = Vec3::from(p);
+            let composed = a.then(&b).apply(p);
+            let sequential = b.apply(a.apply(p));
+            prop_assert!(composed.distance(sequential) < 1e-8);
+        }
+    }
+}

@@ -1,0 +1,444 @@
+//! Analytic solids: the membership predicates used to synthesize anatomy.
+//!
+//! The paper chose a *volumetric* REGION representation precisely because
+//! "arbitrary REGIONs of interest do not necessarily have simple analytical
+//! descriptions" — but our synthetic atlas structures (the stand-in for the
+//! digitized Talairach atlas) are *generated from* analytic solids and then
+//! rasterized into volumetric REGIONs, after which the rest of the system
+//! treats them as arbitrary.
+
+use crate::{Affine3, Vec3};
+
+/// A solid is a membership predicate over continuous 3-space.
+pub trait Solid {
+    /// Whether point `p` is inside the solid.
+    fn contains(&self, p: Vec3) -> bool;
+
+    /// A signed "inside-ness" field: negative inside, positive outside,
+    /// zero on the boundary.  Need not be a true distance; it is used for
+    /// smooth intensity synthesis (e.g. activity falling off away from a
+    /// structure) and surface extraction.
+    fn field(&self, p: Vec3) -> f64;
+}
+
+/// A sphere.
+#[derive(Debug, Clone, Copy)]
+pub struct Sphere {
+    /// Centre.
+    pub center: Vec3,
+    /// Radius (must be positive).
+    pub radius: f64,
+}
+
+impl Sphere {
+    /// Creates a sphere.
+    ///
+    /// # Panics
+    /// Panics unless `radius > 0`.
+    pub fn new(center: Vec3, radius: f64) -> Self {
+        assert!(radius > 0.0, "sphere radius must be positive, got {radius}");
+        Sphere { center, radius }
+    }
+}
+
+impl Solid for Sphere {
+    fn contains(&self, p: Vec3) -> bool {
+        (p - self.center).length_squared() <= self.radius * self.radius
+    }
+
+    fn field(&self, p: Vec3) -> f64 {
+        (p - self.center).length() - self.radius
+    }
+}
+
+/// An axis-aligned ellipsoid.
+#[derive(Debug, Clone, Copy)]
+pub struct Ellipsoid {
+    /// Centre.
+    pub center: Vec3,
+    /// Semi-axes (all positive).
+    pub radii: Vec3,
+}
+
+impl Ellipsoid {
+    /// Creates an ellipsoid.
+    ///
+    /// # Panics
+    /// Panics unless all semi-axes are positive.
+    pub fn new(center: Vec3, radii: Vec3) -> Self {
+        assert!(
+            radii.x > 0.0 && radii.y > 0.0 && radii.z > 0.0,
+            "ellipsoid radii must be positive, got {radii:?}"
+        );
+        Ellipsoid { center, radii }
+    }
+
+    fn normalized_radius(&self, p: Vec3) -> f64 {
+        let d = p - self.center;
+        let q = Vec3::new(d.x / self.radii.x, d.y / self.radii.y, d.z / self.radii.z);
+        q.length()
+    }
+}
+
+impl Solid for Ellipsoid {
+    fn contains(&self, p: Vec3) -> bool {
+        self.normalized_radius(p) <= 1.0
+    }
+
+    fn field(&self, p: Vec3) -> f64 {
+        // Approximate signed distance: scaled radial excess.
+        (self.normalized_radius(p) - 1.0) * self.radii.x.min(self.radii.y).min(self.radii.z)
+    }
+}
+
+/// A superquadric `|x/a|^e + |y/b|^e + |z/c|^e <= 1`.
+///
+/// Exponent 2 is an ellipsoid; larger exponents are "boxier", smaller are
+/// "pointier" — useful variety for synthetic anatomic structures.
+#[derive(Debug, Clone, Copy)]
+pub struct Superquadric {
+    /// Centre.
+    pub center: Vec3,
+    /// Semi-axes (all positive).
+    pub radii: Vec3,
+    /// Shape exponent (must be positive).
+    pub exponent: f64,
+}
+
+impl Superquadric {
+    /// Creates a superquadric.
+    ///
+    /// # Panics
+    /// Panics unless all semi-axes and the exponent are positive.
+    pub fn new(center: Vec3, radii: Vec3, exponent: f64) -> Self {
+        assert!(
+            radii.x > 0.0 && radii.y > 0.0 && radii.z > 0.0,
+            "superquadric radii must be positive"
+        );
+        assert!(exponent > 0.0, "superquadric exponent must be positive");
+        Superquadric { center, radii, exponent }
+    }
+
+    fn level(&self, p: Vec3) -> f64 {
+        let d = p - self.center;
+        (d.x / self.radii.x).abs().powf(self.exponent)
+            + (d.y / self.radii.y).abs().powf(self.exponent)
+            + (d.z / self.radii.z).abs().powf(self.exponent)
+    }
+}
+
+impl Solid for Superquadric {
+    fn contains(&self, p: Vec3) -> bool {
+        self.level(p) <= 1.0
+    }
+
+    fn field(&self, p: Vec3) -> f64 {
+        self.level(p) - 1.0
+    }
+}
+
+/// An axis-aligned solid box over continuous coordinates.
+#[derive(Debug, Clone, Copy)]
+pub struct SolidBox {
+    /// Minimum corner.
+    pub min: Vec3,
+    /// Maximum corner.
+    pub max: Vec3,
+}
+
+impl SolidBox {
+    /// Creates a box.
+    ///
+    /// # Panics
+    /// Panics if any `min` component exceeds the matching `max`.
+    pub fn new(min: Vec3, max: Vec3) -> Self {
+        assert!(
+            min.x <= max.x && min.y <= max.y && min.z <= max.z,
+            "degenerate solid box"
+        );
+        SolidBox { min, max }
+    }
+}
+
+impl Solid for SolidBox {
+    fn contains(&self, p: Vec3) -> bool {
+        p.x >= self.min.x
+            && p.x <= self.max.x
+            && p.y >= self.min.y
+            && p.y <= self.max.y
+            && p.z >= self.min.z
+            && p.z <= self.max.z
+    }
+
+    fn field(&self, p: Vec3) -> f64 {
+        let center = (self.min + self.max) * 0.5;
+        let half = (self.max - self.min) * 0.5;
+        let d = p - center;
+        let q = Vec3::new(d.x.abs() - half.x, d.y.abs() - half.y, d.z.abs() - half.z);
+        let outside = Vec3::new(q.x.max(0.0), q.y.max(0.0), q.z.max(0.0)).length();
+        let inside = q.x.max(q.y).max(q.z).min(0.0);
+        outside + inside
+    }
+}
+
+/// The half-space `n . p <= d`.
+#[derive(Debug, Clone, Copy)]
+pub struct HalfSpace {
+    /// Outward normal (need not be unit length).
+    pub normal: Vec3,
+    /// Plane offset: the boundary is `normal . p = offset`.
+    pub offset: f64,
+}
+
+impl HalfSpace {
+    /// Creates a half-space `normal . p <= offset`.
+    pub fn new(normal: Vec3, offset: f64) -> Self {
+        HalfSpace { normal, offset }
+    }
+}
+
+impl Solid for HalfSpace {
+    fn contains(&self, p: Vec3) -> bool {
+        self.normal.dot(p) <= self.offset
+    }
+
+    fn field(&self, p: Vec3) -> f64 {
+        (self.normal.dot(p) - self.offset) / self.normal.length().max(f64::EPSILON)
+    }
+}
+
+/// Union of two solids.
+#[derive(Debug, Clone, Copy)]
+pub struct Union<A, B>(pub A, pub B);
+
+impl<A: Solid, B: Solid> Solid for Union<A, B> {
+    fn contains(&self, p: Vec3) -> bool {
+        self.0.contains(p) || self.1.contains(p)
+    }
+
+    fn field(&self, p: Vec3) -> f64 {
+        self.0.field(p).min(self.1.field(p))
+    }
+}
+
+/// Intersection of two solids.
+#[derive(Debug, Clone, Copy)]
+pub struct Intersection<A, B>(pub A, pub B);
+
+impl<A: Solid, B: Solid> Solid for Intersection<A, B> {
+    fn contains(&self, p: Vec3) -> bool {
+        self.0.contains(p) && self.1.contains(p)
+    }
+
+    fn field(&self, p: Vec3) -> f64 {
+        self.0.field(p).max(self.1.field(p))
+    }
+}
+
+/// Difference `A \ B`.
+#[derive(Debug, Clone, Copy)]
+pub struct Difference<A, B>(pub A, pub B);
+
+impl<A: Solid, B: Solid> Solid for Difference<A, B> {
+    fn contains(&self, p: Vec3) -> bool {
+        self.0.contains(p) && !self.1.contains(p)
+    }
+
+    fn field(&self, p: Vec3) -> f64 {
+        self.0.field(p).max(-self.1.field(p))
+    }
+}
+
+/// Complement of a solid.
+#[derive(Debug, Clone, Copy)]
+pub struct Complement<A>(pub A);
+
+impl<A: Solid> Solid for Complement<A> {
+    fn contains(&self, p: Vec3) -> bool {
+        !self.0.contains(p)
+    }
+
+    fn field(&self, p: Vec3) -> f64 {
+        -self.0.field(p)
+    }
+}
+
+/// A solid transformed by an affine map: `p` is inside iff
+/// `inverse(transform)(p)` is inside the base solid.
+#[derive(Debug, Clone)]
+pub struct Transformed<A> {
+    base: A,
+    inverse: Affine3,
+}
+
+impl<A: Solid> Transformed<A> {
+    /// Wraps `base` so it appears moved by `transform`.
+    ///
+    /// # Panics
+    /// Panics if `transform` is singular.
+    pub fn new(base: A, transform: Affine3) -> Self {
+        let inverse = transform
+            .inverse()
+            .expect("cannot transform a solid by a singular affine map");
+        Transformed { base, inverse }
+    }
+}
+
+impl<A: Solid> Solid for Transformed<A> {
+    fn contains(&self, p: Vec3) -> bool {
+        self.base.contains(self.inverse.apply(p))
+    }
+
+    fn field(&self, p: Vec3) -> f64 {
+        self.base.field(self.inverse.apply(p))
+    }
+}
+
+impl<S: Solid + ?Sized> Solid for &S {
+    fn contains(&self, p: Vec3) -> bool {
+        (**self).contains(p)
+    }
+
+    fn field(&self, p: Vec3) -> f64 {
+        (**self).field(p)
+    }
+}
+
+impl<S: Solid + ?Sized> Solid for Box<S> {
+    fn contains(&self, p: Vec3) -> bool {
+        (**self).contains(p)
+    }
+
+    fn field(&self, p: Vec3) -> f64 {
+        (**self).field(p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn sphere_membership_and_field_sign() {
+        let s = Sphere::new(Vec3::new(5.0, 5.0, 5.0), 2.0);
+        assert!(s.contains(Vec3::new(5.0, 5.0, 5.0)));
+        assert!(s.contains(Vec3::new(6.9, 5.0, 5.0)));
+        assert!(!s.contains(Vec3::new(7.1, 5.0, 5.0)));
+        assert!(s.field(Vec3::new(5.0, 5.0, 5.0)) < 0.0);
+        assert!(s.field(Vec3::new(10.0, 5.0, 5.0)) > 0.0);
+        assert!(s.field(Vec3::new(7.0, 5.0, 5.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ellipsoid_respects_anisotropy() {
+        let e = Ellipsoid::new(Vec3::ZERO, Vec3::new(4.0, 1.0, 1.0));
+        assert!(e.contains(Vec3::new(3.9, 0.0, 0.0)));
+        assert!(!e.contains(Vec3::new(0.0, 1.1, 0.0)));
+    }
+
+    #[test]
+    fn superquadric_exponent_two_is_ellipsoid() {
+        let e = Ellipsoid::new(Vec3::ZERO, Vec3::new(3.0, 2.0, 1.0));
+        let q = Superquadric::new(Vec3::ZERO, Vec3::new(3.0, 2.0, 1.0), 2.0);
+        for p in [
+            Vec3::new(1.0, 1.0, 0.2),
+            Vec3::new(2.9, 0.0, 0.0),
+            Vec3::new(2.0, 1.5, 0.5),
+            Vec3::new(0.0, 0.0, 1.05),
+        ] {
+            assert_eq!(e.contains(p), q.contains(p), "{p:?}");
+        }
+    }
+
+    #[test]
+    fn high_exponent_superquadric_fills_corners() {
+        // e -> infinity approaches the bounding box; the corner region an
+        // ellipsoid misses must be inside for a boxy superquadric.
+        let corner = Vec3::new(0.85, 0.85, 0.85);
+        let ball = Superquadric::new(Vec3::ZERO, Vec3::ONE, 2.0);
+        let boxy = Superquadric::new(Vec3::ZERO, Vec3::ONE, 10.0);
+        assert!(!ball.contains(corner));
+        assert!(boxy.contains(corner));
+    }
+
+    #[test]
+    fn half_space_splits_hemispheres() {
+        // The paper's "right brain hemisphere" selections are half-space
+        // intersections with the head structure.
+        let right = HalfSpace::new(Vec3::new(1.0, 0.0, 0.0), 64.0);
+        assert!(right.contains(Vec3::new(10.0, 100.0, 3.0)));
+        assert!(!right.contains(Vec3::new(65.0, 0.0, 0.0)));
+    }
+
+    #[test]
+    fn csg_laws_pointwise() {
+        let a = Sphere::new(Vec3::ZERO, 2.0);
+        let b = Sphere::new(Vec3::new(1.5, 0.0, 0.0), 2.0);
+        let pts = [
+            Vec3::ZERO,
+            Vec3::new(1.5, 0.0, 0.0),
+            Vec3::new(-1.9, 0.0, 0.0),
+            Vec3::new(3.4, 0.0, 0.0),
+            Vec3::new(10.0, 10.0, 10.0),
+        ];
+        for p in pts {
+            assert_eq!(Union(a, b).contains(p), a.contains(p) || b.contains(p));
+            assert_eq!(Intersection(a, b).contains(p), a.contains(p) && b.contains(p));
+            assert_eq!(Difference(a, b).contains(p), a.contains(p) && !b.contains(p));
+            assert_eq!(Complement(a).contains(p), !a.contains(p));
+        }
+    }
+
+    #[test]
+    fn transformed_solid_moves() {
+        let s = Sphere::new(Vec3::ZERO, 1.0);
+        let moved = Transformed::new(s, Affine3::translation(Vec3::new(10.0, 0.0, 0.0)));
+        assert!(moved.contains(Vec3::new(10.2, 0.0, 0.0)));
+        assert!(!moved.contains(Vec3::ZERO));
+    }
+
+    #[test]
+    fn box_field_is_signed_distance() {
+        let b = SolidBox::new(Vec3::ZERO, Vec3::new(2.0, 2.0, 2.0));
+        assert!((b.field(Vec3::new(3.0, 1.0, 1.0)) - 1.0).abs() < 1e-12);
+        assert!((b.field(Vec3::new(1.0, 1.0, 1.0)) + 1.0).abs() < 1e-12);
+        // corner distance
+        let d = b.field(Vec3::new(3.0, 3.0, 3.0));
+        assert!((d - (3.0f64).sqrt()).abs() < 1e-12);
+    }
+
+    proptest! {
+        #[test]
+        fn field_sign_agrees_with_contains(p in proptest::array::uniform3(-5.0f64..5.0)) {
+            let p = Vec3::from(p);
+            let solids: Vec<Box<dyn Solid>> = vec![
+                Box::new(Sphere::new(Vec3::ZERO, 2.0)),
+                Box::new(Ellipsoid::new(Vec3::ZERO, Vec3::new(3.0, 1.0, 2.0))),
+                Box::new(Superquadric::new(Vec3::ZERO, Vec3::new(2.0, 2.0, 1.0), 3.0)),
+                Box::new(SolidBox::new(Vec3::splat(-1.5), Vec3::splat(1.5))),
+                Box::new(HalfSpace::new(Vec3::new(0.0, 1.0, 0.0), 0.5)),
+            ];
+            for s in &solids {
+                // strictly negative field => inside; strictly positive => outside.
+                let f = s.field(p);
+                if f < -1e-9 {
+                    prop_assert!(s.contains(p));
+                }
+                if f > 1e-9 {
+                    prop_assert!(!s.contains(p));
+                }
+            }
+        }
+
+        #[test]
+        fn de_morgan_for_solids(p in proptest::array::uniform3(-4.0f64..4.0)) {
+            let p = Vec3::from(p);
+            let a = Sphere::new(Vec3::ZERO, 2.0);
+            let b = SolidBox::new(Vec3::splat(-1.0), Vec3::splat(3.0));
+            let lhs = Complement(Union(a, b)).contains(p);
+            let rhs = Intersection(Complement(a), Complement(b)).contains(p);
+            prop_assert_eq!(lhs, rhs);
+        }
+    }
+}

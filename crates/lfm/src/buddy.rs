@@ -1,0 +1,230 @@
+//! Binary buddy allocation over device pages.
+//!
+//! The buddy scheme is what "promotes contiguity": a long field occupies
+//! one naturally aligned power-of-two extent of pages, so a Hilbert-sorted
+//! volume reads back as large sequential transfers.
+
+use crate::{LfmError, Result};
+use std::collections::BTreeSet;
+
+/// A binary buddy allocator over `2^max_order` pages.
+///
+/// Blocks are identified by `(page_offset, order)`; a block of order `k`
+/// spans `2^k` pages and is aligned to `2^k`.
+#[derive(Debug, Clone)]
+pub struct BuddyAllocator {
+    max_order: u32,
+    /// `free[k]` holds page offsets of free blocks of order `k`.
+    free: Vec<BTreeSet<u64>>,
+    /// Live blocks `(offset, order)`, for double-free detection.
+    live: BTreeSet<(u64, u32)>,
+    allocated_pages: u64,
+}
+
+impl BuddyAllocator {
+    /// An allocator over `2^max_order` pages, initially one free block.
+    ///
+    /// # Panics
+    /// Panics if `max_order > 40` (a absurdly large device).
+    pub fn new(max_order: u32) -> Self {
+        assert!(max_order <= 40, "max_order {max_order} unreasonably large");
+        let mut free = vec![BTreeSet::new(); (max_order + 1) as usize];
+        free[max_order as usize].insert(0);
+        BuddyAllocator { max_order, free, live: BTreeSet::new(), allocated_pages: 0 }
+    }
+
+    /// Total pages managed.
+    pub fn total_pages(&self) -> u64 {
+        1u64 << self.max_order
+    }
+
+    /// Pages currently allocated (including internal fragmentation —
+    /// blocks are whole powers of two).
+    pub fn allocated_pages(&self) -> u64 {
+        self.allocated_pages
+    }
+
+    /// Smallest order whose block holds `pages` pages.
+    pub fn order_for_pages(pages: u64) -> u32 {
+        pages.max(1).next_power_of_two().trailing_zeros()
+    }
+
+    /// Allocates a block of the given order, returning its page offset.
+    pub fn allocate(&mut self, order: u32) -> Result<u64> {
+        if order > self.max_order {
+            return Err(LfmError::OutOfSpace { requested: (1u64 << order) });
+        }
+        // Find the smallest free block of at least this order.
+        let found = (order..=self.max_order).find(|&k| !self.free[k as usize].is_empty());
+        let Some(mut k) = found else {
+            return Err(LfmError::OutOfSpace { requested: 1u64 << order });
+        };
+        let offset = *self.free[k as usize].iter().next().expect("non-empty set");
+        self.free[k as usize].remove(&offset);
+        // Split down to the requested order, freeing the upper halves.
+        while k > order {
+            k -= 1;
+            let buddy = offset + (1u64 << k);
+            self.free[k as usize].insert(buddy);
+        }
+        self.allocated_pages += 1u64 << order;
+        self.live.insert((offset, order));
+        Ok(offset)
+    }
+
+    /// Frees a block previously returned by [`BuddyAllocator::allocate`],
+    /// coalescing with free buddies.
+    ///
+    /// # Panics
+    /// Panics on misaligned offsets and double frees — both are internal
+    /// bookkeeping bugs, not runtime conditions.
+    pub fn free(&mut self, offset: u64, order: u32) {
+        assert!(order <= self.max_order, "order {order} out of range");
+        assert_eq!(offset % (1u64 << order), 0, "offset {offset} misaligned for order {order}");
+        assert!(
+            self.live.remove(&(offset, order)),
+            "double free (or wrong order) for block at page {offset}, order {order}"
+        );
+        self.allocated_pages -= 1u64 << order;
+        let mut off = offset;
+        let mut k = order;
+        while k < self.max_order {
+            let buddy = off ^ (1u64 << k);
+            if !self.free[k as usize].remove(&buddy) {
+                break;
+            }
+            off = off.min(buddy);
+            k += 1;
+        }
+        self.free[k as usize].insert(off);
+    }
+
+    /// Free pages (for diagnostics; fragmentation can make large
+    /// allocations fail even with free pages remaining).
+    pub fn free_pages(&self) -> u64 {
+        self.total_pages() - self.allocated_pages
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn order_for_pages_rounds_up() {
+        assert_eq!(BuddyAllocator::order_for_pages(0), 0);
+        assert_eq!(BuddyAllocator::order_for_pages(1), 0);
+        assert_eq!(BuddyAllocator::order_for_pages(2), 1);
+        assert_eq!(BuddyAllocator::order_for_pages(3), 2);
+        assert_eq!(BuddyAllocator::order_for_pages(4), 2);
+        assert_eq!(BuddyAllocator::order_for_pages(5), 3);
+        assert_eq!(BuddyAllocator::order_for_pages(513), 10);
+    }
+
+    #[test]
+    fn allocations_are_aligned_and_disjoint() {
+        let mut b = BuddyAllocator::new(6); // 64 pages
+        let a0 = b.allocate(3).unwrap(); // 8 pages
+        let a1 = b.allocate(2).unwrap(); // 4
+        let a2 = b.allocate(3).unwrap(); // 8
+        let a3 = b.allocate(0).unwrap(); // 1
+        let blocks = [(a0, 8u64), (a1, 4), (a2, 8), (a3, 1)];
+        for &(off, len) in &blocks {
+            assert_eq!(off % len, 0, "block at {off} not aligned to {len}");
+        }
+        for i in 0..blocks.len() {
+            for j in (i + 1)..blocks.len() {
+                let (o1, l1) = blocks[i];
+                let (o2, l2) = blocks[j];
+                assert!(o1 + l1 <= o2 || o2 + l2 <= o1, "blocks overlap");
+            }
+        }
+        assert_eq!(b.allocated_pages(), 21);
+    }
+
+    #[test]
+    fn exhaustion_and_recovery() {
+        let mut b = BuddyAllocator::new(4); // 16 pages
+        let whole = b.allocate(4).unwrap();
+        assert_eq!(whole, 0);
+        assert!(matches!(b.allocate(0), Err(LfmError::OutOfSpace { .. })));
+        b.free(whole, 4);
+        assert_eq!(b.allocate(4).unwrap(), 0);
+    }
+
+    #[test]
+    fn coalescing_restores_the_full_block() {
+        let mut b = BuddyAllocator::new(5); // 32 pages
+        let mut blocks: Vec<u64> = (0..8).map(|_| b.allocate(2).unwrap()).collect();
+        assert!(b.allocate(2).is_err());
+        // Free in a scrambled order; buddies must coalesce all the way up.
+        for &i in &[3usize, 0, 7, 2, 5, 1, 6, 4] {
+            b.free(blocks[i], 2);
+        }
+        blocks.clear();
+        assert_eq!(b.allocate(5).unwrap(), 0, "full block must be whole again");
+        assert_eq!(b.free_pages(), 0);
+    }
+
+    #[test]
+    fn requests_beyond_device_fail() {
+        let mut b = BuddyAllocator::new(3);
+        assert!(matches!(b.allocate(4), Err(LfmError::OutOfSpace { .. })));
+    }
+
+    #[test]
+    #[should_panic(expected = "double free")]
+    fn double_free_panics() {
+        let mut b = BuddyAllocator::new(3);
+        let blk = b.allocate(1).unwrap();
+        b.free(blk, 1);
+        b.free(blk, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "misaligned")]
+    fn misaligned_free_panics() {
+        let mut b = BuddyAllocator::new(3);
+        let _ = b.allocate(0).unwrap();
+        b.free(1, 1);
+    }
+
+    proptest! {
+        /// Random alloc/free traffic: blocks never overlap, accounting
+        /// stays consistent, and freeing everything restores one block.
+        #[test]
+        fn random_traffic_preserves_invariants(
+            ops in proptest::collection::vec((0u32..5, any::<bool>()), 1..200),
+        ) {
+            let mut b = BuddyAllocator::new(8); // 256 pages
+            let mut live: Vec<(u64, u32)> = Vec::new();
+            for (order, is_alloc) in ops {
+                if is_alloc || live.is_empty() {
+                    if let Ok(off) = b.allocate(order) {
+                        // check disjointness against all live blocks
+                        let len = 1u64 << order;
+                        for &(o, k) in &live {
+                            let l = 1u64 << k;
+                            prop_assert!(off + len <= o || o + l <= off,
+                                "overlap: new ({off},{len}) vs live ({o},{l})");
+                        }
+                        prop_assert_eq!(off % len, 0);
+                        live.push((off, order));
+                    }
+                } else {
+                    let (off, k) = live.swap_remove(live.len() / 2);
+                    b.free(off, k);
+                }
+                let live_pages: u64 = live.iter().map(|&(_, k)| 1u64 << k).sum();
+                prop_assert_eq!(b.allocated_pages(), live_pages);
+            }
+            for (off, k) in live.drain(..) {
+                b.free(off, k);
+            }
+            prop_assert_eq!(b.allocated_pages(), 0);
+            let mut b2 = b;
+            prop_assert_eq!(b2.allocate(8).unwrap(), 0);
+        }
+    }
+}

@@ -1,0 +1,425 @@
+//! The long-field store.
+
+use crate::buddy::BuddyAllocator;
+use crate::model::IoStats;
+use crate::{LfmError, Result};
+use std::collections::HashMap;
+
+/// Handle to a long field, as stored in relational tuples.
+///
+/// The DBMS layer sees long fields as opaque values; operations on their
+/// contents go through the [`LongFieldManager`] exactly the way
+/// Starburst's SQL functions did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LongFieldId(pub u64);
+
+#[derive(Debug, Clone)]
+struct FieldDesc {
+    /// First device page of the field's buddy block.
+    first_page: u64,
+    /// Allocation order (block is `2^order` pages).
+    order: u32,
+    /// Logical length in bytes.
+    len: u64,
+}
+
+/// An unbuffered long-field store over a simulated raw disk device.
+///
+/// Every read and write is accounted in distinct touched 4 KiB pages and
+/// sequential extents; there is no caching of any kind, matching the
+/// paper's measurement discipline ("Starburst's Long Field Manager
+/// performs no buffering anyway").
+#[derive(Debug)]
+pub struct LongFieldManager {
+    page_size: usize,
+    device: Vec<u8>,
+    allocator: BuddyAllocator,
+    fields: HashMap<u64, FieldDesc>,
+    next_id: u64,
+    stats: IoStats,
+}
+
+impl LongFieldManager {
+    /// Creates a device of `capacity_bytes` with the given page size.
+    ///
+    /// Capacity is rounded up to a power-of-two number of pages (buddy
+    /// allocation needs it); the paper's unit is 4096-byte pages.
+    pub fn new(capacity_bytes: u64, page_size: usize) -> Result<Self> {
+        if page_size == 0 {
+            return Err(LfmError::BadGeometry("page size must be positive"));
+        }
+        if capacity_bytes == 0 {
+            return Err(LfmError::BadGeometry("capacity must be positive"));
+        }
+        let pages = capacity_bytes.div_ceil(page_size as u64).next_power_of_two();
+        let order = pages.trailing_zeros();
+        if order > 40 {
+            return Err(LfmError::BadGeometry("capacity unreasonably large"));
+        }
+        Ok(LongFieldManager {
+            page_size,
+            device: vec![0u8; (pages as usize) * page_size],
+            allocator: BuddyAllocator::new(order),
+            fields: HashMap::new(),
+            next_id: 1,
+            stats: IoStats::default(),
+        })
+    }
+
+    /// Device page size in bytes.
+    pub fn page_size(&self) -> usize {
+        self.page_size
+    }
+
+    /// Cumulative I/O counters.
+    pub fn stats(&self) -> IoStats {
+        self.stats
+    }
+
+    /// Zeroes the I/O counters (used between measured queries).
+    pub fn reset_stats(&mut self) {
+        self.stats = IoStats::default();
+    }
+
+    /// Number of live long fields.
+    pub fn field_count(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// Pages currently allocated on the device.
+    pub fn allocated_pages(&self) -> u64 {
+        self.allocator.allocated_pages()
+    }
+
+    /// Creates a long field holding `data`, writing it to the device.
+    pub fn create(&mut self, data: &[u8]) -> Result<LongFieldId> {
+        let pages_needed = (data.len() as u64).div_ceil(self.page_size as u64).max(1);
+        let order = BuddyAllocator::order_for_pages(pages_needed);
+        let first_page = self.allocator.allocate(order)?;
+        let id = self.next_id;
+        self.next_id += 1;
+        self.fields.insert(id, FieldDesc { first_page, order, len: data.len() as u64 });
+        let base = first_page as usize * self.page_size;
+        self.device[base..base + data.len()].copy_from_slice(data);
+        // One sequential write of the touched pages.
+        self.stats.pages_written += pages_needed;
+        self.stats.extents_written += 1;
+        self.stats.write_calls += 1;
+        Ok(LongFieldId(id))
+    }
+
+    /// Deletes a long field, freeing its block (no I/O is charged —
+    /// deallocation is a metadata operation).
+    pub fn delete(&mut self, id: LongFieldId) -> Result<()> {
+        let desc = self.fields.remove(&id.0).ok_or(LfmError::NoSuchField(id.0))?;
+        self.allocator.free(desc.first_page, desc.order);
+        Ok(())
+    }
+
+    /// Logical length of a field in bytes (catalog metadata; no I/O).
+    pub fn len(&self, id: LongFieldId) -> Result<u64> {
+        Ok(self.desc(id)?.len)
+    }
+
+    /// Whether the field is empty.
+    pub fn is_empty(&self, id: LongFieldId) -> Result<bool> {
+        Ok(self.len(id)? == 0)
+    }
+
+    /// Reads an entire field.
+    pub fn read(&mut self, id: LongFieldId) -> Result<Vec<u8>> {
+        let len = self.desc(id)?.len;
+        self.read_piece(id, 0, len)
+    }
+
+    /// Reads `len` bytes at `offset` — the LFM's "fast random I/O to
+    /// arbitrary pieces of long fields".
+    pub fn read_piece(&mut self, id: LongFieldId, offset: u64, len: u64) -> Result<Vec<u8>> {
+        let mut out = Vec::with_capacity(len as usize);
+        self.read_pieces_into(id, &[(offset, len)], &mut out)?;
+        Ok(out)
+    }
+
+    /// Reads many `(offset, len)` pieces in one call, appending the bytes
+    /// to `out` in order.  Touched pages are deduplicated and charged
+    /// once, and consecutive pages are charged as one extent — this is
+    /// how a run-ordered extraction achieves the paper's low I/O counts
+    /// (Q3: 16,016 voxels in 1,088 runs costing just 29 page reads).
+    ///
+    /// Pieces must be sorted by offset and non-overlapping (extraction
+    /// runs always are); violations are a programming error and panic.
+    pub fn read_pieces_into(
+        &mut self,
+        id: LongFieldId,
+        pieces: &[(u64, u64)],
+        out: &mut Vec<u8>,
+    ) -> Result<()> {
+        let desc = self.desc(id)?.clone();
+        let mut prev_end: Option<u64> = None;
+        for &(offset, len) in pieces {
+            if let Some(pe) = prev_end {
+                assert!(offset >= pe, "pieces must be sorted and disjoint");
+            }
+            prev_end = Some(offset + len);
+            if offset + len > desc.len {
+                return Err(LfmError::OutOfBounds { field_len: desc.len, offset, len });
+            }
+        }
+        // Account distinct pages and extents.
+        let psz = self.page_size as u64;
+        let mut last_page: Option<u64> = None;
+        let mut pages = 0u64;
+        let mut extents = 0u64;
+        for &(offset, len) in pieces {
+            if len == 0 {
+                continue;
+            }
+            let first = (desc.first_page * psz + offset) / psz;
+            let last = (desc.first_page * psz + offset + len - 1) / psz;
+            let start = match last_page {
+                Some(lp) if first <= lp => lp + 1, // page already charged
+                Some(lp) if first == lp + 1 => {
+                    // continues the current extent
+                    pages += last - first + 1;
+                    last_page = Some(last);
+                    continue;
+                }
+                _ => first,
+            };
+            if start > last {
+                continue; // fully inside already-charged pages
+            }
+            pages += last - start + 1;
+            extents += match last_page {
+                Some(lp) if start == lp + 1 => 0,
+                _ => 1,
+            };
+            last_page = Some(last);
+        }
+        self.stats.pages_read += pages;
+        self.stats.extents_read += extents;
+        self.stats.read_calls += 1;
+        // Copy the bytes.
+        let base = desc.first_page as usize * self.page_size;
+        for &(offset, len) in pieces {
+            let s = base + offset as usize;
+            out.extend_from_slice(&self.device[s..s + len as usize]);
+        }
+        Ok(())
+    }
+
+    /// Overwrites `data` at `offset` within an existing field (cannot
+    /// grow it).
+    pub fn write_piece(&mut self, id: LongFieldId, offset: u64, data: &[u8]) -> Result<()> {
+        let desc = self.desc(id)?.clone();
+        let len = data.len() as u64;
+        if offset + len > desc.len {
+            return Err(LfmError::OutOfBounds { field_len: desc.len, offset, len });
+        }
+        if len == 0 {
+            return Ok(());
+        }
+        let psz = self.page_size as u64;
+        let first = (desc.first_page * psz + offset) / psz;
+        let last = (desc.first_page * psz + offset + len - 1) / psz;
+        self.stats.pages_written += last - first + 1;
+        self.stats.extents_written += 1;
+        self.stats.write_calls += 1;
+        let base = desc.first_page as usize * self.page_size + offset as usize;
+        self.device[base..base + data.len()].copy_from_slice(data);
+        Ok(())
+    }
+
+    fn desc(&self, id: LongFieldId) -> Result<&FieldDesc> {
+        self.fields.get(&id.0).ok_or(LfmError::NoSuchField(id.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn mk() -> LongFieldManager {
+        LongFieldManager::new(1 << 22, 4096).unwrap() // 4 MiB device
+    }
+
+    #[test]
+    fn create_read_roundtrip() {
+        let mut lfm = mk();
+        let data: Vec<u8> = (0..10_000u32).map(|i| (i % 251) as u8).collect();
+        let id = lfm.create(&data).unwrap();
+        assert_eq!(lfm.len(id).unwrap(), 10_000);
+        assert_eq!(lfm.read(id).unwrap(), data);
+        assert_eq!(lfm.field_count(), 1);
+    }
+
+    #[test]
+    fn read_piece_returns_exact_bytes() {
+        let mut lfm = mk();
+        let data: Vec<u8> = (0..20_000u32).map(|i| (i % 256) as u8).collect();
+        let id = lfm.create(&data).unwrap();
+        let piece = lfm.read_piece(id, 12_345, 678).unwrap();
+        assert_eq!(piece, &data[12_345..12_345 + 678]);
+        let empty = lfm.read_piece(id, 5, 0).unwrap();
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn page_accounting_full_read() {
+        let mut lfm = mk();
+        let id = lfm.create(&vec![1u8; 4096 * 5 + 1]).unwrap();
+        assert_eq!(lfm.stats().pages_written, 6);
+        assert_eq!(lfm.stats().extents_written, 1);
+        lfm.reset_stats();
+        let _ = lfm.read(id).unwrap();
+        let s = lfm.stats();
+        assert_eq!(s.pages_read, 6);
+        assert_eq!(s.extents_read, 1, "a whole field is one sequential extent");
+        assert_eq!(s.read_calls, 1);
+    }
+
+    #[test]
+    fn piece_reads_coalesce_shared_pages() {
+        let mut lfm = mk();
+        let id = lfm.create(&vec![9u8; 4096 * 4]).unwrap();
+        lfm.reset_stats();
+        // Many small pieces inside one page: charged once.
+        let pieces: Vec<(u64, u64)> = (0..50).map(|i| (i * 80, 40)).collect();
+        let mut out = Vec::new();
+        lfm.read_pieces_into(id, &pieces, &mut out).unwrap();
+        assert_eq!(out.len(), 50 * 40);
+        assert_eq!(lfm.stats().pages_read, 1);
+        assert_eq!(lfm.stats().extents_read, 1);
+    }
+
+    #[test]
+    fn scattered_pieces_count_extents() {
+        let mut lfm = mk();
+        let id = lfm.create(&vec![5u8; 4096 * 64]).unwrap();
+        lfm.reset_stats();
+        // Pieces on pages 0, 2, 3, 9: extents {0}, {2,3}, {9} = 3 seeks.
+        let pieces = [
+            (0u64, 10u64),
+            (4096 * 2, 10),
+            (4096 * 3, 10),
+            (4096 * 9 + 100, 10),
+        ];
+        let mut out = Vec::new();
+        lfm.read_pieces_into(id, &pieces, &mut out).unwrap();
+        let s = lfm.stats();
+        assert_eq!(s.pages_read, 4);
+        assert_eq!(s.extents_read, 3);
+    }
+
+    #[test]
+    fn piece_spanning_pages() {
+        let mut lfm = mk();
+        let id = lfm.create(&vec![3u8; 4096 * 8]).unwrap();
+        lfm.reset_stats();
+        let _ = lfm.read_piece(id, 4000, 200).unwrap(); // spans pages 0-1
+        assert_eq!(lfm.stats().pages_read, 2);
+        assert_eq!(lfm.stats().extents_read, 1);
+    }
+
+    #[test]
+    fn out_of_bounds_reads_error() {
+        let mut lfm = mk();
+        let id = lfm.create(&[0u8; 100]).unwrap();
+        assert!(matches!(
+            lfm.read_piece(id, 90, 20),
+            Err(LfmError::OutOfBounds { field_len: 100, offset: 90, len: 20 })
+        ));
+    }
+
+    #[test]
+    fn delete_frees_space_and_invalidates_id() {
+        let mut lfm = LongFieldManager::new(4096 * 16, 4096).unwrap();
+        let id = lfm.create(&vec![0u8; 4096 * 16]).unwrap();
+        assert!(lfm.create(&[1, 2, 3]).is_err(), "device should be full");
+        lfm.delete(id).unwrap();
+        assert_eq!(lfm.allocated_pages(), 0);
+        assert!(matches!(lfm.read(id), Err(LfmError::NoSuchField(_))));
+        assert!(lfm.create(&[1, 2, 3]).is_ok());
+    }
+
+    #[test]
+    fn write_piece_updates_in_place() {
+        let mut lfm = mk();
+        let id = lfm.create(&vec![0u8; 5000]).unwrap();
+        lfm.write_piece(id, 4090, &[7u8; 10]).unwrap();
+        assert_eq!(lfm.read_piece(id, 4090, 10).unwrap(), vec![7u8; 10]);
+        assert_eq!(lfm.read_piece(id, 4080, 10).unwrap(), vec![0u8; 10]);
+        assert!(lfm.write_piece(id, 4995, &[1u8; 10]).is_err());
+    }
+
+    #[test]
+    fn geometry_validation() {
+        assert!(matches!(LongFieldManager::new(0, 4096), Err(LfmError::BadGeometry(_))));
+        assert!(matches!(LongFieldManager::new(4096, 0), Err(LfmError::BadGeometry(_))));
+    }
+
+    #[test]
+    fn volume_scale_field_write_counts() {
+        // A 2 MiB study (the paper's 128^3 volume) = 512 pages, 1 extent.
+        let mut lfm = LongFieldManager::new(1 << 23, 4096).unwrap();
+        let id = lfm.create(&vec![42u8; 2 * 1024 * 1024]).unwrap();
+        assert_eq!(lfm.stats().pages_written, 512);
+        lfm.reset_stats();
+        let _ = lfm.read(id).unwrap();
+        // The paper's Q1 charges 513 reads (volume pages + the region's
+        // single run descriptor); the raw volume itself is 512.
+        assert_eq!(lfm.stats().pages_read, 512);
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted and disjoint")]
+    fn unsorted_pieces_panic() {
+        let mut lfm = mk();
+        let id = lfm.create(&vec![0u8; 4096]).unwrap();
+        let mut out = Vec::new();
+        let _ = lfm.read_pieces_into(id, &[(100, 10), (50, 10)], &mut out);
+    }
+
+    proptest! {
+        #[test]
+        fn pieces_roundtrip_any_layout(
+            seed_len in 1usize..30_000,
+            cuts in proptest::collection::vec(0.0f64..1.0, 1..20),
+        ) {
+            let data: Vec<u8> = (0..seed_len).map(|i| (i * 31 % 256) as u8).collect();
+            let mut lfm = mk();
+            let id = lfm.create(&data).unwrap();
+            // build sorted disjoint pieces from the cut points
+            let mut offs: Vec<u64> = cuts.iter().map(|c| (c * seed_len as f64) as u64).collect();
+            offs.sort_unstable();
+            offs.dedup();
+            let mut pieces: Vec<(u64, u64)> = Vec::new();
+            let mut prev = 0u64;
+            for &o in &offs {
+                if o > prev {
+                    pieces.push((prev, (o - prev) / 2)); // half-length pieces leave gaps
+                }
+                prev = o;
+            }
+            let mut out = Vec::new();
+            lfm.read_pieces_into(id, &pieces, &mut out).unwrap();
+            let mut expect = Vec::new();
+            for &(o, l) in &pieces {
+                expect.extend_from_slice(&data[o as usize..(o + l) as usize]);
+            }
+            prop_assert_eq!(out, expect);
+        }
+
+        #[test]
+        fn many_fields_never_corrupt_each_other(contents in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 1..2000), 1..20)) {
+            let mut lfm = mk();
+            let ids: Vec<LongFieldId> =
+                contents.iter().map(|c| lfm.create(c).unwrap()).collect();
+            for (id, c) in ids.iter().zip(&contents) {
+                prop_assert_eq!(&lfm.read(*id).unwrap(), c);
+            }
+        }
+    }
+}

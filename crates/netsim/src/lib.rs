@@ -1,0 +1,199 @@
+//! Network cost model for the QBISM testbed.
+//!
+//! The paper's two machines sit on a 16 Mb/s Token Ring and a 10 Mb/s
+//! Ethernet joined by a router (4 ms ping).  Table 3's network column
+//! reports, per query, the number of RPC messages between MedicalServer
+//! and the DX executive and their total real-time cost, "including both
+//! software time (e.g., RPC overhead) and 'wire' time".
+//!
+//! Both quantities are deterministic functions of the answer's wire size,
+//! so we model rather than emulate them: an answer of `B` payload bytes
+//! costs a fixed number of control messages plus `ceil(B / chunk)` data
+//! messages, each charged a software overhead, plus `B / bandwidth` of
+//! wire time.  The default constants are calibrated against Table 3
+//! (e.g. Q2: 372 messages, 4.4 s).
+//!
+//! # Example
+//!
+//! ```
+//! use qbism_netsim::{NetworkModel, RpcChannel};
+//!
+//! let mut chan = RpcChannel::new(NetworkModel::TESTBED_1994);
+//! chan.ship(400_000); // ship a 400 kB extraction answer
+//! assert!(chan.stats().messages > 300);
+//! assert!(chan.stats().seconds > 3.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Deterministic RPC cost model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NetworkModel {
+    /// Software cost per message (RPC marshalling, protocol stack), seconds.
+    pub per_message_seconds: f64,
+    /// Effective wire bandwidth in bytes/second (the 10 Mb/s Ethernet leg
+    /// is the bottleneck of the paper's route).
+    pub bandwidth_bytes_per_sec: f64,
+    /// Payload bytes per data message.
+    pub chunk_bytes: u64,
+    /// Fixed control messages per shipped answer (request + completion).
+    pub control_messages: u64,
+}
+
+impl NetworkModel {
+    /// Calibrated to the paper's testbed: ≈ 1 KiB RPC chunks, ≈ 11 ms of
+    /// software time per message, 10 Mb/s wire.
+    pub const TESTBED_1994: NetworkModel = NetworkModel {
+        per_message_seconds: 0.011,
+        bandwidth_bytes_per_sec: 1_250_000.0,
+        chunk_bytes: 1024,
+        control_messages: 2,
+    };
+
+    /// Messages needed to ship `payload_bytes` (control + data chunks).
+    pub fn messages_for(&self, payload_bytes: u64) -> u64 {
+        self.control_messages + payload_bytes.div_ceil(self.chunk_bytes)
+    }
+
+    /// Total network real time to ship `payload_bytes`, seconds.
+    pub fn seconds_for(&self, payload_bytes: u64) -> f64 {
+        self.messages_for(payload_bytes) as f64 * self.per_message_seconds
+            + payload_bytes as f64 / self.bandwidth_bytes_per_sec
+    }
+}
+
+impl Default for NetworkModel {
+    fn default() -> Self {
+        NetworkModel::TESTBED_1994
+    }
+}
+
+/// Accumulated traffic counters for one channel.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct NetStats {
+    /// Messages sent (the paper's "IPC Messages" column).
+    pub messages: u64,
+    /// Payload bytes shipped.
+    pub bytes: u64,
+    /// Simulated real time spent in networking, seconds (the paper's
+    /// "Answer Time (real)" column).
+    pub seconds: f64,
+    /// Number of `ship` calls (logical answers).
+    pub answers: u64,
+}
+
+/// A MedicalServer → DX channel that records what crosses it.
+#[derive(Debug, Clone)]
+pub struct RpcChannel {
+    model: NetworkModel,
+    stats: NetStats,
+}
+
+impl RpcChannel {
+    /// A channel with the given cost model.
+    pub fn new(model: NetworkModel) -> Self {
+        RpcChannel { model, stats: NetStats::default() }
+    }
+
+    /// The cost model in force.
+    pub fn model(&self) -> NetworkModel {
+        self.model
+    }
+
+    /// Ships one logical answer of `payload_bytes`, updating counters.
+    /// Returns the message count of this answer.
+    pub fn ship(&mut self, payload_bytes: u64) -> u64 {
+        let msgs = self.model.messages_for(payload_bytes);
+        self.stats.messages += msgs;
+        self.stats.bytes += payload_bytes;
+        self.stats.seconds += self.model.seconds_for(payload_bytes);
+        self.stats.answers += 1;
+        msgs
+    }
+
+    /// Counters since construction or the last reset.
+    pub fn stats(&self) -> NetStats {
+        self.stats
+    }
+
+    /// Zeroes the counters (between measured queries).
+    pub fn reset_stats(&mut self) {
+        self.stats = NetStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn message_count_includes_control_and_chunks() {
+        let m = NetworkModel::TESTBED_1994;
+        assert_eq!(m.messages_for(0), 2);
+        assert_eq!(m.messages_for(1), 3);
+        assert_eq!(m.messages_for(1024), 3);
+        assert_eq!(m.messages_for(1025), 4);
+    }
+
+    #[test]
+    fn q1_and_q2_scale_match_paper() {
+        // Q1 ships a full 2 MiB study: the paper reports 2103 messages
+        // and 24.8 s.  Our model should land within ~15 %.
+        let m = NetworkModel::TESTBED_1994;
+        let q1_bytes = 2_097_152u64 + 8;
+        let msgs = m.messages_for(q1_bytes);
+        assert!((1900..2300).contains(&msgs), "Q1 messages {msgs}");
+        let secs = m.seconds_for(q1_bytes);
+        assert!((20.0..28.0).contains(&secs), "Q1 seconds {secs}");
+        // Q2: 357,911 voxels + 5,252 naive runs. Paper: 372 msgs, 4.4 s.
+        let q2_bytes = 357_911u64 + 5252 * 8;
+        let secs2 = m.seconds_for(q2_bytes);
+        assert!((3.5..5.5).contains(&secs2), "Q2 seconds {secs2}");
+    }
+
+    #[test]
+    fn channel_accumulates_and_resets() {
+        let mut chan = RpcChannel::new(NetworkModel::TESTBED_1994);
+        let m1 = chan.ship(100);
+        let m2 = chan.ship(5000);
+        assert_eq!(chan.stats().messages, m1 + m2);
+        assert_eq!(chan.stats().bytes, 5100);
+        assert_eq!(chan.stats().answers, 2);
+        assert!(chan.stats().seconds > 0.0);
+        chan.reset_stats();
+        assert_eq!(chan.stats(), NetStats::default());
+    }
+
+    proptest! {
+        #[test]
+        fn time_and_messages_are_monotone(a in 0u64..10_000_000, b in 0u64..10_000_000) {
+            let m = NetworkModel::TESTBED_1994;
+            let (lo, hi) = (a.min(b), a.max(b));
+            prop_assert!(m.messages_for(lo) <= m.messages_for(hi));
+            prop_assert!(m.seconds_for(lo) <= m.seconds_for(hi));
+        }
+
+        #[test]
+        fn shipping_split_answers_costs_at_least_one_answer(
+            total in 1u64..1_000_000, parts in 1u64..20,
+        ) {
+            // Splitting an answer into several ships can only add control
+            // messages, never remove data chunks.
+            let m = NetworkModel::TESTBED_1994;
+            let mut split = RpcChannel::new(m);
+            let each = total / parts;
+            let mut shipped = 0;
+            for _ in 0..parts {
+                split.ship(each);
+                shipped += each;
+            }
+            split.ship(total - shipped);
+            let mut whole = RpcChannel::new(m);
+            whole.ship(total);
+            prop_assert!(split.stats().messages >= whole.stats().messages);
+            prop_assert_eq!(split.stats().bytes, whole.stats().bytes);
+        }
+    }
+}

@@ -1,0 +1,125 @@
+//! Deterministic lattice value noise.
+//!
+//! Tissue texture and measurement noise must be reproducible across runs
+//! (the paper averages repeated query executions; our tables must
+//! regenerate byte-identically), so noise comes from a hash of the
+//! integer lattice point and a seed, interpolated trilinearly.
+
+use qbism_geometry::Vec3;
+
+/// Trilinearly interpolated hash noise over 3-space, in `[0, 1)`.
+#[derive(Debug, Clone, Copy)]
+pub struct ValueNoise {
+    seed: u64,
+    /// Feature size: lattice spacing in the input units (millimetres).
+    scale: f64,
+}
+
+impl ValueNoise {
+    /// Noise with the given seed and feature size.
+    ///
+    /// # Panics
+    /// Panics unless `scale` is positive.
+    pub fn new(seed: u64, scale: f64) -> Self {
+        assert!(scale > 0.0, "noise scale must be positive, got {scale}");
+        ValueNoise { seed, scale }
+    }
+
+    /// Hash of one lattice point, uniform in `[0, 1)`.
+    fn lattice(&self, x: i64, y: i64, z: i64) -> f64 {
+        // SplitMix64-style avalanche over the packed coordinates.
+        let mut h = self
+            .seed
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .wrapping_add((x as u64).wrapping_mul(0xbf58_476d_1ce4_e5b9))
+            .wrapping_add((y as u64).wrapping_mul(0x94d0_49bb_1331_11eb))
+            .wrapping_add((z as u64).wrapping_mul(0x2545_f491_4f6c_dd1d));
+        h ^= h >> 30;
+        h = h.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        h ^= h >> 27;
+        h = h.wrapping_mul(0x94d0_49bb_1331_11eb);
+        h ^= h >> 31;
+        (h >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Sampled noise at `p`, in `[0, 1)`.
+    pub fn sample(&self, p: Vec3) -> f64 {
+        let q = p / self.scale;
+        let (x0, fx) = (q.x.floor() as i64, q.x - q.x.floor());
+        let (y0, fy) = (q.y.floor() as i64, q.y - q.y.floor());
+        let (z0, fz) = (q.z.floor() as i64, q.z - q.z.floor());
+        // Smoothstep the fractions for C1 continuity.
+        let sx = fx * fx * (3.0 - 2.0 * fx);
+        let sy = fy * fy * (3.0 - 2.0 * fy);
+        let sz = fz * fz * (3.0 - 2.0 * fz);
+        let mut acc = 0.0;
+        for (dx, wx) in [(0, 1.0 - sx), (1, sx)] {
+            for (dy, wy) in [(0, 1.0 - sy), (1, sy)] {
+                for (dz, wz) in [(0, 1.0 - sz), (1, sz)] {
+                    acc += wx * wy * wz * self.lattice(x0 + dx, y0 + dy, z0 + dz);
+                }
+            }
+        }
+        acc
+    }
+
+    /// Two-octave fractal variant for richer tissue texture, in `[0, 1)`.
+    pub fn sample_fractal(&self, p: Vec3) -> f64 {
+        let fine = ValueNoise { seed: self.seed ^ 0xabcd_ef01, scale: self.scale * 0.5 };
+        (self.sample(p) * 2.0 / 3.0) + (fine.sample(p) / 3.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let n = ValueNoise::new(7, 4.0);
+        let p = Vec3::new(10.3, 5.9, 22.1);
+        assert_eq!(n.sample(p), n.sample(p));
+        let m = ValueNoise::new(8, 4.0);
+        assert_ne!(n.sample(p), m.sample(p), "different seeds differ");
+    }
+
+    #[test]
+    fn range_is_unit_interval() {
+        let n = ValueNoise::new(42, 3.0);
+        for i in 0..500 {
+            let p = Vec3::new(i as f64 * 0.77, i as f64 * 1.31, i as f64 * 0.13);
+            let v = n.sample(p);
+            assert!((0.0..1.0).contains(&v), "sample {v} out of range");
+            let f = n.sample_fractal(p);
+            assert!((0.0..1.0).contains(&f), "fractal {f} out of range");
+        }
+    }
+
+    #[test]
+    fn continuity_at_small_steps() {
+        // Value noise is continuous: close points give close values.
+        let n = ValueNoise::new(3, 5.0);
+        let p = Vec3::new(12.0, 7.5, 3.25);
+        let a = n.sample(p);
+        let b = n.sample(p + Vec3::splat(0.01));
+        assert!((a - b).abs() < 0.05, "jump of {} over 0.01 mm", (a - b).abs());
+    }
+
+    #[test]
+    fn varies_across_space() {
+        let n = ValueNoise::new(9, 2.0);
+        let vals: Vec<f64> = (0..100)
+            .map(|i| n.sample(Vec3::new(i as f64 * 3.1, 0.0, 0.0)))
+            .collect();
+        let mean = vals.iter().sum::<f64>() / vals.len() as f64;
+        let var = vals.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / vals.len() as f64;
+        assert!(var > 0.01, "noise should not be (nearly) constant, var={var}");
+        assert!((0.2..0.8).contains(&mean), "mean {mean} suspicious");
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_scale_panics() {
+        let _ = ValueNoise::new(1, 0.0);
+    }
+}

@@ -1,0 +1,201 @@
+//! Approximate REGIONs (Section 4.2, "Approximate representation").
+//!
+//! "For the z- and h-run representations, we eliminate all the gaps that
+//! are shorter than some threshold (*mingap*) by merging together the
+//! runs on each side.  For the octant representation, we require that
+//! octants have a minimum size of GxGxG rather than 1x1x1 … Both
+//! techniques effectively increase the volume of a REGION by including
+//! outside space while simultaneously reducing the number of octants or
+//! runs required to represent it.  Queries involving such
+//! over-approximated REGIONs require post-processing with exact REGIONs."
+
+use crate::region::Region;
+use crate::run::Run;
+
+/// Configuration for lossy REGION approximation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ApproxParams {
+    /// Gaps strictly shorter than this many voxels are absorbed into the
+    /// surrounding runs.  `0` and `1` are no-ops (gaps are at least 1).
+    pub mingap: u64,
+    /// Octant blocks are at least `min_octant_side^dims` voxels;
+    /// must be a power of two.  `1` is a no-op.
+    pub min_octant_side: u32,
+}
+
+impl Default for ApproxParams {
+    fn default() -> Self {
+        ApproxParams { mingap: 1, min_octant_side: 1 }
+    }
+}
+
+impl Region {
+    /// Merges runs separated by gaps shorter than `mingap` voxels.
+    ///
+    /// The result is a superset of `self` with no more (usually far
+    /// fewer) runs.
+    pub fn approximate_mingap(&self, mingap: u64) -> Region {
+        if mingap <= 1 || self.is_empty() {
+            return self.clone();
+        }
+        let mut out: Vec<Run> = Vec::with_capacity(self.run_count());
+        for &r in self.runs() {
+            match out.last_mut() {
+                Some(last) if r.start - last.end - 1 < mingap => last.end = r.end,
+                _ => out.push(r),
+            }
+        }
+        Region::from_runs(self.geometry(), out)
+    }
+
+    /// Snaps the region outward to aligned blocks of
+    /// `min_octant_side^dims` voxels — the paper's GxGxG minimum octant
+    /// size.  On either curve an aligned dyadic id range whose rank is a
+    /// multiple of `dims` is a cube, so this is a pure id-space dilation.
+    ///
+    /// # Panics
+    /// Panics unless `min_octant_side` is a power of two within the grid.
+    pub fn approximate_min_octant(&self, min_octant_side: u32) -> Region {
+        let g = min_octant_side;
+        assert!(g >= 1 && g.is_power_of_two(), "min octant side {g} must be a power of two");
+        assert!(g <= self.geometry().side(), "min octant side {g} exceeds grid side");
+        if g == 1 || self.is_empty() {
+            return self.clone();
+        }
+        let block = (u64::from(g)).pow(self.geometry().dims());
+        let snapped: Vec<Run> = self
+            .runs()
+            .iter()
+            .map(|r| Run::new((r.start / block) * block, ((r.end / block) + 1) * block - 1))
+            .collect();
+        Region::from_runs(self.geometry(), snapped)
+    }
+
+    /// Applies both approximations from `params` (mingap first, then the
+    /// octant snap, matching how coarse representations would be built at
+    /// load time).
+    pub fn approximate(&self, params: ApproxParams) -> Region {
+        self.approximate_mingap(params.mingap)
+            .approximate_min_octant(params.min_octant_side)
+    }
+
+    /// The post-processing step the paper prescribes for queries over
+    /// approximate REGIONs: refine a candidate (approximate) answer with
+    /// the exact REGION.
+    pub fn refine_with_exact(&self, exact: &Region) -> Region {
+        self.intersect(exact)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GridGeometry;
+    use qbism_sfc::CurveKind;
+    use proptest::prelude::*;
+
+    fn g3() -> GridGeometry {
+        GridGeometry::new(CurveKind::Hilbert, 3, 4)
+    }
+
+    #[test]
+    fn mingap_merges_only_short_gaps() {
+        let r = Region::from_runs(
+            g3(),
+            vec![Run::new(0, 9), Run::new(12, 19), Run::new(30, 39)],
+        );
+        // gaps: 2 (10..11) and 10 (20..29)
+        let a = r.approximate_mingap(3);
+        assert_eq!(a.runs(), &[Run::new(0, 19), Run::new(30, 39)]);
+        let b = r.approximate_mingap(11);
+        assert_eq!(b.runs(), &[Run::new(0, 39)]);
+        // threshold equal to the gap does NOT merge (strictly shorter)
+        let c = r.approximate_mingap(2);
+        assert_eq!(c.runs(), r.runs());
+    }
+
+    #[test]
+    fn mingap_zero_and_one_are_noops() {
+        let r = Region::from_ids(g3(), vec![1, 5, 9]);
+        assert_eq!(r.approximate_mingap(0), r);
+        assert_eq!(r.approximate_mingap(1), r);
+    }
+
+    #[test]
+    fn min_octant_snaps_to_cubes() {
+        // One voxel must inflate to a full GxGxG block containing it.
+        let g = g3();
+        let r = Region::from_ids(g, vec![37]);
+        let a = r.approximate_min_octant(2); // block = 8 ids
+        assert_eq!(a.runs(), &[Run::new(32, 39)]);
+        assert_eq!(a.voxel_count(), 8);
+        // The block is an actual 2x2x2 cube in space.
+        let bb = a.bounding_box3().unwrap();
+        assert_eq!(bb.extent().to_array(), [2, 2, 2]);
+    }
+
+    #[test]
+    fn approximations_reduce_run_count() {
+        let g = g3();
+        // Checkerboard-ish scatter: worst case for runs.
+        let r = Region::from_ids(g, (0..4096).filter(|i| i % 3 == 0).collect());
+        let before = r.run_count();
+        let after = r.approximate_mingap(4).run_count();
+        assert!(after < before, "mingap should reduce runs: {before} -> {after}");
+        assert!(r.approximate_mingap(4).voxel_count() > r.voxel_count());
+    }
+
+    #[test]
+    fn refine_recovers_exact_answer() {
+        let g = g3();
+        let exact = Region::from_ids(g, vec![5, 6, 7, 100, 101, 240]);
+        let approx = exact.approximate(ApproxParams { mingap: 8, min_octant_side: 2 });
+        // Approximate-then-refine must equal the exact region.
+        assert_eq!(approx.refine_with_exact(&exact), exact);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_side_panics() {
+        let r = Region::empty(g3());
+        let _ = r.approximate_min_octant(3);
+    }
+
+    proptest! {
+        #[test]
+        fn approximation_is_superset(
+            ids in proptest::collection::vec(0u64..4096, 1..200),
+            mingap in 0u64..20,
+            g_exp in 0u32..3,
+        ) {
+            let r = Region::from_ids(g3(), ids);
+            let a = r.approximate(ApproxParams { mingap, min_octant_side: 1 << g_exp });
+            prop_assert!(a.contains_region(&r));
+            prop_assert!(a.run_count() <= r.run_count());
+        }
+
+        #[test]
+        fn mingap_is_monotone(
+            ids in proptest::collection::vec(0u64..4096, 1..200),
+            small in 1u64..10,
+            extra in 1u64..10,
+        ) {
+            let r = Region::from_ids(g3(), ids);
+            let a = r.approximate_mingap(small);
+            let b = r.approximate_mingap(small + extra);
+            prop_assert!(b.contains_region(&a));
+        }
+
+        #[test]
+        fn min_octant_aligns_all_runs(
+            ids in proptest::collection::vec(0u64..4096, 1..100),
+        ) {
+            let r = Region::from_ids(g3(), ids);
+            let a = r.approximate_min_octant(4); // block = 64 ids
+            for run in a.runs() {
+                prop_assert_eq!(run.start % 64, 0);
+                prop_assert_eq!((run.end + 1) % 64, 0);
+            }
+        }
+    }
+}

@@ -1,0 +1,483 @@
+//! On-disk encodings of REGIONs — the subject of Figure 4.
+//!
+//! Section 4.2 compares, per REGION, the stored size under:
+//!
+//! * **naive** — each run as two long integers (4 + 4 bytes per run);
+//! * **elias** — the delta view (run and gap lengths along the curve),
+//!   each length Elias-γ coded;
+//! * **oblong octant** / **octant** — one packed 4-byte `<id, rank>`
+//!   z-value per block ("the two components can be packed into 4 bytes
+//!   for grids as large as 512x512x512").
+//!
+//! All four are implemented behind [`RegionCodec`], producing
+//! self-describing byte strings that round-trip through
+//! [`RegionCodec::decode`].  These byte strings are exactly what the LFM
+//! stores in a REGION long field.
+
+use crate::geometry::GridGeometry;
+use crate::octant::{Octant, OctantKind};
+use crate::region::Region;
+use crate::run::Run;
+use qbism_coding::{BitReader, BitWriter, CodingError, EliasGamma, IntCodec};
+use qbism_sfc::CurveKind;
+
+/// Magic number prefix of every encoded REGION ("QR").
+const MAGIC: u16 = 0x5152;
+/// Rank field width in packed octant words.
+const RANK_BITS: u32 = 5;
+
+/// The four REGION storage formats compared in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RegionCodec {
+    /// 8 bytes per run: `<start, end>` as two little-endian `u32`s.
+    Naive,
+    /// Elias-γ coded delta lengths.
+    Elias,
+    /// Packed 4-byte `<id, rank>` per block.
+    Octant(OctantKind),
+}
+
+impl RegionCodec {
+    /// All codecs, in the order of the paper's Figure 4 ratio list.
+    pub const ALL: [RegionCodec; 4] = [
+        RegionCodec::Elias,
+        RegionCodec::Naive,
+        RegionCodec::Octant(OctantKind::Oblong),
+        RegionCodec::Octant(OctantKind::Cubic),
+    ];
+
+    /// Name used in benchmark tables (`h-run-elias`, `h-run-naive`,
+    /// `oblong-octant`, `octant` in the paper's vocabulary, minus the
+    /// curve prefix which [`GridGeometry`] carries).
+    pub fn name(&self) -> &'static str {
+        match self {
+            RegionCodec::Naive => "run-naive",
+            RegionCodec::Elias => "run-elias",
+            RegionCodec::Octant(OctantKind::Oblong) => "oblong-octant",
+            RegionCodec::Octant(OctantKind::Cubic) => "octant",
+        }
+    }
+
+    fn tag(&self) -> u8 {
+        match self {
+            RegionCodec::Naive => 0,
+            RegionCodec::Elias => 1,
+            RegionCodec::Octant(OctantKind::Oblong) => 2,
+            RegionCodec::Octant(OctantKind::Cubic) => 3,
+        }
+    }
+
+    fn from_tag(tag: u8) -> Option<RegionCodec> {
+        Some(match tag {
+            0 => RegionCodec::Naive,
+            1 => RegionCodec::Elias,
+            2 => RegionCodec::Octant(OctantKind::Oblong),
+            3 => RegionCodec::Octant(OctantKind::Cubic),
+            _ => return None,
+        })
+    }
+
+    /// Encodes a region into a self-describing byte string.
+    pub fn encode(&self, region: &Region) -> Result<Vec<u8>, RegionEncodeError> {
+        let geom = region.geometry();
+        check_width(*self, geom)?;
+        let mut out = Vec::new();
+        out.extend_from_slice(&MAGIC.to_le_bytes());
+        out.push(self.tag());
+        out.push(kind_tag(geom.kind()));
+        out.push(geom.dims() as u8);
+        out.push(geom.bits() as u8);
+        match self {
+            RegionCodec::Naive => {
+                let runs = region.runs();
+                out.extend_from_slice(&(runs.len() as u32).to_le_bytes());
+                for r in runs {
+                    out.extend_from_slice(&(r.start as u32).to_le_bytes());
+                    out.extend_from_slice(&(r.end as u32).to_le_bytes());
+                }
+            }
+            RegionCodec::Elias => {
+                let runs = region.runs();
+                out.extend_from_slice(&(runs.len() as u32).to_le_bytes());
+                let mut w = BitWriter::new();
+                if let Some(first) = runs.first() {
+                    // first start may be 0; shift into the positive domain.
+                    EliasGamma.encode(&mut w, first.start + 1)?;
+                    for (i, r) in runs.iter().enumerate() {
+                        if i > 0 {
+                            EliasGamma.encode(&mut w, r.start - runs[i - 1].end - 1)?;
+                        }
+                        EliasGamma.encode(&mut w, r.len())?;
+                    }
+                }
+                out.extend_from_slice(&w.finish());
+            }
+            RegionCodec::Octant(kind) => {
+                let octs = region.octants(*kind);
+                out.extend_from_slice(&(octs.len() as u32).to_le_bytes());
+                for o in &octs {
+                    let packed = ((o.id as u32) << RANK_BITS) | o.rank;
+                    out.extend_from_slice(&packed.to_le_bytes());
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Size in bytes the encoding would occupy, without materializing it.
+    ///
+    /// Figure 4 measures thousands of `(REGION, codec)` pairs; this path
+    /// avoids building the byte strings.
+    pub fn encoded_len(&self, region: &Region) -> Result<usize, RegionEncodeError> {
+        check_width(*self, region.geometry())?;
+        let header = 10; // magic 2 + tag 1 + kind 1 + dims 1 + bits 1 + count 4
+        Ok(match self {
+            RegionCodec::Naive => header + region.run_count() * 8,
+            RegionCodec::Elias => {
+                let mut bits = 0u64;
+                if let Some(first) = region.runs().first() {
+                    bits += EliasGamma.code_len(first.start + 1)?;
+                    for d in region.delta_lengths() {
+                        bits += EliasGamma.code_len(d)?;
+                    }
+                }
+                header + (bits as usize).div_ceil(8)
+            }
+            RegionCodec::Octant(kind) => header + region.octant_count(*kind) * 4,
+        })
+    }
+
+    /// Payload size (bytes past the fixed header) — the quantity the
+    /// paper's Figure 4 compares, uncontaminated by our header choice.
+    pub fn payload_len(&self, region: &Region) -> Result<usize, RegionEncodeError> {
+        Ok(self.encoded_len(region)? - 10)
+    }
+
+    /// Decodes a byte string produced by any [`RegionCodec`].
+    ///
+    /// The codec is read from the byte string itself; `self` is not
+    /// consulted (call via [`RegionCodec::decode`] as an associated-style
+    /// helper or any variant).
+    pub fn decode(bytes: &[u8]) -> Result<Region, RegionEncodeError> {
+        let header = bytes.get(..10).ok_or(RegionEncodeError::Truncated)?;
+        let magic = u16::from_le_bytes([header[0], header[1]]);
+        if magic != MAGIC {
+            return Err(RegionEncodeError::BadMagic(magic));
+        }
+        let codec = RegionCodec::from_tag(header[2]).ok_or(RegionEncodeError::BadTag(header[2]))?;
+        let kind = kind_from_tag(header[3]).ok_or(RegionEncodeError::BadTag(header[3]))?;
+        let (dims, bits) = (u32::from(header[4]), u32::from(header[5]));
+        if dims == 0 || bits == 0 || dims * bits > qbism_sfc::MAX_INDEX_BITS {
+            return Err(RegionEncodeError::BadGeometry { dims, bits });
+        }
+        let geom = GridGeometry::new(kind, dims, bits);
+        let count = u32::from_le_bytes([header[6], header[7], header[8], header[9]]) as usize;
+        let body = &bytes[10..];
+        match codec {
+            RegionCodec::Naive => {
+                let need = count * 8;
+                if body.len() < need {
+                    return Err(RegionEncodeError::Truncated);
+                }
+                let mut runs = Vec::with_capacity(count);
+                for i in 0..count {
+                    let s = u32::from_le_bytes(body[i * 8..i * 8 + 4].try_into().expect("4 bytes"));
+                    let e = u32::from_le_bytes(body[i * 8 + 4..i * 8 + 8].try_into().expect("4 bytes"));
+                    if e < s {
+                        return Err(RegionEncodeError::Corrupt("inverted run"));
+                    }
+                    runs.push(Run::new(u64::from(s), u64::from(e)));
+                }
+                build_checked(geom, runs)
+            }
+            RegionCodec::Elias => {
+                // An untrusted count must not drive allocation: every run
+                // costs at least 2 payload bits (one γ codeword per run
+                // length plus the start/gap codeword), so any count beyond
+                // the body's bit budget is corrupt.
+                if count as u64 > (body.len() as u64) * 8 {
+                    return Err(RegionEncodeError::Truncated);
+                }
+                let mut r = BitReader::new(body);
+                let mut runs = Vec::with_capacity(count);
+                if count > 0 {
+                    let mut start = EliasGamma.decode(&mut r)? - 1;
+                    for i in 0..count {
+                        if i > 0 {
+                            let gap = EliasGamma.decode(&mut r)?;
+                            start += gap;
+                        }
+                        let len = EliasGamma.decode(&mut r)?;
+                        runs.push(Run::new(start, start + len - 1));
+                        start += len;
+                    }
+                }
+                build_checked(geom, runs)
+            }
+            RegionCodec::Octant(_) => {
+                let need = count * 4;
+                if body.len() < need {
+                    return Err(RegionEncodeError::Truncated);
+                }
+                let mut octs = Vec::with_capacity(count);
+                for i in 0..count {
+                    let packed = u32::from_le_bytes(body[i * 4..i * 4 + 4].try_into().expect("4 bytes"));
+                    let rank = packed & ((1 << RANK_BITS) - 1);
+                    let id = u64::from(packed >> RANK_BITS);
+                    if rank as u64 > 63 || id % (1u64 << rank) != 0 {
+                        return Err(RegionEncodeError::Corrupt("misaligned octant"));
+                    }
+                    octs.push(Octant::new(id, rank));
+                }
+                let runs: Vec<Run> = octs.iter().map(Octant::as_run).collect();
+                build_checked(geom, runs)
+            }
+        }
+    }
+}
+
+fn build_checked(geom: GridGeometry, runs: Vec<Run>) -> Result<Region, RegionEncodeError> {
+    let cells = geom.cell_count();
+    if runs.iter().any(|r| r.end >= cells) {
+        return Err(RegionEncodeError::Corrupt("run exceeds grid"));
+    }
+    Ok(Region::from_runs(geom, runs))
+}
+
+fn check_width(codec: RegionCodec, geom: GridGeometry) -> Result<(), RegionEncodeError> {
+    let id_bits = geom.dims() * geom.bits();
+    let limit = match codec {
+        RegionCodec::Naive | RegionCodec::Elias => 32,
+        RegionCodec::Octant(_) => 32 - RANK_BITS,
+    };
+    if id_bits > limit {
+        Err(RegionEncodeError::IdTooWide { id_bits, limit })
+    } else {
+        Ok(())
+    }
+}
+
+fn kind_tag(kind: CurveKind) -> u8 {
+    match kind {
+        CurveKind::Hilbert => 0,
+        CurveKind::Morton => 1,
+        CurveKind::Scanline => 2,
+    }
+}
+
+fn kind_from_tag(tag: u8) -> Option<CurveKind> {
+    Some(match tag {
+        0 => CurveKind::Hilbert,
+        1 => CurveKind::Morton,
+        2 => CurveKind::Scanline,
+        _ => return None,
+    })
+}
+
+/// Errors from REGION encoding and decoding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RegionEncodeError {
+    /// The grid's ids do not fit the codec's fixed-width words.
+    IdTooWide {
+        /// Bits required by the grid's ids.
+        id_bits: u32,
+        /// Bits the codec can store.
+        limit: u32,
+    },
+    /// The byte string ended early.
+    Truncated,
+    /// Unrecognized magic number.
+    BadMagic(u16),
+    /// Unrecognized codec or curve tag.
+    BadTag(u8),
+    /// Geometry fields are invalid.
+    BadGeometry {
+        /// Stored dims.
+        dims: u32,
+        /// Stored bits.
+        bits: u32,
+    },
+    /// Structurally invalid payload.
+    Corrupt(&'static str),
+    /// Underlying bit-level failure.
+    Coding(CodingError),
+}
+
+impl From<CodingError> for RegionEncodeError {
+    fn from(e: CodingError) -> Self {
+        RegionEncodeError::Coding(e)
+    }
+}
+
+impl std::fmt::Display for RegionEncodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RegionEncodeError::IdTooWide { id_bits, limit } => {
+                write!(f, "grid ids need {id_bits} bits but the codec stores at most {limit}")
+            }
+            RegionEncodeError::Truncated => write!(f, "encoded region is truncated"),
+            RegionEncodeError::BadMagic(m) => write!(f, "bad region magic {m:#06x}"),
+            RegionEncodeError::BadTag(t) => write!(f, "unknown codec/curve tag {t}"),
+            RegionEncodeError::BadGeometry { dims, bits } => {
+                write!(f, "invalid stored geometry: dims={dims} bits={bits}")
+            }
+            RegionEncodeError::Corrupt(what) => write!(f, "corrupt region payload: {what}"),
+            RegionEncodeError::Coding(e) => write!(f, "bit-level failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RegionEncodeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn paper_region_z() -> Region {
+        let g = GridGeometry::new(CurveKind::Morton, 2, 2);
+        Region::from_ids(g, vec![1, 4, 5, 6, 7, 12, 13])
+    }
+
+    #[test]
+    fn naive_costs_eight_bytes_per_run() {
+        // "store the starting and ending h-ids each as long integers
+        //  (4+4 bytes per run) … this method would store 1 run in 8 bytes"
+        let h = paper_region_z().to_curve(CurveKind::Hilbert);
+        assert_eq!(h.run_count(), 1);
+        assert_eq!(RegionCodec::Naive.payload_len(&h).unwrap(), 8);
+        let z = paper_region_z();
+        assert_eq!(RegionCodec::Naive.payload_len(&z).unwrap(), 24);
+    }
+
+    #[test]
+    fn octant_costs_four_bytes_per_block() {
+        let z = paper_region_z();
+        assert_eq!(RegionCodec::Octant(OctantKind::Cubic).payload_len(&z).unwrap(), 16);
+        assert_eq!(RegionCodec::Octant(OctantKind::Oblong).payload_len(&z).unwrap(), 12);
+    }
+
+    #[test]
+    fn elias_payload_matches_gamma_lengths() {
+        // Hilbert form: 1 run <3,9> -> gamma(3+1) + gamma(7) = 5 + 5 bits
+        let h = paper_region_z().to_curve(CurveKind::Hilbert);
+        assert_eq!(RegionCodec::Elias.payload_len(&h).unwrap(), (5usize + 5).div_ceil(8));
+    }
+
+    #[test]
+    fn all_codecs_roundtrip_paper_region() {
+        for codec in RegionCodec::ALL {
+            for kind in [CurveKind::Morton, CurveKind::Hilbert] {
+                let r = paper_region_z().to_curve(kind);
+                let bytes = codec.encode(&r).unwrap();
+                assert_eq!(bytes.len(), codec.encoded_len(&r).unwrap(), "{}", codec.name());
+                let back = RegionCodec::decode(&bytes).unwrap();
+                assert_eq!(back, r, "{}", codec.name());
+            }
+        }
+    }
+
+    #[test]
+    fn empty_region_roundtrips() {
+        let g = GridGeometry::new(CurveKind::Hilbert, 3, 4);
+        let e = Region::empty(g);
+        for codec in RegionCodec::ALL {
+            let bytes = codec.encode(&e).unwrap();
+            assert_eq!(RegionCodec::decode(&bytes).unwrap(), e);
+        }
+    }
+
+    #[test]
+    fn full_grid_roundtrips() {
+        let g = GridGeometry::new(CurveKind::Hilbert, 3, 4);
+        let f = Region::full(g);
+        for codec in RegionCodec::ALL {
+            let bytes = codec.encode(&f).unwrap();
+            assert_eq!(RegionCodec::decode(&bytes).unwrap(), f);
+        }
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert_eq!(RegionCodec::decode(&[]), Err(RegionEncodeError::Truncated));
+        assert!(matches!(
+            RegionCodec::decode(&[0u8; 10]),
+            Err(RegionEncodeError::BadMagic(_))
+        ));
+        let g = GridGeometry::new(CurveKind::Hilbert, 2, 2);
+        let mut bytes = RegionCodec::Naive.encode(&Region::full(g)).unwrap();
+        bytes[2] = 99; // codec tag
+        assert_eq!(RegionCodec::decode(&bytes), Err(RegionEncodeError::BadTag(99)));
+    }
+
+    #[test]
+    fn decode_rejects_truncated_payload() {
+        let g = GridGeometry::new(CurveKind::Hilbert, 2, 3);
+        let r = Region::from_ids(g, vec![1, 2, 3, 10, 11, 40]);
+        for codec in [RegionCodec::Naive, RegionCodec::Octant(OctantKind::Cubic)] {
+            let bytes = codec.encode(&r).unwrap();
+            let cut = &bytes[..bytes.len() - 3];
+            assert!(RegionCodec::decode(cut).is_err(), "{}", codec.name());
+        }
+    }
+
+    #[test]
+    fn decode_rejects_out_of_grid_runs() {
+        let g = GridGeometry::new(CurveKind::Hilbert, 2, 2);
+        let mut bytes = RegionCodec::Naive.encode(&Region::full(g)).unwrap();
+        // run end beyond 15
+        bytes[14..18].copy_from_slice(&99u32.to_le_bytes());
+        assert!(matches!(
+            RegionCodec::decode(&bytes),
+            Err(RegionEncodeError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn width_limits_enforced() {
+        // 3 dims x 11 bits = 33 id bits: too wide for u32 codecs.
+        let g = GridGeometry::new(CurveKind::Morton, 3, 11);
+        let r = Region::empty(g);
+        assert!(matches!(
+            RegionCodec::Naive.encode(&r),
+            Err(RegionEncodeError::IdTooWide { .. })
+        ));
+        // 512^3 = 27 id bits: exactly the paper's packing claim; octants
+        // still fit (27 + 5 = 32).
+        let g512 = GridGeometry::new(CurveKind::Morton, 3, 9);
+        assert!(RegionCodec::Octant(OctantKind::Cubic).encode(&Region::empty(g512)).is_ok());
+        // 1024^3 would not.
+        let g1024 = GridGeometry::new(CurveKind::Morton, 3, 10);
+        assert!(matches!(
+            RegionCodec::Octant(OctantKind::Cubic).encode(&Region::empty(g1024)),
+            Err(RegionEncodeError::IdTooWide { .. })
+        ));
+    }
+
+    proptest! {
+        #[test]
+        fn random_regions_roundtrip_every_codec(
+            ids in proptest::collection::vec(0u64..32768, 0..400),
+        ) {
+            let g = GridGeometry::new(CurveKind::Hilbert, 3, 5);
+            let r = Region::from_ids(g, ids);
+            for codec in RegionCodec::ALL {
+                let bytes = codec.encode(&r).unwrap();
+                prop_assert_eq!(bytes.len(), codec.encoded_len(&r).unwrap());
+                prop_assert_eq!(RegionCodec::decode(&bytes).unwrap(), r.clone());
+            }
+        }
+
+        #[test]
+        fn elias_never_beats_entropy_but_beats_naive_on_smooth_regions(
+            center in 8u64..24,
+        ) {
+            // A contiguous blob has few, long runs; elias exploits that.
+            let g = GridGeometry::new(CurveKind::Hilbert, 3, 5);
+            let r = Region::from_runs(g, vec![Run::new(center * 100, center * 100 + 4999)]);
+            let elias = RegionCodec::Elias.payload_len(&r).unwrap();
+            let naive = RegionCodec::Naive.payload_len(&r).unwrap();
+            prop_assert!(elias <= naive);
+        }
+    }
+}

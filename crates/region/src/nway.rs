@@ -1,0 +1,152 @@
+//! N-way spatial intersection.
+//!
+//! Table 4's multi-study queries "require the database to compute an
+//! n-way spatial intersection" — e.g. the REGION where all 5 PET studies
+//! have intensities in a band.  A fold of pairwise intersections is
+//! correct but scans intermediate results repeatedly; the k-way
+//! simultaneous merge below scans each input exactly once, the run
+//! analogue of the multi-way spatial join.
+
+use crate::region::Region;
+use crate::run::Run;
+
+/// Intersects any number of regions in a single simultaneous merge scan.
+///
+/// Returns `None` for an empty input (there is no universe to default
+/// to).  All regions must share a [`crate::GridGeometry`].
+///
+/// # Panics
+/// Panics if the regions' geometries differ.
+pub fn intersect_all(regions: &[&Region]) -> Option<Region> {
+    let first = regions.first()?;
+    for r in &regions[1..] {
+        assert_eq!(
+            first.geometry(),
+            r.geometry(),
+            "n-way intersection across incompatible grids"
+        );
+    }
+    if regions.len() == 1 {
+        return Some((*first).clone());
+    }
+    let lists: Vec<&[Run]> = regions.iter().map(|r| r.runs()).collect();
+    if lists.iter().any(|l| l.is_empty()) {
+        return Some(Region::empty(first.geometry()));
+    }
+    let mut cursors = vec![0usize; lists.len()];
+    let mut out: Vec<Run> = Vec::new();
+    'outer: loop {
+        // Candidate start: the max of current run starts.
+        let mut start = 0u64;
+        for (list, &c) in lists.iter().zip(&cursors) {
+            start = start.max(list[c].start);
+        }
+        // Advance lists whose current run ends before the candidate; the
+        // candidate can only grow, so one pass per list per iteration.
+        let mut moved = true;
+        while moved {
+            moved = false;
+            for (i, list) in lists.iter().enumerate() {
+                while list[cursors[i]].end < start {
+                    cursors[i] += 1;
+                    if cursors[i] == list.len() {
+                        break 'outer;
+                    }
+                    moved = true;
+                }
+                if list[cursors[i]].start > start {
+                    start = list[cursors[i]].start;
+                }
+            }
+        }
+        // Every current run now covers `start`; emit up to the soonest end.
+        let end = lists
+            .iter()
+            .zip(&cursors)
+            .map(|(list, &c)| list[c].end)
+            .min()
+            .expect("non-empty region list");
+        out.push(Run::new(start, end));
+        // Advance every list whose run finished at `end`.
+        for (i, list) in lists.iter().enumerate() {
+            if list[cursors[i]].end == end {
+                cursors[i] += 1;
+                if cursors[i] == list.len() {
+                    break 'outer;
+                }
+            }
+        }
+    }
+    Some(Region::from_runs(first.geometry(), out))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GridGeometry;
+    use qbism_sfc::CurveKind;
+    use proptest::prelude::*;
+
+    fn g() -> GridGeometry {
+        GridGeometry::new(CurveKind::Hilbert, 3, 3)
+    }
+
+    #[test]
+    fn empty_input_yields_none() {
+        assert!(intersect_all(&[]).is_none());
+    }
+
+    #[test]
+    fn single_region_is_identity() {
+        let r = Region::from_ids(g(), vec![1, 2, 3, 99]);
+        assert_eq!(intersect_all(&[&r]).unwrap(), r);
+    }
+
+    #[test]
+    fn any_empty_region_empties_result() {
+        let a = Region::full(g());
+        let e = Region::empty(g());
+        assert!(intersect_all(&[&a, &e, &a]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn three_way_example() {
+        let a = Region::from_ids(g(), vec![1, 2, 3, 4, 5, 10, 11, 12]);
+        let b = Region::from_ids(g(), vec![2, 3, 4, 11, 12, 13]);
+        let c = Region::from_ids(g(), vec![0, 3, 4, 5, 12, 30]);
+        let i = intersect_all(&[&a, &b, &c]).unwrap();
+        assert_eq!(i, Region::from_ids(g(), vec![3, 4, 12]));
+    }
+
+    #[test]
+    fn disjoint_regions_intersect_empty() {
+        let a = Region::from_ids(g(), vec![1, 2, 3]);
+        let b = Region::from_ids(g(), vec![4, 5, 6]);
+        assert!(intersect_all(&[&a, &b]).unwrap().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "incompatible grids")]
+    fn mixed_geometry_panics() {
+        let a = Region::empty(g());
+        let b = Region::empty(GridGeometry::new(CurveKind::Morton, 3, 3));
+        let _ = intersect_all(&[&a, &b]);
+    }
+
+    proptest! {
+        #[test]
+        fn kway_matches_pairwise_fold(
+            sets in proptest::collection::vec(
+                proptest::collection::vec(0u64..512, 0..150), 2..6),
+        ) {
+            let regions: Vec<Region> =
+                sets.into_iter().map(|ids| Region::from_ids(g(), ids)).collect();
+            let refs: Vec<&Region> = regions.iter().collect();
+            let kway = intersect_all(&refs).unwrap();
+            let fold = regions[1..]
+                .iter()
+                .fold(regions[0].clone(), |acc, r| acc.intersect(r));
+            prop_assert_eq!(kway, fold);
+        }
+    }
+}

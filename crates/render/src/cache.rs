@@ -1,0 +1,154 @@
+//! The DX executive's result cache.
+//!
+//! "Because of the caching mechanism built into DX, the user can quickly
+//! review and manipulate the results of several recently issued queries
+//! without necessitating a database reaccess." (Section 5.2)
+//!
+//! The paper's measurement protocol flushes this cache before every
+//! timed run; interactive sessions keep it warm, which is what makes
+//! viewpoint changes instant.
+
+use crate::import::DxField;
+use std::collections::HashMap;
+
+/// A bounded LRU cache from query keys to imported fields.
+#[derive(Debug)]
+pub struct DxCache {
+    capacity: usize,
+    entries: HashMap<String, (u64, DxField)>,
+    clock: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl DxCache {
+    /// A cache holding at most `capacity` recent query results.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "cache capacity must be positive");
+        DxCache {
+            capacity,
+            entries: HashMap::new(),
+            clock: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Number of cached results.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// `(hits, misses)` counters.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// Looks a query result up, refreshing its recency.
+    pub fn get(&mut self, key: &str) -> Option<&DxField> {
+        self.clock += 1;
+        match self.entries.get_mut(key) {
+            Some((stamp, field)) => {
+                *stamp = self.clock;
+                self.hits += 1;
+                Some(field)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts a result, evicting the least recently used entry when
+    /// full.
+    pub fn put(&mut self, key: String, field: DxField) {
+        self.clock += 1;
+        if !self.entries.contains_key(&key) && self.entries.len() == self.capacity {
+            if let Some(victim) = self
+                .entries
+                .iter()
+                .min_by_key(|(_, (stamp, _))| *stamp)
+                .map(|(k, _)| k.clone())
+            {
+                self.entries.remove(&victim);
+            }
+        }
+        self.entries.insert(key, (self.clock, field));
+    }
+
+    /// Empties the cache — the paper's "we flushed the DX cache before
+    /// each run".
+    pub fn flush(&mut self) {
+        self.entries.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qbism_geometry::Vec3;
+
+    fn field(n: usize) -> DxField {
+        DxField {
+            positions: vec![Vec3::ZERO; n],
+            values: vec![0.5; n],
+            grid_side: 16,
+        }
+    }
+
+    #[test]
+    fn hit_after_put_miss_before() {
+        let mut c = DxCache::new(4);
+        assert!(c.get("q1").is_none());
+        c.put("q1".into(), field(3));
+        assert_eq!(c.get("q1").map(|f| f.len()), Some(3));
+        assert_eq!(c.stats(), (1, 1));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut c = DxCache::new(2);
+        c.put("a".into(), field(1));
+        c.put("b".into(), field(2));
+        let _ = c.get("a"); // refresh a; b is now LRU
+        c.put("c".into(), field(3));
+        assert!(c.get("a").is_some(), "recently used survives");
+        assert!(c.get("b").is_none(), "LRU evicted");
+        assert!(c.get("c").is_some());
+    }
+
+    #[test]
+    fn reinserting_updates_in_place() {
+        let mut c = DxCache::new(2);
+        c.put("a".into(), field(1));
+        c.put("a".into(), field(9));
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.get("a").map(|f| f.len()), Some(9));
+    }
+
+    #[test]
+    fn flush_clears_everything() {
+        let mut c = DxCache::new(3);
+        c.put("a".into(), field(1));
+        c.put("b".into(), field(1));
+        c.flush();
+        assert!(c.is_empty());
+        assert!(c.get("a").is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        let _ = DxCache::new(0);
+    }
+}

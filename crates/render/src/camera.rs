@@ -1,0 +1,126 @@
+//! A look-at perspective camera.
+
+use qbism_geometry::Vec3;
+
+/// Perspective camera: position, target, vertical field of view.
+#[derive(Debug, Clone, Copy)]
+pub struct Camera {
+    eye: Vec3,
+    forward: Vec3,
+    right: Vec3,
+    up: Vec3,
+    /// Vertical field of view in radians.
+    fov_y: f64,
+}
+
+impl Camera {
+    /// A camera at `eye` looking at `target` with the given vertical
+    /// field of view (radians).
+    ///
+    /// # Panics
+    /// Panics if `eye == target` or the view direction is vertical
+    /// (gimbal-degenerate with the fixed +z up reference).
+    pub fn look_at(eye: Vec3, target: Vec3, fov_y: f64) -> Self {
+        let forward = (target - eye).normalized();
+        assert!(forward.length() > 0.5, "camera eye and target coincide");
+        let world_up = Vec3::new(0.0, 0.0, 1.0);
+        let right = forward.cross(world_up).normalized();
+        assert!(right.length() > 0.5, "camera looking straight up/down");
+        let up = right.cross(forward);
+        assert!((0.01..std::f64::consts::PI).contains(&fov_y), "bad fov {fov_y}");
+        Camera { eye, forward, right, up, fov_y }
+    }
+
+    /// A convenient default view of a cubic grid: from an oblique corner
+    /// direction, framing the whole volume.
+    pub fn default_for_grid(side: u32) -> Self {
+        let s = f64::from(side);
+        let center = Vec3::splat(s * 0.5);
+        let eye = center + Vec3::new(1.3 * s, -1.1 * s, 0.8 * s);
+        Camera::look_at(eye, center, 0.7)
+    }
+
+    /// Projects a world point to normalized device coordinates:
+    /// `(x, y)` in `[-1, 1]` (before aspect correction) and the positive
+    /// view-space depth; `None` when behind the camera.
+    pub fn project(&self, p: Vec3) -> Option<(f64, f64, f64)> {
+        let rel = p - self.eye;
+        let depth = rel.dot(self.forward);
+        if depth <= 1e-9 {
+            return None;
+        }
+        let scale = 1.0 / (self.fov_y * 0.5).tan();
+        let x = rel.dot(self.right) / depth * scale;
+        let y = rel.dot(self.up) / depth * scale;
+        Some((x, y, depth))
+    }
+
+    /// The viewing direction (unit).
+    pub fn forward(&self) -> Vec3 {
+        self.forward
+    }
+
+    /// The camera position.
+    pub fn eye(&self) -> Vec3 {
+        self.eye
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn target_projects_to_center() {
+        let cam = Camera::look_at(Vec3::new(10.0, 0.0, 0.0), Vec3::ZERO, 0.8);
+        let (x, y, depth) = cam.project(Vec3::ZERO).unwrap();
+        assert!(x.abs() < 1e-12 && y.abs() < 1e-12);
+        assert!((depth - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn points_behind_are_culled() {
+        let cam = Camera::look_at(Vec3::new(10.0, 0.0, 0.0), Vec3::ZERO, 0.8);
+        assert!(cam.project(Vec3::new(20.0, 0.0, 0.0)).is_none());
+    }
+
+    #[test]
+    fn nearer_points_have_smaller_depth() {
+        let cam = Camera::look_at(Vec3::new(10.0, 0.0, 0.0), Vec3::ZERO, 0.8);
+        let near = cam.project(Vec3::new(5.0, 0.2, 0.1)).unwrap().2;
+        let far = cam.project(Vec3::new(-5.0, 0.2, 0.1)).unwrap().2;
+        assert!(near < far);
+    }
+
+    #[test]
+    fn offsets_project_to_matching_axes() {
+        // Looking down -x with +z up: +z world offsets increase screen y.
+        let cam = Camera::look_at(Vec3::new(10.0, 0.0, 0.0), Vec3::ZERO, 0.8);
+        let (_, y_up, _) = cam.project(Vec3::new(0.0, 0.0, 2.0)).unwrap();
+        assert!(y_up > 0.0);
+        let (x_right, _, _) = cam.project(Vec3::new(0.0, 2.0, 0.0)).unwrap();
+        // Right-handed frame: right = forward x up = +y when looking
+        // down -x with +z up, so +y offsets move right on screen.
+        assert!(x_right > 0.0);
+    }
+
+    #[test]
+    fn default_grid_camera_sees_the_volume() {
+        let cam = Camera::default_for_grid(128);
+        for corner in [
+            Vec3::ZERO,
+            Vec3::new(128.0, 0.0, 0.0),
+            Vec3::new(0.0, 128.0, 128.0),
+            Vec3::splat(128.0),
+        ] {
+            let (x, y, _) = cam.project(corner).expect("corner visible");
+            assert!(x.abs() < 1.5 && y.abs() < 1.5, "corner {corner:?} at ({x},{y})");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "coincide")]
+    fn degenerate_camera_panics() {
+        let _ = Camera::look_at(Vec3::ONE, Vec3::ONE, 0.8);
+    }
+}

@@ -1,0 +1,76 @@
+//! The DX cost model for Table 3's visualization columns.
+
+/// Converts imported-voxel counts into simulated 1994 DX time.
+///
+/// Calibrated against Table 3:
+///
+/// * ImportVolume cpu time is linear in voxels received — Q1 imports
+///   2,097,152 voxels in 10.44 s (≈ 5 µs/voxel on the RS/6000-530);
+/// * "rendering +" is a base scene cost (≈ 9–10 s: camera set-up, image
+///   transfer to the UI process) plus a per-voxel term — Q1 renders the
+///   full study in 27 s, Q3 a 16 k-voxel structure in 10 s.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DxTimeModel {
+    /// Seconds of ImportVolume work per voxel.
+    pub import_seconds_per_voxel: f64,
+    /// Fixed "rendering +" cost per query, seconds.
+    pub render_base_seconds: f64,
+    /// Additional "rendering +" cost per voxel, seconds.
+    pub render_seconds_per_voxel: f64,
+}
+
+impl DxTimeModel {
+    /// The calibrated 1994 constants.
+    pub const RS6000_1994: DxTimeModel = DxTimeModel {
+        import_seconds_per_voxel: 5.0e-6,
+        render_base_seconds: 9.5,
+        render_seconds_per_voxel: 8.4e-6,
+    };
+
+    /// Simulated ImportVolume time for an answer of `voxels`.
+    pub fn import_seconds(&self, voxels: u64) -> f64 {
+        voxels as f64 * self.import_seconds_per_voxel
+    }
+
+    /// Simulated "rendering +" time for an answer of `voxels`.
+    pub fn render_seconds(&self, voxels: u64) -> f64 {
+        self.render_base_seconds + voxels as f64 * self.render_seconds_per_voxel
+    }
+}
+
+impl Default for DxTimeModel {
+    fn default() -> Self {
+        DxTimeModel::RS6000_1994
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn q1_scale_matches_paper() {
+        let m = DxTimeModel::RS6000_1994;
+        // Q1: 2,097,152 voxels -> paper: import 10.44 s, rendering+ 27 s.
+        let import = m.import_seconds(2_097_152);
+        assert!((9.0..12.0).contains(&import), "import {import}");
+        let render = m.render_seconds(2_097_152);
+        assert!((24.0..30.0).contains(&render), "render {render}");
+    }
+
+    #[test]
+    fn small_answers_cost_mostly_base() {
+        let m = DxTimeModel::RS6000_1994;
+        // Q6: 683 voxels -> paper: import 0.06 s, rendering+ 10 s.
+        assert!(m.import_seconds(683) < 0.1);
+        let r = m.render_seconds(683);
+        assert!((9.0..11.0).contains(&r), "render {r}");
+    }
+
+    #[test]
+    fn monotone_in_voxels() {
+        let m = DxTimeModel::default();
+        assert!(m.import_seconds(10) < m.import_seconds(1000));
+        assert!(m.render_seconds(10) < m.render_seconds(1000));
+    }
+}

@@ -1,0 +1,677 @@
+//! The [`Database`] facade: catalog + heap tables + LFM + UDFs + SQL.
+
+use crate::catalog::{Catalog, Column, TableSchema};
+use crate::exec::run_select;
+use crate::expr::literal_value;
+use crate::sql::ast::Statement;
+use crate::sql::parse_statement;
+use crate::udf::UdfRegistry;
+use crate::value::Value;
+use crate::{DbError, Result};
+use qbism_lfm::{LongFieldId, LongFieldManager};
+
+/// Rows returned by a SELECT.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResultSet {
+    columns: Vec<String>,
+    rows: Vec<Vec<Value>>,
+    /// Base-table tuples examined while producing this result (the
+    /// relational work counter; LFM page I/O is counted separately).
+    pub rows_scanned: u64,
+}
+
+impl ResultSet {
+    pub(crate) fn new(columns: Vec<String>, rows: Vec<Vec<Value>>) -> Self {
+        ResultSet { columns, rows, rows_scanned: 0 }
+    }
+
+    /// Output column names.
+    pub fn columns(&self) -> &[String] {
+        &self.columns
+    }
+
+    /// The rows.
+    pub fn rows(&self) -> &[Vec<Value>] {
+        &self.rows
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the result is empty.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The single value of a one-row, one-column result.
+    ///
+    /// # Errors
+    /// Errors if the shape is not exactly 1x1.
+    pub fn single_value(&self) -> Result<&Value> {
+        if self.rows.len() == 1 && self.rows[0].len() == 1 {
+            Ok(&self.rows[0][0])
+        } else {
+            Err(DbError::Exec(format!(
+                "expected a 1x1 result, got {}x{}",
+                self.rows.len(),
+                self.columns.len()
+            )))
+        }
+    }
+
+    /// Values of the named column, in row order.
+    pub fn column_values(&self, name: &str) -> Result<Vec<&Value>> {
+        let idx = self
+            .columns
+            .iter()
+            .position(|c| c.eq_ignore_ascii_case(name))
+            .ok_or_else(|| DbError::Binding(format!("no output column {name}")))?;
+        Ok(self.rows.iter().map(|r| &r[idx]).collect())
+    }
+}
+
+/// Outcome of executing one statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExecOutcome {
+    /// DDL completed.
+    Created,
+    /// Rows inserted.
+    Inserted(usize),
+    /// Rows deleted.
+    Deleted(usize),
+    /// Rows updated.
+    Updated(usize),
+    /// A query's rows.
+    Rows(ResultSet),
+}
+
+impl ExecOutcome {
+    /// Unwraps a SELECT result.
+    ///
+    /// # Panics
+    /// Panics if the statement was not a SELECT.
+    pub fn expect_rows(self) -> ResultSet {
+        match self {
+            ExecOutcome::Rows(rs) => rs,
+            other => panic!("expected rows, got {other:?}"),
+        }
+    }
+}
+
+/// An in-memory extensible relational database with long-field storage.
+pub struct Database {
+    catalog: Catalog,
+    udfs: UdfRegistry,
+    lfm: LongFieldManager,
+}
+
+impl Database {
+    /// Creates a database whose long-field device holds
+    /// `long_field_capacity` bytes (4 KiB pages, like the paper's).
+    pub fn new(long_field_capacity: u64) -> Result<Self> {
+        Ok(Database {
+            catalog: Catalog::new(),
+            udfs: UdfRegistry::new(),
+            lfm: LongFieldManager::new(long_field_capacity, 4096)?,
+        })
+    }
+
+    /// Executes one SQL statement.
+    pub fn execute(&mut self, sql: &str) -> Result<ExecOutcome> {
+        match parse_statement(sql)? {
+            Statement::CreateTable { name, columns } => {
+                let cols = columns
+                    .into_iter()
+                    .map(|(n, t)| Column::new(&n, t))
+                    .collect();
+                self.catalog.create_table(TableSchema::new(&name, cols)?)?;
+                Ok(ExecOutcome::Created)
+            }
+            Statement::Insert { table, rows } => {
+                let t = self.catalog.table_mut(&table)?;
+                let n = rows.len();
+                for row in rows {
+                    t.insert(row.iter().map(literal_value).collect())?;
+                }
+                Ok(ExecOutcome::Inserted(n))
+            }
+            Statement::Select(select) => {
+                if select.from.is_empty() {
+                    return Err(DbError::Binding("FROM clause is required".into()));
+                }
+                let rs = run_select(&select, &self.catalog, &self.udfs, &mut self.lfm)?;
+                Ok(ExecOutcome::Rows(rs))
+            }
+            Statement::Delete { table, where_clause } => {
+                let n = self.run_delete(&table, where_clause.as_ref())?;
+                Ok(ExecOutcome::Deleted(n))
+            }
+            Statement::Update { table, assignments, where_clause } => {
+                let n = self.run_update(&table, &assignments, where_clause.as_ref())?;
+                Ok(ExecOutcome::Updated(n))
+            }
+            Statement::Explain(select) => {
+                let plan = crate::plan::plan_select(&select, &self.catalog)?;
+                let text = plan.render(&select);
+                let rows = text
+                    .lines()
+                    .map(|l| vec![Value::Str(l.to_string())])
+                    .collect();
+                Ok(ExecOutcome::Rows(ResultSet::new(vec!["plan".into()], rows)))
+            }
+        }
+    }
+
+    /// Evaluates a DELETE: find matching row indices, then remove them.
+    fn run_delete(
+        &mut self,
+        table: &str,
+        predicate: Option<&crate::sql::ast::Expr>,
+    ) -> Result<usize> {
+        let matching: Vec<usize> = {
+            let t = self.catalog.table(table)?;
+            match predicate {
+                None => (0..t.len()).collect(),
+                Some(pred) => {
+                    let mut scope = crate::expr::Scope::new();
+                    scope.push(&t.schema.name.clone(), t.schema.clone());
+                    let mut hits = Vec::new();
+                    // Split borrows: rows are cloned per evaluation batch
+                    // to keep the UDF context's &mut lfm available.
+                    let rows: Vec<Vec<Value>> = t.rows().to_vec();
+                    for (i, row) in rows.iter().enumerate() {
+                        let mut ctx = crate::expr::EvalCtx {
+                            scope: &scope,
+                            udfs: &self.udfs,
+                            lfm: &mut self.lfm,
+                        };
+                        match crate::expr::eval(pred, row, &mut ctx)? {
+                            Value::Bool(true) => hits.push(i),
+                            Value::Bool(false) | Value::Null => {}
+                            other => {
+                                return Err(DbError::Type(format!(
+                                    "DELETE predicate evaluated to {other}"
+                                )))
+                            }
+                        }
+                    }
+                    hits
+                }
+            }
+        };
+        Ok(self.catalog.table_mut(table)?.remove_rows(&matching))
+    }
+
+    /// Evaluates an UPDATE: compute new rows for matches, then swap the
+    /// table contents (type checks included via re-insertion rules).
+    fn run_update(
+        &mut self,
+        table: &str,
+        assignments: &[(String, crate::sql::ast::Expr)],
+        predicate: Option<&crate::sql::ast::Expr>,
+    ) -> Result<usize> {
+        let (schema, rows) = {
+            let t = self.catalog.table(table)?;
+            (t.schema.clone(), t.rows().to_vec())
+        };
+        // Resolve target columns up front.
+        let mut targets = Vec::with_capacity(assignments.len());
+        for (col, expr) in assignments {
+            let idx = schema.column_index(col).ok_or_else(|| {
+                DbError::Binding(format!("no column {col} in {table}"))
+            })?;
+            targets.push((idx, expr));
+        }
+        let mut scope = crate::expr::Scope::new();
+        scope.push(&schema.name.clone(), schema.clone());
+        let mut updated = 0usize;
+        let mut new_rows = Vec::with_capacity(rows.len());
+        for row in rows {
+            let hit = match predicate {
+                None => true,
+                Some(pred) => {
+                    let mut ctx = crate::expr::EvalCtx {
+                        scope: &scope,
+                        udfs: &self.udfs,
+                        lfm: &mut self.lfm,
+                    };
+                    match crate::expr::eval(pred, &row, &mut ctx)? {
+                        Value::Bool(b) => b,
+                        Value::Null => false,
+                        other => {
+                            return Err(DbError::Type(format!(
+                                "UPDATE predicate evaluated to {other}"
+                            )))
+                        }
+                    }
+                }
+            };
+            if !hit {
+                new_rows.push(row);
+                continue;
+            }
+            let mut next = row.clone();
+            for (idx, expr) in &targets {
+                let mut ctx = crate::expr::EvalCtx {
+                    scope: &scope,
+                    udfs: &self.udfs,
+                    lfm: &mut self.lfm,
+                };
+                let v = crate::expr::eval(expr, &row, &mut ctx)?;
+                let col = &schema.columns[*idx];
+                if !v.fits(col.ty) {
+                    return Err(DbError::Type(format!(
+                        "value {v} does not fit column {}.{} of type {}",
+                        table, col.name, col.ty
+                    )));
+                }
+                next[*idx] = v;
+            }
+            new_rows.push(next);
+            updated += 1;
+        }
+        // Swap contents through delete + insert to reuse typing rules.
+        let t = self.catalog.table_mut(table)?;
+        let all: Vec<usize> = (0..t.len()).collect();
+        t.remove_rows(&all);
+        for row in new_rows {
+            t.insert(row)?;
+        }
+        Ok(updated)
+    }
+
+    /// Convenience: run a SELECT and unwrap its rows.
+    pub fn query(&mut self, sql: &str) -> Result<ResultSet> {
+        match self.execute(sql)? {
+            ExecOutcome::Rows(rs) => Ok(rs),
+            _ => Err(DbError::Exec("statement did not produce rows".into())),
+        }
+    }
+
+    /// Registers a user-defined function.
+    pub fn register_udf<F>(&mut self, name: &str, f: F)
+    where
+        F: Fn(&mut crate::udf::UdfContext<'_>, &[Value]) -> Result<Value>
+            + Send
+            + Sync
+            + 'static,
+    {
+        self.udfs.register(name, f);
+    }
+
+    /// Inserts a row programmatically (loaders insert long-field handles,
+    /// which have no SQL literal syntax).
+    pub fn insert_row(&mut self, table: &str, row: Vec<Value>) -> Result<()> {
+        self.catalog.table_mut(table)?.insert(row)
+    }
+
+    /// Stores bytes as a new long field and returns its handle value.
+    pub fn create_long_field(&mut self, bytes: &[u8]) -> Result<Value> {
+        Ok(Value::Long(self.lfm.create(bytes)?))
+    }
+
+    /// Reads a long field fully.
+    pub fn read_long_field(&mut self, id: LongFieldId) -> Result<Vec<u8>> {
+        Ok(self.lfm.read(id)?)
+    }
+
+    /// Direct access to the long-field manager (loaders, UDF helpers,
+    /// benchmark instrumentation).
+    pub fn lfm(&mut self) -> &mut LongFieldManager {
+        &mut self.lfm
+    }
+
+    /// Read-only LFM statistics.
+    pub fn lfm_stats(&self) -> qbism_lfm::IoStats {
+        self.lfm.stats()
+    }
+
+    /// Table row count (catalog metadata).
+    pub fn table_len(&self, table: &str) -> Result<usize> {
+        Ok(self.catalog.table(table)?.len())
+    }
+}
+
+impl std::fmt::Debug for Database {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Database")
+            .field("tables", &self.catalog.table_names())
+            .field("udfs", &self.udfs)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn db() -> Database {
+        let mut db = Database::new(1 << 20).unwrap();
+        db.execute("create table patient (patientId int, name string, age int)").unwrap();
+        db.execute(
+            "insert into patient values (1, 'Jane', 44), (2, 'Sue', 39), (3, 'Ann', 61), (4, 'Mia', 44)",
+        )
+        .unwrap();
+        db.execute("create table study (studyId int, patientId int, modality string)").unwrap();
+        db.execute(
+            "insert into study values (53, 1, 'PET'), (54, 1, 'MRI'), (55, 2, 'PET'), (56, 3, 'PET')",
+        )
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn create_insert_select_star() {
+        let mut d = db();
+        let rs = d.query("select * from patient").unwrap();
+        assert_eq!(rs.len(), 4);
+        assert_eq!(rs.columns()[0], "patient.patientid");
+        assert_eq!(rs.rows_scanned, 4);
+    }
+
+    #[test]
+    fn filter_and_projection() {
+        let mut d = db();
+        let rs = d.query("select p.name from patient p where p.age = 44 order by p.name").unwrap();
+        assert_eq!(
+            rs.rows(),
+            &[vec![Value::Str("Jane".into())], vec![Value::Str("Mia".into())]]
+        );
+        assert_eq!(rs.columns(), &["name".to_string()]);
+    }
+
+    #[test]
+    fn hash_join_two_tables() {
+        let mut d = db();
+        let rs = d
+            .query(
+                "select p.name, s.modality from patient p, study s
+                 where p.patientId = s.patientId and s.modality = 'PET'
+                 order by p.name",
+            )
+            .unwrap();
+        let names: Vec<&Value> = rs.column_values("name").unwrap();
+        assert_eq!(
+            names,
+            vec![&Value::Str("Ann".into()), &Value::Str("Jane".into()), &Value::Str("Sue".into())]
+        );
+    }
+
+    #[test]
+    fn join_is_not_quadratic_in_scans() {
+        // Hash join scans each table once: 4 + 4 base tuples.
+        let mut d = db();
+        let rs = d
+            .query("select p.name from patient p, study s where p.patientId = s.patientId")
+            .unwrap();
+        assert_eq!(rs.rows_scanned, 8, "hash join must not re-scan the build side");
+        // Cross product is quadratic by nature.
+        let rs2 = d.query("select p.name from patient p, study s").unwrap();
+        assert_eq!(rs2.rows_scanned, 4 + 16);
+        assert_eq!(rs2.len(), 16);
+    }
+
+    #[test]
+    fn aggregates() {
+        let mut d = db();
+        let rs = d.query("select count(*), avg(p.age), min(p.age), max(p.age) from patient p").unwrap();
+        assert_eq!(
+            rs.rows()[0],
+            vec![Value::Int(4), Value::Float(47.0), Value::Int(39), Value::Int(61)]
+        );
+        let rs = d.query("select sum(p.age) from patient p where p.age > 100").unwrap();
+        assert_eq!(rs.rows()[0], vec![Value::Null], "empty SUM is NULL");
+        let rs = d.query("select count(*) from patient p where p.age > 100").unwrap();
+        assert_eq!(rs.single_value().unwrap(), &Value::Int(0));
+    }
+
+    #[test]
+    fn order_by_desc_and_limit() {
+        let mut d = db();
+        let rs = d
+            .query("select p.name, p.age from patient p order by p.age desc, p.name limit 2")
+            .unwrap();
+        assert_eq!(
+            rs.rows(),
+            &[
+                vec![Value::Str("Ann".into()), Value::Int(61)],
+                vec![Value::Str("Jane".into()), Value::Int(44)],
+            ]
+        );
+    }
+
+    #[test]
+    fn udf_in_select_and_where() {
+        let mut d = db();
+        d.register_udf("agegroup", |_, args| {
+            let age = args[0].as_i64().ok_or_else(|| DbError::Type("want int".into()))?;
+            Ok(Value::Str(if age >= 60 { "senior" } else { "adult" }.into()))
+        });
+        let rs = d
+            .query("select p.name, ageGroup(p.age) from patient p where ageGroup(p.age) = 'senior'")
+            .unwrap();
+        assert_eq!(rs.len(), 1);
+        assert_eq!(rs.rows()[0][0], Value::Str("Ann".into()));
+    }
+
+    #[test]
+    fn long_fields_flow_through_queries() {
+        let mut d = db();
+        d.execute("create table blob (id int, payload long)").unwrap();
+        let lf = d.create_long_field(&[10, 20, 30]).unwrap();
+        d.insert_row("blob", vec![Value::Int(1), lf.clone()]).unwrap();
+        d.register_udf("loblen", |ctx, args| {
+            let id = args[0].as_long().ok_or_else(|| DbError::Type("want long".into()))?;
+            Ok(Value::Int(ctx.lfm.len(id)? as i64))
+        });
+        let rs = d.query("select lobLen(b.payload) from blob b where b.id = 1").unwrap();
+        assert_eq!(rs.single_value().unwrap(), &Value::Int(3));
+        // The handle itself can be selected and re-used.
+        let rs = d.query("select b.payload from blob b").unwrap();
+        assert_eq!(rs.rows()[0][0], lf);
+    }
+
+    #[test]
+    fn three_way_join_like_paper_schema() {
+        let mut d = db();
+        d.execute("create table atlasStructure (structureId int, atlasId int, region long)").unwrap();
+        d.execute("create table neuralStructure (structureId int, structureName string)").unwrap();
+        d.execute("insert into neuralStructure values (1, 'putamen'), (2, 'hippocampus')").unwrap();
+        let r1 = d.create_long_field(b"region-bytes-1").unwrap();
+        d.insert_row("atlasStructure", vec![Value::Int(1), Value::Int(9), r1]).unwrap();
+        let rs = d
+            .query(
+                "select a.region from atlasStructure a, neuralStructure ns
+                 where a.structureId = ns.structureId and ns.structureName = 'putamen'",
+            )
+            .unwrap();
+        assert_eq!(rs.len(), 1);
+        assert!(matches!(rs.rows()[0][0], Value::Long(_)));
+    }
+
+    #[test]
+    fn error_paths() {
+        let mut d = db();
+        assert!(matches!(d.execute("select * from nope"), Err(DbError::Binding(_))));
+        assert!(matches!(d.execute("select zz from patient"), Err(DbError::Binding(_))));
+        assert!(matches!(d.execute("not sql at all"), Err(DbError::Parse(_))));
+        assert!(matches!(
+            d.execute("insert into patient values (1, 'x')"),
+            Err(DbError::Type(_))
+        ));
+        assert!(matches!(
+            d.execute("select count(*), p.name from patient p"),
+            Err(DbError::Binding(_))
+        ));
+        assert!(matches!(
+            d.execute("select p.name from patient p where p.age"),
+            Err(DbError::Type(_))
+        ));
+    }
+
+    #[test]
+    fn group_by_basic() {
+        let mut d = db();
+        let rs = d
+            .query(
+                "select s.modality, count(*), min(s.studyId)
+                 from study s group by s.modality",
+            )
+            .unwrap();
+        assert_eq!(rs.columns(), &["modality", "count", "min"]);
+        let mut rows = rs.rows().to_vec();
+        rows.sort_by_key(|r| r[0].as_str().unwrap_or("").to_string());
+        assert_eq!(
+            rows,
+            vec![
+                vec![Value::Str("MRI".into()), Value::Int(1), Value::Int(54)],
+                vec![Value::Str("PET".into()), Value::Int(3), Value::Int(53)],
+            ]
+        );
+    }
+
+    #[test]
+    fn group_by_over_join() {
+        // "statistical responses … over population groups": studies per
+        // patient.
+        let mut d = db();
+        let rs = d
+            .query(
+                "select p.name, count(*) as studies
+                 from patient p, study s
+                 where p.patientId = s.patientId
+                 group by p.name",
+            )
+            .unwrap();
+        let mut rows: Vec<(String, i64)> = rs
+            .rows()
+            .iter()
+            .map(|r| (r[0].as_str().unwrap().to_string(), r[1].as_i64().unwrap()))
+            .collect();
+        rows.sort();
+        assert_eq!(
+            rows,
+            vec![("Ann".into(), 1), ("Jane".into(), 2), ("Sue".into(), 1)]
+        );
+    }
+
+    #[test]
+    fn group_by_validations() {
+        let mut d = db();
+        // Selecting a non-key non-aggregate is an error.
+        assert!(matches!(
+            d.execute("select p.name, p.age from patient p group by p.name"),
+            Err(DbError::Binding(_))
+        ));
+        // NULL keys form one group; LIMIT applies to groups.
+        d.execute("create table t (k int, v int)").unwrap();
+        d.execute("insert into t values (null, 1), (null, 2), (1, 3)").unwrap();
+        let rs = d.query("select count(*) from t group by t.k").unwrap();
+        assert_eq!(rs.len(), 2);
+        let rs = d.query("select count(*) from t group by t.k limit 1").unwrap();
+        assert_eq!(rs.len(), 1);
+    }
+
+    #[test]
+    fn delete_with_and_without_predicate() {
+        let mut d = db();
+        assert_eq!(
+            d.execute("delete from study where study.modality = 'MRI'").unwrap(),
+            ExecOutcome::Deleted(1)
+        );
+        assert_eq!(d.table_len("study").unwrap(), 3);
+        // bare column names work too
+        assert_eq!(
+            d.execute("delete from study where modality = 'PET'").unwrap(),
+            ExecOutcome::Deleted(3)
+        );
+        assert_eq!(
+            d.execute("delete from study").unwrap(),
+            ExecOutcome::Deleted(0),
+            "already empty"
+        );
+        // Error paths checked while rows still exist (a non-boolean
+        // predicate is only evaluated against actual tuples).
+        assert!(matches!(
+            d.execute("delete from patient where name"),
+            Err(DbError::Type(_))
+        ));
+        assert_eq!(
+            d.execute("delete from patient").unwrap(),
+            ExecOutcome::Deleted(4)
+        );
+        assert!(d.execute("delete from nope").is_err());
+    }
+
+    #[test]
+    fn update_statement() {
+        let mut d = db();
+        // Unknown predicate column is a binding error.
+        assert!(matches!(
+            d.execute("update patient set age = age + 1 where sex = 'F'"),
+            Err(DbError::Binding(_))
+        ));
+        // Fixture patient table: (patientId, name, age).
+        assert_eq!(
+            d.execute("update patient set age = age + 1 where age = 44").unwrap(),
+            ExecOutcome::Updated(2)
+        );
+        let rs = d.query("select count(*) from patient p where p.age = 45").unwrap();
+        assert_eq!(rs.single_value().unwrap(), &Value::Int(2));
+        // UPDATE without predicate touches everything.
+        assert_eq!(
+            d.execute("update patient set name = 'X'").unwrap(),
+            ExecOutcome::Updated(4)
+        );
+        // Type errors rejected.
+        assert!(matches!(
+            d.execute("update patient set age = 'old'"),
+            Err(DbError::Type(_))
+        ));
+        assert!(matches!(
+            d.execute("update patient set nope = 1"),
+            Err(DbError::Binding(_))
+        ));
+    }
+
+    #[test]
+    fn explain_shows_the_strategy() {
+        let mut d = db();
+        let rs = d
+            .query(
+                "explain select p.name from patient p, study s
+                 where p.patientId = s.patientId and p.age > 40 order by p.name limit 3",
+            )
+            .unwrap();
+        let text: Vec<String> = rs.rows().iter().map(|r| r[0].to_string()).collect();
+        let joined = text.join("\n");
+        assert!(joined.contains("scan p"), "{joined}");
+        assert!(joined.contains("hash join s"), "{joined}");
+        assert!(joined.contains("limit 3"), "{joined}");
+    }
+
+    #[test]
+    fn ambiguous_column_needs_qualifier() {
+        let mut d = db();
+        let err = d
+            .query("select patientId from patient p, study s where p.patientId = s.patientId")
+            .unwrap_err();
+        assert!(err.to_string().contains("ambiguous"), "{err}");
+        // Unambiguous bare columns work.
+        let rs = d.query("select name from patient p where age = 61").unwrap();
+        assert_eq!(rs.rows()[0][0], Value::Str("Ann".into()));
+    }
+
+    #[test]
+    fn nulls_join_nothing() {
+        let mut d = db();
+        d.execute("create table l (k int)").unwrap();
+        d.execute("create table r (k int)").unwrap();
+        d.execute("insert into l values (1), (null)").unwrap();
+        d.execute("insert into r values (1), (null)").unwrap();
+        let rs = d.query("select * from l, r where l.k = r.k").unwrap();
+        assert_eq!(rs.len(), 1, "NULL keys must not match each other");
+    }
+}

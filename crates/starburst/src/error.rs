@@ -1,0 +1,39 @@
+//! Database errors.
+
+use qbism_lfm::LfmError;
+
+/// Anything that can go wrong between an SQL string and a result set.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DbError {
+    /// Lexer/parser failure, with a human-oriented message that includes
+    /// the offending position.
+    Parse(String),
+    /// Unknown table/column/function, duplicate definition, arity errors.
+    Binding(String),
+    /// Type mismatch during planning or execution.
+    Type(String),
+    /// Runtime execution failure (bad UDF input, division by zero, …).
+    Exec(String),
+    /// Storage-layer failure.
+    Storage(LfmError),
+}
+
+impl From<LfmError> for DbError {
+    fn from(e: LfmError) -> Self {
+        DbError::Storage(e)
+    }
+}
+
+impl std::fmt::Display for DbError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DbError::Parse(m) => write!(f, "parse error: {m}"),
+            DbError::Binding(m) => write!(f, "binding error: {m}"),
+            DbError::Type(m) => write!(f, "type error: {m}"),
+            DbError::Exec(m) => write!(f, "execution error: {m}"),
+            DbError::Storage(e) => write!(f, "storage error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DbError {}

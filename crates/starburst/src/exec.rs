@@ -1,0 +1,399 @@
+//! Select execution: scans, joins, aggregation, ordering.
+
+use crate::catalog::Catalog;
+use crate::db::ResultSet;
+use crate::expr::{eval, EvalCtx, Scope};
+use crate::plan::{plan_select, JoinStrategy, SelectPlan};
+use crate::sql::ast::{AggKind, Expr, Select};
+use crate::udf::UdfRegistry;
+use crate::value::Value;
+use crate::{DbError, Result};
+use qbism_lfm::LongFieldManager;
+use std::collections::HashMap;
+
+/// Hashable join key (only types the planner promotes).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum HashKey {
+    Int(i64),
+    Str(String),
+}
+
+impl HashKey {
+    fn from_value(v: &Value) -> Option<HashKey> {
+        match v {
+            Value::Int(i) => Some(HashKey::Int(*i)),
+            Value::Str(s) => Some(HashKey::Str(s.clone())),
+            _ => None,
+        }
+    }
+}
+
+/// Canonical hashable form of any group-key value (floats by bits; NULLs
+/// group together, following SQL GROUP BY semantics).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum GroupKey {
+    Null,
+    Int(i64),
+    FloatBits(u64),
+    Str(String),
+    Bool(bool),
+    Long(u64),
+    Bytes(Vec<u8>),
+}
+
+impl GroupKey {
+    fn from_value(v: &Value) -> GroupKey {
+        match v {
+            Value::Null => GroupKey::Null,
+            // Integral floats group with equal ints (3 = 3.0).
+            Value::Int(i) => GroupKey::Int(*i),
+            Value::Float(f) if f.fract() == 0.0 && f.abs() < 9e15 => GroupKey::Int(*f as i64),
+            Value::Float(f) => GroupKey::FloatBits(f.to_bits()),
+            Value::Str(s) => GroupKey::Str(s.clone()),
+            Value::Bool(b) => GroupKey::Bool(*b),
+            Value::Long(id) => GroupKey::Long(id.0),
+            Value::Bytes(b) => GroupKey::Bytes(b.clone()),
+        }
+    }
+}
+
+/// Runs a SELECT to completion.
+pub fn run_select(
+    select: &Select,
+    catalog: &Catalog,
+    udfs: &UdfRegistry,
+    lfm: &mut LongFieldManager,
+) -> Result<ResultSet> {
+    let plan = plan_select(select, catalog)?;
+    let (scope, mut rows, rows_scanned) = run_joins(select, &plan, catalog, udfs, lfm)?;
+
+    let has_agg = select.items.iter().any(|i| i.expr.contains_aggregate());
+    if !select.group_by.is_empty() {
+        if !select.order_by.is_empty() {
+            return Err(DbError::Binding(
+                "ORDER BY with GROUP BY is not supported".into(),
+            ));
+        }
+        let (columns, mut out_rows) = run_grouped(select, &scope, &rows, udfs, lfm)?;
+        if let Some(limit) = select.limit {
+            out_rows.truncate(limit as usize);
+        }
+        let mut rs = ResultSet::new(columns, out_rows);
+        rs.rows_scanned = rows_scanned;
+        return Ok(rs);
+    }
+    if has_agg {
+        if !select.order_by.is_empty() {
+            return Err(DbError::Binding("ORDER BY with aggregates is not supported".into()));
+        }
+        let (columns, row) = run_aggregates(select, &scope, &rows, udfs, lfm)?;
+        let mut rs = ResultSet::new(columns, vec![row]);
+        rs.rows_scanned = rows_scanned;
+        return Ok(rs);
+    }
+
+    // ORDER BY keys are computed against the input scope.
+    if !select.order_by.is_empty() {
+        let mut keyed: Vec<(Vec<Value>, Vec<Value>)> = Vec::with_capacity(rows.len());
+        for row in rows.drain(..) {
+            let mut keys = Vec::with_capacity(select.order_by.len());
+            for (e, _) in &select.order_by {
+                let mut ctx = EvalCtx { scope: &scope, udfs, lfm };
+                keys.push(eval(e, &row, &mut ctx)?);
+            }
+            keyed.push((keys, row));
+        }
+        keyed.sort_by(|(ka, _), (kb, _)| {
+            for (i, (_, asc)) in select.order_by.iter().enumerate() {
+                let ord = ka[i].order_key_cmp(&kb[i]);
+                let ord = if *asc { ord } else { ord.reverse() };
+                if ord != std::cmp::Ordering::Equal {
+                    return ord;
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+        rows = keyed.into_iter().map(|(_, r)| r).collect();
+    }
+
+    if let Some(limit) = select.limit {
+        rows.truncate(limit as usize);
+    }
+
+    // Projection.
+    let (columns, projected) = if select.items.is_empty() {
+        // SELECT *: all columns of all tables in order.
+        let mut columns = Vec::new();
+        for tref in &select.from {
+            let table = catalog.table(&tref.table)?;
+            for c in &table.schema.columns {
+                columns.push(format!("{}.{}", tref.alias, c.name));
+            }
+        }
+        (columns, rows)
+    } else {
+        let columns: Vec<String> = select
+            .items
+            .iter()
+            .map(|i| i.alias.clone().unwrap_or_else(|| i.expr.default_name()))
+            .collect();
+        let mut projected = Vec::with_capacity(rows.len());
+        for row in &rows {
+            let mut out = Vec::with_capacity(select.items.len());
+            for item in &select.items {
+                let mut ctx = EvalCtx { scope: &scope, udfs, lfm };
+                out.push(eval(&item.expr, row, &mut ctx)?);
+            }
+            projected.push(out);
+        }
+        (columns, projected)
+    };
+    let mut rs = ResultSet::new(columns, projected);
+    rs.rows_scanned = rows_scanned;
+    Ok(rs)
+}
+
+/// Executes the FROM/WHERE part, returning the final scope, the surviving
+/// composite tuples, and how many base tuples were scanned.
+fn run_joins(
+    select: &Select,
+    plan: &SelectPlan,
+    catalog: &Catalog,
+    udfs: &UdfRegistry,
+    lfm: &mut LongFieldManager,
+) -> Result<(Scope, Vec<Vec<Value>>, u64)> {
+    let mut rows_scanned = 0u64;
+    let mut scope = Scope::new();
+    let first = &select.from[0];
+    let first_table = catalog.table(&first.table)?;
+    scope.push(&first.alias, first_table.schema.clone());
+    let mut acc: Vec<Vec<Value>> = Vec::new();
+    for row in first_table.rows() {
+        rows_scanned += 1;
+        if passes(&plan.stages[0], row, &scope, udfs, lfm)? {
+            acc.push(row.clone());
+        }
+    }
+
+    for (i, tref) in select.from.iter().enumerate().skip(1) {
+        let table = catalog.table(&tref.table)?;
+        let right_rows = table.rows();
+        let right_arity = table.schema.arity();
+        // The new scope includes this table.
+        scope.push(&tref.alias, table.schema.clone());
+        let preds = &plan.stages[i];
+        let mut next: Vec<Vec<Value>> = Vec::new();
+        match &plan.joins[i - 1] {
+            JoinStrategy::Hash { left, right } => {
+                // Build side: the new table, keyed by `right` (which only
+                // references its columns, so pad a tuple of the full width
+                // with the right rows at the end).
+                let mut built: HashMap<HashKey, Vec<usize>> = HashMap::new();
+                let pad = scope.width() - right_arity;
+                let mut probe_tuple = vec![Value::Null; scope.width()];
+                for (ri, rrow) in right_rows.iter().enumerate() {
+                    rows_scanned += 1;
+                    probe_tuple[pad..].clone_from_slice(rrow);
+                    let mut ctx = EvalCtx { scope: &scope, udfs, lfm };
+                    let key = eval(right, &probe_tuple, &mut ctx)?;
+                    if let Some(k) = HashKey::from_value(&key) {
+                        built.entry(k).or_default().push(ri);
+                    } // NULL keys match nothing
+                }
+                for lrow in &acc {
+                    let mut full = lrow.clone();
+                    full.resize(scope.width(), Value::Null);
+                    let mut ctx = EvalCtx { scope: &scope, udfs, lfm };
+                    let key = eval(left, &full, &mut ctx)?;
+                    let Some(k) = HashKey::from_value(&key) else { continue };
+                    if let Some(matches) = built.get(&k) {
+                        for &ri in matches {
+                            let mut joined = lrow.clone();
+                            joined.extend_from_slice(&right_rows[ri]);
+                            if passes(preds, &joined, &scope, udfs, lfm)? {
+                                next.push(joined);
+                            }
+                        }
+                    }
+                }
+            }
+            JoinStrategy::NestedLoop => {
+                for lrow in &acc {
+                    for rrow in right_rows {
+                        rows_scanned += 1;
+                        let mut joined = lrow.clone();
+                        joined.extend_from_slice(rrow);
+                        if passes(preds, &joined, &scope, udfs, lfm)? {
+                            next.push(joined);
+                        }
+                    }
+                }
+            }
+        }
+        acc = next;
+    }
+    Ok((scope, acc, rows_scanned))
+}
+
+fn passes(
+    preds: &[Expr],
+    tuple: &[Value],
+    scope: &Scope,
+    udfs: &UdfRegistry,
+    lfm: &mut LongFieldManager,
+) -> Result<bool> {
+    for p in preds {
+        let mut ctx = EvalCtx { scope, udfs, lfm };
+        let v = eval(p, tuple, &mut ctx)?;
+        match v {
+            Value::Bool(true) => {}
+            Value::Bool(false) | Value::Null => return Ok(false),
+            other => {
+                return Err(DbError::Type(format!("WHERE predicate evaluated to {other}")))
+            }
+        }
+    }
+    Ok(true)
+}
+
+/// GROUP BY execution: hash rows into groups by key expressions, then
+/// run one-group aggregation within each group.  Non-aggregate select
+/// items must be (textually equal to) one of the group keys.
+fn run_grouped(
+    select: &Select,
+    scope: &Scope,
+    rows: &[Vec<Value>],
+    udfs: &UdfRegistry,
+    lfm: &mut LongFieldManager,
+) -> Result<(Vec<String>, Vec<Vec<Value>>)> {
+    for item in &select.items {
+        if !item.expr.contains_aggregate() && !select.group_by.contains(&item.expr) {
+            return Err(DbError::Binding(format!(
+                "select item {:?} is neither an aggregate nor a GROUP BY key",
+                item.expr.default_name()
+            )));
+        }
+    }
+    // Hash rows by their key tuple, keeping first-seen order.
+    let mut order: Vec<Vec<GroupKey>> = Vec::new();
+    let mut groups: HashMap<Vec<GroupKey>, Vec<Vec<Value>>> = HashMap::new();
+    for row in rows {
+        let mut key = Vec::with_capacity(select.group_by.len());
+        for g in &select.group_by {
+            let mut ctx = EvalCtx { scope, udfs, lfm };
+            key.push(GroupKey::from_value(&eval(g, row, &mut ctx)?));
+        }
+        match groups.entry(key.clone()) {
+            std::collections::hash_map::Entry::Vacant(e) => {
+                order.push(key);
+                e.insert(vec![row.clone()]);
+            }
+            std::collections::hash_map::Entry::Occupied(mut e) => e.get_mut().push(row.clone()),
+        }
+    }
+    let columns: Vec<String> = select
+        .items
+        .iter()
+        .map(|i| i.alias.clone().unwrap_or_else(|| i.expr.default_name()))
+        .collect();
+    let mut out = Vec::with_capacity(order.len());
+    for key in order {
+        let grows = &groups[&key];
+        let mut row_out = Vec::with_capacity(select.items.len());
+        for item in &select.items {
+            if item.expr.contains_aggregate() {
+                let sub = Select {
+                    items: vec![item.clone()],
+                    from: select.from.clone(),
+                    where_clause: None,
+                    group_by: Vec::new(),
+                    order_by: Vec::new(),
+                    limit: None,
+                };
+                let (_, agg_row) = run_aggregates(&sub, scope, grows, udfs, lfm)?;
+                row_out.push(agg_row.into_iter().next().expect("one aggregate item"));
+            } else {
+                // A group key: constant within the group, take the first.
+                let mut ctx = EvalCtx { scope, udfs, lfm };
+                row_out.push(eval(&item.expr, &grows[0], &mut ctx)?);
+            }
+        }
+        out.push(row_out);
+    }
+    Ok((columns, out))
+}
+
+/// One-group aggregation over the joined rows.
+fn run_aggregates(
+    select: &Select,
+    scope: &Scope,
+    rows: &[Vec<Value>],
+    udfs: &UdfRegistry,
+    lfm: &mut LongFieldManager,
+) -> Result<(Vec<String>, Vec<Value>)> {
+    let mut columns = Vec::with_capacity(select.items.len());
+    let mut out = Vec::with_capacity(select.items.len());
+    for item in &select.items {
+        columns.push(item.alias.clone().unwrap_or_else(|| item.expr.default_name()));
+        let Expr::Aggregate { kind, arg } = &item.expr else {
+            return Err(DbError::Binding(
+                "select list mixes aggregates with plain expressions (no GROUP BY support)".into(),
+            ));
+        };
+        let mut count = 0u64;
+        let mut sum = 0.0f64;
+        let mut all_int = true;
+        let mut min: Option<Value> = None;
+        let mut max: Option<Value> = None;
+        for row in rows {
+            let v = match arg {
+                None => Value::Int(1), // COUNT(*)
+                Some(a) => {
+                    let mut ctx = EvalCtx { scope, udfs, lfm };
+                    eval(a, row, &mut ctx)?
+                }
+            };
+            if matches!(v, Value::Null) {
+                continue;
+            }
+            count += 1;
+            if let Some(x) = v.as_f64() {
+                sum += x;
+                all_int &= matches!(v, Value::Int(_));
+            } else if matches!(kind, AggKind::Sum | AggKind::Avg) {
+                return Err(DbError::Type(format!("SUM/AVG over non-numeric value {v}")));
+            }
+            let replace_min = match &min {
+                None => true,
+                Some(m) => v.sql_cmp(m).map(|o| o.is_lt()).unwrap_or(false),
+            };
+            if replace_min {
+                min = Some(v.clone());
+            }
+            let replace_max = match &max {
+                None => true,
+                Some(m) => v.sql_cmp(m).map(|o| o.is_gt()).unwrap_or(false),
+            };
+            if replace_max {
+                max = Some(v.clone());
+            }
+        }
+        let result = match kind {
+            AggKind::Count => Value::Int(count as i64),
+            AggKind::Sum if count == 0 => Value::Null,
+            AggKind::Sum => {
+                if all_int {
+                    Value::Int(sum as i64)
+                } else {
+                    Value::Float(sum)
+                }
+            }
+            AggKind::Avg if count == 0 => Value::Null,
+            AggKind::Avg => Value::Float(sum / count as f64),
+            AggKind::Min => min.unwrap_or(Value::Null),
+            AggKind::Max => max.unwrap_or(Value::Null),
+        };
+        out.push(result);
+    }
+    Ok((columns, out))
+}

@@ -1,0 +1,511 @@
+//! Expression evaluation.
+
+use crate::catalog::TableSchema;
+use crate::sql::ast::{BinOp, Expr, Literal};
+use crate::udf::{UdfContext, UdfRegistry};
+use crate::value::Value;
+use crate::{DbError, Result};
+
+/// Name-resolution scope for a join tuple: which aliases are bound, their
+/// schemas, and where each table's columns start in the composite tuple.
+#[derive(Debug, Clone, Default)]
+pub struct Scope {
+    entries: Vec<(String, TableSchema, usize)>,
+    width: usize,
+}
+
+impl Scope {
+    /// Empty scope.
+    pub fn new() -> Self {
+        Scope::default()
+    }
+
+    /// Appends a table binding, returning its tuple offset.
+    pub fn push(&mut self, alias: &str, schema: TableSchema) -> usize {
+        let offset = self.width;
+        self.width += schema.arity();
+        self.entries.push((alias.to_ascii_lowercase(), schema, offset));
+        offset
+    }
+
+    /// Total tuple width.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Aliases bound, in order.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub fn aliases(&self) -> Vec<&str> {
+        self.entries.iter().map(|(a, _, _)| a.as_str()).collect()
+    }
+
+    /// Resolves a column reference to a tuple index.
+    pub fn resolve(&self, qualifier: Option<&str>, name: &str) -> Result<usize> {
+        let name_l = name.to_ascii_lowercase();
+        match qualifier {
+            Some(q) => {
+                let q_l = q.to_ascii_lowercase();
+                let (_, schema, offset) = self
+                    .entries
+                    .iter()
+                    .find(|(a, _, _)| *a == q_l)
+                    .ok_or_else(|| DbError::Binding(format!("unknown table alias: {q}")))?;
+                let idx = schema
+                    .column_index(&name_l)
+                    .ok_or_else(|| DbError::Binding(format!("no column {name} in {q}")))?;
+                Ok(offset + idx)
+            }
+            None => {
+                let mut hit = None;
+                for (alias, schema, offset) in &self.entries {
+                    if let Some(idx) = schema.column_index(&name_l) {
+                        if hit.is_some() {
+                            return Err(DbError::Binding(format!(
+                                "ambiguous column {name} (qualify it, e.g. {alias}.{name})"
+                            )));
+                        }
+                        hit = Some(offset + idx);
+                    }
+                }
+                hit.ok_or_else(|| DbError::Binding(format!("no such column: {name}")))
+            }
+        }
+    }
+
+    /// Whether every column referenced by `expr` is bound in this scope.
+    pub fn binds(&self, expr: &Expr) -> bool {
+        match expr {
+            Expr::Literal(_) => true,
+            Expr::Column { qualifier, name } => self.resolve(qualifier.as_deref(), name).is_ok(),
+            Expr::Binary { left, right, .. } => self.binds(left) && self.binds(right),
+            Expr::Not(e) | Expr::Neg(e) => self.binds(e),
+            Expr::Call { args, .. } => args.iter().all(|a| self.binds(a)),
+            Expr::Aggregate { arg, .. } => arg.as_deref().map(|a| self.binds(a)).unwrap_or(true),
+            Expr::IsNull { expr, .. } | Expr::Like { expr, .. } => self.binds(expr),
+            Expr::InList { expr, list, .. } => {
+                self.binds(expr) && list.iter().all(|e| self.binds(e))
+            }
+        }
+    }
+}
+
+/// Everything evaluation needs besides the tuple itself.
+pub struct EvalCtx<'a> {
+    /// Name resolution.
+    pub scope: &'a Scope,
+    /// Registered UDFs.
+    pub udfs: &'a UdfRegistry,
+    /// Long-field store, threaded through to UDFs.
+    pub lfm: &'a mut qbism_lfm::LongFieldManager,
+}
+
+/// Evaluates `expr` against a composite `tuple`.
+pub fn eval(expr: &Expr, tuple: &[Value], ctx: &mut EvalCtx<'_>) -> Result<Value> {
+    match expr {
+        Expr::Literal(l) => Ok(literal_value(l)),
+        Expr::Column { qualifier, name } => {
+            let idx = ctx.scope.resolve(qualifier.as_deref(), name)?;
+            Ok(tuple[idx].clone())
+        }
+        Expr::Not(e) => match eval(e, tuple, ctx)? {
+            Value::Bool(b) => Ok(Value::Bool(!b)),
+            Value::Null => Ok(Value::Null),
+            other => Err(DbError::Type(format!("NOT applied to non-boolean {other}"))),
+        },
+        Expr::Neg(e) => match eval(e, tuple, ctx)? {
+            Value::Int(i) => Ok(Value::Int(-i)),
+            Value::Float(f) => Ok(Value::Float(-f)),
+            Value::Null => Ok(Value::Null),
+            other => Err(DbError::Type(format!("unary minus applied to {other}"))),
+        },
+        Expr::Binary { op, left, right } => eval_binary(*op, left, right, tuple, ctx),
+        Expr::Call { name, args } => {
+            let mut vals = Vec::with_capacity(args.len());
+            for a in args {
+                vals.push(eval(a, tuple, ctx)?);
+            }
+            let mut ucx = UdfContext { lfm: ctx.lfm };
+            ctx.udfs.call(name, &mut ucx, &vals)
+        }
+        Expr::Aggregate { .. } => Err(DbError::Binding(
+            "aggregate used outside a select list".into(),
+        )),
+        Expr::IsNull { expr, negated } => {
+            let v = eval(expr, tuple, ctx)?;
+            let is_null = matches!(v, Value::Null);
+            Ok(Value::Bool(is_null != *negated))
+        }
+        Expr::InList { expr, list, negated } => {
+            let needle = eval(expr, tuple, ctx)?;
+            if matches!(needle, Value::Null) {
+                return Ok(Value::Null);
+            }
+            let mut saw_null = false;
+            for candidate in list {
+                let c = eval(candidate, tuple, ctx)?;
+                match needle.sql_eq(&c) {
+                    Some(true) => return Ok(Value::Bool(!negated)),
+                    Some(false) => {}
+                    None => saw_null = true,
+                }
+            }
+            // SQL three-valued IN: no match but a NULL candidate -> NULL.
+            if saw_null {
+                Ok(Value::Null)
+            } else {
+                Ok(Value::Bool(*negated))
+            }
+        }
+        Expr::Like { expr, pattern, negated } => {
+            let v = eval(expr, tuple, ctx)?;
+            match v {
+                Value::Null => Ok(Value::Null),
+                Value::Str(s) => Ok(Value::Bool(like_match(&s, pattern) != *negated)),
+                other => Err(DbError::Type(format!("LIKE applied to non-string {other}"))),
+            }
+        }
+    }
+}
+
+/// SQL LIKE matching: `%` matches any run (including empty), `_` matches
+/// exactly one character.  Case-sensitive, no escape syntax.
+pub fn like_match(text: &str, pattern: &str) -> bool {
+    fn rec(t: &[char], p: &[char]) -> bool {
+        match p.split_first() {
+            None => t.is_empty(),
+            Some(('%', rest)) => {
+                (0..=t.len()).any(|skip| rec(&t[skip..], rest))
+            }
+            Some(('_', rest)) => !t.is_empty() && rec(&t[1..], rest),
+            Some((c, rest)) => t.first() == Some(c) && rec(&t[1..], rest),
+        }
+    }
+    let t: Vec<char> = text.chars().collect();
+    let p: Vec<char> = pattern.chars().collect();
+    rec(&t, &p)
+}
+
+/// Converts an AST literal to a runtime value.
+pub fn literal_value(l: &Literal) -> Value {
+    match l {
+        Literal::Null => Value::Null,
+        Literal::Int(i) => Value::Int(*i),
+        Literal::Float(f) => Value::Float(*f),
+        Literal::Str(s) => Value::Str(s.clone()),
+        Literal::Bool(b) => Value::Bool(*b),
+    }
+}
+
+fn eval_binary(
+    op: BinOp,
+    left: &Expr,
+    right: &Expr,
+    tuple: &[Value],
+    ctx: &mut EvalCtx<'_>,
+) -> Result<Value> {
+    // Short-circuit logic first.
+    match op {
+        BinOp::And => {
+            let l = eval(left, tuple, ctx)?;
+            if matches!(l, Value::Bool(false)) {
+                return Ok(Value::Bool(false));
+            }
+            let r = eval(right, tuple, ctx)?;
+            return match (l, r) {
+                (Value::Bool(a), Value::Bool(b)) => Ok(Value::Bool(a && b)),
+                (Value::Null, _) | (_, Value::Null) => Ok(Value::Null),
+                (a, b) => Err(DbError::Type(format!("AND applied to {a} and {b}"))),
+            };
+        }
+        BinOp::Or => {
+            let l = eval(left, tuple, ctx)?;
+            if matches!(l, Value::Bool(true)) {
+                return Ok(Value::Bool(true));
+            }
+            let r = eval(right, tuple, ctx)?;
+            return match (l, r) {
+                (Value::Bool(a), Value::Bool(b)) => Ok(Value::Bool(a || b)),
+                (Value::Null, _) | (_, Value::Null) => Ok(Value::Null),
+                (a, b) => Err(DbError::Type(format!("OR applied to {a} and {b}"))),
+            };
+        }
+        _ => {}
+    }
+    let l = eval(left, tuple, ctx)?;
+    let r = eval(right, tuple, ctx)?;
+    match op {
+        BinOp::Eq => Ok(l.sql_eq(&r).map(Value::Bool).unwrap_or(Value::Null)),
+        BinOp::Ne => Ok(l.sql_eq(&r).map(|b| Value::Bool(!b)).unwrap_or(Value::Null)),
+        BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
+            if matches!(l, Value::Null) || matches!(r, Value::Null) {
+                return Ok(Value::Null);
+            }
+            let ord = l.sql_cmp(&r).ok_or_else(|| {
+                DbError::Type(format!("cannot compare {l} with {r}"))
+            })?;
+            let b = match op {
+                BinOp::Lt => ord.is_lt(),
+                BinOp::Le => ord.is_le(),
+                BinOp::Gt => ord.is_gt(),
+                BinOp::Ge => ord.is_ge(),
+                _ => unreachable!(),
+            };
+            Ok(Value::Bool(b))
+        }
+        BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Mod => {
+            if matches!(l, Value::Null) || matches!(r, Value::Null) {
+                return Ok(Value::Null);
+            }
+            arith(op, &l, &r)
+        }
+        BinOp::And | BinOp::Or => unreachable!("handled above"),
+    }
+}
+
+fn arith(op: BinOp, l: &Value, r: &Value) -> Result<Value> {
+    // Integer arithmetic stays integral; any float operand widens.
+    if let (Some(a), Some(b)) = (l.as_i64(), r.as_i64()) {
+        return match op {
+            BinOp::Add => Ok(Value::Int(a.wrapping_add(b))),
+            BinOp::Sub => Ok(Value::Int(a.wrapping_sub(b))),
+            BinOp::Mul => Ok(Value::Int(a.wrapping_mul(b))),
+            BinOp::Div => {
+                if b == 0 {
+                    Err(DbError::Exec("integer division by zero".into()))
+                } else {
+                    Ok(Value::Int(a / b))
+                }
+            }
+            BinOp::Mod => {
+                if b == 0 {
+                    Err(DbError::Exec("integer modulo by zero".into()))
+                } else {
+                    Ok(Value::Int(a % b))
+                }
+            }
+            _ => unreachable!(),
+        };
+    }
+    let (a, b) = match (l.as_f64(), r.as_f64()) {
+        (Some(a), Some(b)) => (a, b),
+        _ => return Err(DbError::Type(format!("arithmetic on non-numbers {l} and {r}"))),
+    };
+    let v = match op {
+        BinOp::Add => a + b,
+        BinOp::Sub => a - b,
+        BinOp::Mul => a * b,
+        BinOp::Div => a / b,
+        BinOp::Mod => a % b,
+        _ => unreachable!(),
+    };
+    Ok(Value::Float(v))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::Column;
+    use crate::sql::parse_statement;
+    use crate::sql::ast::Statement;
+    use crate::value::DataType;
+    use qbism_lfm::LongFieldManager;
+
+    fn scope() -> Scope {
+        let mut s = Scope::new();
+        s.push(
+            "p",
+            TableSchema::new(
+                "patient",
+                vec![Column::new("id", DataType::Int), Column::new("name", DataType::Str)],
+            )
+            .unwrap(),
+        );
+        s.push(
+            "v",
+            TableSchema::new(
+                "vals",
+                vec![Column::new("id", DataType::Int), Column::new("x", DataType::Float)],
+            )
+            .unwrap(),
+        );
+        s
+    }
+
+    fn where_expr(sql: &str) -> Expr {
+        match parse_statement(sql).unwrap() {
+            Statement::Select(s) => s.where_clause.unwrap(),
+            _ => unreachable!(),
+        }
+    }
+
+    fn eval_where(sql: &str, tuple: &[Value]) -> Result<Value> {
+        let s = scope();
+        let udfs = UdfRegistry::new();
+        let mut lfm = LongFieldManager::new(1 << 16, 4096).unwrap();
+        let mut ctx = EvalCtx { scope: &s, udfs: &udfs, lfm: &mut lfm };
+        eval(&where_expr(sql), tuple, &mut ctx)
+    }
+
+    fn tuple() -> Vec<Value> {
+        vec![
+            Value::Int(7),
+            Value::Str("Jane".into()),
+            Value::Int(7),
+            Value::Float(2.5),
+        ]
+    }
+
+    #[test]
+    fn scope_resolution() {
+        let s = scope();
+        assert_eq!(s.aliases(), vec!["p", "v"]);
+        assert_eq!(s.width(), 4);
+        assert_eq!(s.resolve(Some("p"), "name").unwrap(), 1);
+        assert_eq!(s.resolve(Some("v"), "x").unwrap(), 3);
+        assert_eq!(s.resolve(None, "x").unwrap(), 3, "unambiguous bare column");
+        assert!(s.resolve(None, "id").is_err(), "ambiguous across tables");
+        assert!(s.resolve(Some("q"), "x").is_err(), "unknown alias");
+        assert!(s.resolve(Some("p"), "x").is_err(), "column not in that table");
+    }
+
+    #[test]
+    fn binds_checks_full_tree() {
+        let s = scope();
+        assert!(s.binds(&where_expr("select * from t where p.id = v.id")));
+        assert!(!s.binds(&where_expr("select * from t where p.id = other.z")));
+    }
+
+    #[test]
+    fn comparisons_and_logic() {
+        assert_eq!(eval_where("select * from t where p.id = v.id", &tuple()).unwrap(), Value::Bool(true));
+        assert_eq!(
+            eval_where("select * from t where v.x > 2 and p.name = 'Jane'", &tuple()).unwrap(),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            eval_where("select * from t where not (v.x >= 2.5)", &tuple()).unwrap(),
+            Value::Bool(false)
+        );
+        assert_eq!(
+            eval_where("select * from t where p.id between 5 and 10", &tuple()).unwrap(),
+            Value::Bool(true)
+        );
+    }
+
+    #[test]
+    fn arithmetic_typing() {
+        assert_eq!(eval_where("select * from t where p.id + 1 = 8", &tuple()).unwrap(), Value::Bool(true));
+        assert_eq!(
+            eval_where("select * from t where v.x * 2 = 5.0", &tuple()).unwrap(),
+            Value::Bool(true)
+        );
+        assert_eq!(eval_where("select * from t where 7 / 2 = 3", &tuple()).unwrap(), Value::Bool(true));
+        assert_eq!(eval_where("select * from t where 7 % 2 = 1", &tuple()).unwrap(), Value::Bool(true));
+        assert!(matches!(
+            eval_where("select * from t where 1 / 0 = 0", &tuple()),
+            Err(DbError::Exec(_))
+        ));
+        assert!(matches!(
+            eval_where("select * from t where p.name + 1 = 2", &tuple()),
+            Err(DbError::Type(_))
+        ));
+    }
+
+    #[test]
+    fn null_propagates() {
+        let t = vec![Value::Null, Value::Str("x".into()), Value::Int(0), Value::Float(0.0)];
+        assert_eq!(eval_where("select * from t where p.id = 7", &t).unwrap(), Value::Null);
+        assert_eq!(eval_where("select * from t where p.id + 1 > 0", &t).unwrap(), Value::Null);
+        // three-valued logic: false AND null = false; true OR null = true
+        assert_eq!(
+            eval_where("select * from t where 1 = 2 and p.id = 7", &t).unwrap(),
+            Value::Bool(false)
+        );
+        assert_eq!(
+            eval_where("select * from t where 1 = 1 or p.id = 7", &t).unwrap(),
+            Value::Bool(true)
+        );
+    }
+
+    #[test]
+    fn short_circuit_skips_rhs_errors() {
+        // 1=2 AND (1/0=0): the division never runs.
+        assert_eq!(
+            eval_where("select * from t where 1 = 2 and 1 / 0 = 0", &tuple()).unwrap(),
+            Value::Bool(false)
+        );
+        assert_eq!(
+            eval_where("select * from t where 1 = 1 or 1 / 0 = 0", &tuple()).unwrap(),
+            Value::Bool(true)
+        );
+    }
+
+    #[test]
+    fn like_matching_semantics() {
+        assert!(like_match("hippocampus-l", "hippocampus-%"));
+        assert!(like_match("hippocampus-l", "%us-_"));
+        assert!(like_match("abc", "abc"));
+        assert!(like_match("abc", "%"));
+        assert!(like_match("", "%"));
+        assert!(!like_match("", "_"));
+        assert!(!like_match("abc", "ab"));
+        assert!(!like_match("abc", "a_c_"));
+        assert!(like_match("a%c", "a%c"), "literal percent still matches via wildcard");
+    }
+
+    #[test]
+    fn postfix_predicates_evaluate() {
+        assert_eq!(
+            eval_where("select * from t where p.name like 'Ja%'", &tuple()).unwrap(),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            eval_where("select * from t where p.name not like '_ane'", &tuple()).unwrap(),
+            Value::Bool(false)
+        );
+        assert_eq!(
+            eval_where("select * from t where p.id in (1, 7, 9)", &tuple()).unwrap(),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            eval_where("select * from t where p.id not in (1, 2)", &tuple()).unwrap(),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            eval_where("select * from t where p.id is null", &tuple()).unwrap(),
+            Value::Bool(false)
+        );
+        assert_eq!(
+            eval_where("select * from t where p.id is not null", &tuple()).unwrap(),
+            Value::Bool(true)
+        );
+        // NULL semantics: NULL IN (...) is NULL; x IN (.., NULL) with no
+        // match is NULL.
+        let t = vec![Value::Null, Value::Str("x".into()), Value::Int(0), Value::Float(0.0)];
+        assert_eq!(
+            eval_where("select * from t where p.id in (1, 2)", &t).unwrap(),
+            Value::Null
+        );
+        assert_eq!(
+            eval_where("select * from t where v.id in (9, null)", &tuple()).unwrap(),
+            Value::Null
+        );
+        assert_eq!(
+            eval_where("select * from t where p.id is null", &t).unwrap(),
+            Value::Bool(true)
+        );
+    }
+
+    #[test]
+    fn udf_calls_evaluate_arguments() {
+        let s = scope();
+        let mut udfs = UdfRegistry::new();
+        udfs.register("addone", |_, args| {
+            Ok(Value::Int(args[0].as_i64().unwrap() + 1))
+        });
+        let mut lfm = LongFieldManager::new(1 << 16, 4096).unwrap();
+        let mut ctx = EvalCtx { scope: &s, udfs: &udfs, lfm: &mut lfm };
+        let e = where_expr("select * from t where addOne(p.id + 1) = 9");
+        assert_eq!(eval(&e, &tuple(), &mut ctx).unwrap(), Value::Bool(true));
+    }
+}

@@ -1,0 +1,343 @@
+//! Join planning: which strategy joins each FROM table.
+//!
+//! The planner is deliberately simple — left-deep joins in FROM order —
+//! because the medical schema's queries join along key equalities that a
+//! hash join handles well, and the paper's own measurements show the
+//! database component is I/O bound, not join bound.  What matters is:
+//!
+//! * single-table predicates are applied at the scan (selection pushdown);
+//! * key equalities become hash joins;
+//! * everything else falls back to a predicate-filtered nested loop.
+
+use crate::catalog::Catalog;
+use crate::expr::Scope;
+use crate::sql::ast::{BinOp, Expr, Select};
+use crate::value::DataType;
+use crate::Result;
+
+/// How one table joins the accumulated left side.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JoinStrategy {
+    /// Build a hash table on the new table keyed by `right`, probe with
+    /// `left` evaluated on the accumulated side.
+    Hash {
+        /// Probe-side key (binds in the accumulated scope).
+        left: Expr,
+        /// Build-side key (binds in the new table only).
+        right: Expr,
+    },
+    /// Plain nested loop (predicates still filter each emitted tuple).
+    NestedLoop,
+}
+
+/// The chosen strategy per joined table plus the conjuncts scheduled at
+/// each stage.  Stage `i` filters tuples once tables `0..=i` are bound.
+#[derive(Debug)]
+pub struct SelectPlan {
+    /// Strategy for table `i + 1` (the first table is a scan).
+    pub joins: Vec<JoinStrategy>,
+    /// `stages[i]` = conjuncts applied when tables `0..=i` are bound.
+    pub stages: Vec<Vec<Expr>>,
+}
+
+/// Splits a predicate into AND-ed conjuncts.
+pub fn conjuncts(expr: &Expr) -> Vec<Expr> {
+    match expr {
+        Expr::Binary { op: BinOp::And, left, right } => {
+            let mut out = conjuncts(left);
+            out.extend(conjuncts(right));
+            out
+        }
+        other => vec![other.clone()],
+    }
+}
+
+/// Column data type of a plain column expression, if it is one.
+fn column_type(expr: &Expr, scope: &Scope, catalog: &Catalog, select: &Select) -> Option<DataType> {
+    if let Expr::Column { qualifier, name } = expr {
+        // find the aliased table schema
+        let q = qualifier.as_deref()?.to_ascii_lowercase();
+        let tref = select.from.iter().find(|t| t.alias == q)?;
+        let table = catalog.table(&tref.table).ok()?;
+        let idx = table.schema.column_index(name)?;
+        let _ = scope;
+        return Some(table.schema.columns[idx].ty);
+    }
+    None
+}
+
+/// Builds the plan: join strategies and per-stage predicate schedules.
+pub fn plan_select(select: &Select, catalog: &Catalog) -> Result<SelectPlan> {
+    // Scopes after each prefix of the FROM list.
+    let mut prefix_scopes: Vec<Scope> = Vec::with_capacity(select.from.len());
+    let mut scope = Scope::new();
+    for tref in &select.from {
+        let table = catalog.table(&tref.table)?;
+        scope.push(&tref.alias, table.schema.clone());
+        prefix_scopes.push(scope.clone());
+    }
+    let mut remaining: Vec<Expr> = select
+        .where_clause
+        .as_ref()
+        .map(conjuncts)
+        .unwrap_or_default();
+    let mut stages: Vec<Vec<Expr>> = vec![Vec::new(); select.from.len()];
+    let mut joins: Vec<JoinStrategy> = Vec::new();
+
+    for (i, prefix) in prefix_scopes.iter().enumerate() {
+        // Conjuncts that become fully bound at this stage.
+        let (bound, rest): (Vec<Expr>, Vec<Expr>) =
+            remaining.into_iter().partition(|c| prefix.binds(c));
+        remaining = rest;
+        // For stages past the first, try to promote one bound equi-
+        // conjunct into a hash join key pair.
+        if i > 0 {
+            let prev = &prefix_scopes[i - 1];
+            let mut strategy = JoinStrategy::NestedLoop;
+            let mut stage_preds = Vec::new();
+            let mut promoted = false;
+            for c in bound {
+                if promoted {
+                    stage_preds.push(c);
+                    continue;
+                }
+                if let Expr::Binary { op: BinOp::Eq, left, right } = &c {
+                    // one side on the accumulated prefix, the other on the
+                    // new table only; both hashable column types
+                    let try_pair = |probe: &Expr, build: &Expr| -> bool {
+                        prev.binds(probe)
+                            && !prev.binds(build)
+                            && prefix.binds(build)
+                            && matches!(
+                                column_type(build, prefix, catalog, select),
+                                Some(DataType::Int) | Some(DataType::Str)
+                            )
+                            && matches!(
+                                column_type(probe, prefix, catalog, select),
+                                Some(DataType::Int) | Some(DataType::Str) | None
+                            )
+                    };
+                    if try_pair(left, right) {
+                        strategy = JoinStrategy::Hash { left: (**left).clone(), right: (**right).clone() };
+                        promoted = true;
+                        continue;
+                    }
+                    if try_pair(right, left) {
+                        strategy = JoinStrategy::Hash { left: (**right).clone(), right: (**left).clone() };
+                        promoted = true;
+                        continue;
+                    }
+                }
+                stage_preds.push(c);
+            }
+            joins.push(strategy);
+            stages[i] = stage_preds;
+        } else {
+            stages[i] = bound;
+        }
+    }
+    // Conjuncts never bound reference unknown columns; surface that now.
+    if let Some(c) = remaining.first() {
+        // Re-resolve to produce the precise binding error.
+        let full = prefix_scopes.last().expect("non-empty FROM");
+        debug_assert!(!full.binds(c));
+        // Find the failing column for the message.
+        return Err(find_binding_error(c, full));
+    }
+    Ok(SelectPlan { joins, stages })
+}
+
+fn find_binding_error(expr: &Expr, scope: &Scope) -> crate::DbError {
+    match expr {
+        Expr::Column { qualifier, name } => {
+            match scope.resolve(qualifier.as_deref(), name) {
+                Err(e) => e,
+                Ok(_) => crate::DbError::Binding(format!("cannot bind predicate over {name}")),
+            }
+        }
+        Expr::Binary { left, right, .. } => {
+            if !scope.binds(left) {
+                find_binding_error(left, scope)
+            } else {
+                find_binding_error(right, scope)
+            }
+        }
+        Expr::Not(e) | Expr::Neg(e) => find_binding_error(e, scope),
+        Expr::Call { args, .. } => args
+            .iter()
+            .find(|a| !scope.binds(a))
+            .map(|a| find_binding_error(a, scope))
+            .unwrap_or_else(|| crate::DbError::Binding("unbindable predicate".into())),
+        _ => crate::DbError::Binding("unbindable predicate".into()),
+    }
+}
+
+impl SelectPlan {
+    /// Human-readable plan rendering for `EXPLAIN`.
+    pub fn render(&self, select: &Select) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "scan {} ({} predicates)\n",
+            select.from[0].alias,
+            self.stages[0].len()
+        ));
+        for (i, join) in self.joins.iter().enumerate() {
+            let tref = &select.from[i + 1];
+            match join {
+                JoinStrategy::Hash { left, right } => out.push_str(&format!(
+                    "hash join {} on {left:?} = {right:?} (+{} predicates)\n",
+                    tref.alias,
+                    self.stages[i + 1].len()
+                )),
+                JoinStrategy::NestedLoop => out.push_str(&format!(
+                    "nested loop {} ({} predicates)\n",
+                    tref.alias,
+                    self.stages[i + 1].len()
+                )),
+            }
+        }
+        if select.items.iter().any(|it| it.expr.contains_aggregate()) {
+            out.push_str("aggregate\n");
+        }
+        if !select.order_by.is_empty() {
+            out.push_str(&format!("sort by {} keys\n", select.order_by.len()));
+        }
+        if let Some(l) = select.limit {
+            out.push_str(&format!("limit {l}\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::{Column, TableSchema};
+    use crate::sql::ast::Statement;
+    use crate::sql::parse_statement;
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.create_table(
+            TableSchema::new(
+                "a",
+                vec![Column::new("id", DataType::Int), Column::new("x", DataType::Float)],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        c.create_table(
+            TableSchema::new(
+                "b",
+                vec![Column::new("id", DataType::Int), Column::new("name", DataType::Str)],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        c.create_table(
+            TableSchema::new("c", vec![Column::new("bname", DataType::Str)]).unwrap(),
+        )
+        .unwrap();
+        c
+    }
+
+    fn plan(sql: &str) -> SelectPlan {
+        let Statement::Select(s) = parse_statement(sql).unwrap() else {
+            panic!()
+        };
+        plan_select(&s, &catalog()).unwrap()
+    }
+
+    #[test]
+    fn equi_join_promotes_to_hash() {
+        let p = plan("select * from a, b where a.id = b.id and a.x > 1");
+        assert_eq!(p.joins.len(), 1);
+        assert!(matches!(p.joins[0], JoinStrategy::Hash { .. }));
+        // a.x > 1 is a single-table predicate: scheduled at stage 0.
+        assert_eq!(p.stages[0].len(), 1);
+        assert!(p.stages[1].is_empty(), "equi conjunct consumed by the join");
+    }
+
+    #[test]
+    fn string_keys_hash_too() {
+        let p = plan("select * from b, c where b.name = c.bname");
+        assert!(matches!(p.joins[0], JoinStrategy::Hash { .. }));
+    }
+
+    #[test]
+    fn cross_product_is_nested_loop() {
+        let p = plan("select * from a, b");
+        assert_eq!(p.joins, vec![JoinStrategy::NestedLoop]);
+    }
+
+    #[test]
+    fn non_equi_join_predicate_filters_nested_loop() {
+        let p = plan("select * from a, b where a.id < b.id");
+        assert_eq!(p.joins, vec![JoinStrategy::NestedLoop]);
+        assert_eq!(p.stages[1].len(), 1);
+    }
+
+    #[test]
+    fn float_equality_is_not_hashed() {
+        // a.x is float: exact-bits hashing would break int/float coercion,
+        // so the planner declines.
+        let p = plan("select * from a, b where a.x = b.id");
+        assert_eq!(p.joins, vec![JoinStrategy::NestedLoop]);
+        assert_eq!(p.stages[1].len(), 1);
+    }
+
+    #[test]
+    fn second_equi_conjunct_stays_a_predicate() {
+        let p = plan("select * from a, b where a.id = b.id and a.x = b.id");
+        assert!(matches!(p.joins[0], JoinStrategy::Hash { .. }));
+        assert_eq!(p.stages[1].len(), 1);
+    }
+
+    #[test]
+    fn three_table_chain() {
+        let p = plan(
+            "select * from a, b, c where a.id = b.id and b.name = c.bname",
+        );
+        assert_eq!(p.joins.len(), 2);
+        assert!(matches!(p.joins[0], JoinStrategy::Hash { .. }));
+        assert!(matches!(p.joins[1], JoinStrategy::Hash { .. }));
+    }
+
+    #[test]
+    fn plan_renders_strategies() {
+        let p = plan("select count(*) from a, b where a.id = b.id and a.x > 0 order by 1 limit 5");
+        let text = p.render(&match parse_statement(
+            "select count(*) from a, b where a.id = b.id and a.x > 0 order by 1 limit 5"
+        ).unwrap() {
+            Statement::Select(s) => s,
+            _ => unreachable!(),
+        });
+        assert!(text.contains("scan a (1 predicates)"), "{text}");
+        assert!(text.contains("hash join b"), "{text}");
+        assert!(text.contains("aggregate"), "{text}");
+        assert!(text.contains("limit 5"), "{text}");
+    }
+
+    #[test]
+    fn unknown_column_is_reported() {
+        let Statement::Select(s) =
+            parse_statement("select * from a where a.zz = 1").unwrap()
+        else {
+            panic!()
+        };
+        let err = plan_select(&s, &catalog()).unwrap_err();
+        assert!(err.to_string().contains("no column zz"), "{err}");
+    }
+
+    #[test]
+    fn conjunct_splitting() {
+        let Statement::Select(s) =
+            parse_statement("select * from a where a.id = 1 and (a.x > 2 or a.x < 0) and a.id < 9")
+                .unwrap()
+        else {
+            panic!()
+        };
+        let cs = conjuncts(s.where_clause.as_ref().unwrap());
+        assert_eq!(cs.len(), 3, "OR does not split");
+    }
+}

@@ -1,0 +1,223 @@
+//! SQL lexer.
+
+use crate::{DbError, Result};
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// Identifier or keyword (lowercased; keyword-ness decided in the
+    /// parser so identifiers like `count` can still name columns where
+    /// unambiguous).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// Single-quoted string literal (quotes removed, `''` unescaped).
+    Str(String),
+    /// Punctuation / operator.
+    Punct(&'static str),
+}
+
+/// A token plus its byte offset (for error messages).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpannedTok {
+    /// The token.
+    pub tok: Tok,
+    /// Byte offset in the source.
+    pub at: usize,
+}
+
+/// Tokenizes SQL text.
+pub fn lex(src: &str) -> Result<Vec<SpannedTok>> {
+    let bytes = src.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        if c.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        // -- line comments
+        if c == '-' && bytes.get(i + 1) == Some(&b'-') {
+            while i < bytes.len() && bytes[i] != b'\n' {
+                i += 1;
+            }
+            continue;
+        }
+        let at = i;
+        if c.is_ascii_alphabetic() || c == '_' {
+            let start = i;
+            while i < bytes.len() && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_') {
+                i += 1;
+            }
+            out.push(SpannedTok { tok: Tok::Ident(src[start..i].to_ascii_lowercase()), at });
+            continue;
+        }
+        if c.is_ascii_digit() {
+            let start = i;
+            while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                i += 1;
+            }
+            let mut is_float = false;
+            if i < bytes.len() && bytes[i] == b'.' && i + 1 < bytes.len() && (bytes[i + 1] as char).is_ascii_digit()
+            {
+                is_float = true;
+                i += 1;
+                while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                    i += 1;
+                }
+            }
+            if i < bytes.len() && (bytes[i] == b'e' || bytes[i] == b'E') {
+                let mut j = i + 1;
+                if j < bytes.len() && (bytes[j] == b'+' || bytes[j] == b'-') {
+                    j += 1;
+                }
+                if j < bytes.len() && (bytes[j] as char).is_ascii_digit() {
+                    is_float = true;
+                    i = j;
+                    while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+            }
+            let text = &src[start..i];
+            let tok = if is_float {
+                Tok::Float(text.parse().map_err(|_| bad(src, at, "invalid float literal"))?)
+            } else {
+                Tok::Int(text.parse().map_err(|_| bad(src, at, "integer literal out of range"))?)
+            };
+            out.push(SpannedTok { tok, at });
+            continue;
+        }
+        if c == '\'' {
+            i += 1;
+            let mut s = String::new();
+            loop {
+                match bytes.get(i) {
+                    None => return Err(bad(src, at, "unterminated string literal")),
+                    Some(b'\'') if bytes.get(i + 1) == Some(&b'\'') => {
+                        s.push('\'');
+                        i += 2;
+                    }
+                    Some(b'\'') => {
+                        i += 1;
+                        break;
+                    }
+                    Some(&b) => {
+                        s.push(b as char);
+                        i += 1;
+                    }
+                }
+            }
+            out.push(SpannedTok { tok: Tok::Str(s), at });
+            continue;
+        }
+        // multi-char operators first
+        let two = src.get(i..i + 2);
+        let punct: &'static str = match two {
+            Some("<=") => "<=",
+            Some(">=") => ">=",
+            Some("<>") => "<>",
+            Some("!=") => "<>",
+            _ => match c {
+                '(' => "(",
+                ')' => ")",
+                ',' => ",",
+                '.' => ".",
+                '=' => "=",
+                '<' => "<",
+                '>' => ">",
+                '+' => "+",
+                '-' => "-",
+                '*' => "*",
+                '/' => "/",
+                '%' => "%",
+                ';' => ";",
+                _ => return Err(bad(src, at, "unexpected character")),
+            },
+        };
+        i += punct.len();
+        out.push(SpannedTok { tok: Tok::Punct(punct), at });
+    }
+    Ok(out)
+}
+
+fn bad(src: &str, at: usize, what: &str) -> DbError {
+    let snippet: String = src[at..].chars().take(12).collect();
+    DbError::Parse(format!("{what} at byte {at} near {snippet:?}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn keywords_and_identifiers_lowercase() {
+        assert_eq!(
+            toks("SELECT Name FROM Patient"),
+            vec![
+                Tok::Ident("select".into()),
+                Tok::Ident("name".into()),
+                Tok::Ident("from".into()),
+                Tok::Ident("patient".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(toks("42"), vec![Tok::Int(42)]);
+        assert_eq!(toks("3.5"), vec![Tok::Float(3.5)]);
+        assert_eq!(toks("1e3"), vec![Tok::Float(1000.0)]);
+        assert_eq!(toks("2.5e-1"), vec![Tok::Float(0.25)]);
+        // dot not followed by digit is punctuation (qualified names)
+        assert_eq!(
+            toks("a.b"),
+            vec![Tok::Ident("a".into()), Tok::Punct("."), Tok::Ident("b".into())]
+        );
+    }
+
+    #[test]
+    fn strings_with_escapes() {
+        assert_eq!(toks("'hello'"), vec![Tok::Str("hello".into())]);
+        assert_eq!(toks("'it''s'"), vec![Tok::Str("it's".into())]);
+        assert!(lex("'oops").is_err());
+    }
+
+    #[test]
+    fn operators() {
+        assert_eq!(
+            toks("a <= b <> c != d"),
+            vec![
+                Tok::Ident("a".into()),
+                Tok::Punct("<="),
+                Tok::Ident("b".into()),
+                Tok::Punct("<>"),
+                Tok::Ident("c".into()),
+                Tok::Punct("<>"),
+                Tok::Ident("d".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(
+            toks("select -- the projection\n x"),
+            vec![Tok::Ident("select".into()), Tok::Ident("x".into())]
+        );
+    }
+
+    #[test]
+    fn bad_character_reports_position() {
+        let err = lex("select @").unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("byte 7"), "{msg}");
+    }
+}

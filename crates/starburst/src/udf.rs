@@ -1,0 +1,125 @@
+//! User-defined SQL functions.
+//!
+//! "We implemented the operators of Section 3.2 in Starburst as
+//! user-defined SQL functions.  Starburst embeds these operators (like
+//! all other SQL functions) within query execution plans at compile time
+//! and invokes them in the run-time environment."
+//!
+//! A UDF here is a closure from argument [`Value`]s to a [`Value`], with
+//! access to the Long Field Manager through [`UdfContext`] — that is what
+//! lets `extractVoxels(wv.data, ast.region)` read volume bytes and write
+//! its `DATA_REGION` result as a new long field, all inside the executor.
+
+use crate::value::Value;
+use crate::{DbError, Result};
+use qbism_lfm::LongFieldManager;
+use std::collections::HashMap;
+
+/// Runtime services available to a UDF invocation.
+pub struct UdfContext<'a> {
+    /// The long-field store (read query inputs, write query outputs).
+    pub lfm: &'a mut LongFieldManager,
+}
+
+/// The UDF calling convention.
+pub type UdfFn = Box<dyn Fn(&mut UdfContext<'_>, &[Value]) -> Result<Value> + Send + Sync>;
+
+/// Name → function registry.
+#[derive(Default)]
+pub struct UdfRegistry {
+    fns: HashMap<String, UdfFn>,
+}
+
+impl UdfRegistry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers `f` under `name` (case-insensitive).  Re-registering a
+    /// name replaces the previous function, which is how tests stub
+    /// operators out.
+    pub fn register<F>(&mut self, name: &str, f: F)
+    where
+        F: Fn(&mut UdfContext<'_>, &[Value]) -> Result<Value> + Send + Sync + 'static,
+    {
+        self.fns.insert(name.to_ascii_lowercase(), Box::new(f));
+    }
+
+    /// Whether a function named `name` exists.
+    pub fn contains(&self, name: &str) -> bool {
+        self.fns.contains_key(&name.to_ascii_lowercase())
+    }
+
+    /// Invokes a function.
+    pub fn call(&self, name: &str, ctx: &mut UdfContext<'_>, args: &[Value]) -> Result<Value> {
+        let f = self
+            .fns
+            .get(&name.to_ascii_lowercase())
+            .ok_or_else(|| DbError::Binding(format!("no such function: {name}")))?;
+        f(ctx, args)
+    }
+
+    /// Registered function names, sorted.
+    pub fn names(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.fns.keys().cloned().collect();
+        v.sort();
+        v
+    }
+}
+
+impl std::fmt::Debug for UdfRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("UdfRegistry").field("functions", &self.names()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx_lfm() -> LongFieldManager {
+        LongFieldManager::new(1 << 16, 4096).unwrap()
+    }
+
+    #[test]
+    fn register_and_call() {
+        let mut reg = UdfRegistry::new();
+        reg.register("double", |_ctx, args| {
+            let x = args[0].as_i64().ok_or_else(|| DbError::Type("double wants int".into()))?;
+            Ok(Value::Int(x * 2))
+        });
+        assert!(reg.contains("DOUBLE"), "case-insensitive lookup");
+        let mut lfm = ctx_lfm();
+        let mut ctx = UdfContext { lfm: &mut lfm };
+        assert_eq!(reg.call("double", &mut ctx, &[Value::Int(21)]).unwrap(), Value::Int(42));
+        assert!(reg.call("missing", &mut ctx, &[]).is_err());
+    }
+
+    #[test]
+    fn udf_can_touch_long_fields() {
+        let mut reg = UdfRegistry::new();
+        // A toy "operator": materialize the length of a long field.
+        reg.register("loblen", |ctx, args| {
+            let id = args[0]
+                .as_long()
+                .ok_or_else(|| DbError::Type("loblen wants a long field".into()))?;
+            Ok(Value::Int(ctx.lfm.len(id)? as i64))
+        });
+        let mut lfm = ctx_lfm();
+        let id = lfm.create(&[1, 2, 3, 4, 5]).unwrap();
+        let mut ctx = UdfContext { lfm: &mut lfm };
+        assert_eq!(reg.call("loblen", &mut ctx, &[Value::Long(id)]).unwrap(), Value::Int(5));
+    }
+
+    #[test]
+    fn re_registration_replaces() {
+        let mut reg = UdfRegistry::new();
+        reg.register("f", |_, _| Ok(Value::Int(1)));
+        reg.register("f", |_, _| Ok(Value::Int(2)));
+        let mut lfm = ctx_lfm();
+        let mut ctx = UdfContext { lfm: &mut lfm };
+        assert_eq!(reg.call("f", &mut ctx, &[]).unwrap(), Value::Int(2));
+        assert_eq!(reg.names(), vec!["f".to_string()]);
+    }
+}

@@ -1,0 +1,300 @@
+//! Runtime values and their types.
+
+use qbism_lfm::LongFieldId;
+
+/// Column/expression data types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataType {
+    /// 64-bit signed integer.
+    Int,
+    /// 64-bit float.
+    Float,
+    /// UTF-8 string.
+    Str,
+    /// Boolean.
+    Bool,
+    /// A long-field handle (REGION, VOLUME, mesh, raw study bytes, …).
+    ///
+    /// "Although the Starburst SQL query compiler sees our REGIONs and
+    /// VOLUMEs as instances of the same long-field type, we 'encapsulate'
+    /// these 'types' by using SQL functions to operate on them."
+    Long,
+    /// An immediate byte string: the value type run-time computed large
+    /// objects travel in (a UDF like `extractVoxels` returns its
+    /// DATA_REGION directly to the client rather than materializing a
+    /// long field, so query answers cost no extra device I/O).
+    Bytes,
+}
+
+impl std::fmt::Display for DataType {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            DataType::Int => "int",
+            DataType::Float => "float",
+            DataType::Str => "string",
+            DataType::Bool => "bool",
+            DataType::Long => "long",
+            DataType::Bytes => "bytes",
+        };
+        f.write_str(name)
+    }
+}
+
+/// A runtime value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// SQL NULL.
+    Null,
+    /// Integer.
+    Int(i64),
+    /// Float.
+    Float(f64),
+    /// String.
+    Str(String),
+    /// Boolean.
+    Bool(bool),
+    /// Long-field handle.
+    Long(LongFieldId),
+    /// Immediate byte string (see [`DataType::Bytes`]).
+    Bytes(Vec<u8>),
+}
+
+impl Value {
+    /// The value's type, or `None` for NULL (which types as anything).
+    pub fn data_type(&self) -> Option<DataType> {
+        match self {
+            Value::Null => None,
+            Value::Int(_) => Some(DataType::Int),
+            Value::Float(_) => Some(DataType::Float),
+            Value::Str(_) => Some(DataType::Str),
+            Value::Bool(_) => Some(DataType::Bool),
+            Value::Long(_) => Some(DataType::Long),
+            Value::Bytes(_) => Some(DataType::Bytes),
+        }
+    }
+
+    /// Whether this value can live in a column of type `ty`
+    /// (NULL fits everywhere; ints coerce into float columns).
+    pub fn fits(&self, ty: DataType) -> bool {
+        match (self, ty) {
+            (Value::Null, _) => true,
+            (Value::Int(_), DataType::Float) => true,
+            (v, t) => v.data_type() == Some(t),
+        }
+    }
+
+    /// Truthiness for WHERE clauses: `Bool` only; everything else is a
+    /// type error handled by the caller.  NULL is not true.
+    pub fn is_true(&self) -> bool {
+        matches!(self, Value::Bool(true))
+    }
+
+    /// Numeric view (int or float), if any.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// Integer view, if the value is an integer.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// String view, if the value is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Long-field view, if the value is a long field.
+    pub fn as_long(&self) -> Option<LongFieldId> {
+        match self {
+            Value::Long(id) => Some(*id),
+            _ => None,
+        }
+    }
+
+    /// Byte-string view, if the value is an immediate byte string.
+    pub fn as_bytes(&self) -> Option<&[u8]> {
+        match self {
+            Value::Bytes(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// SQL equality: NULL equals nothing (including NULL); numeric types
+    /// compare by value across int/float.
+    pub fn sql_eq(&self, other: &Value) -> Option<bool> {
+        match (self, other) {
+            (Value::Null, _) | (_, Value::Null) => None,
+            (Value::Int(a), Value::Float(b)) | (Value::Float(b), Value::Int(a)) => {
+                Some(*a as f64 == *b)
+            }
+            (a, b) => Some(a == b),
+        }
+    }
+
+    /// SQL ordering comparison; `None` when incomparable or NULL.
+    pub fn sql_cmp(&self, other: &Value) -> Option<std::cmp::Ordering> {
+        use Value::*;
+        match (self, other) {
+            (Null, _) | (_, Null) => None,
+            (Int(a), Int(b)) => Some(a.cmp(b)),
+            (Float(a), Float(b)) => a.partial_cmp(b),
+            (Int(a), Float(b)) => (*a as f64).partial_cmp(b),
+            (Float(a), Int(b)) => a.partial_cmp(&(*b as f64)),
+            (Str(a), Str(b)) => Some(a.cmp(b)),
+            (Bool(a), Bool(b)) => Some(a.cmp(b)),
+            (Long(a), Long(b)) => Some(a.cmp(b)),
+            (Bytes(a), Bytes(b)) => Some(a.cmp(b)),
+            _ => None,
+        }
+    }
+
+    /// A sort key that groups values of one column: NULLs first, then by
+    /// value.  Used by ORDER BY, where mixed types in one column are a
+    /// schema-level impossibility.
+    pub(crate) fn order_key_cmp(&self, other: &Value) -> std::cmp::Ordering {
+        use std::cmp::Ordering;
+        match (self, other) {
+            (Value::Null, Value::Null) => Ordering::Equal,
+            (Value::Null, _) => Ordering::Less,
+            (_, Value::Null) => Ordering::Greater,
+            _ => self.sql_cmp(other).unwrap_or(Ordering::Equal),
+        }
+    }
+}
+
+impl std::fmt::Display for Value {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Value::Null => write!(f, "NULL"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Str(s) => write!(f, "'{s}'"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Long(id) => write!(f, "<long:{}>", id.0),
+            Value::Bytes(b) => write!(f, "<bytes:{}>", b.len()),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl From<LongFieldId> for Value {
+    fn from(v: LongFieldId) -> Self {
+        Value::Long(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn typing_and_fits() {
+        assert_eq!(Value::Int(3).data_type(), Some(DataType::Int));
+        assert_eq!(Value::Null.data_type(), None);
+        assert!(Value::Null.fits(DataType::Long));
+        assert!(Value::Int(3).fits(DataType::Float), "int widens to float");
+        assert!(!Value::Float(3.0).fits(DataType::Int), "float does not narrow");
+        assert!(Value::Long(LongFieldId(9)).fits(DataType::Long));
+        assert!(!Value::Str("x".into()).fits(DataType::Int));
+    }
+
+    #[test]
+    fn equality_with_coercion_and_null() {
+        assert_eq!(Value::Int(3).sql_eq(&Value::Float(3.0)), Some(true));
+        assert_eq!(Value::Int(3).sql_eq(&Value::Int(4)), Some(false));
+        assert_eq!(Value::Null.sql_eq(&Value::Null), None);
+        assert_eq!(Value::Str("a".into()).sql_eq(&Value::Str("a".into())), Some(true));
+        assert_eq!(Value::Str("a".into()).sql_eq(&Value::Int(1)), Some(false));
+    }
+
+    #[test]
+    fn ordering_comparisons() {
+        use std::cmp::Ordering::*;
+        assert_eq!(Value::Int(2).sql_cmp(&Value::Float(2.5)), Some(Less));
+        assert_eq!(Value::Str("abc".into()).sql_cmp(&Value::Str("abd".into())), Some(Less));
+        assert_eq!(Value::Bool(false).sql_cmp(&Value::Bool(true)), Some(Less));
+        assert_eq!(Value::Null.sql_cmp(&Value::Int(0)), None);
+        assert_eq!(Value::Str("x".into()).sql_cmp(&Value::Int(0)), None);
+    }
+
+    #[test]
+    fn truthiness() {
+        assert!(Value::Bool(true).is_true());
+        assert!(!Value::Bool(false).is_true());
+        assert!(!Value::Null.is_true());
+        assert!(!Value::Int(1).is_true(), "no implicit int->bool");
+    }
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Value::Int(5).as_f64(), Some(5.0));
+        assert_eq!(Value::Float(2.5).as_f64(), Some(2.5));
+        assert_eq!(Value::Str("s".into()).as_f64(), None);
+        assert_eq!(Value::Int(5).as_i64(), Some(5));
+        assert_eq!(Value::Str("hello".into()).as_str(), Some("hello"));
+        assert_eq!(Value::Long(LongFieldId(3)).as_long(), Some(LongFieldId(3)));
+    }
+
+    #[test]
+    fn bytes_value_roundtrip() {
+        let v = Value::Bytes(vec![1, 2, 3]);
+        assert_eq!(v.data_type(), Some(DataType::Bytes));
+        assert_eq!(v.as_bytes(), Some(&[1u8, 2, 3][..]));
+        assert!(v.fits(DataType::Bytes));
+        assert_eq!(v.to_string(), "<bytes:3>");
+        assert_eq!(v.sql_eq(&Value::Bytes(vec![1, 2, 3])), Some(true));
+        assert_eq!(
+            Value::Bytes(vec![1]).sql_cmp(&Value::Bytes(vec![2])),
+            Some(std::cmp::Ordering::Less)
+        );
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Value::Int(-2).to_string(), "-2");
+        assert_eq!(Value::Str("hi".into()).to_string(), "'hi'");
+        assert_eq!(Value::Null.to_string(), "NULL");
+        assert_eq!(Value::Long(LongFieldId(7)).to_string(), "<long:7>");
+        assert_eq!(DataType::Long.to_string(), "long");
+    }
+}

@@ -1,0 +1,156 @@
+//! `DATA_REGION`: the result of `EXTRACT_DATA`.
+//!
+//! "A recent version of the prototype includes the data type DATA_REGION
+//! to represent the return value of EXTRACT_DATA(); it contains a REGION
+//! and data values for each point in the REGION." (footnote 6)
+
+use qbism_region::Region;
+
+/// A REGION together with one sample per voxel, in curve order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DataRegion<T> {
+    region: Region,
+    values: Vec<T>,
+}
+
+impl<T: Copy> DataRegion<T> {
+    /// Pairs a region with its values.
+    ///
+    /// # Panics
+    /// Panics if the value count does not match the region's voxel count.
+    pub fn new(region: Region, values: Vec<T>) -> Self {
+        assert_eq!(
+            region.voxel_count(),
+            values.len() as u64,
+            "DataRegion value count {} does not match region voxel count {}",
+            values.len(),
+            region.voxel_count()
+        );
+        DataRegion { region, values }
+    }
+
+    /// The spatial extent.
+    pub fn region(&self) -> &Region {
+        &self.region
+    }
+
+    /// The samples, aligned with `region().iter_ids()`.
+    pub fn values(&self) -> &[T] {
+        &self.values
+    }
+
+    /// Number of voxels (== number of values).
+    pub fn voxel_count(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the result is empty.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Iterates `(curve id, value)` pairs in curve order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, T)> + '_ {
+        self.region.iter_ids().zip(self.values.iter().copied())
+    }
+
+    /// The wire size in bytes when shipped to the visualization client:
+    /// the region's naive run list plus one sample per voxel.
+    ///
+    /// This is the quantity that drives the paper's network column —
+    /// "the system response time is dominated by the amount of data
+    /// retrieved, transmitted, and rendered."
+    pub fn wire_size_bytes(&self) -> usize {
+        self.region.run_count() * 8 + self.values.len() * std::mem::size_of::<T>()
+    }
+}
+
+impl DataRegion<u8> {
+    /// Restricts to samples in `lo..=hi`, producing a smaller
+    /// `DataRegion` (used for post-filtering approximate query answers).
+    pub fn filter_intensity(&self, lo: u8, hi: u8) -> DataRegion<u8> {
+        let mut ids = Vec::new();
+        let mut values = Vec::new();
+        for (id, v) in self.iter() {
+            if (lo..=hi).contains(&v) {
+                ids.push(id);
+                values.push(v);
+            }
+        }
+        DataRegion::new(Region::from_ids(self.region.geometry(), ids), values)
+    }
+
+    /// Mean intensity, or `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        if self.values.is_empty() {
+            return None;
+        }
+        Some(self.values.iter().map(|&v| f64::from(v)).sum::<f64>() / self.values.len() as f64)
+    }
+
+    /// Minimum and maximum intensity, or `None` when empty.
+    pub fn min_max(&self) -> Option<(u8, u8)> {
+        let min = self.values.iter().copied().min()?;
+        let max = self.values.iter().copied().max().expect("non-empty");
+        Some((min, max))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qbism_region::GridGeometry;
+    use qbism_sfc::CurveKind;
+
+    fn g() -> GridGeometry {
+        GridGeometry::new(CurveKind::Hilbert, 3, 3)
+    }
+
+    fn sample() -> DataRegion<u8> {
+        let region = Region::from_ids(g(), vec![10, 11, 12, 40, 41]);
+        DataRegion::new(region, vec![5, 100, 200, 7, 250])
+    }
+
+    #[test]
+    fn accessors() {
+        let dr = sample();
+        assert_eq!(dr.voxel_count(), 5);
+        assert!(!dr.is_empty());
+        let pairs: Vec<(u64, u8)> = dr.iter().collect();
+        assert_eq!(pairs, vec![(10, 5), (11, 100), (12, 200), (40, 7), (41, 250)]);
+    }
+
+    #[test]
+    fn statistics() {
+        let dr = sample();
+        assert_eq!(dr.mean(), Some((5.0 + 100.0 + 200.0 + 7.0 + 250.0) / 5.0));
+        assert_eq!(dr.min_max(), Some((5, 250)));
+        let empty = DataRegion::new(Region::empty(g()), Vec::<u8>::new());
+        assert_eq!(empty.mean(), None);
+        assert_eq!(empty.min_max(), None);
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn filter_intensity_keeps_alignment() {
+        let dr = sample();
+        let high = dr.filter_intensity(100, 255);
+        assert_eq!(high.voxel_count(), 3);
+        let pairs: Vec<(u64, u8)> = high.iter().collect();
+        assert_eq!(pairs, vec![(11, 100), (12, 200), (41, 250)]);
+    }
+
+    #[test]
+    fn wire_size_accounts_runs_and_samples() {
+        let dr = sample();
+        // runs: <10,12>, <40,41> -> 2 runs * 8 bytes + 5 samples
+        assert_eq!(dr.wire_size_bytes(), 2 * 8 + 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match region voxel count")]
+    fn mismatched_lengths_panic() {
+        let region = Region::from_ids(g(), vec![1, 2, 3]);
+        let _ = DataRegion::new(region, vec![1u8, 2]);
+    }
+}

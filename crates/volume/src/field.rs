@@ -1,0 +1,435 @@
+//! Curve-ordered dense fields.
+
+use crate::{DataRegion, VolumeError};
+use qbism_region::{GridGeometry, Region};
+use qbism_sfc::{CurveKind, SpaceFillingCurve};
+
+/// A dense field of samples over a grid, stored linearized in the grid's
+/// curve order: `values[id]` is the sample of the cell with curve id `id`.
+///
+/// The element type is generic — the paper's "n-d m-vector field"
+/// generalization — but the concrete [`Volume`] (8-bit scalars) is what
+/// the medical application stores.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Field<T> {
+    geom: GridGeometry,
+    values: Vec<T>,
+}
+
+/// The paper's VOLUME: an 8-bit-deep scalar field ("each warped VOLUME
+/// consisted of 2 million, single-byte intensity values").
+pub type Volume = Field<u8>;
+
+impl<T: Copy + Default> Field<T> {
+    /// A field with every sample equal to `fill`.
+    pub fn filled(geom: GridGeometry, fill: T) -> Self {
+        Field {
+            geom,
+            values: vec![fill; geom.cell_count() as usize],
+        }
+    }
+
+    /// Builds a field by evaluating `f` at every 3-D voxel coordinate.
+    ///
+    /// # Panics
+    /// Panics if the geometry is not 3-dimensional.
+    pub fn from_fn3<F: FnMut(u32, u32, u32) -> T>(geom: GridGeometry, mut f: F) -> Self {
+        assert_eq!(geom.dims(), 3, "from_fn3 requires a 3-D grid");
+        let curve = geom.curve();
+        let side = geom.side();
+        let mut values = vec![T::default(); geom.cell_count() as usize];
+        // Evaluate in scanline order (cheap iteration), store at curve ids.
+        for x in 0..side {
+            for y in 0..side {
+                for z in 0..side {
+                    values[curve.index_of(&[x, y, z]) as usize] = f(x, y, z);
+                }
+            }
+        }
+        Field { geom, values }
+    }
+
+    /// Imports samples given in scanline order (axis 0 slowest) — the
+    /// layout of the paper's *raw* studies — re-ordering them into the
+    /// grid's curve order.
+    pub fn from_scanline(geom: GridGeometry, samples: &[T]) -> Result<Self, VolumeError> {
+        let expected = geom.cell_count();
+        if samples.len() as u64 != expected {
+            return Err(VolumeError::SampleCountMismatch { got: samples.len(), expected });
+        }
+        if geom.kind() == CurveKind::Scanline {
+            return Ok(Field { geom, values: samples.to_vec() });
+        }
+        let curve = geom.curve();
+        let scan = geom.with_kind(CurveKind::Scanline).curve();
+        let dims = geom.dims() as usize;
+        let mut coords = vec![0u32; dims];
+        let mut values = vec![T::default(); samples.len()];
+        for (i, &s) in samples.iter().enumerate() {
+            scan.coords_of(i as u64, &mut coords);
+            values[curve.index_of(&coords) as usize] = s;
+        }
+        Ok(Field { geom, values })
+    }
+
+    /// Exports samples to scanline order (the inverse of
+    /// [`Field::from_scanline`]).
+    pub fn to_scanline(&self) -> Vec<T> {
+        if self.geom.kind() == CurveKind::Scanline {
+            return self.values.clone();
+        }
+        let curve = self.geom.curve();
+        let scan = self.geom.with_kind(CurveKind::Scanline).curve();
+        let dims = self.geom.dims() as usize;
+        let mut coords = vec![0u32; dims];
+        let mut out = vec![T::default(); self.values.len()];
+        for (id, &v) in self.values.iter().enumerate() {
+            curve.coords_of(id as u64, &mut coords);
+            out[scan.index_of(&coords) as usize] = v;
+        }
+        out
+    }
+
+    /// Re-linearizes the same samples onto a different curve — the
+    /// storage-layout ablation (Hilbert vs Z vs scanline page counts).
+    pub fn relayout(&self, kind: CurveKind) -> Field<T> {
+        if kind == self.geom.kind() {
+            return self.clone();
+        }
+        let src = self.geom.curve();
+        let dst_geom = self.geom.with_kind(kind);
+        let dst = dst_geom.curve();
+        let dims = self.geom.dims() as usize;
+        let mut coords = vec![0u32; dims];
+        let mut values = vec![T::default(); self.values.len()];
+        for (id, &v) in self.values.iter().enumerate() {
+            src.coords_of(id as u64, &mut coords);
+            values[dst.index_of(&coords) as usize] = v;
+        }
+        Field { geom: dst_geom, values }
+    }
+
+    /// The grid geometry (curve, dims, bits).
+    pub fn geometry(&self) -> GridGeometry {
+        self.geom
+    }
+
+    /// The linearized samples, indexed by curve id.
+    pub fn values(&self) -> &[T] {
+        &self.values
+    }
+
+    /// Mutable access to the linearized samples.
+    pub fn values_mut(&mut self) -> &mut [T] {
+        &mut self.values
+    }
+
+    /// Sample at a curve id.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range.
+    pub fn at_id(&self, id: u64) -> T {
+        self.values[id as usize]
+    }
+
+    /// The paper's "efficient random access" requirement: the sample at a
+    /// 3-D point, via one curve conversion and one array access.
+    ///
+    /// # Panics
+    /// Panics if the geometry is not 3-D or the point is out of range.
+    pub fn probe(&self, x: u32, y: u32, z: u32) -> T {
+        self.values[self.geom.curve().index_of3(x, y, z) as usize]
+    }
+
+    /// `EXTRACT_DATA(v, r)` — "exactly those intensity values from v that
+    /// are inside r" (Section 3.2), returned with their REGION as the
+    /// footnote-6 `DATA_REGION`.
+    ///
+    /// Because volume and region share a curve order, each region run is
+    /// one contiguous slice copy.
+    pub fn extract(&self, region: &Region) -> Result<DataRegion<T>, VolumeError> {
+        if region.geometry() != self.geom {
+            return Err(VolumeError::GeometryMismatch);
+        }
+        let mut values = Vec::with_capacity(region.voxel_count() as usize);
+        for run in region.runs() {
+            values.extend_from_slice(&self.values[run.start as usize..=run.end as usize]);
+        }
+        Ok(DataRegion::new(region.clone(), values))
+    }
+}
+
+impl Volume {
+    /// The REGION of voxels whose intensity lies in `lo..=hi` — the
+    /// paper's **intensity band** when the interval is one of the fixed
+    /// uniform bands, and the general attribute-query predicate otherwise.
+    pub fn intensity_region(&self, lo: u8, hi: u8) -> Region {
+        let mut ids: Vec<u64> = Vec::new();
+        for (id, &v) in self.values.iter().enumerate() {
+            if (lo..=hi).contains(&v) {
+                ids.push(id as u64);
+            }
+        }
+        Region::from_ids(self.geom, ids)
+    }
+
+    /// Partitions the 0-255 intensity range into uniform bands of `width`
+    /// and returns `(lo, hi, band REGION)` per band — the *Intensity
+    /// Band* entity rows computed at load time.  The paper uses
+    /// `width = 32`, producing 8 bands.
+    ///
+    /// # Panics
+    /// Panics unless `width` is in `1..=256` and divides 256.
+    pub fn intensity_bands(&self, width: u16) -> Vec<(u8, u8, Region)> {
+        assert!(
+            (1..=256).contains(&width) && 256 % width == 0,
+            "band width {width} must divide 256"
+        );
+        let count = (256 / width) as usize;
+        let mut buckets: Vec<Vec<u64>> = vec![Vec::new(); count];
+        for (id, &v) in self.values.iter().enumerate() {
+            buckets[v as usize / width as usize].push(id as u64);
+        }
+        buckets
+            .into_iter()
+            .enumerate()
+            .map(|(i, ids)| {
+                let lo = (i as u16 * width) as u8;
+                let hi = (i as u16 * width + width - 1) as u8;
+                (lo, hi, Region::from_ids(self.geom, ids))
+            })
+            .collect()
+    }
+
+    /// 256-bin intensity histogram (the paper's "histogram segmented"
+    /// interaction).
+    pub fn histogram(&self) -> [u64; 256] {
+        let mut h = [0u64; 256];
+        for &v in &self.values {
+            h[v as usize] += 1;
+        }
+        h
+    }
+
+    /// Voxel-wise mean across several volumes, restricted to `region` —
+    /// the Section 6.4 "voxel-wise average intensity inside ntal for
+    /// these 1,000 PET studies" aggregate.  Returns values in curve order
+    /// of the region.
+    ///
+    /// # Panics
+    /// Panics if `volumes` is empty.
+    pub fn voxelwise_mean(volumes: &[&Volume], region: &Region) -> Result<DataRegion<u8>, VolumeError> {
+        assert!(!volumes.is_empty(), "voxelwise_mean needs at least one volume");
+        for v in volumes {
+            if v.geometry() != region.geometry() {
+                return Err(VolumeError::GeometryMismatch);
+            }
+        }
+        let n = volumes.len() as u32;
+        let mut values = Vec::with_capacity(region.voxel_count() as usize);
+        for run in region.runs() {
+            for id in run.start..=run.end {
+                let sum: u32 = volumes.iter().map(|v| u32::from(v.values[id as usize])).sum();
+                values.push((sum / n) as u8);
+            }
+        }
+        Ok(DataRegion::new(region.clone(), values))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn g(kind: CurveKind) -> GridGeometry {
+        GridGeometry::new(kind, 3, 3)
+    }
+
+    fn ramp_volume(kind: CurveKind) -> Volume {
+        // value = x * 32 + y * 4 + z/2: deterministic, spatially smooth.
+        Volume::from_fn3(g(kind), |x, y, z| (x * 32 + y * 4 + z / 2) as u8)
+    }
+
+    #[test]
+    fn probe_is_position_not_layout() {
+        // The same field probed at the same point must agree regardless
+        // of the storage curve.
+        let h = ramp_volume(CurveKind::Hilbert);
+        let z = ramp_volume(CurveKind::Morton);
+        let s = ramp_volume(CurveKind::Scanline);
+        for (x, y, zc) in [(0, 0, 0), (7, 7, 7), (3, 5, 1), (6, 0, 4)] {
+            let expect = (x * 32 + y * 4 + zc / 2) as u8;
+            assert_eq!(h.probe(x, y, zc), expect);
+            assert_eq!(z.probe(x, y, zc), expect);
+            assert_eq!(s.probe(x, y, zc), expect);
+        }
+    }
+
+    #[test]
+    fn scanline_roundtrip() {
+        let v = ramp_volume(CurveKind::Hilbert);
+        let scan = v.to_scanline();
+        let back = Volume::from_scanline(v.geometry(), &scan).unwrap();
+        assert_eq!(back, v);
+        // Scanline export of a scanline volume is the identity.
+        let s = ramp_volume(CurveKind::Scanline);
+        assert_eq!(s.to_scanline(), s.values());
+    }
+
+    #[test]
+    fn from_scanline_rejects_bad_length() {
+        let err = Volume::from_scanline(g(CurveKind::Hilbert), &[0u8; 100]).unwrap_err();
+        assert_eq!(err, VolumeError::SampleCountMismatch { got: 100, expected: 512 });
+    }
+
+    #[test]
+    fn relayout_preserves_probes() {
+        let h = ramp_volume(CurveKind::Hilbert);
+        let z = h.relayout(CurveKind::Morton);
+        assert_eq!(z.geometry().kind(), CurveKind::Morton);
+        for (x, y, zc) in [(1, 2, 3), (7, 0, 7), (4, 4, 4)] {
+            assert_eq!(h.probe(x, y, zc), z.probe(x, y, zc));
+        }
+        // relayout to the same kind is the identity
+        assert_eq!(h.relayout(CurveKind::Hilbert), h);
+    }
+
+    #[test]
+    fn extract_full_grid_returns_everything() {
+        let v = ramp_volume(CurveKind::Hilbert);
+        let full = Region::full(v.geometry());
+        let dr = v.extract(&full).unwrap();
+        assert_eq!(dr.values(), v.values());
+        assert_eq!(dr.voxel_count(), 512);
+    }
+
+    #[test]
+    fn extract_box_matches_probes() {
+        let v = ramp_volume(CurveKind::Hilbert);
+        let r = Region::from_box(v.geometry(), [1, 2, 3], [4, 5, 6]).unwrap();
+        let dr = v.extract(&r).unwrap();
+        assert_eq!(dr.voxel_count() as u64, r.voxel_count());
+        for ((x, y, z), &val) in r.iter_voxels3().zip(dr.values()) {
+            assert_eq!(val, v.probe(x, y, z), "at ({x},{y},{z})");
+        }
+    }
+
+    #[test]
+    fn extract_geometry_mismatch() {
+        let v = ramp_volume(CurveKind::Hilbert);
+        let r = Region::full(g(CurveKind::Morton));
+        assert_eq!(v.extract(&r).unwrap_err(), VolumeError::GeometryMismatch);
+    }
+
+    #[test]
+    fn intensity_region_matches_predicate() {
+        let v = ramp_volume(CurveKind::Hilbert);
+        let r = v.intensity_region(100, 150);
+        for (x, y, z) in r.iter_voxels3() {
+            let val = v.probe(x, y, z);
+            assert!((100..=150).contains(&val));
+        }
+        let total_in_band = v.values().iter().filter(|&&v| (100..=150).contains(&v)).count();
+        assert_eq!(r.voxel_count() as usize, total_in_band);
+    }
+
+    #[test]
+    fn bands_partition_the_grid() {
+        // The paper's banding: width 32 -> 8 REGIONs covering everything
+        // exactly once.
+        let v = ramp_volume(CurveKind::Hilbert);
+        let bands = v.intensity_bands(32);
+        assert_eq!(bands.len(), 8);
+        assert_eq!(bands[0].0, 0);
+        assert_eq!(bands[0].1, 31);
+        assert_eq!(bands[7].0, 224);
+        assert_eq!(bands[7].1, 255);
+        let mut union = Region::empty(v.geometry());
+        let mut total = 0u64;
+        for (lo, hi, r) in &bands {
+            assert_eq!(r, &v.intensity_region(*lo, *hi));
+            total += r.voxel_count();
+            union = union.union(r);
+        }
+        assert_eq!(total, 512);
+        assert_eq!(union, Region::full(v.geometry()));
+    }
+
+    #[test]
+    fn bands_width_must_divide_256() {
+        let v = ramp_volume(CurveKind::Hilbert);
+        assert_eq!(v.intensity_bands(256).len(), 1);
+        assert_eq!(v.intensity_bands(1).len(), 256);
+    }
+
+    #[test]
+    #[should_panic(expected = "must divide 256")]
+    fn bad_band_width_panics() {
+        let _ = ramp_volume(CurveKind::Hilbert).intensity_bands(33);
+    }
+
+    #[test]
+    fn histogram_counts_every_voxel() {
+        let v = ramp_volume(CurveKind::Hilbert);
+        let h = v.histogram();
+        assert_eq!(h.iter().sum::<u64>(), 512);
+        let zeros = v.values().iter().filter(|&&x| x == 0).count() as u64;
+        assert_eq!(h[0], zeros);
+    }
+
+    #[test]
+    fn voxelwise_mean_of_identical_volumes_is_identity() {
+        let v = ramp_volume(CurveKind::Hilbert);
+        let r = Region::from_box(v.geometry(), [0, 0, 0], [3, 3, 3]).unwrap();
+        let mean = Volume::voxelwise_mean(&[&v, &v, &v], &r).unwrap();
+        let single = v.extract(&r).unwrap();
+        assert_eq!(mean.values(), single.values());
+    }
+
+    #[test]
+    fn voxelwise_mean_averages() {
+        let a = Volume::filled(g(CurveKind::Hilbert), 10);
+        let b = Volume::filled(g(CurveKind::Hilbert), 20);
+        let r = Region::full(a.geometry());
+        let mean = Volume::voxelwise_mean(&[&a, &b], &r).unwrap();
+        assert!(mean.values().iter().all(|&v| v == 15));
+    }
+
+    #[test]
+    fn vector_field_extension() {
+        // The paper's m-vector generalization: store [f32; 3] samples.
+        let geom = g(CurveKind::Hilbert);
+        let wind: Field<[f32; 3]> =
+            Field::from_fn3(geom, |x, y, z| [x as f32, y as f32, z as f32]);
+        assert_eq!(wind.probe(3, 1, 4), [3.0, 1.0, 4.0]);
+        let r = Region::from_box(geom, [2, 2, 2], [3, 3, 3]).unwrap();
+        let dr = wind.extract(&r).unwrap();
+        assert_eq!(dr.voxel_count() as u64, r.voxel_count());
+    }
+
+    proptest! {
+        #[test]
+        fn extract_then_reassemble(ids in proptest::collection::vec(0u64..512, 1..200)) {
+            let v = ramp_volume(CurveKind::Hilbert);
+            let r = Region::from_ids(v.geometry(), ids);
+            let dr = v.extract(&r).unwrap();
+            // values align 1:1 with region ids in curve order
+            for (id, &val) in r.iter_ids().zip(dr.values()) {
+                prop_assert_eq!(val, v.at_id(id));
+            }
+        }
+
+        #[test]
+        fn band_regions_are_disjoint(width_exp in 0u32..6) {
+            let width = 1u16 << (3 + width_exp); // 8..=256
+            let v = ramp_volume(CurveKind::Hilbert);
+            let bands = v.intensity_bands(width);
+            for i in 0..bands.len() {
+                for j in (i + 1)..bands.len() {
+                    prop_assert!(bands[i].2.intersect(&bands[j].2).is_empty());
+                }
+            }
+        }
+    }
+}

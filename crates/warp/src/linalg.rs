@@ -1,0 +1,118 @@
+//! A small dense linear solver for the registration normal equations.
+
+/// Solves `A x = b` for square `A` (row-major, `n x n`) by Gaussian
+/// elimination with partial pivoting.  Returns `None` when `A` is
+/// (numerically) singular.
+///
+/// Registration solves three 4x4 systems; this is intentionally a simple
+/// textbook routine, not a LAPACK substitute.
+pub fn solve_linear_system(n: usize, a: &[f64], b: &[f64]) -> Option<Vec<f64>> {
+    assert_eq!(a.len(), n * n, "matrix must be n x n");
+    assert_eq!(b.len(), n, "rhs must have n entries");
+    let mut m = a.to_vec();
+    let mut rhs = b.to_vec();
+    for col in 0..n {
+        // Partial pivot.
+        let pivot_row = (col..n)
+            .max_by(|&i, &j| {
+                m[i * n + col]
+                    .abs()
+                    .partial_cmp(&m[j * n + col].abs())
+                    .expect("no NaNs in pivot search")
+            })
+            .expect("non-empty range");
+        if m[pivot_row * n + col].abs() < 1e-12 {
+            return None;
+        }
+        if pivot_row != col {
+            for k in 0..n {
+                m.swap(col * n + k, pivot_row * n + k);
+            }
+            rhs.swap(col, pivot_row);
+        }
+        // Eliminate below.
+        for row in (col + 1)..n {
+            let factor = m[row * n + col] / m[col * n + col];
+            if factor == 0.0 {
+                continue;
+            }
+            for k in col..n {
+                m[row * n + k] -= factor * m[col * n + k];
+            }
+            rhs[row] -= factor * rhs[col];
+        }
+    }
+    // Back substitution.
+    let mut x = vec![0.0; n];
+    for row in (0..n).rev() {
+        let mut acc = rhs[row];
+        for k in (row + 1)..n {
+            acc -= m[row * n + k] * x[k];
+        }
+        x[row] = acc / m[row * n + row];
+    }
+    Some(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn solves_identity() {
+        let a = [1.0, 0.0, 0.0, 1.0];
+        let x = solve_linear_system(2, &a, &[3.0, -7.0]).unwrap();
+        assert_eq!(x, vec![3.0, -7.0]);
+    }
+
+    #[test]
+    fn solves_known_3x3() {
+        // A = [[2,1,0],[1,3,1],[0,1,4]], x = [1,2,3] -> b = [4, 10, 14]
+        let a = [2.0, 1.0, 0.0, 1.0, 3.0, 1.0, 0.0, 1.0, 4.0];
+        let x = solve_linear_system(3, &a, &[4.0, 10.0, 14.0]).unwrap();
+        for (got, want) in x.iter().zip([1.0, 2.0, 3.0]) {
+            assert!((got - want).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn needs_pivoting() {
+        // Zero in the leading position forces a row swap.
+        let a = [0.0, 1.0, 1.0, 0.0];
+        let x = solve_linear_system(2, &a, &[5.0, 9.0]).unwrap();
+        assert_eq!(x, vec![9.0, 5.0]);
+    }
+
+    #[test]
+    fn singular_returns_none() {
+        let a = [1.0, 2.0, 2.0, 4.0];
+        assert!(solve_linear_system(2, &a, &[1.0, 2.0]).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "matrix must be n x n")]
+    fn wrong_shape_panics() {
+        let _ = solve_linear_system(2, &[1.0; 3], &[1.0; 2]);
+    }
+
+    proptest! {
+        #[test]
+        fn residual_is_small_for_diagonally_dominant(
+            diag in proptest::array::uniform4(5.0f64..10.0),
+            off in proptest::collection::vec(-1.0f64..1.0, 16),
+            b in proptest::array::uniform4(-100.0f64..100.0),
+        ) {
+            // Diagonally dominant matrices are well conditioned.
+            let mut a = off.clone();
+            for i in 0..4 {
+                a[i * 4 + i] = diag[i];
+            }
+            let x = solve_linear_system(4, &a, &b).expect("dominant => nonsingular");
+            for i in 0..4 {
+                let got: f64 = (0..4).map(|j| a[i * 4 + j] * x[j]).sum();
+                prop_assert!((got - b[i]).abs() < 1e-8);
+            }
+        }
+    }
+}

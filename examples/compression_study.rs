@@ -1,0 +1,63 @@
+//! The Section 4.2 compression study, interactively: how many bytes each
+//! REGION representation costs on your own parameters.
+//!
+//! ```sh
+//! cargo run --release --example compression_study [bits] [pet] [mri]
+//! ```
+
+use qbism_bench::population::region_population;
+use qbism_region::{DeltaStats, RegionCodec, RepresentationCounts};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let bits: u32 = args.next().and_then(|a| a.parse().ok()).unwrap_or(5);
+    let pet: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(2);
+    let mri: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(1);
+    println!("REGION population at {}³ ({pet} PET, {mri} MRI):\n", 1u32 << bits);
+    println!(
+        "{:<22} {:>8} {:>7} {:>7} {:>8} {:>8} {:>8} {:>8} {:>9}",
+        "region", "voxels", "h-runs", "z-runs", "entropy", "elias", "naive", "oblong", "octant"
+    );
+    let pop = region_population(bits, pet, mri, 7);
+    let mut totals = [0f64; 5];
+    for r in &pop {
+        let counts = RepresentationCounts::measure(&r.region);
+        let [elias, naive, oblong, octant] =
+            r.region.encoding_sizes().expect("u32-compatible grid");
+        let entropy = DeltaStats::measure(&r.region).entropy_bound_bytes();
+        totals[0] += entropy;
+        totals[1] += elias as f64;
+        totals[2] += naive as f64;
+        totals[3] += oblong as f64;
+        totals[4] += octant as f64;
+        println!(
+            "{:<22} {:>8} {:>7} {:>7} {:>8.0} {:>8} {:>8} {:>8} {:>9}",
+            r.name,
+            r.region.voxel_count(),
+            counts.h_runs,
+            counts.z_runs,
+            entropy,
+            elias,
+            naive,
+            oblong,
+            octant
+        );
+    }
+    println!(
+        "\nsize ratios (entropy : elias : naive : oblong : octant) = {}",
+        qbism_bench::ratio_string(&totals)
+    );
+    println!("paper (128³ brain data)                               = 1.00 : 1.17 : 9.50 : 10.40 : 17.80");
+
+    // The decode-cost side of the trade-off: verify every codec
+    // round-trips the largest region.
+    if let Some(big) = pop.iter().max_by_key(|r| r.region.voxel_count()) {
+        println!("\nround-trip check on '{}' ({} voxels):", big.name, big.region.voxel_count());
+        for codec in RegionCodec::ALL {
+            let bytes = codec.encode(&big.region).expect("encode");
+            let back = RegionCodec::decode(&bytes).expect("decode");
+            assert_eq!(back, big.region);
+            println!("  {:<14} {:>9} bytes  ok", codec.name(), bytes.len());
+        }
+    }
+}

@@ -1,0 +1,66 @@
+//! Quickstart: install a small QBISM system and ask it the paper's
+//! flagship question — "retrieve the intensity values from a study
+//! inside the putamen".
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use qbism::{QbismConfig, QbismSystem};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A 32³ atlas with 3 PET studies — small enough to build in a blink,
+    // large enough to show real filtering.  `QbismConfig::paper_scale()`
+    // gives the 128³ installation used by the benchmark tables.
+    let config = QbismConfig::medium();
+    println!(
+        "installing QBISM: {}³ atlas, {} PET + {} MRI studies …",
+        config.side(),
+        config.pet_studies,
+        config.mri_studies
+    );
+    let mut sys = QbismSystem::install(&config)?;
+
+    // The Section 3.4 query pair, verbatim in spirit: catalog lookup,
+    // then spatially filtered extraction.
+    let study = sys.pet_study_ids[0];
+    let info = sys.server.atlas_info(study)?;
+    println!("atlas/patient info for study {study}: {info:?}");
+
+    let answer = sys.server.structure_data(study, "putamen-l")?;
+    println!(
+        "\nputamen-l extraction: {} voxels in {} h-runs",
+        answer.voxel_count(),
+        answer.run_count()
+    );
+    println!(
+        "  mean intensity {:.1}, range {:?}",
+        answer.data.mean().unwrap_or(0.0),
+        answer.data.min_max()
+    );
+    println!(
+        "  cost: {} x 4KiB page reads, {} RPC messages, {} wire bytes",
+        answer.cost.lfm.pages_read, answer.cost.messages, answer.cost.wire_bytes
+    );
+    println!(
+        "  simulated 1994 times: db {:.2}s + network {:.2}s",
+        answer.cost.sim_db_seconds, answer.cost.sim_net_seconds
+    );
+
+    // The early-filtering headline: compare against shipping the study.
+    let full = sys.server.full_study(study)?;
+    println!(
+        "\nfull study would ship {} bytes in {} messages — early filtering saves {:.0}x",
+        full.cost.wire_bytes,
+        full.cost.messages,
+        full.cost.wire_bytes as f64 / answer.cost.wire_bytes as f64
+    );
+
+    // Ad-hoc SQL still works underneath.
+    let rs = sys
+        .server
+        .database()
+        .query("select count(*) from patient p, rawVolume rv where p.patientId = rv.patientId and p.name = 'Jane Smith'")?;
+    println!("\nJane Smith has {} studies on file", rs.single_value()?);
+    Ok(())
+}

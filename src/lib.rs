@@ -1,0 +1,13 @@
+//! `qbism-suite`: the workspace's integration surface.
+//!
+//! This crate exists to host the repository-level `examples/` (runnable
+//! binaries over the public `qbism` API) and `tests/` (cross-crate
+//! integration, conformance, robustness, determinism and generality
+//! suites).  The library itself only re-exports the crates a downstream
+//! user would reach for first.
+
+pub use qbism;
+pub use qbism_region as region;
+pub use qbism_sfc as sfc;
+pub use qbism_starburst as starburst;
+pub use qbism_volume as volume;

@@ -1,0 +1,116 @@
+//! Section 1's generality claims: "The techniques presented in this
+//! paper can be extended to handle fields of dimensionalities other than
+//! 3 in a straightforward manner, and to handle vector fields by simply
+//! storing vectors in place of scalars."
+
+use qbism_coding::{EliasGamma, IntCodec};
+use qbism_region::{GridGeometry, Region, RegionCodec};
+use qbism_sfc::{CurveKind, SpaceFillingCurve};
+
+#[test]
+fn two_dimensional_gis_regions_work_unchanged() {
+    // A 256x256 "map" (the paper's GIS motivation): two land parcels.
+    let geom = GridGeometry::new(CurveKind::Hilbert, 2, 8);
+    let curve = geom.curve();
+    let parcel = |x0: u32, y0: u32, x1: u32, y1: u32| -> Region {
+        let mut ids = Vec::new();
+        for x in x0..=x1 {
+            for y in y0..=y1 {
+                ids.push(curve.index_of(&[x, y]));
+            }
+        }
+        Region::from_ids(geom, ids)
+    };
+    let farm = parcel(10, 10, 120, 90);
+    let flood_zone = parcel(80, 50, 200, 200);
+    let at_risk = farm.intersect(&flood_zone);
+    assert_eq!(at_risk.voxel_count(), (120 - 80 + 1) * (90 - 50 + 1));
+    // All four codecs round-trip 2-D regions.
+    for codec in RegionCodec::ALL {
+        let bytes = codec.encode(&at_risk).expect("encodes");
+        assert_eq!(RegionCodec::decode(&bytes).expect("decodes"), at_risk);
+    }
+    // Hilbert still clusters better than Z in 2-D.
+    assert!(farm.run_count() <= farm.to_curve(CurveKind::Morton).run_count());
+}
+
+#[test]
+fn one_dimensional_stock_history_band() {
+    // "the price history of a stock can be represented as a 1-d scalar
+    // field of <time, price> samples" — band extraction along time.
+    let geom = GridGeometry::new(CurveKind::Hilbert, 1, 10); // 1024 ticks
+    let curve = geom.curve();
+    let price = |t: u32| -> u8 { (100.0 + 60.0 * (f64::from(t) / 80.0).sin()) as u8 };
+    // The "intensity band": ticks where the price sat in 130..=160.
+    let mut ids = Vec::new();
+    for t in 0..1024u32 {
+        if (130..=160).contains(&price(t)) {
+            ids.push(curve.index_of(&[t]));
+        }
+    }
+    let rally = Region::from_ids(geom, ids.clone());
+    assert!(!rally.is_empty());
+    // In 1-D the Hilbert curve degenerates to the identity, so runs are
+    // literal time intervals.
+    for run in rally.runs() {
+        for id in run.start..=run.end {
+            assert!((130..=160).contains(&price(id as u32)));
+        }
+    }
+    // Elias-coded deltas still compress the band.
+    let deltas = rally.delta_lengths();
+    let bits = EliasGamma.total_bits(&deltas).expect("positive deltas");
+    assert!(bits / 8 < ids.len() as u64, "compressed runs beat one byte per tick");
+}
+
+#[test]
+fn four_dimensional_regions_for_time_series_of_volumes() {
+    // A 4-d (x, y, z, t) field — e.g. a PET time series.  Region algebra
+    // is dimension-blind.
+    let geom = GridGeometry::new(CurveKind::Hilbert, 4, 3);
+    let curve = geom.curve();
+    let mut early = Vec::new();
+    let mut center = Vec::new();
+    for x in 0..8u32 {
+        for y in 0..8u32 {
+            for z in 0..8u32 {
+                for t in 0..8u32 {
+                    let id = curve.index_of(&[x, y, z, t]);
+                    if t < 4 {
+                        early.push(id);
+                    }
+                    if (2..6).contains(&x) && (2..6).contains(&y) && (2..6).contains(&z) {
+                        center.push(id);
+                    }
+                }
+            }
+        }
+    }
+    let early = Region::from_ids(geom, early);
+    let center = Region::from_ids(geom, center);
+    let early_center = early.intersect(&center);
+    assert_eq!(early_center.voxel_count(), 4 * 4 * 4 * 4);
+    assert!(center.contains_region(&early_center));
+    // Octant decomposition still works (rank multiples of 4 = tesseracts).
+    use qbism_region::OctantKind;
+    for o in early_center.octants(OctantKind::Cubic) {
+        assert_eq!(o.rank % 4, 0, "cubic blocks in 4-d have rank % 4 == 0");
+    }
+}
+
+#[test]
+fn vector_fields_store_vectors_in_place_of_scalars() {
+    use qbism_volume::Field;
+    // A wind-velocity field (the paper's §1 example of a non-scalar field).
+    let geom = GridGeometry::new(CurveKind::Hilbert, 3, 4);
+    let wind: Field<[f32; 3]> = Field::from_fn3(geom, |x, y, z| {
+        [x as f32 / 16.0, y as f32 / 16.0, (x + y + z) as f32 / 48.0]
+    });
+    let storm = Region::from_box(geom, [4, 4, 4], [11, 11, 11]).expect("box fits");
+    let extracted = wind.extract(&storm).expect("geometry matches");
+    assert_eq!(extracted.voxel_count() as u64, storm.voxel_count());
+    // Values stay aligned with the region's curve order.
+    for ((x, y, z), v) in storm.iter_voxels3().zip(extracted.values()) {
+        assert_eq!(*v, wind.probe(x, y, z));
+    }
+}

@@ -1,0 +1,113 @@
+//! Robustness: hostile inputs and resource exhaustion across crates.
+//!
+//! A DBMS's decode paths face bytes from disk it must never trust, and
+//! its storage layer must fail cleanly when the device fills.
+
+use proptest::prelude::*;
+use qbism::{QbismConfig, QbismSystem};
+use qbism_region::RegionCodec;
+
+proptest! {
+    /// REGION decoding must never panic, whatever the bytes.
+    #[test]
+    fn region_decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..300)) {
+        let _ = RegionCodec::decode(&bytes); // Ok or Err, never a panic
+    }
+
+    /// Mutating valid encodings must either round-trip consistently or
+    /// error out — never panic, never silently produce out-of-grid runs.
+    #[test]
+    fn region_decode_survives_bit_flips(
+        ids in proptest::collection::vec(0u64..4096, 1..100),
+        flip_at in 0usize..200,
+        flip_bit in 0u8..8,
+    ) {
+        let geom = qbism_region::GridGeometry::new(qbism_sfc::CurveKind::Hilbert, 3, 4);
+        let region = qbism_region::Region::from_ids(geom, ids);
+        for codec in RegionCodec::ALL {
+            let mut bytes = codec.encode(&region).expect("encodes");
+            if !bytes.is_empty() {
+                let i = flip_at % bytes.len();
+                bytes[i] ^= 1 << flip_bit;
+            }
+            if let Ok(decoded) = RegionCodec::decode(&bytes) {
+                // Whatever came back must satisfy the REGION invariants.
+                let cells = decoded.geometry().cell_count();
+                for run in decoded.runs() {
+                    prop_assert!(run.end < cells);
+                }
+            }
+        }
+    }
+
+    /// DATA_REGION wire parsing must never panic either.
+    #[test]
+    fn data_region_decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..300)) {
+        let _ = qbism::wire::decode_data_region(&bytes);
+    }
+
+    /// Mesh long fields: arbitrary bytes must parse or error, not panic.
+    #[test]
+    fn mesh_decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..400)) {
+        let _ = qbism::wire::mesh_from_long_field(&bytes);
+    }
+
+    /// SQL text from users must never panic the parser.
+    #[test]
+    fn sql_parser_never_panics(sql in "[a-zA-Z0-9_.,'()*=<> ]{0,120}") {
+        let _ = qbism_starburst::parse_statement(&sql);
+    }
+}
+
+#[test]
+fn device_exhaustion_fails_cleanly_at_install() {
+    // A device too small for even the atlas: install must return an
+    // error (storage OutOfSpace bubbled through), not panic, and not
+    // produce a half-usable system.
+    let config = QbismConfig {
+        device_capacity: 8 * 4096, // 8 pages
+        ..QbismConfig::small_test()
+    };
+    let Err(err) = QbismSystem::install(&config) else {
+        panic!("device is far too small; install should fail");
+    };
+    let msg = err.to_string();
+    assert!(msg.contains("full") || msg.contains("allocate"), "unexpected error: {msg}");
+}
+
+#[test]
+fn udfs_report_clean_errors_for_wrong_arguments() {
+    let mut sys = QbismSystem::install(&QbismConfig::small_test()).expect("install");
+    let db = sys.server.database();
+    // Wrong arity and wrong types through the SQL surface.
+    for bad in [
+        "select intersection(ast.region) from atlasStructure ast",
+        "select extractVoxels(ast.region, ast.region, ast.region) from atlasStructure ast",
+        "select contains(1, 2) from atlasStructure ast",
+        "select regionVoxels('nope') from atlasStructure ast",
+        "select boxRegion(1, 2, 3) from atlasStructure ast",
+        "select boxRegion(-1, 0, 0, 5, 5, 5) from atlasStructure ast",
+        "select boxRegion(0, 0, 0, 999, 5, 5) from atlasStructure ast",
+    ] {
+        let err = db.query(bad).expect_err(bad);
+        let msg = err.to_string();
+        assert!(!msg.is_empty(), "{bad} should explain itself");
+    }
+}
+
+#[test]
+fn queries_against_dropped_rows_degrade_gracefully() {
+    // DELETE support means catalog rows can vanish; spatial queries must
+    // then report NotFound, not panic.
+    let mut sys = QbismSystem::install(&QbismConfig::small_test()).expect("install");
+    sys.server
+        .database()
+        .execute("delete from warpedVolume where warpedVolume.studyId = 1")
+        .expect("delete runs");
+    assert!(matches!(
+        sys.server.structure_data(1, "ntal"),
+        Err(qbism::QbismError::NotFound(_))
+    ));
+    // Other studies keep working.
+    assert!(sys.server.structure_data(2, "ntal").is_ok());
+}

@@ -1,0 +1,192 @@
+//! Table-driven SQL conformance tests for the Starburst stand-in:
+//! one seeded database, many statement/expectation pairs.
+
+use qbism_starburst::{Database, ExecOutcome, Value};
+
+fn db() -> Database {
+    let mut db = Database::new(1 << 20).expect("db");
+    for ddl in [
+        "create table patient (patientId int, name string, age int, sex string)",
+        "create table study (studyId int, patientId int, modality string, dose float)",
+    ] {
+        db.execute(ddl).expect(ddl);
+    }
+    db.execute(
+        "insert into patient values
+         (1, 'Jane', 40, 'F'), (2, 'Sue', 39, 'F'),
+         (3, 'Ann', 61, 'F'), (4, 'Carl', 55, 'M'), (5, 'Otto', 33, 'M')",
+    )
+    .expect("patients");
+    db.execute(
+        "insert into study values
+         (10, 1, 'PET', 5.5), (11, 1, 'MRI', 0.0), (12, 2, 'PET', 4.25),
+         (13, 3, 'PET', 6.0), (14, 4, 'CT', 2.0), (15, 5, 'PET', null)",
+    )
+    .expect("studies");
+    db
+}
+
+/// Renders a result set as a compact stable string for comparisons.
+fn render(db: &mut Database, sql: &str) -> String {
+    let rs = db.query(sql).expect(sql);
+    rs.rows()
+        .iter()
+        .map(|row| {
+            row.iter().map(|v| v.to_string()).collect::<Vec<_>>().join(",")
+        })
+        .collect::<Vec<_>>()
+        .join(";")
+}
+
+#[test]
+fn select_conformance_suite() {
+    let mut db = db();
+    let cases: &[(&str, &str)] = &[
+        // projection + arithmetic
+        ("select p.age + 1 from patient p where p.name = 'Jane'", "41"),
+        ("select p.age * 2 - 10 from patient p where p.patientId = 2", "68"),
+        ("select -p.age from patient p where p.name = 'Ann'", "-61"),
+        // string comparison and ordering
+        (
+            "select p.name from patient p where p.name > 'Jane' order by p.name",
+            "'Otto';'Sue'",
+        ),
+        // between desugaring
+        (
+            "select p.name from patient p where p.age between 39 and 41 order by p.age desc",
+            "'Jane';'Sue'",
+        ),
+        // boolean logic and parentheses
+        (
+            "select p.name from patient p where (p.sex = 'M' or p.age > 60) and not p.name = 'Otto' order by p.name",
+            "'Ann';'Carl'",
+        ),
+        // joins with extra predicates
+        (
+            "select p.name, s.modality from patient p, study s
+             where p.patientId = s.patientId and s.dose >= 5 order by p.name",
+            "'Ann','PET';'Jane','PET'",
+        ),
+        // NULL semantics: comparisons with NULL never match
+        ("select s.studyId from study s where s.dose > 0 order by s.studyId limit 1", "10"),
+        ("select count(*) from study s where s.dose = null", "0"),
+        // aggregates
+        ("select count(*), min(p.age), max(p.age) from patient p", "5,33,61"),
+        ("select avg(s.dose) from study s where s.modality = 'CT'", "2"),
+        ("select count(s.dose) from study s", "5"), // NULL dose not counted
+        ("select sum(p.age) from patient p where p.sex = 'F'", "140"),
+        // group by (single key and key+aggregate mixes)
+        (
+            "select p.sex, count(*) from patient p group by p.sex order by p.sex",
+            // note: ORDER BY after GROUP BY unsupported -> this case split below
+            "",
+        ),
+        // postfix predicates
+        (
+            "select p.name from patient p where p.name like 'J%' or p.name like '_ue' order by p.name",
+            "'Jane';'Sue'",
+        ),
+        (
+            "select s.studyId from study s where s.dose is null",
+            "15",
+        ),
+        (
+            "select count(*) from study s where s.modality in ('PET', 'SPECT')",
+            "4",
+        ),
+        (
+            "select p.name from patient p where p.patientId not in (1, 2, 3, 5)",
+            "'Carl'",
+        ),
+        // limit 0
+        ("select p.name from patient p limit 0", ""),
+        // order by multiple keys with float column
+        (
+            "select s.studyId from study s order by s.modality, s.dose desc limit 3",
+            "14;11;13",
+        ),
+    ];
+    for (sql, want) in cases {
+        if sql.contains("group by p.sex order by") {
+            continue; // exercised separately without ORDER BY
+        }
+        assert_eq!(&render(&mut db, sql), want, "query: {sql}");
+    }
+    // GROUP BY result compared order-insensitively.
+    let rs = db
+        .query("select p.sex, count(*) from patient p group by p.sex")
+        .expect("group");
+    let mut rows: Vec<(String, i64)> = rs
+        .rows()
+        .iter()
+        .map(|r| (r[0].as_str().unwrap().into(), r[1].as_i64().unwrap()))
+        .collect();
+    rows.sort();
+    assert_eq!(rows, vec![("F".to_string(), 3), ("M".to_string(), 2)]);
+}
+
+#[test]
+fn error_conformance_suite() {
+    let mut db = db();
+    // Every one of these must fail with a non-panicking, descriptive error.
+    let bad: &[&str] = &[
+        "select",
+        "select from patient",
+        "select * from",
+        "select * from missing",
+        "select p.missing from patient p",
+        "select q.name from patient p",
+        "select * from patient p where p.name + 1 = 2",
+        "select * from patient p where p.age",
+        "select p.name from patient p order by p.age limit -3",
+        "select max(*) from patient p",
+        "insert into patient values (1)",
+        "insert into missing values (1)",
+        "create table patient (x int)",
+        "create table t2 (x whatever)",
+        "delete from missing",
+        "select count(*), p.name from patient p",
+        "select * from patient p group by",
+        "select * from patient p where p.name like p.name",
+        "select * from patient p where p.age like 'x%'",
+        "select * from patient p where p.age not 5",
+    ];
+    for sql in bad {
+        let err = db.execute(sql).expect_err(sql);
+        assert!(!err.to_string().is_empty(), "{sql}");
+    }
+}
+
+#[test]
+fn mutation_conformance() {
+    let mut db = db();
+    assert_eq!(
+        db.execute("delete from study where study.modality = 'CT'").expect("delete"),
+        ExecOutcome::Deleted(1)
+    );
+    assert_eq!(render(&mut db, "select count(*) from study s"), "5");
+    db.execute("insert into study values (16, 2, 'SPECT', 1.5)").expect("insert");
+    assert_eq!(
+        render(&mut db, "select s.modality from study s where s.studyId = 16"),
+        "'SPECT'"
+    );
+    // Values survive round trips through projection expressions.
+    let rs = db
+        .query("select s.dose / 3 from study s where s.studyId = 16")
+        .expect("arith");
+    assert_eq!(rs.single_value().expect("1x1"), &Value::Float(0.5));
+}
+
+#[test]
+fn explain_conformance() {
+    let mut db = db();
+    let rs = db
+        .query(
+            "explain select p.name from patient p, study s
+             where p.patientId = s.patientId and s.modality = 'PET'",
+        )
+        .expect("explain");
+    let text: Vec<String> = rs.rows().iter().map(|r| r[0].to_string()).collect();
+    assert!(text.iter().any(|l| l.contains("scan p")), "{text:?}");
+    assert!(text.iter().any(|l| l.contains("hash join s")), "{text:?}");
+}
