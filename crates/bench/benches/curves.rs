@@ -36,9 +36,7 @@ fn bench_bulk_relayout(c: &mut Criterion) {
     let geom = qbism_region::GridGeometry::new(CurveKind::Scanline, 3, 6);
     let vol = qbism_volume::Volume::from_fn3(geom, |x, y, z| (x ^ y ^ z) as u8);
     for kind in [CurveKind::Hilbert, CurveKind::Morton] {
-        group.bench_function(format!("to_{kind}"), |b| {
-            b.iter(|| black_box(vol.relayout(kind)))
-        });
+        group.bench_function(format!("to_{kind}"), |b| b.iter(|| black_box(vol.relayout(kind))));
     }
     group.finish();
 }

@@ -30,7 +30,8 @@ fn seeded_db(rows: i64) -> Database {
 }
 
 fn bench_parser(c: &mut Criterion) {
-    let sql = "select a.n, a.x0, a.y0, a.z0, a.dx, a.dy, a.dz, a.atlasId, p.name, p.patientId, rv.date
+    let sql =
+        "select a.n, a.x0, a.y0, a.z0, a.dx, a.dy, a.dz, a.atlasId, p.name, p.patientId, rv.date
                from atlas a, rawVolume rv, warpedVolume wv, patient p
                where a.atlasId = wv.atlasId and wv.studyId = rv.studyId and
                      rv.patientId = p.patientId and rv.studyId = 53 and a.atlasName = 'Talairach'";
@@ -46,10 +47,8 @@ fn bench_joins(c: &mut Criterion) {
     group.bench_function("hash_join", |b| {
         b.iter(|| {
             black_box(
-                db.query(
-                    "select count(*) from patient p, study s where p.patientId = s.patientId",
-                )
-                .expect("join"),
+                db.query("select count(*) from patient p, study s where p.patientId = s.patientId")
+                    .expect("join"),
             )
         })
     });

@@ -36,9 +36,7 @@ fn bench_single_study(c: &mut Criterion) {
         b.iter(|| black_box(sys.server.band_data(study, 128, 159).expect("q5")))
     });
     group.bench_function("q6_band_in_structure", |b| {
-        b.iter(|| {
-            black_box(sys.server.band_in_structure(study, 128, 159, "ntal1").expect("q6"))
-        })
+        b.iter(|| black_box(sys.server.band_in_structure(study, 128, 159, "ntal1").expect("q6")))
     });
     group.finish();
 }

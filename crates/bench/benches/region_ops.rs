@@ -6,10 +6,7 @@ use qbism_bench::population::region_population;
 use qbism_region::{intersect_all, OctantKind, Region};
 
 fn brain_regions() -> Vec<Region> {
-    region_population(6, 2, 0, 7)
-        .into_iter()
-        .map(|r| r.region)
-        .collect()
+    region_population(6, 2, 0, 7).into_iter().map(|r| r.region).collect()
 }
 
 fn bench_pairwise_ops(c: &mut Criterion) {
@@ -21,9 +18,7 @@ fn bench_pairwise_ops(c: &mut Criterion) {
     group.bench_function("intersect_structure_band", |bch| {
         bch.iter(|| black_box(a.intersect(band)))
     });
-    group.bench_function("union_structure_band", |bch| {
-        bch.iter(|| black_box(a.union(band)))
-    });
+    group.bench_function("union_structure_band", |bch| bch.iter(|| black_box(a.union(band))));
     group.bench_function("difference_structure_band", |bch| {
         bch.iter(|| black_box(a.difference(band)))
     });
@@ -71,12 +66,8 @@ fn bench_approximation(c: &mut Criterion) {
     let regions = brain_regions();
     let band = regions.iter().rev().find(|r| r.run_count() > 100).expect("busy band").clone();
     let mut group = c.benchmark_group("approximation");
-    group.bench_function("mingap_8", |b| {
-        b.iter(|| black_box(band.approximate_mingap(8)))
-    });
-    group.bench_function("min_octant_4", |b| {
-        b.iter(|| black_box(band.approximate_min_octant(4)))
-    });
+    group.bench_function("mingap_8", |b| b.iter(|| black_box(band.approximate_mingap(8))));
+    group.bench_function("min_octant_4", |b| b.iter(|| black_box(band.approximate_min_octant(4))));
     group.finish();
 }
 

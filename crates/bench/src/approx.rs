@@ -45,8 +45,7 @@ pub fn measure(bits: u32, structure: &str, mingaps: &[u64], seed: u64) -> Vec<Ap
         let region = exact.approximate_mingap(mingap);
         let bytes = RegionCodec::Naive.encode(&region).expect("encodes");
         lfm.reset_stats();
-        let pieces: Vec<(u64, u64)> =
-            region.runs().iter().map(|r| (r.start, r.len())).collect();
+        let pieces: Vec<(u64, u64)> = region.runs().iter().map(|r| (r.start, r.len())).collect();
         let mut values = Vec::new();
         lfm.read_pieces_into(volume_lf, &pieces, &mut values).expect("extract");
         // Post-processing with the exact region.
@@ -70,7 +69,13 @@ pub fn report(bits: u32, structure: &str, seed: u64) -> String {
         "Approximate REGIONs ablation: '{structure}' at {}³ (mingap sweep)\n\
          {:>8} {:>8} {:>12} {:>8} {:>12} {:>12} {:>9}\n",
         1u32 << bits,
-        "mingap", "runs", "bytes", "pages", "voxels read", "voxels kept", "overread"
+        "mingap",
+        "runs",
+        "bytes",
+        "pages",
+        "voxels read",
+        "voxels kept",
+        "overread"
     );
     for r in &rows {
         out.push_str(&format!(
@@ -101,10 +106,7 @@ mod tests {
         assert_eq!(rows.len(), 3);
         let exact = &rows[0];
         assert_eq!(exact.mingap, 1);
-        assert_eq!(
-            exact.voxels_read, exact.voxels_kept,
-            "exact region reads exactly the answer"
-        );
+        assert_eq!(exact.voxels_read, exact.voxels_kept, "exact region reads exactly the answer");
         for w in rows.windows(2) {
             let (a, b) = (&w[0], &w[1]);
             assert!(b.runs <= a.runs, "coarser mingap cannot add runs");

@@ -1,0 +1,77 @@
+//! `obs_overhead` — measures observability overhead on the EQ1 (Q1)
+//! query path and writes `BENCH_observability.json`.
+//!
+//! ```text
+//! obs_overhead [--bits N] [--rounds N] [--reps N] [--out PATH]
+//! ```
+//!
+//! Run in release: `cargo run -p qbism-bench --release --bin obs_overhead`.
+
+use qbism::QbismConfig;
+use qbism_bench::obs_overhead;
+
+struct Args {
+    bits: u32,
+    rounds: usize,
+    reps: usize,
+    out: String,
+}
+
+fn parse_args() -> Result<Args, String> {
+    // Defaults measure EQ1 at the paper's own 128³ scale, where the
+    // ~2 µs fixed per-query instrumentation cost is amortized over a
+    // realistic extraction.  (Toy grids run microsecond queries, so the
+    // same fixed cost shows up as tens of percent there.)
+    let mut args = Args { bits: 7, rounds: 9, reps: 10, out: "BENCH_observability.json".into() };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut flag = |name: &str| -> Result<String, String> {
+            it.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match a.as_str() {
+            "--bits" => args.bits = flag("--bits")?.parse().map_err(|e| format!("--bits: {e}"))?,
+            "--rounds" => {
+                args.rounds = flag("--rounds")?.parse().map_err(|e| format!("--rounds: {e}"))?
+            }
+            "--reps" => args.reps = flag("--reps")?.parse().map_err(|e| format!("--reps: {e}"))?,
+            "--out" => args.out = flag("--out")?,
+            "--help" | "-h" => {
+                return Err(
+                    "usage: obs_overhead [--bits N] [--rounds N] [--reps N] [--out PATH]".into()
+                )
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    if !(4..=8).contains(&args.bits) {
+        return Err(format!("--bits {} out of supported range 4..=8", args.bits));
+    }
+    Ok(args)
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+    let config = QbismConfig {
+        atlas_bits: args.bits,
+        pet_studies: 1,
+        mri_studies: 0,
+        device_capacity: 1u64 << 31,
+        ..QbismConfig::paper_scale()
+    };
+    let report = obs_overhead::measure(&config, args.rounds, args.reps);
+    println!("{}", report.render());
+    if let Err(e) = std::fs::write(&args.out, report.to_json()) {
+        eprintln!("cannot write {}: {e}", args.out);
+        std::process::exit(1);
+    }
+    println!("wrote {}", args.out);
+    if !report.within_budget() {
+        std::process::exit(1);
+    }
+}

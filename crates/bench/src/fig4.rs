@@ -80,10 +80,8 @@ impl Fig4Report {
     pub fn render(&self) -> String {
         let r = self.ratios();
         let p = PAPER_RATIOS;
-        let mut out = format!(
-            "Figure 4 REGION size vs entropy bound, {} REGIONs\n",
-            self.samples.len()
-        );
+        let mut out =
+            format!("Figure 4 REGION size vs entropy bound, {} REGIONs\n", self.samples.len());
         out.push_str(&format!(
             "  measured (entropy:elias:naive:oblong:octant) = 1 : {:.2} : {:.2} : {:.2} : {:.2}\n",
             r[1], r[2], r[3], r[4]

@@ -15,6 +15,7 @@
 //! | §6.4 multi-study traffic scaling | [`scaling`] |
 //! | Faloutsos–Roseman 1 : 1.20 rectangle cross-check | [`rects`] |
 //! | §4.2 approximate-REGION trade-off (ablation) | [`approx`] |
+//! | observability overhead on the EQ1 query path | [`obs_overhead`] |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -22,6 +23,7 @@
 pub mod approx;
 pub mod eq1;
 pub mod fig4;
+pub mod obs_overhead;
 pub mod population;
 pub mod rects;
 pub mod run_counts;
@@ -35,11 +37,7 @@ pub fn ratio_string(values: &[f64]) -> String {
     if values.is_empty() || values[0] == 0.0 {
         return "-".into();
     }
-    values
-        .iter()
-        .map(|v| format!("{:.2}", v / values[0]))
-        .collect::<Vec<_>>()
-        .join(" : ")
+    values.iter().map(|v| format!("{:.2}", v / values[0])).collect::<Vec<_>>().join(" : ")
 }
 
 #[cfg(test)]

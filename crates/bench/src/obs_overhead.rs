@@ -1,0 +1,180 @@
+//! Observability overhead: instrumented vs uninstrumented EQ1 (Q1) runs.
+//!
+//! The `qbism-obs` layer records counters, histograms, and span trees on
+//! every query.  Its contract is that this costs (almost) nothing: every
+//! record site is gated on [`qbism_obs::enabled`], counters are relaxed
+//! atomics, and spans only allocate while a trace is open.  This harness
+//! checks the contract empirically by timing the paper's Q1 (`full_study`
+//! — the EQ 1 workload, a full 2^3b-voxel extraction) with tracing and
+//! metrics on versus off, interleaving the two arms so clock drift and
+//! cache warmth cancel, and comparing medians.
+//!
+//! `tablegen obs` prints the report; the `obs_overhead` binary writes
+//! `BENCH_observability.json` for CI regression tracking (< 5 % budget).
+
+use std::time::Instant;
+
+use qbism::{QbismConfig, QbismSystem};
+
+/// Result of one interleaved overhead run.
+#[derive(Debug, Clone)]
+pub struct OverheadReport {
+    /// Grid side (voxels per axis) of the measured system.
+    pub side: u32,
+    /// Number of interleaved rounds (one sample per arm per round).
+    pub rounds: usize,
+    /// Queries per sample (each sample times this many `full_study` calls).
+    pub reps_per_round: usize,
+    /// Per-round wall seconds with observability enabled.
+    pub enabled_samples: Vec<f64>,
+    /// Per-round wall seconds with observability disabled.
+    pub disabled_samples: Vec<f64>,
+}
+
+fn median(samples: &[f64]) -> f64 {
+    let mut v = samples.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    match v.len() {
+        0 => 0.0,
+        n if n % 2 == 1 => v[n / 2],
+        n => (v[n / 2 - 1] + v[n / 2]) / 2.0,
+    }
+}
+
+impl OverheadReport {
+    /// Median wall seconds per round with observability on.
+    pub fn enabled_median(&self) -> f64 {
+        median(&self.enabled_samples)
+    }
+
+    /// Median wall seconds per round with observability off.
+    pub fn disabled_median(&self) -> f64 {
+        median(&self.disabled_samples)
+    }
+
+    /// Fractional slowdown of the instrumented arm: `(on - off) / off`.
+    /// Negative values mean the difference drowned in timing noise.
+    pub fn overhead_fraction(&self) -> f64 {
+        let off = self.disabled_median();
+        if off <= 0.0 {
+            return 0.0;
+        }
+        (self.enabled_median() - off) / off
+    }
+
+    /// Whether the run met the < 5 % regression budget.
+    pub fn within_budget(&self) -> bool {
+        self.overhead_fraction() < 0.05
+    }
+
+    /// Human-readable report for `tablegen obs`.
+    pub fn render(&self) -> String {
+        format!(
+            "EQ1 (Q1 full_study) observability overhead, {}³ grid\n\
+             {} rounds × {} queries, interleaved arms\n\
+             enabled  median: {:>9.3} ms/round\n\
+             disabled median: {:>9.3} ms/round\n\
+             overhead: {:+.2} %  (budget < 5 %)  -> {}",
+            self.side,
+            self.rounds,
+            self.reps_per_round,
+            self.enabled_median() * 1e3,
+            self.disabled_median() * 1e3,
+            self.overhead_fraction() * 100.0,
+            if self.within_budget() { "PASS" } else { "FAIL" },
+        )
+    }
+
+    /// Machine-readable report for `BENCH_observability.json`.
+    pub fn to_json(&self) -> String {
+        let join = |v: &[f64]| v.iter().map(|s| format!("{s:.6}")).collect::<Vec<_>>().join(", ");
+        format!(
+            "{{\n  \"benchmark\": \"obs_overhead\",\n  \"workload\": \"EQ1 full_study (paper Q1)\",\n  \
+             \"grid_side\": {},\n  \"rounds\": {},\n  \"reps_per_round\": {},\n  \
+             \"enabled_seconds_median\": {:.6},\n  \"disabled_seconds_median\": {:.6},\n  \
+             \"overhead_fraction\": {:.4},\n  \"budget_fraction\": 0.05,\n  \
+             \"within_budget\": {},\n  \"enabled_samples\": [{}],\n  \"disabled_samples\": [{}]\n}}\n",
+            self.side,
+            self.rounds,
+            self.reps_per_round,
+            self.enabled_median(),
+            self.disabled_median(),
+            self.overhead_fraction(),
+            self.within_budget(),
+            join(&self.enabled_samples),
+            join(&self.disabled_samples),
+        )
+    }
+}
+
+/// Times `reps_per_round` Q1 extractions once, returning wall seconds.
+fn sample(sys: &mut QbismSystem, study: i64, reps_per_round: usize) -> f64 {
+    let start = Instant::now();
+    for _ in 0..reps_per_round {
+        let answer = sys.server.full_study(study).expect("Q1 runs");
+        std::hint::black_box(answer.voxel_count());
+    }
+    start.elapsed().as_secs_f64()
+}
+
+/// Interleaves instrumented and uninstrumented Q1 rounds on one system.
+///
+/// Observability is re-enabled before returning regardless of outcome,
+/// so callers never inherit a disabled global flag.
+pub fn measure(config: &QbismConfig, rounds: usize, reps_per_round: usize) -> OverheadReport {
+    let mut sys = QbismSystem::install(config).expect("install");
+    let study = sys.pet_study_ids[0];
+    // Warm both arms once so first-touch costs hit neither measurement.
+    qbism_obs::set_enabled(true);
+    sample(&mut sys, study, 1);
+    qbism_obs::set_enabled(false);
+    sample(&mut sys, study, 1);
+
+    let mut enabled_samples = Vec::with_capacity(rounds);
+    let mut disabled_samples = Vec::with_capacity(rounds);
+    for round in 0..rounds.max(1) {
+        // Alternate which arm goes first so slow drift cancels.
+        let order = if round % 2 == 0 { [true, false] } else { [false, true] };
+        for on in order {
+            qbism_obs::set_enabled(on);
+            let secs = sample(&mut sys, study, reps_per_round.max(1));
+            if on {
+                enabled_samples.push(secs);
+            } else {
+                disabled_samples.push(secs);
+            }
+        }
+    }
+    qbism_obs::set_enabled(true);
+    OverheadReport {
+        side: config.side(),
+        rounds: rounds.max(1),
+        reps_per_round: reps_per_round.max(1),
+        enabled_samples,
+        disabled_samples,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_produces_samples_and_restores_the_flag() {
+        let report = measure(&QbismConfig::small_test(), 2, 1);
+        assert_eq!(report.enabled_samples.len(), 2);
+        assert_eq!(report.disabled_samples.len(), 2);
+        assert!(report.enabled_median() > 0.0);
+        assert!(qbism_obs::enabled(), "measure must leave observability on");
+        let json = report.to_json();
+        assert!(json.contains("\"benchmark\": \"obs_overhead\""));
+        assert!(json.contains("\"within_budget\""));
+    }
+
+    #[test]
+    fn median_handles_even_and_odd() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), 2.5);
+        assert_eq!(median(&[]), 0.0);
+    }
+}

@@ -31,15 +31,10 @@ pub const PAPER_CORRELATIONS: [f64; 3] = [0.998, 0.974, 0.991];
 /// Measures the whole population at the given grid size.
 pub fn measure(bits: u32, pet: usize, mri: usize, seed: u64) -> RunCountReport {
     let pop = region_population(bits, pet, mri, seed);
-    let samples: Vec<(String, RepresentationCounts)> = pop
-        .iter()
-        .map(|r| (r.name.clone(), RepresentationCounts::measure(&r.region)))
-        .collect();
+    let samples: Vec<(String, RepresentationCounts)> =
+        pop.iter().map(|r| (r.name.clone(), RepresentationCounts::measure(&r.region))).collect();
     let pts = |f: fn(&RepresentationCounts) -> usize| -> Vec<(f64, f64)> {
-        samples
-            .iter()
-            .map(|(_, c)| (c.h_runs as f64, f(c) as f64))
-            .collect()
+        samples.iter().map(|(_, c)| (c.h_runs as f64, f(c) as f64)).collect()
     };
     let z_fit = linear_fit_through_origin(&pts(|c| c.z_runs)).unwrap_or((f64::NAN, 0.0));
     let oblong_fit =
@@ -72,8 +67,12 @@ impl RunCountReport {
         ));
         out.push_str(&format!(
             "  correlations measured r = {:.3} / {:.3} / {:.3}   paper r = {:.3} / {:.3} / {:.3}\n",
-            self.z_fit.1, self.oblong_fit.1, self.octant_fit.1,
-            PAPER_CORRELATIONS[0], PAPER_CORRELATIONS[1], PAPER_CORRELATIONS[2]
+            self.z_fit.1,
+            self.oblong_fit.1,
+            self.octant_fit.1,
+            PAPER_CORRELATIONS[0],
+            PAPER_CORRELATIONS[1],
+            PAPER_CORRELATIONS[2]
         ));
         out
     }

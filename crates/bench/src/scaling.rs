@@ -52,7 +52,12 @@ pub fn report(config: &QbismConfig, structure: &str, max_studies: usize) -> Stri
         "Section 6.4 scaling: voxel-wise average inside '{structure}' (grid {}³)\n\
          {:>8} {:>14} {:>12} {:>14} {:>12} {:>9}\n",
         config.side(),
-        "studies", "filtered I/Os", "flat I/Os", "filtered wire", "flat wire", "saving"
+        "studies",
+        "filtered I/Os",
+        "flat I/Os",
+        "filtered wire",
+        "flat wire",
+        "saving"
     );
     for r in &rows {
         out.push_str(&format!(

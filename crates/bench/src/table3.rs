@@ -40,7 +40,11 @@ pub const PAPER_TABLE3: [PaperTable3Row; 6] = [
 /// and the *last* `repeats` runs are averaged (the LFM never buffers, so
 /// variation is native-time jitter only; counts are identical across
 /// runs).
-pub fn measure(sys: &mut QbismSystem, study_id: i64, repeats: usize) -> Vec<(String, FullQueryReport)> {
+pub fn measure(
+    sys: &mut QbismSystem,
+    study_id: i64,
+    repeats: usize,
+) -> Vec<(String, FullQueryReport)> {
     let side = sys.server.config().side();
     let mut out = Vec::new();
     for (label, spec) in paper_queries(side) {
@@ -53,10 +57,8 @@ pub fn measure(sys: &mut QbismSystem, study_id: i64, repeats: usize) -> Vec<(Str
         let mut avg = warm[0].clone();
         let n = warm.len() as f64;
         avg.db_native_seconds = warm.iter().map(|r| r.db_native_seconds).sum::<f64>() / n;
-        avg.import_native_seconds =
-            warm.iter().map(|r| r.import_native_seconds).sum::<f64>() / n;
-        avg.render_native_seconds =
-            warm.iter().map(|r| r.render_native_seconds).sum::<f64>() / n;
+        avg.import_native_seconds = warm.iter().map(|r| r.import_native_seconds).sum::<f64>() / n;
+        avg.render_native_seconds = warm.iter().map(|r| r.render_native_seconds).sum::<f64>() / n;
         out.push((label.to_string(), avg));
     }
     out
@@ -78,7 +80,17 @@ pub fn report(config: &QbismConfig, repeats: usize) -> String {
     out.push_str("\npaper (128³, RS/6000-530):\n");
     out.push_str(&format!(
         "{:<4} {:>8} {:>9} {:>6} {:>8} {:>7} {:>8} {:>8} {:>8} {:>7} {:>7}\n",
-        "", "h-runs", "voxels", "I/Os", "db(s)", "msgs", "net(s)", "imp(s)", "rend(s)", "oth(s)", "tot(s)"
+        "",
+        "h-runs",
+        "voxels",
+        "I/Os",
+        "db(s)",
+        "msgs",
+        "net(s)",
+        "imp(s)",
+        "rend(s)",
+        "oth(s)",
+        "tot(s)"
     ));
     for (label, h, v, io, db, m, net, imp, rend, oth, tot) in PAPER_TABLE3 {
         out.push_str(&format!(
@@ -111,10 +123,7 @@ mod tests {
         let q6 = by_label("Q6");
         // The paper's headline: the full-study query dominates everything.
         for (label, r) in &rows[1..] {
-            assert!(
-                r.total_sim_seconds <= q1.total_sim_seconds,
-                "{label} slower than Q1"
-            );
+            assert!(r.total_sim_seconds <= q1.total_sim_seconds, "{label} slower than Q1");
             assert!(r.voxels <= q1.voxels);
         }
         // Mixed query returns no more voxels than its band.

@@ -50,10 +50,8 @@ pub fn measure(base: &QbismConfig, lo: u8, hi: u8) -> Vec<Table4Row> {
             let config = QbismConfig { curve, region_codec: codec, ..base.clone() };
             let mut sys = QbismSystem::install(&config).expect("install");
             let ids = sys.pet_study_ids.clone();
-            let (region, cost) = sys
-                .server
-                .multi_study_band_region(&ids, lo, hi)
-                .expect("multi-study query");
+            let (region, cost) =
+                sys.server.multi_study_band_region(&ids, lo, hi).expect("multi-study query");
             Table4Row {
                 method: label.to_string(),
                 lfm_ios: cost.lfm.pages_read,
@@ -73,7 +71,11 @@ pub fn report(base: &QbismConfig, lo: u8, hi: u8) -> String {
          {:<20} {:>8} {:>12} {:>10} {:>10}\n",
         base.pet_studies,
         base.side(),
-        "method", "I/Os", "native(s)", "sim(s)", "voxels"
+        "method",
+        "I/Os",
+        "native(s)",
+        "sim(s)",
+        "voxels"
     );
     for r in &rows {
         out.push_str(&format!(
@@ -108,7 +110,11 @@ mod tests {
         // which holds at 128³ [see EXPERIMENTS.md] but is noise-level at
         // this grid size, so only Hilbert's win is asserted here.)
         assert!(h.lfm_ios <= z.lfm_ios, "h {} vs z {}", h.lfm_ios, z.lfm_ios);
-        assert!(h.sim_seconds <= z.sim_seconds);
+        // Compare the deterministic simulated-disk component only: when
+        // the I/O counts tie at this grid size, total sim_seconds is
+        // decided by native wall-clock jitter and would flake.
+        let sim_disk = |r: &Table4Row| r.sim_seconds - r.native_seconds;
+        assert!(sim_disk(h) <= sim_disk(z) + 1e-9);
         // h vs octant needs regions big enough that per-region page
         // rounding (every REGION read costs >= 1 page) stops dominating;
         // the 128³ run in EXPERIMENTS.md shows the full paper ordering.

@@ -77,12 +77,24 @@ pub fn report() -> String {
          {:<16} {:<40} {}\n\
          {:<16} {:<40} {}\n\
          {:<16} {:<40} {}\n",
-        "z octants", got.z_octants, want.z_octants,
-        "z oblong", got.z_oblong, want.z_oblong,
-        "z runs", got.z_runs, want.z_runs,
-        "h octants", got.h_octants, want.h_octants,
-        "h oblong", got.h_oblong, want.h_oblong,
-        "h runs", got.h_runs, want.h_runs,
+        "z octants",
+        got.z_octants,
+        want.z_octants,
+        "z oblong",
+        got.z_oblong,
+        want.z_oblong,
+        "z runs",
+        got.z_runs,
+        want.z_runs,
+        "h octants",
+        got.h_octants,
+        want.h_octants,
+        "h oblong",
+        got.h_oblong,
+        want.h_oblong,
+        "h runs",
+        got.h_runs,
+        want.h_runs,
     )
 }
 

@@ -22,10 +22,7 @@ impl BitWriter {
 
     /// Creates an empty writer with space for `bits` bits reserved.
     pub fn with_capacity_bits(bits: usize) -> Self {
-        BitWriter {
-            bytes: Vec::with_capacity(bits.div_ceil(8)),
-            partial_bits: 0,
-        }
+        BitWriter { bytes: Vec::with_capacity(bits.div_ceil(8)), partial_bits: 0 }
     }
 
     /// Number of bits written so far.
@@ -55,10 +52,7 @@ impl BitWriter {
     /// Panics if `width > 64` or `value` has bits above `width`.
     pub fn write_bits(&mut self, value: u64, width: u32) {
         assert!(width <= 64, "width {width} exceeds 64");
-        assert!(
-            width == 64 || value < (1u64 << width),
-            "value {value} wider than {width} bits"
-        );
+        assert!(width == 64 || value < (1u64 << width), "value {value} wider than {width} bits");
         // Simple loop: run-length data streams are short compared to the
         // voxel payloads they index, so clarity wins over a word-at-a-time
         // fast path here.

@@ -365,9 +365,7 @@ mod tests {
         let n = w.bit_len();
         let bytes = w.finish();
         let mut r = BitReader::new(&bytes);
-        (0..n)
-            .map(|_| if r.read_bit().unwrap() { '1' } else { '0' })
-            .collect()
+        (0..n).map(|_| if r.read_bit().unwrap() { '1' } else { '0' }).collect()
     }
 
     #[test]
@@ -381,7 +379,9 @@ mod tests {
 
     #[test]
     fn gamma_code_lengths() {
-        for (v, bits) in [(1u64, 1u64), (2, 3), (3, 3), (4, 5), (7, 5), (8, 7), (255, 15), (256, 17)] {
+        for (v, bits) in
+            [(1u64, 1u64), (2, 3), (3, 3), (4, 5), (7, 5), (8, 7), (255, 15), (256, 17)]
+        {
             assert_eq!(EliasGamma.code_len(v).unwrap(), bits, "value {v}");
         }
     }
@@ -432,7 +432,9 @@ mod tests {
 
     #[test]
     fn zero_rejected_by_positive_codes() {
-        for codec in [&EliasGamma as &dyn IntCodec, &EliasDelta, &Unary, &Golomb::new(4), &Rice::new(2)] {
+        for codec in
+            [&EliasGamma as &dyn IntCodec, &EliasDelta, &Unary, &Golomb::new(4), &Rice::new(2)]
+        {
             let mut w = BitWriter::new();
             assert!(matches!(
                 codec.encode(&mut w, 0),
@@ -475,9 +477,8 @@ mod tests {
     #[test]
     fn kraft_inequality_holds() {
         for codec in [&EliasGamma as &dyn IntCodec, &EliasDelta, &Golomb::new(7), &Rice::new(3)] {
-            let sum: f64 = (1..=4096u64)
-                .map(|v| 2f64.powi(-(codec.code_len(v).unwrap() as i32)))
-                .sum();
+            let sum: f64 =
+                (1..=4096u64).map(|v| 2f64.powi(-(codec.code_len(v).unwrap() as i32))).sum();
             assert!(sum <= 1.0 + 1e-9, "{} violates Kraft: {sum}", codec.name());
         }
     }

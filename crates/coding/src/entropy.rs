@@ -87,11 +87,8 @@ impl Histogram {
         if self.distinct() < 3 {
             return None;
         }
-        let pts: Vec<(f64, f64)> = self
-            .counts
-            .iter()
-            .map(|(&v, &c)| ((v as f64).ln(), (c as f64).ln()))
-            .collect();
+        let pts: Vec<(f64, f64)> =
+            self.counts.iter().map(|(&v, &c)| ((v as f64).ln(), (c as f64).ln())).collect();
         let n = pts.len() as f64;
         let sx: f64 = pts.iter().map(|p| p.0).sum();
         let sy: f64 = pts.iter().map(|p| p.1).sum();
@@ -215,7 +212,8 @@ mod tests {
         use crate::{EliasGamma, IntCodec};
         // Shannon: average code length >= entropy, for any prefix code and
         // any empirical distribution.
-        let values: Vec<u64> = (1..=64u64).flat_map(|v| std::iter::repeat_n(v, (65 - v) as usize)).collect();
+        let values: Vec<u64> =
+            (1..=64u64).flat_map(|v| std::iter::repeat_n(v, (65 - v) as usize)).collect();
         let entropy = empirical_entropy_bits(&values);
         let avg = EliasGamma.total_bits(&values).unwrap() as f64 / values.len() as f64;
         assert!(avg >= entropy, "gamma avg {avg} below entropy {entropy}");

@@ -70,11 +70,7 @@ impl StructureIndex {
     pub fn candidates_in_box(&self, min: [u32; 3], max: [u32; 3]) -> Vec<&String> {
         let q = Aabb::new(
             Vec3::new(f64::from(min[0]), f64::from(min[1]), f64::from(min[2])),
-            Vec3::new(
-                f64::from(max[0]) + 1.0,
-                f64::from(max[1]) + 1.0,
-                f64::from(max[2]) + 1.0,
-            ),
+            Vec3::new(f64::from(max[0]) + 1.0, f64::from(max[1]) + 1.0, f64::from(max[2]) + 1.0),
         );
         self.tree.search_box(&q)
     }
@@ -95,13 +91,10 @@ impl MedicalServer {
     /// boxes (reads each stored REGION once).
     pub fn build_structure_index(&mut self) -> Result<StructureIndex> {
         let names: Vec<String> = {
-            let rs = self.database().query(
-                "select ns.structureName from neuralStructure ns order by ns.structureId",
-            )?;
-            rs.rows()
-                .iter()
-                .filter_map(|r| r[0].as_str().map(str::to_owned))
-                .collect()
+            let rs = self
+                .database()
+                .query("select ns.structureName from neuralStructure ns order by ns.structureId")?;
+            rs.rows().iter().filter_map(|r| r[0].as_str().map(str::to_owned)).collect()
         };
         let mut items = Vec::with_capacity(names.len());
         for name in names {
@@ -132,9 +125,8 @@ impl MedicalServer {
         k: usize,
     ) -> Result<Vec<(i64, f64)>> {
         let reference = self.structure_data(reference_study, structure)?;
-        let ref_features = feature_vector(&reference.data).ok_or_else(|| {
-            QbismError::NotFound(format!("structure {structure} is empty"))
-        })?;
+        let ref_features = feature_vector(&reference.data)
+            .ok_or_else(|| QbismError::NotFound(format!("structure {structure} is empty")))?;
         let mut items = Vec::new();
         for &id in candidate_studies {
             if id == reference_study {
@@ -146,11 +138,7 @@ impl MedicalServer {
             }
         }
         let tree = KdTree::build(FEATURE_DIMS, items);
-        Ok(tree
-            .nearest(&ref_features, k)
-            .into_iter()
-            .map(|(d, id)| (*id, d))
-            .collect())
+        Ok(tree.nearest(&ref_features, k).into_iter().map(|(d, id)| (*id, d)).collect())
     }
 }
 
@@ -176,10 +164,7 @@ mod tests {
         assert!((0.0..=1.0).contains(&f[8]), "mean normalized");
         assert!((0.0..=1.0).contains(&f[9]), "stddev normalized");
         // empty data has no features
-        let empty = DataRegion::new(
-            Region::empty(sys.server.config().geometry()),
-            Vec::new(),
-        );
+        let empty = DataRegion::new(Region::empty(sys.server.config().geometry()), Vec::new());
         assert!(feature_vector(&empty).is_none());
     }
 
@@ -196,8 +181,7 @@ mod tests {
         // The brain centre must at least produce candidates containing
         // the structures whose regions actually hold the voxel.
         let p = Vec3::new(8.5, 8.5, 8.5);
-        let candidates: Vec<String> =
-            index.candidates_at(p).into_iter().cloned().collect();
+        let candidates: Vec<String> = index.candidates_at(p).into_iter().cloned().collect();
         for s in sys.atlas.structures() {
             let inside = s.region.contains_voxel(&[8, 8, 8]);
             if inside {

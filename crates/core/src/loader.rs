@@ -53,7 +53,8 @@ impl QbismSystem {
         // canonical Hilbert geometry so the *data* is bit-identical across
         // storage-curve configurations — Table 4 compares encodings of
         // the same voxel sets, not different phantoms.
-        let truth_geom = qbism_region::GridGeometry::new(qbism_sfc::CurveKind::Hilbert, 3, config.atlas_bits);
+        let truth_geom =
+            qbism_region::GridGeometry::new(qbism_sfc::CurveKind::Hilbert, 3, config.atlas_bits);
 
         // ------------------------------------------------------------------
         // Atlas and structures.
@@ -111,7 +112,8 @@ impl QbismSystem {
         let mut mri_study_ids = Vec::new();
         let mut next_study = 1i64;
         for i in 0..config.pet_studies {
-            let field = PetField::new(&atlas, config.seed.wrapping_add(100 + i as u64), config.pet_blobs);
+            let field =
+                PetField::new(&atlas, config.seed.wrapping_add(100 + i as u64), config.pet_blobs);
             let study_id = next_study;
             next_study += 1;
             load_study(
@@ -164,9 +166,7 @@ fn register_geometry_ops(db: &mut Database, config: &QbismConfig) {
     let codec = config.region_codec;
     db.register_udf("fullregion", move |_, args| {
         if !args.is_empty() {
-            return Err(qbism_starburst::DbError::Binding(
-                "fullRegion takes no arguments".into(),
-            ));
+            return Err(qbism_starburst::DbError::Binding("fullRegion takes no arguments".into()));
         }
         codec
             .encode(&Region::full(geom))
@@ -181,16 +181,12 @@ fn register_geometry_ops(db: &mut Database, config: &QbismConfig) {
         }
         let mut c = [0u32; 6];
         for (slot, a) in c.iter_mut().zip(args) {
-            *slot = a
-                .as_i64()
-                .filter(|v| *v >= 0)
-                .map(|v| v as u32)
-                .ok_or_else(|| {
-                    qbism_starburst::DbError::Type("boxRegion wants non-negative ints".into())
-                })?;
+            *slot = a.as_i64().filter(|v| *v >= 0).map(|v| v as u32).ok_or_else(|| {
+                qbism_starburst::DbError::Type("boxRegion wants non-negative ints".into())
+            })?;
         }
-        let region = Region::from_box(geom, [c[0], c[1], c[2]], [c[3], c[4], c[5]])
-            .ok_or_else(|| {
+        let region =
+            Region::from_box(geom, [c[0], c[1], c[2]], [c[3], c[4], c[5]]).ok_or_else(|| {
                 qbism_starburst::DbError::Exec("boxRegion corners outside the grid".into())
             })?;
         codec
@@ -208,10 +204,7 @@ fn load_neuro_catalog(db: &mut Database, atlas: &PhantomAtlas) -> Result<()> {
     }
     for (idx, s) in atlas.structures().iter().enumerate() {
         let structure_id = (idx + 1) as i64;
-        db.insert_row(
-            "neuralstructure",
-            vec![Value::Int(structure_id), Value::from(s.name)],
-        )?;
+        db.insert_row("neuralstructure", vec![Value::Int(structure_id), Value::from(s.name)])?;
         // Membership: hippocampi in limbic, putamina+caudate in motor,
         // hemispheres in visual (coarse but queryable).
         let system = match s.name {
@@ -301,11 +294,7 @@ fn load_study<F: qbism_phantom::ScalarField3>(
 
 /// Looks up a structure's 1-based id by name in the phantom atlas order.
 pub fn structure_id_by_name(atlas: &PhantomAtlas, name: &str) -> Option<i64> {
-    atlas
-        .structures()
-        .iter()
-        .position(|s: &AtlasStructure| s.name == name)
-        .map(|i| (i + 1) as i64)
+    atlas.structures().iter().position(|s: &AtlasStructure| s.name == name).map(|i| (i + 1) as i64)
 }
 
 #[cfg(test)]
@@ -381,7 +370,8 @@ mod tests {
     fn install_is_deterministic() {
         let mut a = system();
         let mut b = system();
-        let q = "select extractVoxels(wv.data, fullRegion()) from warpedVolume wv where wv.studyId = 1";
+        let q =
+            "select extractVoxels(wv.data, fullRegion()) from warpedVolume wv where wv.studyId = 1";
         let ra = a.server.database().query(q).unwrap();
         let rb = b.server.database().query(q).unwrap();
         assert_eq!(ra.rows(), rb.rows());

@@ -86,10 +86,7 @@ pub fn mine_associations(
         .into_iter()
         .collect();
     let count = |items: &[&Item]| -> usize {
-        transactions
-            .iter()
-            .filter(|t| items.iter().all(|i| t.contains(*i)))
-            .count()
+        transactions.iter().filter(|t| items.iter().all(|i| t.contains(*i))).count()
     };
     let mut rules = Vec::new();
     // Antecedent size 1 and 2, single consequent, all distinct.
@@ -98,7 +95,16 @@ pub fn mine_associations(
             if c == a1 {
                 continue;
             }
-            push_rule(&mut rules, vec![a1.clone()], c.clone(), count(&[a1]), count(&[a1, c]), n, min_support, min_confidence);
+            push_rule(
+                &mut rules,
+                vec![a1.clone()],
+                c.clone(),
+                count(&[a1]),
+                count(&[a1, c]),
+                n,
+                min_support,
+                min_confidence,
+            );
         }
         for a2 in all_items.iter().skip(i + 1) {
             for c in &all_items {
@@ -189,11 +195,9 @@ mod tests {
         assert_eq!(rule.confidence, 1.0);
         assert_eq!(rule.support, 0.5);
         // The reverse direction has lower confidence (3/4 hot are not all F).
-        assert!(!rules
-            .iter()
-            .any(|r| r.antecedent == vec!["hot:x".to_string()]
-                && r.consequent == "sex=F"
-                && r.confidence >= 0.9));
+        assert!(!rules.iter().any(|r| r.antecedent == vec!["hot:x".to_string()]
+            && r.consequent == "sex=F"
+            && r.confidence >= 0.9));
     }
 
     #[test]
@@ -235,13 +239,14 @@ mod tests {
 
     #[test]
     fn study_transactions_from_the_live_system() {
-        let mut sys = QbismSystem::install(&QbismConfig { pet_studies: 3, ..QbismConfig::small_test() })
-            .expect("install");
+        let mut sys =
+            QbismSystem::install(&QbismConfig { pet_studies: 3, ..QbismConfig::small_test() })
+                .expect("install");
         let ids = sys.pet_study_ids.clone();
         let mut txs = Vec::new();
         for &id in &ids {
-            let items = study_items(&mut sys.server, id, &["ntal", "thalamus"], 60.0)
-                .expect("items");
+            let items =
+                study_items(&mut sys.server, id, &["ntal", "thalamus"], 60.0).expect("items");
             // Demographics always present.
             assert!(items.iter().any(|i| i.starts_with("sex=")));
             assert!(items.iter().any(|i| i.starts_with("age")));

@@ -35,8 +35,7 @@ fn fetch_region(ctx: &mut UdfContext<'_>, v: &Value) -> Result<Region, DbError> 
             )))
         }
     };
-    RegionCodec::decode(&bytes)
-        .map_err(|e| DbError::Exec(format!("malformed REGION operand: {e}")))
+    RegionCodec::decode(&bytes).map_err(|e| DbError::Exec(format!("malformed REGION operand: {e}")))
 }
 
 fn region_result(region: &Region, codec: RegionCodec) -> Result<Value, DbError> {
@@ -97,11 +96,7 @@ pub fn register_spatial_ops(db: &mut Database, codec: RegionCodec) {
         // The run-aligned piece read: one contiguous byte extent per run
         // because the volume shares the region's curve order.  This is
         // the I/O path whose page counts Table 3 reports.
-        let pieces: Vec<(u64, u64)> = region
-            .runs()
-            .iter()
-            .map(|r| (r.start, r.len()))
-            .collect();
+        let pieces: Vec<(u64, u64)> = region.runs().iter().map(|r| (r.start, r.len())).collect();
         let mut values = Vec::with_capacity(region.voxel_count() as usize);
         ctx.lfm.read_pieces_into(volume_id, &pieces, &mut values)?;
         let dr = DataRegion::new(region, values);
@@ -115,10 +110,7 @@ fn expect_arity(name: &str, args: &[Value], want: usize) -> Result<(), DbError> 
     if args.len() == want {
         Ok(())
     } else {
-        Err(DbError::Binding(format!(
-            "{name} takes {want} arguments, got {}",
-            args.len()
-        )))
+        Err(DbError::Binding(format!("{name} takes {want} arguments, got {}", args.len())))
     }
 }
 
@@ -193,9 +185,7 @@ mod tests {
     fn nested_operators_compose() {
         // The paper's mixed-query shape: extract inside an intersection.
         let (mut db, a, b, vol) = setup();
-        let rs = db
-            .query("select extractVoxels(t.vol, intersection(t.r1, t.r2)) from t")
-            .unwrap();
+        let rs = db.query("select extractVoxels(t.vol, intersection(t.r1, t.r2)) from t").unwrap();
         let dr = decode_data_region(rs.rows()[0][0].as_bytes().unwrap()).unwrap();
         assert_eq!(dr, vol.extract(&a.intersect(&b)).unwrap());
     }
@@ -220,10 +210,7 @@ mod tests {
             db.query("select intersection(t.id, t.r1) from t"),
             Err(DbError::Type(_))
         ));
-        assert!(matches!(
-            db.query("select extractVoxels(t.r1) from t"),
-            Err(DbError::Binding(_))
-        ));
+        assert!(matches!(db.query("select extractVoxels(t.r1) from t"), Err(DbError::Binding(_))));
         assert!(matches!(
             db.query("select extractVoxels(t.r1, t.r1) from t"),
             Err(DbError::Exec(_)) // r1 is a region, not a full volume
@@ -237,9 +224,6 @@ mod tests {
         db.execute("create table t (r long)").unwrap();
         let junk = db.create_long_field(&[1, 2, 3]).unwrap();
         db.insert_row("t", vec![junk]).unwrap();
-        assert!(matches!(
-            db.query("select regionVoxels(t.r) from t"),
-            Err(DbError::Exec(_))
-        ));
+        assert!(matches!(db.query("select regionVoxels(t.r) from t"), Err(DbError::Exec(_))));
     }
 }

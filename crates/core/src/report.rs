@@ -103,7 +103,11 @@ const OTHER_SIM_SECONDS: f64 = 3.7;
 const FRAME: usize = 256;
 
 /// Executes one query through the entire pipeline.
-pub fn run_full_query(sys: &mut QbismSystem, study_id: i64, spec: &QuerySpec) -> Result<FullQueryReport> {
+pub fn run_full_query(
+    sys: &mut QbismSystem,
+    study_id: i64,
+    spec: &QuerySpec,
+) -> Result<FullQueryReport> {
     // "Other": the atlas/patient catalog query that precedes every
     // spatial query (its native cost is folded into the constant).
     let _info = sys.server.atlas_info(study_id)?;
@@ -133,11 +137,8 @@ pub fn run_full_query(sys: &mut QbismSystem, study_id: i64, spec: &QuerySpec) ->
     let cost = answer.cost;
     let import_sim = dx.import_seconds(voxels);
     let render_sim = dx.render_seconds(voxels);
-    let total = cost.sim_db_seconds
-        + cost.sim_net_seconds
-        + import_sim
-        + render_sim
-        + OTHER_SIM_SECONDS;
+    let total =
+        cost.sim_db_seconds + cost.sim_net_seconds + import_sim + render_sim + OTHER_SIM_SECONDS;
     Ok(FullQueryReport {
         label: spec.label(),
         h_runs: answer.run_count(),
@@ -179,8 +180,17 @@ impl FullQueryReport {
     pub fn table3_header() -> String {
         format!(
             "{:<28} {:>8} {:>9} {:>6} {:>8} {:>7} {:>8} {:>8} {:>8} {:>7} {:>7}",
-            "query", "h-runs", "voxels", "I/Os", "db(s)", "msgs", "net(s)", "imp(s)", "rend(s)",
-            "oth(s)", "tot(s)"
+            "query",
+            "h-runs",
+            "voxels",
+            "I/Os",
+            "db(s)",
+            "msgs",
+            "net(s)",
+            "imp(s)",
+            "rend(s)",
+            "oth(s)",
+            "tot(s)"
         )
     }
 }
@@ -306,8 +316,11 @@ mod tests {
         assert!(was_cached, "second run must hit the cache");
         assert_eq!(second.lfm_ios, 0);
         assert_eq!(second.messages, 0);
-        assert_eq!(sys.server.lfm_stats().pages_read, before.pages_read,
-            "no device I/O on a cache hit");
+        assert_eq!(
+            sys.server.lfm_stats().pages_read,
+            before.pages_read,
+            "no device I/O on a cache hit"
+        );
         assert_eq!(second.voxels, first.voxels);
         assert!(second.total_sim_seconds < first.total_sim_seconds);
         // Flushing restores the measured-run protocol.

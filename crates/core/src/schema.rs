@@ -33,9 +33,7 @@ pub fn create_schema(db: &mut Database) -> Result<()> {
         )",
     )?;
     db.execute("create table neuralSystem (systemId int, systemName string)")?;
-    db.execute(
-        "create table neuralStructure (structureId int, structureName string)",
-    )?;
+    db.execute("create table neuralStructure (structureId int, structureName string)")?;
     // m:n relationship "comprises" between systems and structures.
     db.execute("create table systemStructure (systemId int, structureId int)")?;
     db.execute("create table patient (patientId int, name string, age int, sex string)")?;

@@ -17,12 +17,13 @@ use crate::wire::{data_region_wire_size, decode_data_region};
 use crate::{QbismError, Result};
 use qbism_lfm::{DiskModel, IoStats};
 use qbism_netsim::NetworkModel;
+use qbism_obs::trace;
 use qbism_region::{Region, RegionCodec};
 use qbism_starburst::{Database, Value};
 use qbism_volume::{DataRegion, Volume};
 
 /// Cost accounting for one executed query.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct QueryCost {
     /// LFM I/O performed by the query (the "LFM Disk I/Os (4KB)" column).
     pub lfm: IoStats,
@@ -38,6 +39,21 @@ pub struct QueryCost {
     pub messages: u64,
     /// Simulated network real time.
     pub sim_net_seconds: f64,
+}
+
+impl QueryCost {
+    /// Field-wise accumulation: folds `other`'s costs into `self`.
+    /// Multi-statement query classes (the population aggregate, the
+    /// intensity-range union) sum their per-statement brackets with this.
+    pub fn accumulate(&mut self, other: &QueryCost) {
+        self.lfm = self.lfm.plus(&other.lfm);
+        self.rows_scanned += other.rows_scanned;
+        self.native_db_seconds += other.native_db_seconds;
+        self.sim_db_seconds += other.sim_db_seconds;
+        self.wire_bytes += other.wire_bytes;
+        self.messages += other.messages;
+        self.sim_net_seconds += other.sim_net_seconds;
+    }
 }
 
 /// A spatially restricted answer plus its costs.
@@ -61,12 +77,68 @@ impl QueryAnswer {
     }
 }
 
+/// Pre-resolved observability handles for one query class, so the
+/// per-query cost is a histogram observe and a counter add rather than
+/// four registry-map lookups.
+struct QueryClassMetrics {
+    seconds: qbism_obs::Histogram,
+    total: qbism_obs::Counter,
+}
+
+/// Handles shared by every query class.
+struct ServerMetrics {
+    wire_bytes: qbism_obs::Counter,
+    rows_scanned: qbism_obs::Counter,
+    classes: std::collections::HashMap<&'static str, QueryClassMetrics>,
+}
+
+/// The Section 3.4 query classes `finish_query` reports under.
+const QUERY_CLASSES: [&str; 8] = [
+    "full_study",
+    "box",
+    "structure",
+    "band",
+    "intensity_range",
+    "band_in_structure",
+    "multi_study_band",
+    "population_average",
+];
+
+impl ServerMetrics {
+    fn new() -> Self {
+        let reg = qbism_obs::global();
+        reg.describe("qbism_query_seconds", "Native database seconds per query, by class.");
+        reg.describe("qbism_query_total", "Queries answered, by class.");
+        reg.describe("qbism_query_wire_bytes_total", "Answer payload bytes shipped to DX.");
+        reg.describe("qbism_query_rows_scanned_total", "Base tuples scanned by server queries.");
+        let classes = QUERY_CLASSES
+            .iter()
+            .map(|&class| {
+                let labels = [("class", class)];
+                (
+                    class,
+                    QueryClassMetrics {
+                        seconds: reg.histogram_with("qbism_query_seconds", &labels),
+                        total: reg.counter_with("qbism_query_total", &labels),
+                    },
+                )
+            })
+            .collect();
+        ServerMetrics {
+            wire_bytes: reg.counter("qbism_query_wire_bytes_total"),
+            rows_scanned: reg.counter("qbism_query_rows_scanned_total"),
+            classes,
+        }
+    }
+}
+
 /// The query front end over a populated database.
 pub struct MedicalServer {
     db: Database,
     config: QbismConfig,
     disk: DiskModel,
     net: NetworkModel,
+    metrics: ServerMetrics,
 }
 
 impl MedicalServer {
@@ -77,12 +149,25 @@ impl MedicalServer {
             config,
             disk: DiskModel::RS6000_1994,
             net: NetworkModel::TESTBED_1994,
+            metrics: ServerMetrics::new(),
         }
     }
 
     /// The active configuration.
     pub fn config(&self) -> &QbismConfig {
         &self.config
+    }
+
+    /// The process-wide metrics registry (scrape with
+    /// `render_prometheus()` / `snapshot_json()`).
+    pub fn metrics(&self) -> &'static qbism_obs::Registry {
+        qbism_obs::global()
+    }
+
+    /// The EXPLAIN ANALYZE-style span tree of the most recent query on
+    /// this process, if tracing is enabled.
+    pub fn last_query_trace(&self) -> Option<qbism_obs::SpanNode> {
+        qbism_obs::trace::last_root()
     }
 
     /// Direct database access (examples, tests, ad-hoc SQL).
@@ -101,45 +186,64 @@ impl MedicalServer {
 
     /// Q1: "show a full PET study" — the flat-file reference point.
     pub fn full_study(&mut self, study_id: i64) -> Result<QueryAnswer> {
-        self.extract_with_sql(&format!(
+        let span = Self::query_span("full_study");
+        span.record_i64("study_id", study_id);
+        let answer = self.extract_with_sql(&format!(
             "select extractVoxels(wv.data, fullRegion())
              from warpedVolume wv
              where wv.studyId = {study_id} and wv.atlasId = {ATLAS_ID}"
-        ))
+        ))?;
+        self.finish_query(&span, "full_study", &answer.cost);
+        Ok(answer)
     }
 
     /// Q2-style spatial query: data inside a rectangular solid.
     pub fn box_data(&mut self, study_id: i64, min: [u32; 3], max: [u32; 3]) -> Result<QueryAnswer> {
-        self.extract_with_sql(&format!(
+        let span = Self::query_span("box");
+        span.record_i64("study_id", study_id);
+        let answer = self.extract_with_sql(&format!(
             "select extractVoxels(wv.data, boxRegion({}, {}, {}, {}, {}, {}))
              from warpedVolume wv
              where wv.studyId = {study_id} and wv.atlasId = {ATLAS_ID}",
             min[0], min[1], min[2], max[0], max[1], max[2]
-        ))
+        ))?;
+        self.finish_query(&span, "box", &answer.cost);
+        Ok(answer)
     }
 
     /// Q3/Q4-style spatial query: data inside a named structure — the
     /// exact Section 3.4 query pair.
     pub fn structure_data(&mut self, study_id: i64, structure: &str) -> Result<QueryAnswer> {
-        self.extract_with_sql(&format!(
+        let span = Self::query_span("structure");
+        span.record_i64("study_id", study_id);
+        span.record_str("structure", structure);
+        let answer = self.extract_with_sql(&format!(
             "select extractVoxels(wv.data, ast.region)
              from warpedVolume wv, atlasStructure ast, neuralStructure ns
              where wv.studyId = {study_id} and wv.atlasId = {ATLAS_ID} and
                    ast.atlasId = {ATLAS_ID} and
                    ast.structureId = ns.structureId and
                    ns.structureName = '{structure}'"
-        ))
+        ))?;
+        self.finish_query(&span, "structure", &answer.cost);
+        Ok(answer)
     }
 
     /// Q5-style attribute query: data within a stored intensity band.
     pub fn band_data(&mut self, study_id: i64, lo: u8, hi: u8) -> Result<QueryAnswer> {
-        self.extract_with_sql(&format!(
+        let span = Self::query_span("band");
+        span.record_i64("study_id", study_id);
+        span.record_u64("lo", u64::from(lo));
+        span.record_u64("hi", u64::from(hi));
+        let answer = self.extract_with_sql(&format!(
             "select extractVoxels(wv.data, b.region)
              from warpedVolume wv, intensityBand b
              where wv.studyId = {study_id} and b.studyId = {study_id} and
                    wv.atlasId = {ATLAS_ID} and
                    b.lo = {lo} and b.hi = {hi}"
-        ))
+        ))?;
+        self.finish_query(&span, "band", &answer.cost);
+        Ok(answer)
     }
 
     /// Attribute query over an *arbitrary* intensity range — an
@@ -155,6 +259,10 @@ impl MedicalServer {
         if lo > hi {
             return Err(QbismError::NotFound(format!("empty intensity range {lo}-{hi}")));
         }
+        let span = Self::query_span("intensity_range");
+        span.record_i64("study_id", study_id);
+        span.record_u64("lo", u64::from(lo));
+        span.record_u64("hi", u64::from(hi));
         let width = self.config.band_width;
         let first_band = u16::from(lo) / width;
         let last_band = u16::from(hi) / width;
@@ -170,7 +278,8 @@ impl MedicalServer {
         }
         region_expr.push_str(&")".repeat(n.saturating_sub(1)));
         let mut from = vec!["warpedVolume wv".to_string()];
-        let mut preds = vec![format!("wv.studyId = {study_id}"), format!("wv.atlasId = {ATLAS_ID}")];
+        let mut preds =
+            vec![format!("wv.studyId = {study_id}"), format!("wv.atlasId = {ATLAS_ID}")];
         for (i, band) in (first_band..=last_band).enumerate() {
             from.push(format!("intensityBand b{}", i + 1));
             preds.push(format!("b{}.studyId = {study_id}", i + 1));
@@ -188,6 +297,7 @@ impl MedicalServer {
         answer.cost.messages = self.net.messages_for(answer.cost.wire_bytes);
         answer.cost.sim_net_seconds = self.net.seconds_for(answer.cost.wire_bytes);
         answer.data = exact;
+        self.finish_query(&span, "intensity_range", &answer.cost);
         Ok(answer)
     }
 
@@ -201,7 +311,12 @@ impl MedicalServer {
         hi: u8,
         structure: &str,
     ) -> Result<QueryAnswer> {
-        self.extract_with_sql(&format!(
+        let span = Self::query_span("band_in_structure");
+        span.record_i64("study_id", study_id);
+        span.record_u64("lo", u64::from(lo));
+        span.record_u64("hi", u64::from(hi));
+        span.record_str("structure", structure);
+        let answer = self.extract_with_sql(&format!(
             "select extractVoxels(wv.data, intersection(b.region, ast.region))
              from warpedVolume wv, intensityBand b, atlasStructure ast, neuralStructure ns
              where wv.studyId = {study_id} and b.studyId = {study_id} and
@@ -209,7 +324,9 @@ impl MedicalServer {
                    b.lo = {lo} and b.hi = {hi} and
                    ast.structureId = ns.structureId and
                    ns.structureName = '{structure}'"
-        ))
+        ))?;
+        self.finish_query(&span, "band_in_structure", &answer.cost);
+        Ok(answer)
     }
 
     /// Table 4's multi-study query: the REGION where *all* the given
@@ -224,6 +341,10 @@ impl MedicalServer {
         if study_ids.is_empty() {
             return Err(QbismError::NotFound("no studies given".into()));
         }
+        let span = Self::query_span("multi_study_band");
+        span.record_u64("studies", study_ids.len() as u64);
+        span.record_u64("lo", u64::from(lo));
+        span.record_u64("hi", u64::from(hi));
         // Build: select intersection(b1.region, intersection(..)) from
         // intensityBand b1, ... where bi.studyId = .. and bi.lo = ..
         let mut select = String::new();
@@ -235,18 +356,15 @@ impl MedicalServer {
             }
         }
         select.push_str(&")".repeat(study_ids.len() - 1));
-        let from: Vec<String> = (1..=study_ids.len()).map(|i| format!("intensityBand b{i}")).collect();
+        let from: Vec<String> =
+            (1..=study_ids.len()).map(|i| format!("intensityBand b{i}")).collect();
         let mut preds: Vec<String> = Vec::new();
         for (i, id) in study_ids.iter().enumerate() {
             preds.push(format!("b{}.studyId = {id}", i + 1));
             preds.push(format!("b{}.lo = {lo}", i + 1));
             preds.push(format!("b{}.hi = {hi}", i + 1));
         }
-        let sql = format!(
-            "select {select} from {} where {}",
-            from.join(", "),
-            preds.join(" and ")
-        );
+        let sql = format!("select {select} from {} where {}", from.join(", "), preds.join(" and "));
         let (value, mut cost_partial) = self.run_measured(&sql)?;
         // One study degenerates to the stored band REGION handle; more
         // studies produce an immediate intersection value.
@@ -266,7 +384,9 @@ impl MedicalServer {
         };
         let region = RegionCodec::decode(&bytes)?;
         let wire_bytes = bytes.len() as u64;
-        Ok((region, self.finish_cost(cost_partial, wire_bytes)))
+        let cost = self.finish_cost(cost_partial, wire_bytes);
+        self.finish_query(&span, "multi_study_band", &cost);
+        Ok((region, cost))
     }
 
     /// The Section 6.4 aggregate: voxel-wise average intensity inside a
@@ -282,30 +402,37 @@ impl MedicalServer {
         if study_ids.is_empty() {
             return Err(QbismError::NotFound("no studies given".into()));
         }
-        let start = std::time::Instant::now();
-        let before = self.db.lfm_stats();
-        let mut rows_scanned = 0u64;
+        let span = Self::query_span("population_average");
+        span.record_u64("studies", study_ids.len() as u64);
+        span.record_str("structure", structure);
+        // Per-study measured extraction, folded into one cost.
+        let mut cost = QueryCost::default();
         let mut extracts: Vec<DataRegion<u8>> = Vec::with_capacity(study_ids.len());
         for id in study_ids {
-            let rs = self.db.query(&format!(
-                "select extractVoxels(wv.data, ast.region)
-                 from warpedVolume wv, atlasStructure ast, neuralStructure ns
-                 where wv.studyId = {id} and wv.atlasId = {ATLAS_ID} and
-                       ast.atlasId = {ATLAS_ID} and
-                       ast.structureId = ns.structureId and
-                       ns.structureName = '{structure}'"
-            ))?;
-            rows_scanned += rs.rows_scanned;
-            let v = rs
-                .single_value()
-                .map_err(|_| QbismError::NotFound(format!("study {id} / {structure}")))?
-                .clone();
-            let bytes = v
+            let (value, partial) = self
+                .run_measured(&format!(
+                    "select extractVoxels(wv.data, ast.region)
+                     from warpedVolume wv, atlasStructure ast, neuralStructure ns
+                     where wv.studyId = {id} and wv.atlasId = {ATLAS_ID} and
+                           ast.atlasId = {ATLAS_ID} and
+                           ast.structureId = ns.structureId and
+                           ns.structureName = '{structure}'"
+                ))
+                .map_err(|e| match e {
+                    QbismError::NotFound(_) => {
+                        QbismError::NotFound(format!("study {id} / {structure}"))
+                    }
+                    other => other,
+                })?;
+            cost.accumulate(&self.finish_cost(partial, 0));
+            let bytes = value
                 .as_bytes()
                 .ok_or_else(|| QbismError::Wire("extract returned a non-bytes value".into()))?;
             extracts.push(decode_data_region(bytes)?);
         }
-        // Voxel-wise mean across the aligned extractions.
+        // Voxel-wise mean across the aligned extractions (server CPU,
+        // still part of the database phase).
+        let start = std::time::Instant::now();
         let region = extracts[0].region().clone();
         let n = extracts.len() as u32;
         let mut values = Vec::with_capacity(extracts[0].voxel_count());
@@ -314,18 +441,15 @@ impl MedicalServer {
             values.push((sum / n) as u8);
         }
         let data = DataRegion::new(region, values);
-        let native = start.elapsed().as_secs_f64();
-        let lfm = self.db.lfm_stats().since(&before);
+        let mean_seconds = start.elapsed().as_secs_f64();
+        cost.native_db_seconds += mean_seconds;
+        cost.sim_db_seconds += mean_seconds;
+        // Only the final averaged DATA_REGION crosses the wire.
         let wire_bytes = data_region_wire_size(&data);
-        let cost = QueryCost {
-            lfm,
-            rows_scanned,
-            native_db_seconds: native,
-            sim_db_seconds: self.disk.seconds(&lfm) + native,
-            wire_bytes,
-            messages: self.net.messages_for(wire_bytes),
-            sim_net_seconds: self.net.seconds_for(wire_bytes),
-        };
+        cost.wire_bytes = wire_bytes;
+        cost.messages = self.net.messages_for(wire_bytes);
+        cost.sim_net_seconds = self.net.seconds_for(wire_bytes);
+        self.finish_query(&span, "population_average", &cost);
         Ok(QueryAnswer { data, cost })
     }
 
@@ -333,6 +457,8 @@ impl MedicalServer {
     /// information needed for rendering and annotation.  Returns the
     /// (columns, row) of the catalog lookup.
     pub fn atlas_info(&mut self, study_id: i64) -> Result<Vec<Value>> {
+        let span = Self::query_span("atlas_info");
+        span.record_i64("study_id", study_id);
         let rs = self.db.query(&format!(
             "select a.n, a.x0, a.y0, a.z0, a.dx, a.dy, a.dz,
                     a.atlasId, p.name, p.patientId, rv.date
@@ -341,15 +467,14 @@ impl MedicalServer {
                    rv.patientId = p.patientId and rv.studyId = {study_id} and
                    a.atlasName = 'Talairach'"
         ))?;
-        rs.rows()
-            .first()
-            .cloned()
-            .ok_or_else(|| QbismError::NotFound(format!("study {study_id}")))
+        rs.rows().first().cloned().ok_or_else(|| QbismError::NotFound(format!("study {study_id}")))
     }
 
     /// Loads a warped VOLUME fully (used by rendering examples to
     /// texture meshes).  Charged as ordinary LFM reads.
     pub fn warped_volume(&mut self, study_id: i64) -> Result<Volume> {
+        let span = Self::query_span("warped_volume");
+        span.record_i64("study_id", study_id);
         let rs = self.db.query(&format!(
             "select wv.data from warpedVolume wv
              where wv.studyId = {study_id} and wv.atlasId = {ATLAS_ID}"
@@ -365,6 +490,8 @@ impl MedicalServer {
 
     /// Loads a structure's stored surface mesh.
     pub fn structure_mesh(&mut self, structure: &str) -> Result<qbism_geometry::TriMesh> {
+        let span = Self::query_span("structure_mesh");
+        span.record_str("structure", structure);
         let rs = self.db.query(&format!(
             "select ast.surface from atlasStructure ast, neuralStructure ns
              where ast.structureId = ns.structureId and ast.atlasId = {ATLAS_ID} and
@@ -381,6 +508,8 @@ impl MedicalServer {
 
     /// Loads a structure's stored volumetric REGION.
     pub fn structure_region(&mut self, structure: &str) -> Result<Region> {
+        let span = Self::query_span("structure_region");
+        span.record_str("structure", structure);
         let rs = self.db.query(&format!(
             "select ast.region from atlasStructure ast, neuralStructure ns
              where ast.structureId = ns.structureId and ast.atlasId = {ATLAS_ID} and
@@ -399,6 +528,45 @@ impl MedicalServer {
     // Internals
     // ----------------------------------------------------------------
 
+    /// Opens the per-class root span for a query method.
+    fn query_span(class: &str) -> trace::SpanGuard {
+        if !qbism_obs::enabled() {
+            return trace::root("");
+        }
+        trace::root(format!("query.{class}"))
+    }
+
+    /// Records a finished query's costs on its span and in the global
+    /// per-class metrics.
+    fn finish_query(&self, span: &trace::SpanGuard, class: &str, cost: &QueryCost) {
+        if !qbism_obs::enabled() {
+            return;
+        }
+        match self.metrics.classes.get(class) {
+            Some(m) => {
+                m.seconds.observe(cost.native_db_seconds);
+                m.total.inc();
+            }
+            None => {
+                // Unknown class (future query kinds): fall back to the
+                // registry so nothing is silently dropped.
+                let reg = qbism_obs::global();
+                reg.histogram_with("qbism_query_seconds", &[("class", class)])
+                    .observe(cost.native_db_seconds);
+                reg.counter_with("qbism_query_total", &[("class", class)]).inc();
+            }
+        }
+        self.metrics.wire_bytes.add(cost.wire_bytes);
+        self.metrics.rows_scanned.add(cost.rows_scanned);
+        span.record_u64("lfm_pages_read", cost.lfm.pages_read);
+        span.record_u64("lfm_extents_read", cost.lfm.extents_read);
+        span.record_u64("rows_scanned", cost.rows_scanned);
+        span.record_u64("wire_bytes", cost.wire_bytes);
+        span.record_u64("messages", cost.messages);
+        span.record_f64("sim_db_s", cost.sim_db_seconds);
+        span.record_f64("sim_net_s", cost.sim_net_seconds);
+    }
+
     /// Runs a one-value SQL query under measurement brackets.
     fn run_measured(&mut self, sql: &str) -> Result<(Value, PartialCost)> {
         let before = self.db.lfm_stats();
@@ -410,10 +578,7 @@ impl MedicalServer {
             .single_value()
             .map_err(|_| QbismError::NotFound(format!("query returned {} rows", rs.len())))?
             .clone();
-        Ok((
-            value,
-            PartialCost { lfm, rows_scanned: rs.rows_scanned, native_db_seconds: native },
-        ))
+        Ok((value, PartialCost { lfm, rows_scanned: rs.rows_scanned, native_db_seconds: native }))
     }
 
     fn finish_cost(&self, partial: PartialCost, wire_bytes: u64) -> QueryCost {
@@ -578,14 +743,8 @@ mod tests {
     #[test]
     fn missing_entities_are_not_found() {
         let mut sys = system();
-        assert!(matches!(
-            sys.server.structure_data(99, "ntal"),
-            Err(QbismError::NotFound(_))
-        ));
-        assert!(matches!(
-            sys.server.structure_data(1, "amygdala"),
-            Err(QbismError::NotFound(_))
-        ));
+        assert!(matches!(sys.server.structure_data(99, "ntal"), Err(QbismError::NotFound(_))));
+        assert!(matches!(sys.server.structure_data(1, "amygdala"), Err(QbismError::NotFound(_))));
         assert!(matches!(
             sys.server.multi_study_band_region(&[], 0, 31),
             Err(QbismError::NotFound(_))

@@ -58,9 +58,7 @@ pub fn decode_data_region(bytes: &[u8]) -> Result<DataRegion<u8>> {
     if bytes.len() < 6 || bytes[..2] != DATA_REGION_MAGIC {
         return Err(QbismError::Wire("not a DATA_REGION payload".into()));
     }
-    let rlen = u32::from_le_bytes(
-        bytes[2..6].try_into().expect("4 bytes"),
-    ) as usize;
+    let rlen = u32::from_le_bytes(bytes[2..6].try_into().expect("4 bytes")) as usize;
     let region_end = 6 + rlen;
     if bytes.len() < region_end {
         return Err(QbismError::Wire("truncated DATA_REGION region part".into()));
@@ -126,20 +124,17 @@ pub fn mesh_from_long_field(bytes: &[u8]) -> Result<qbism_geometry::TriMesh> {
     let mut mesh = qbism_geometry::TriMesh::new();
     for i in 0..nv {
         let off = 8 + i * 12;
-        mesh.push_vertex(qbism_geometry::Vec3::new(
-            f32_at(off),
-            f32_at(off + 4),
-            f32_at(off + 8),
-        ));
+        mesh.push_vertex(qbism_geometry::Vec3::new(f32_at(off), f32_at(off + 4), f32_at(off + 8)));
     }
     for i in 0..nv {
         let off = 8 + nv * 12 + i * 12;
-        mesh.normals[i] =
-            qbism_geometry::Vec3::new(f32_at(off), f32_at(off + 4), f32_at(off + 8));
+        mesh.normals[i] = qbism_geometry::Vec3::new(f32_at(off), f32_at(off + 4), f32_at(off + 8));
     }
     for i in 0..nt {
         let off = 8 + nv * 24 + i * 12;
-        let idx = |k: usize| u32::from_le_bytes(bytes[off + k * 4..off + k * 4 + 4].try_into().expect("4 bytes"));
+        let idx = |k: usize| {
+            u32::from_le_bytes(bytes[off + k * 4..off + k * 4 + 4].try_into().expect("4 bytes"))
+        };
         let tri = [idx(0), idx(1), idx(2)];
         if tri.iter().any(|&t| t as usize >= nv) {
             return Err(fail("triangle index out of range"));
@@ -170,10 +165,7 @@ mod tests {
 
     #[test]
     fn volume_wrong_length_rejected() {
-        assert!(matches!(
-            volume_from_long_field(geom(), &[0u8; 100]),
-            Err(QbismError::Wire(_))
-        ));
+        assert!(matches!(volume_from_long_field(geom(), &[0u8; 100]), Err(QbismError::Wire(_))));
     }
 
     #[test]

@@ -18,10 +18,8 @@ pub struct Affine3 {
 
 impl Affine3 {
     /// The identity transform.
-    pub const IDENTITY: Affine3 = Affine3 {
-        m: [[1.0, 0.0, 0.0], [0.0, 1.0, 0.0], [0.0, 0.0, 1.0]],
-        t: Vec3::ZERO,
-    };
+    pub const IDENTITY: Affine3 =
+        Affine3 { m: [[1.0, 0.0, 0.0], [0.0, 1.0, 0.0], [0.0, 0.0, 1.0]], t: Vec3::ZERO };
 
     /// Builds from a row-major 3x3 matrix and a translation.
     pub const fn new(m: [[f64; 3]; 3], t: Vec3) -> Self {

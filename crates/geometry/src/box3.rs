@@ -26,11 +26,7 @@ impl IVec3 {
     /// The voxel centre in continuous space (voxel `(i,j,k)` spans
     /// `[i, i+1) x [j, j+1) x [k, k+1)`, so its centre is at `+0.5`).
     pub fn center(self) -> Vec3 {
-        Vec3::new(
-            f64::from(self.x) + 0.5,
-            f64::from(self.y) + 0.5,
-            f64::from(self.z) + 0.5,
-        )
+        Vec3::new(f64::from(self.x) + 0.5, f64::from(self.y) + 0.5, f64::from(self.z) + 0.5)
     }
 
     /// As a `[u32; 3]` array in `(x, y, z)` order.
@@ -129,16 +125,11 @@ impl IBox3 {
 
     /// Iterates every voxel in the box in scanline order (z fastest).
     pub fn iter(&self) -> impl Iterator<Item = IVec3> + '_ {
-        let (xs, ys, zs) = (
-            self.min.x..=self.max.x,
-            self.min.y..=self.max.y,
-            self.min.z..=self.max.z,
-        );
+        let (xs, ys, zs) =
+            (self.min.x..=self.max.x, self.min.y..=self.max.y, self.min.z..=self.max.z);
         xs.flat_map(move |x| {
             let zs = zs.clone();
-            ys.clone().flat_map(move |y| {
-                zs.clone().map(move |z| IVec3::new(x, y, z))
-            })
+            ys.clone().flat_map(move |y| zs.clone().map(move |z| IVec3::new(x, y, z)))
         })
     }
 }

@@ -69,11 +69,7 @@ impl TriMesh {
 
     /// The three corner positions of triangle `t`.
     pub fn corners(&self, t: &[u32; 3]) -> [Vec3; 3] {
-        [
-            self.vertices[t[0] as usize],
-            self.vertices[t[1] as usize],
-            self.vertices[t[2] as usize],
-        ]
+        [self.vertices[t[0] as usize], self.vertices[t[1] as usize], self.vertices[t[2] as usize]]
     }
 
     /// Axis-aligned bounding box `(min, max)`, or `None` for an empty mesh.

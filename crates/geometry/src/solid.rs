@@ -152,10 +152,7 @@ impl SolidBox {
     /// # Panics
     /// Panics if any `min` component exceeds the matching `max`.
     pub fn new(min: Vec3, max: Vec3) -> Self {
-        assert!(
-            min.x <= max.x && min.y <= max.y && min.z <= max.z,
-            "degenerate solid box"
-        );
+        assert!(min.x <= max.x && min.y <= max.y && min.z <= max.z, "degenerate solid box");
         SolidBox { min, max }
     }
 }
@@ -277,9 +274,8 @@ impl<A: Solid> Transformed<A> {
     /// # Panics
     /// Panics if `transform` is singular.
     pub fn new(base: A, transform: Affine3) -> Self {
-        let inverse = transform
-            .inverse()
-            .expect("cannot transform a solid by a singular affine map");
+        let inverse =
+            transform.inverse().expect("cannot transform a solid by a singular affine map");
         Transformed { base, inverse }
     }
 }

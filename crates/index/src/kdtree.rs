@@ -24,10 +24,7 @@ struct KdNode<T> {
 
 impl<T> std::fmt::Debug for KdTree<T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("KdTree")
-            .field("dims", &self.dims)
-            .field("len", &self.nodes.len())
-            .finish()
+        f.debug_struct("KdTree").field("dims", &self.dims).field("len", &self.nodes.len()).finish()
     }
 }
 
@@ -106,11 +103,8 @@ impl<T> KdTree<T> {
             best.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
         }
         let diff = query[node.axis] - node.point[node.axis];
-        let (near, far) = if diff <= 0.0 {
-            (node.left, node.right)
-        } else {
-            (node.right, node.left)
-        };
+        let (near, far) =
+            if diff <= 0.0 { (node.left, node.right) } else { (node.right, node.left) };
         if let Some(n) = near {
             self.nearest_rec(n, query, k, best);
         }
@@ -138,14 +132,11 @@ mod tests {
 
     fn points(n: usize, dims: usize, seed: u64) -> Vec<(Vec<f64>, usize)> {
         let mut rng = StdRng::seed_from_u64(seed);
-        (0..n)
-            .map(|i| ((0..dims).map(|_| rng.gen_range(-10.0..10.0)).collect(), i))
-            .collect()
+        (0..n).map(|i| ((0..dims).map(|_| rng.gen_range(-10.0..10.0)).collect(), i)).collect()
     }
 
     fn brute_force(items: &[(Vec<f64>, usize)], q: &[f64], k: usize) -> Vec<usize> {
-        let mut d: Vec<(f64, usize)> =
-            items.iter().map(|(p, i)| (euclid(p, q), *i)).collect();
+        let mut d: Vec<(f64, usize)> = items.iter().map(|(p, i)| (euclid(p, q), *i)).collect();
         d.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
         d.into_iter().take(k).map(|(_, i)| i).collect()
     }

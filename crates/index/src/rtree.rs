@@ -258,11 +258,8 @@ mod tests {
         let query = Aabb::new(Vec3::splat(20.0), Vec3::splat(45.0));
         let mut got: Vec<usize> = tree.search_box(&query).into_iter().copied().collect();
         got.sort_unstable();
-        let mut want: Vec<usize> = items
-            .iter()
-            .filter(|(b, _)| b.intersects(&query))
-            .map(|(_, i)| *i)
-            .collect();
+        let mut want: Vec<usize> =
+            items.iter().filter(|(b, _)| b.intersects(&query)).map(|(_, i)| *i).collect();
         want.sort_unstable();
         assert_eq!(got, want);
         assert!(!got.is_empty(), "query should hit something in this seed");
@@ -276,7 +273,8 @@ mod tests {
             (Aabb::new(Vec3::splat(20.0), Vec3::splat(30.0)), "far"),
         ];
         let tree = RTree::bulk_load(items);
-        let mut hits: Vec<&str> = tree.search_point(Vec3::splat(3.0)).into_iter().copied().collect();
+        let mut hits: Vec<&str> =
+            tree.search_point(Vec3::splat(3.0)).into_iter().copied().collect();
         hits.sort_unstable();
         assert_eq!(hits, vec!["big", "inner"]);
         assert!(tree.search_point(Vec3::splat(15.0)).is_empty());

@@ -75,10 +75,9 @@ impl std::fmt::Display for LfmError {
                 write!(f, "device full: cannot allocate {requested} bytes")
             }
             LfmError::NoSuchField(id) => write!(f, "no long field with id {id}"),
-            LfmError::OutOfBounds { field_len, offset, len } => write!(
-                f,
-                "access [{offset}, {offset}+{len}) outside field of {field_len} bytes"
-            ),
+            LfmError::OutOfBounds { field_len, offset, len } => {
+                write!(f, "access [{offset}, {offset}+{len}) outside field of {field_len} bytes")
+            }
             LfmError::BadGeometry(what) => write!(f, "bad device geometry: {what}"),
         }
     }

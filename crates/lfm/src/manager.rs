@@ -1,9 +1,59 @@
 //! The long-field store.
 
 use crate::buddy::BuddyAllocator;
-use crate::model::IoStats;
+use crate::model::{DiskModel, IoStats};
 use crate::{LfmError, Result};
+use qbism_obs::{trace, Counter, Gauge};
 use std::collections::HashMap;
+
+/// Cached handles to the global LFM metrics (Table 3/4 columns).
+#[derive(Debug, Clone)]
+struct LfmMetrics {
+    pages_read: Counter,
+    pages_written: Counter,
+    extents_read: Counter,
+    extents_written: Counter,
+    read_calls: Counter,
+    write_calls: Counter,
+    sim_disk_micros: Counter,
+    live_fields: Gauge,
+    allocated_pages: Gauge,
+}
+
+impl LfmMetrics {
+    fn new() -> LfmMetrics {
+        let reg = qbism_obs::global();
+        reg.describe(
+            "qbism_lfm_pages_read_total",
+            "Distinct 4 KiB pages read (Table 3/4 LFM Disk I/Os).",
+        );
+        reg.describe(
+            "qbism_lfm_pages_written_total",
+            "Distinct 4 KiB pages written (load-time I/O).",
+        );
+        reg.describe(
+            "qbism_lfm_extents_read_total",
+            "Sequential read extents, i.e. simulated disk seeks.",
+        );
+        reg.describe("qbism_lfm_extents_written_total", "Sequential write extents.");
+        reg.describe("qbism_lfm_read_calls_total", "LFM read calls issued.");
+        reg.describe("qbism_lfm_write_calls_total", "LFM write calls issued.");
+        reg.describe("qbism_lfm_sim_disk_micros_total", "Simulated 1994-disk time, microseconds.");
+        reg.describe("qbism_lfm_live_fields", "Long fields currently stored.");
+        reg.describe("qbism_lfm_allocated_pages", "Device pages currently allocated.");
+        LfmMetrics {
+            pages_read: reg.counter("qbism_lfm_pages_read_total"),
+            pages_written: reg.counter("qbism_lfm_pages_written_total"),
+            extents_read: reg.counter("qbism_lfm_extents_read_total"),
+            extents_written: reg.counter("qbism_lfm_extents_written_total"),
+            read_calls: reg.counter("qbism_lfm_read_calls_total"),
+            write_calls: reg.counter("qbism_lfm_write_calls_total"),
+            sim_disk_micros: reg.counter("qbism_lfm_sim_disk_micros_total"),
+            live_fields: reg.gauge("qbism_lfm_live_fields"),
+            allocated_pages: reg.gauge("qbism_lfm_allocated_pages"),
+        }
+    }
+}
 
 /// Handle to a long field, as stored in relational tuples.
 ///
@@ -37,6 +87,8 @@ pub struct LongFieldManager {
     fields: HashMap<u64, FieldDesc>,
     next_id: u64,
     stats: IoStats,
+    disk: DiskModel,
+    metrics: LfmMetrics,
 }
 
 impl LongFieldManager {
@@ -63,7 +115,40 @@ impl LongFieldManager {
             fields: HashMap::new(),
             next_id: 1,
             stats: IoStats::default(),
+            disk: DiskModel::default(),
+            metrics: LfmMetrics::new(),
         })
+    }
+
+    /// The disk model used to convert I/O deltas into simulated seconds
+    /// for the `qbism_lfm_sim_disk_micros_total` counter.
+    pub fn disk_model(&self) -> DiskModel {
+        self.disk
+    }
+
+    /// Replaces the simulated disk model.
+    pub fn set_disk_model(&mut self, model: DiskModel) {
+        self.disk = model;
+    }
+
+    /// Charges one I/O delta to both the local [`IoStats`] and the
+    /// process-wide metrics, returning the simulated disk seconds.
+    fn charge(&mut self, delta: IoStats) -> f64 {
+        self.stats = self.stats.plus(&delta);
+        self.metrics.pages_read.add(delta.pages_read);
+        self.metrics.pages_written.add(delta.pages_written);
+        self.metrics.extents_read.add(delta.extents_read);
+        self.metrics.extents_written.add(delta.extents_written);
+        self.metrics.read_calls.add(delta.read_calls);
+        self.metrics.write_calls.add(delta.write_calls);
+        let sim_seconds = self.disk.seconds(&delta);
+        self.metrics.sim_disk_micros.add((sim_seconds * 1e6) as u64);
+        sim_seconds
+    }
+
+    fn sync_gauges(&self) {
+        self.metrics.live_fields.set(self.fields.len() as i64);
+        self.metrics.allocated_pages.set(self.allocator.allocated_pages() as i64);
     }
 
     /// Device page size in bytes.
@@ -93,6 +178,7 @@ impl LongFieldManager {
 
     /// Creates a long field holding `data`, writing it to the device.
     pub fn create(&mut self, data: &[u8]) -> Result<LongFieldId> {
+        let span = trace::span("lfm.create");
         let pages_needed = (data.len() as u64).div_ceil(self.page_size as u64).max(1);
         let order = BuddyAllocator::order_for_pages(pages_needed);
         let first_page = self.allocator.allocate(order)?;
@@ -102,9 +188,15 @@ impl LongFieldManager {
         let base = first_page as usize * self.page_size;
         self.device[base..base + data.len()].copy_from_slice(data);
         // One sequential write of the touched pages.
-        self.stats.pages_written += pages_needed;
-        self.stats.extents_written += 1;
-        self.stats.write_calls += 1;
+        self.charge(IoStats {
+            pages_written: pages_needed,
+            extents_written: 1,
+            write_calls: 1,
+            ..IoStats::default()
+        });
+        self.sync_gauges();
+        span.record_u64("pages", pages_needed);
+        span.record_u64("bytes", data.len() as u64);
         Ok(LongFieldId(id))
     }
 
@@ -113,6 +205,7 @@ impl LongFieldManager {
     pub fn delete(&mut self, id: LongFieldId) -> Result<()> {
         let desc = self.fields.remove(&id.0).ok_or(LfmError::NoSuchField(id.0))?;
         self.allocator.free(desc.first_page, desc.order);
+        self.sync_gauges();
         Ok(())
     }
 
@@ -154,6 +247,7 @@ impl LongFieldManager {
         pieces: &[(u64, u64)],
         out: &mut Vec<u8>,
     ) -> Result<()> {
+        let span = trace::span("lfm.read");
         let desc = self.desc(id)?.clone();
         let mut prev_end: Option<u64> = None;
         for &(offset, len) in pieces {
@@ -196,14 +290,24 @@ impl LongFieldManager {
             };
             last_page = Some(last);
         }
-        self.stats.pages_read += pages;
-        self.stats.extents_read += extents;
-        self.stats.read_calls += 1;
+        let sim_seconds = self.charge(IoStats {
+            pages_read: pages,
+            extents_read: extents,
+            read_calls: 1,
+            ..IoStats::default()
+        });
         // Copy the bytes.
         let base = desc.first_page as usize * self.page_size;
+        let before = out.len();
         for &(offset, len) in pieces {
             let s = base + offset as usize;
             out.extend_from_slice(&self.device[s..s + len as usize]);
+        }
+        if span.is_recording() {
+            span.record_u64("pages", pages);
+            span.record_u64("extents", extents);
+            span.record_u64("bytes", (out.len() - before) as u64);
+            span.record_f64("sim_disk_s", sim_seconds);
         }
         Ok(())
     }
@@ -219,12 +323,17 @@ impl LongFieldManager {
         if len == 0 {
             return Ok(());
         }
+        let span = trace::span("lfm.write");
         let psz = self.page_size as u64;
         let first = (desc.first_page * psz + offset) / psz;
         let last = (desc.first_page * psz + offset + len - 1) / psz;
-        self.stats.pages_written += last - first + 1;
-        self.stats.extents_written += 1;
-        self.stats.write_calls += 1;
+        self.charge(IoStats {
+            pages_written: last - first + 1,
+            extents_written: 1,
+            write_calls: 1,
+            ..IoStats::default()
+        });
+        span.record_u64("pages", last - first + 1);
         let base = desc.first_page as usize * self.page_size + offset as usize;
         self.device[base..base + data.len()].copy_from_slice(data);
         Ok(())
@@ -299,12 +408,7 @@ mod tests {
         let id = lfm.create(&vec![5u8; 4096 * 64]).unwrap();
         lfm.reset_stats();
         // Pieces on pages 0, 2, 3, 9: extents {0}, {2,3}, {9} = 3 seeks.
-        let pieces = [
-            (0u64, 10u64),
-            (4096 * 2, 10),
-            (4096 * 3, 10),
-            (4096 * 9 + 100, 10),
-        ];
+        let pieces = [(0u64, 10u64), (4096 * 2, 10), (4096 * 3, 10), (4096 * 9 + 100, 10)];
         let mut out = Vec::new();
         lfm.read_pieces_into(id, &pieces, &mut out).unwrap();
         let s = lfm.stats();

@@ -67,10 +67,8 @@ pub struct DiskModel {
 impl DiskModel {
     /// The calibrated 1994 testbed disk (≈ 12 ms access, ≈ 0.66 MB/s
     /// effective unbuffered transfer).
-    pub const RS6000_1994: DiskModel = DiskModel {
-        seek_seconds: 0.012,
-        page_transfer_seconds: 0.0060,
-    };
+    pub const RS6000_1994: DiskModel =
+        DiskModel { seek_seconds: 0.012, page_transfer_seconds: 0.0060 };
 
     /// Simulated seconds for a set of counters (reads and writes share
     /// the same cost structure).
@@ -93,8 +91,22 @@ mod tests {
 
     #[test]
     fn since_and_plus_are_inverse() {
-        let a = IoStats { pages_read: 10, pages_written: 2, extents_read: 3, extents_written: 1, read_calls: 4, write_calls: 1 };
-        let b = IoStats { pages_read: 25, pages_written: 2, extents_read: 9, extents_written: 1, read_calls: 9, write_calls: 1 };
+        let a = IoStats {
+            pages_read: 10,
+            pages_written: 2,
+            extents_read: 3,
+            extents_written: 1,
+            read_calls: 4,
+            write_calls: 1,
+        };
+        let b = IoStats {
+            pages_read: 25,
+            pages_written: 2,
+            extents_read: 9,
+            extents_written: 1,
+            read_calls: 9,
+            write_calls: 1,
+        };
         let d = b.since(&a);
         assert_eq!(d.pages_read, 15);
         assert_eq!(d.extents_read, 6);

@@ -105,10 +105,44 @@ impl RpcChannel {
     /// Returns the message count of this answer.
     pub fn ship(&mut self, payload_bytes: u64) -> u64 {
         let msgs = self.model.messages_for(payload_bytes);
+        let seconds = self.model.seconds_for(payload_bytes);
         self.stats.messages += msgs;
         self.stats.bytes += payload_bytes;
-        self.stats.seconds += self.model.seconds_for(payload_bytes);
+        self.stats.seconds += seconds;
         self.stats.answers += 1;
+        if qbism_obs::enabled() {
+            // Describe and resolve once per process; per-ship cost is
+            // three relaxed atomic adds.
+            type NetCounters = (qbism_obs::Counter, qbism_obs::Counter, qbism_obs::Counter);
+            static COUNTERS: std::sync::OnceLock<NetCounters> = std::sync::OnceLock::new();
+            let (messages, bytes, micros) = COUNTERS.get_or_init(|| {
+                let reg = qbism_obs::global();
+                reg.describe(
+                    "qbism_net_messages_total",
+                    "RPC messages shipped (Table 3 IPC Messages).",
+                );
+                reg.describe(
+                    "qbism_net_wire_bytes_total",
+                    "Answer payload bytes shipped over the channel.",
+                );
+                reg.describe(
+                    "qbism_net_sim_micros_total",
+                    "Simulated 1994 network time, microseconds.",
+                );
+                (
+                    reg.counter("qbism_net_messages_total"),
+                    reg.counter("qbism_net_wire_bytes_total"),
+                    reg.counter("qbism_net_sim_micros_total"),
+                )
+            });
+            messages.add(msgs);
+            bytes.add(payload_bytes);
+            micros.add((seconds * 1e6) as u64);
+            let span = qbism_obs::trace::span("net.ship");
+            span.record_u64("bytes", payload_bytes);
+            span.record_u64("messages", msgs);
+            span.record_f64("sim_net_s", seconds);
+        }
         msgs
     }
 

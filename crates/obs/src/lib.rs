@@ -1,0 +1,95 @@
+//! Observability for the QBISM workspace: metrics, spans, exports.
+//!
+//! The paper's whole evaluation is cost accounting — Tables 3 and 4 and
+//! Figure 4 are columns of LFM 4 KiB I/Os, tuple scans, RPC messages and
+//! simulated real time.  This crate makes those costs *first-class and
+//! cumulative* instead of per-call throwaways: a process-wide
+//! [`Registry`] of atomic counters, gauges and fixed-bucket latency
+//! histograms, plus a lightweight nestable [`trace`] span facility that
+//! turns each query into an `EXPLAIN ANALYZE`-style tree of operators
+//! with their measured costs.
+//!
+//! # Metric name ↔ paper column map
+//!
+//! | metric | paper result it generalizes |
+//! |---|---|
+//! | `qbism_lfm_pages_read_total` | Table 3/4 "LFM Disk I/Os (4KB)" (query side) |
+//! | `qbism_lfm_pages_written_total` | Table 3 load-time I/O column |
+//! | `qbism_lfm_extents_read_total` | seek count feeding the §5.2 disk model |
+//! | `qbism_lfm_read_calls_total` / `qbism_lfm_write_calls_total` | LFM call volume (§5.1) |
+//! | `qbism_lfm_sim_disk_micros_total` | Table 3 "DB Time (real)" disk component |
+//! | `qbism_lfm_buddy_allocs_total` / `_frees_total` / `_splits_total` / `_coalesces_total` | §5.1 buddy scheme behaviour |
+//! | `qbism_exec_rows_total` | Table 3 "Tuples Scanned" |
+//! | `qbism_exec_selects_total` | query volume over the §3.4 SQL surface |
+//! | `qbism_udf_calls_total{udf=...}` | §3.2 operator invocations (extractVoxels, intersection, …) |
+//! | `qbism_query_seconds{class=...}` | Table 3/4 per-query-class end-to-end DB time |
+//! | `qbism_query_total{class=...}` | per-class query counts |
+//! | `qbism_query_wire_bytes_total` | Table 3 answer-size column (bytes shipped to DX) |
+//! | `qbism_net_messages_total` / `qbism_net_wire_bytes_total` / `qbism_net_sim_micros_total` | Table 3 "IPC Messages" and network "Answer Time (real)" |
+//!
+//! # Reading the span tree
+//!
+//! Every `MedicalServer` query opens a root span; the executor, the UDF
+//! operators and the LFM add child spans with their wall time and
+//! key-value fields (`rows_in`, `rows_out`, `pages`, `extents`, …).
+//! Finished roots land in a bounded ring of recent spans
+//! ([`trace::last_root`], [`trace::recent_roots`]) and render as a tree:
+//!
+//! ```text
+//! query.band_in_structure                                   3.1ms  study_id=1
+//! └─ db.execute                                             3.0ms  sql=select …
+//!    ├─ sql.parse                                          12.4µs
+//!    └─ exec.select                                         2.9ms  rows_out=1
+//!       ├─ exec.scan warpedvolume                          41.0µs  rows_in=2 rows_out=1
+//!       ├─ exec.hash_join intensityband                    55.1µs  rows_in=12 rows_out=1
+//!       └─ exec.project                                     2.7ms  rows=1
+//!          └─ udf.extractvoxels                             2.6ms
+//!             └─ lfm.read                                 801.0µs  pages=29 extents=25
+//! ```
+//!
+//! # Scraping
+//!
+//! [`Registry::render_prometheus`] emits the Prometheus text exposition
+//! format (serve it from any HTTP endpoint, or dump it after a batch
+//! run); [`Registry::snapshot_json`] is the same data as one JSON
+//! object for programmatic diffing.  Counters are monotone and
+//! **wrap** on `u64` overflow, matching Prometheus counter semantics of
+//! "rate over resets".
+//!
+//! Instrumentation is on by default and costs one relaxed atomic load
+//! when disabled via [`set_enabled`] — the harness that proves the <5 %
+//! overhead bound (`BENCH_observability.json`) flips exactly this
+//! switch.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod metrics;
+pub mod trace;
+
+pub use metrics::{global, Counter, Gauge, Histogram, Registry};
+pub use trace::SpanNode;
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static ENABLED: AtomicBool = AtomicBool::new(true);
+
+/// Whether instrumentation is currently recording.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Globally enables or disables all recording (counters, histograms and
+/// spans).  Handles stay valid; disabled operations are no-ops.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Serializes tests that read or toggle process-global state (the
+/// enabled flag, the global registry, the span ring).
+#[cfg(test)]
+pub(crate) fn test_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}

@@ -1,0 +1,421 @@
+//! Lightweight nestable timed spans — the EXPLAIN ANALYZE backbone.
+//!
+//! A span is opened with [`root`] (starts a new tree when no span is
+//! active) or [`span`] (attaches to the active span, or is discarded
+//! when none is).  Guards record key-value fields and finish on drop;
+//! finished root trees land in a bounded ring readable via
+//! [`last_root`] / [`recent_roots`] and render with
+//! [`SpanNode::render_tree`].
+
+use std::borrow::Cow;
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// How many finished root spans the ring retains.
+pub const RING_CAPACITY: usize = 32;
+
+/// A recorded field value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FieldValue {
+    /// Unsigned integer field (row counts, page counts, bytes).
+    U64(u64),
+    /// Signed integer field.
+    I64(i64),
+    /// Floating-point field (seconds, ratios).
+    F64(f64),
+    /// Short string field (SQL text, operator detail).
+    Str(String),
+}
+
+impl std::fmt::Display for FieldValue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FieldValue::U64(v) => write!(f, "{v}"),
+            FieldValue::I64(v) => write!(f, "{v}"),
+            FieldValue::F64(v) => write!(f, "{v:.3}"),
+            FieldValue::Str(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+/// A finished span: name, wall time, fields and children.
+#[derive(Debug, Clone)]
+pub struct SpanNode {
+    /// Span name, e.g. `exec.scan` or `lfm.read`.  Borrowed for the
+    /// common literal names so opening a span does not allocate.
+    pub name: Cow<'static, str>,
+    /// Wall-clock duration in seconds.
+    pub seconds: f64,
+    /// Key-value annotations recorded while the span was open.  Keys are
+    /// static so recording a field costs one `Vec` push.
+    pub fields: Vec<(&'static str, FieldValue)>,
+    /// Child spans, in open order.
+    pub children: Vec<SpanNode>,
+}
+
+impl SpanNode {
+    /// Total spans in this tree, including self.
+    pub fn span_count(&self) -> usize {
+        1 + self.children.iter().map(SpanNode::span_count).sum::<usize>()
+    }
+
+    /// Depth-first search for the first span named `name`.
+    pub fn find(&self, name: &str) -> Option<&SpanNode> {
+        if self.name == name {
+            return Some(self);
+        }
+        self.children.iter().find_map(|c| c.find(name))
+    }
+
+    /// The value of field `key` on this span, if recorded.
+    pub fn field(&self, key: &str) -> Option<&FieldValue> {
+        self.fields.iter().rev().find(|(k, _)| *k == key).map(|(_, v)| v)
+    }
+
+    /// Renders the tree with `├─`/`└─` rails, one span per line:
+    /// name, padded duration, then `key=value` fields.
+    pub fn render_tree(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out, "", "", "");
+        out
+    }
+
+    fn render_into(&self, out: &mut String, lead: &str, here: &str, below: &str) {
+        let mut label = format!("{lead}{here}{}", self.name);
+        if label.len() < 52 {
+            label.push_str(&" ".repeat(52 - label.len()));
+        }
+        let _ = write!(out, "{label} {:>10}", format_duration(self.seconds));
+        for (k, v) in &self.fields {
+            let _ = write!(out, "  {k}={v}");
+        }
+        out.push('\n');
+        let child_lead = format!("{lead}{below}");
+        for (i, child) in self.children.iter().enumerate() {
+            if i + 1 == self.children.len() {
+                child.render_into(out, &child_lead, "└─ ", "   ");
+            } else {
+                child.render_into(out, &child_lead, "├─ ", "│  ");
+            }
+        }
+    }
+}
+
+/// Human-scaled duration: `801.0µs`, `3.1ms`, `2.45s`.
+fn format_duration(seconds: f64) -> String {
+    if seconds < 1e-3 {
+        format!("{:.1}µs", seconds * 1e6)
+    } else if seconds < 1.0 {
+        format!("{:.1}ms", seconds * 1e3)
+    } else {
+        format!("{seconds:.2}s")
+    }
+}
+
+/// An open span frame on the thread-local stack.
+struct Frame {
+    name: Cow<'static, str>,
+    started: Instant,
+    fields: Vec<(&'static str, FieldValue)>,
+    children: Vec<SpanNode>,
+}
+
+thread_local! {
+    static STACK: RefCell<Vec<Frame>> = const { RefCell::new(Vec::new()) };
+}
+
+static RING: Mutex<VecDeque<SpanNode>> = Mutex::new(VecDeque::new());
+
+/// Guard for an open span; finishes (and files the result) on drop.
+///
+/// Inert guards (tracing disabled, or [`span`] with no active parent)
+/// record nothing and cost only the construction check.
+#[must_use = "a span measures the scope of its guard"]
+pub struct SpanGuard {
+    live: bool,
+    /// Root spans push the finished tree to the global ring.
+    is_root: bool,
+}
+
+impl SpanGuard {
+    fn open(name: Cow<'static, str>, is_root: bool) -> SpanGuard {
+        STACK.with(|stack| {
+            stack.borrow_mut().push(Frame {
+                name,
+                started: Instant::now(),
+                fields: Vec::new(),
+                children: Vec::new(),
+            });
+        });
+        SpanGuard { live: true, is_root }
+    }
+
+    fn inert() -> SpanGuard {
+        SpanGuard { live: false, is_root: false }
+    }
+
+    /// Whether this guard is actually recording.
+    pub fn is_recording(&self) -> bool {
+        self.live
+    }
+
+    /// Records an unsigned integer field on this span.
+    pub fn record_u64(&self, key: &'static str, value: u64) {
+        self.record(key, FieldValue::U64(value));
+    }
+
+    /// Records a signed integer field on this span.
+    pub fn record_i64(&self, key: &'static str, value: i64) {
+        self.record(key, FieldValue::I64(value));
+    }
+
+    /// Records a floating-point field on this span.
+    pub fn record_f64(&self, key: &'static str, value: f64) {
+        self.record(key, FieldValue::F64(value));
+    }
+
+    /// Records a string field on this span (truncated to 96 chars).
+    pub fn record_str(&self, key: &'static str, value: &str) {
+        let mut v = value.to_string();
+        if v.len() > 96 {
+            let mut cut = 93;
+            while !v.is_char_boundary(cut) {
+                cut -= 1;
+            }
+            v.truncate(cut);
+            v.push_str("...");
+        }
+        self.record(key, FieldValue::Str(v));
+    }
+
+    fn record(&self, key: &'static str, value: FieldValue) {
+        if !self.live {
+            return;
+        }
+        STACK.with(|stack| {
+            if let Some(frame) = stack.borrow_mut().last_mut() {
+                frame.fields.push((key, value));
+            }
+        });
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if !self.live {
+            return;
+        }
+        let node = STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            let frame = stack.pop()?;
+            let node = SpanNode {
+                name: frame.name,
+                seconds: frame.started.elapsed().as_secs_f64(),
+                fields: frame.fields,
+                children: frame.children,
+            };
+            if let Some(parent) = stack.last_mut() {
+                parent.children.push(node);
+                None
+            } else {
+                Some(node)
+            }
+        });
+        if let Some(node) = node {
+            if self.is_root {
+                let mut ring = RING.lock().expect("span ring poisoned");
+                if ring.len() >= RING_CAPACITY {
+                    ring.pop_front();
+                }
+                ring.push_back(node);
+            }
+        }
+    }
+}
+
+/// Opens a span that starts a new tree when no span is active on this
+/// thread (the finished tree is kept in the recent-roots ring), or
+/// nests under the active span otherwise.
+///
+/// Accepts `&'static str` (no allocation) or an owned `String` for
+/// dynamic names.
+pub fn root(name: impl Into<Cow<'static, str>>) -> SpanGuard {
+    if !crate::enabled() {
+        return SpanGuard::inert();
+    }
+    SpanGuard::open(name.into(), true)
+}
+
+/// Opens a child span under the currently active span.  When no span is
+/// active (or tracing is disabled) the guard is inert — interior layers
+/// like the LFM can instrument unconditionally without ever starting
+/// trees of their own.
+pub fn span(name: impl Into<Cow<'static, str>>) -> SpanGuard {
+    if !crate::enabled() {
+        return SpanGuard::inert();
+    }
+    let has_parent = STACK.with(|stack| !stack.borrow().is_empty());
+    if !has_parent {
+        return SpanGuard::inert();
+    }
+    SpanGuard::open(name.into(), false)
+}
+
+/// The most recently finished root span tree, if any.
+pub fn last_root() -> Option<SpanNode> {
+    RING.lock().expect("span ring poisoned").back().cloned()
+}
+
+/// Every retained finished root (oldest first, at most [`RING_CAPACITY`]).
+pub fn recent_roots() -> Vec<SpanNode> {
+    RING.lock().expect("span ring poisoned").iter().cloned().collect()
+}
+
+/// Empties the recent-roots ring (test isolation).
+pub fn clear() {
+    RING.lock().expect("span ring poisoned").clear();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nesting_builds_the_expected_tree() {
+        let _g = crate::test_lock();
+        clear();
+        {
+            let q = root("query.test_nesting");
+            q.record_u64("study_id", 7);
+            {
+                let ex = span("exec.select");
+                ex.record_u64("rows_out", 3);
+                {
+                    let _scan = span("exec.scan");
+                }
+                {
+                    let udf = span("udf.extractvoxels");
+                    let lfm = span("lfm.read");
+                    lfm.record_u64("pages", 29);
+                    drop(lfm);
+                    drop(udf);
+                }
+            }
+        }
+        let tree = last_root().expect("root retained");
+        assert_eq!(tree.name, "query.test_nesting");
+        assert_eq!(tree.span_count(), 5);
+        assert_eq!(tree.children.len(), 1);
+        let ex = &tree.children[0];
+        assert_eq!(ex.name, "exec.select");
+        assert_eq!(ex.children.len(), 2);
+        assert_eq!(ex.children[0].name, "exec.scan");
+        assert_eq!(ex.children[1].name, "udf.extractvoxels");
+        let lfm = tree.find("lfm.read").expect("lfm span nested");
+        assert_eq!(lfm.field("pages"), Some(&FieldValue::U64(29)));
+        // Parent durations cover child durations.
+        assert!(tree.seconds >= ex.seconds);
+    }
+
+    #[test]
+    fn orphan_child_spans_are_discarded() {
+        let _g = crate::test_lock();
+        clear();
+        {
+            let s = span("lfm.read");
+            assert!(!s.is_recording());
+            s.record_u64("pages", 1);
+        }
+        assert!(last_root().is_none());
+    }
+
+    #[test]
+    fn disabled_tracing_records_nothing() {
+        let _g = crate::test_lock();
+        clear();
+        crate::set_enabled(false);
+        {
+            let r = root("query.disabled");
+            assert!(!r.is_recording());
+        }
+        crate::set_enabled(true);
+        assert!(last_root().is_none());
+    }
+
+    #[test]
+    fn nested_root_behaves_as_child() {
+        let _g = crate::test_lock();
+        clear();
+        {
+            let _outer = root("query.outer");
+            let _inner = root("db.execute"); // root() nests when a parent exists
+        }
+        let tree = last_root().expect("one tree");
+        assert_eq!(tree.name, "query.outer");
+        assert_eq!(tree.children.len(), 1);
+        assert_eq!(tree.children[0].name, "db.execute");
+        // Only one ring entry: the inner "root" did not start its own tree.
+        assert_eq!(recent_roots().len(), 1);
+    }
+
+    #[test]
+    fn ring_is_bounded() {
+        let _g = crate::test_lock();
+        clear();
+        for i in 0..(RING_CAPACITY + 5) {
+            let r = root("query.ring");
+            r.record_u64("i", i as u64);
+        }
+        let roots = recent_roots();
+        assert_eq!(roots.len(), RING_CAPACITY);
+        // Oldest entries were evicted.
+        assert_eq!(roots[0].field("i"), Some(&FieldValue::U64(5)));
+    }
+
+    #[test]
+    fn tree_rendering_has_rails_and_durations() {
+        let _g = crate::test_lock();
+        clear();
+        {
+            let q = root("query.render");
+            q.record_str("sql", "select voxels from study");
+            let _a = span("exec.scan");
+            drop(_a);
+            let _b = span("exec.project");
+        }
+        let text = last_root().unwrap().render_tree();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("query.render"));
+        assert!(lines[0].contains("sql=select voxels from study"));
+        assert!(lines[1].contains("├─ exec.scan"));
+        assert!(lines[2].contains("└─ exec.project"));
+        for line in &lines {
+            assert!(
+                line.contains("µs") || line.contains("ms") || line.contains('s'),
+                "no duration in {line}"
+            );
+        }
+    }
+
+    #[test]
+    fn long_string_fields_are_truncated() {
+        let _g = crate::test_lock();
+        clear();
+        {
+            let q = root("query.trunc");
+            q.record_str("sql", &"x".repeat(400));
+        }
+        let tree = last_root().unwrap();
+        match tree.field("sql") {
+            Some(FieldValue::Str(s)) => {
+                assert!(s.len() <= 96);
+                assert!(s.ends_with("..."));
+            }
+            other => panic!("unexpected field {other:?}"),
+        }
+    }
+}

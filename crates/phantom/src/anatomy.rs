@@ -121,10 +121,7 @@ pub fn build_atlas(geom: GridGeometry) -> PhantomAtlas {
     )];
     specs.push((
         "ntal1",
-        Box::new(Intersection(
-            brain(),
-            HalfSpace::new(Vec3::new(-1.0, 0.0, 0.0), -0.505 * s),
-        )),
+        Box::new(Intersection(brain(), HalfSpace::new(Vec3::new(-1.0, 0.0, 0.0), -0.505 * s))),
         95.0,
     ));
     specs.push((
@@ -132,11 +129,7 @@ pub fn build_atlas(geom: GridGeometry) -> PhantomAtlas {
         Box::new(Ellipsoid::new(c(0.5, 0.72, 0.30), r(0.17, 0.12, 0.09))),
         105.0,
     ));
-    specs.push((
-        "ntal",
-        Box::new(Ellipsoid::new(c(0.5, 0.48, 0.47), r(0.16, 0.11, 0.104))),
-        150.0,
-    ));
+    specs.push(("ntal", Box::new(Ellipsoid::new(c(0.5, 0.48, 0.47), r(0.16, 0.11, 0.104))), 150.0));
     specs.push((
         "thalamus",
         Box::new(Ellipsoid::new(c(0.5, 0.55, 0.52), r(0.07, 0.055, 0.05))),
@@ -232,7 +225,8 @@ mod tests {
     #[test]
     fn deep_structures_sit_inside_a_hemisphere_or_midline() {
         let a = atlas64();
-        let brain = a.structure("ntal0").unwrap().region.union(&a.structure("ntal1").unwrap().region);
+        let brain =
+            a.structure("ntal0").unwrap().region.union(&a.structure("ntal1").unwrap().region);
         for name in ["thalamus", "putamen-l", "putamen-r", "ventricle"] {
             let s = &a.structure(name).unwrap().region;
             let inside = brain.intersect(s).voxel_count() as f64 / s.voxel_count() as f64;
@@ -247,9 +241,12 @@ mod tests {
             let lv = a.structure(l).unwrap().region.voxel_count() as f64;
             let rv = a.structure(r).unwrap().region.voxel_count() as f64;
             assert!((lv / rv - 1.0).abs() < 0.10, "{l} vs {r}: {lv} vs {rv}");
-            assert!(
-                a.structure(l).unwrap().region.intersect(&a.structure(r).unwrap().region).is_empty()
-            );
+            assert!(a
+                .structure(l)
+                .unwrap()
+                .region
+                .intersect(&a.structure(r).unwrap().region)
+                .is_empty());
         }
     }
 

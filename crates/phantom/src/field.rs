@@ -32,11 +32,7 @@ impl<'a> MriField<'a> {
     /// An MRI field with the given seed.
     pub fn new(atlas: &'a PhantomAtlas, seed: u64) -> Self {
         let side = f64::from(atlas.geometry().side());
-        MriField {
-            atlas,
-            texture: ValueNoise::new(seed, side / 18.0),
-            amplitude: 28.0,
-        }
+        MriField { atlas, texture: ValueNoise::new(seed, side / 18.0), amplitude: 28.0 }
     }
 }
 

@@ -108,9 +108,8 @@ mod tests {
     #[test]
     fn varies_across_space() {
         let n = ValueNoise::new(9, 2.0);
-        let vals: Vec<f64> = (0..100)
-            .map(|i| n.sample(Vec3::new(i as f64 * 3.1, 0.0, 0.0)))
-            .collect();
+        let vals: Vec<f64> =
+            (0..100).map(|i| n.sample(Vec3::new(i as f64 * 3.1, 0.0, 0.0))).collect();
         let mean = vals.iter().sum::<f64>() / vals.len() as f64;
         let var = vals.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / vals.len() as f64;
         assert!(var > 0.01, "noise should not be (nearly) constant, var={var}");

@@ -75,8 +75,7 @@ impl Region {
     /// octant snap, matching how coarse representations would be built at
     /// load time).
     pub fn approximate(&self, params: ApproxParams) -> Region {
-        self.approximate_mingap(params.mingap)
-            .approximate_min_octant(params.min_octant_side)
+        self.approximate_mingap(params.mingap).approximate_min_octant(params.min_octant_side)
     }
 
     /// The post-processing step the paper prescribes for queries over
@@ -91,8 +90,8 @@ impl Region {
 mod tests {
     use super::*;
     use crate::GridGeometry;
-    use qbism_sfc::CurveKind;
     use proptest::prelude::*;
+    use qbism_sfc::CurveKind;
 
     fn g3() -> GridGeometry {
         GridGeometry::new(CurveKind::Hilbert, 3, 4)
@@ -100,10 +99,7 @@ mod tests {
 
     #[test]
     fn mingap_merges_only_short_gaps() {
-        let r = Region::from_runs(
-            g3(),
-            vec![Run::new(0, 9), Run::new(12, 19), Run::new(30, 39)],
-        );
+        let r = Region::from_runs(g3(), vec![Run::new(0, 9), Run::new(12, 19), Run::new(30, 39)]);
         // gaps: 2 (10..11) and 10 (20..29)
         let a = r.approximate_mingap(3);
         assert_eq!(a.runs(), &[Run::new(0, 19), Run::new(30, 39)]);

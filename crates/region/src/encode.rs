@@ -182,7 +182,8 @@ impl RegionCodec {
                 let mut runs = Vec::with_capacity(count);
                 for i in 0..count {
                     let s = u32::from_le_bytes(body[i * 8..i * 8 + 4].try_into().expect("4 bytes"));
-                    let e = u32::from_le_bytes(body[i * 8 + 4..i * 8 + 8].try_into().expect("4 bytes"));
+                    let e =
+                        u32::from_le_bytes(body[i * 8 + 4..i * 8 + 8].try_into().expect("4 bytes"));
                     if e < s {
                         return Err(RegionEncodeError::Corrupt("inverted run"));
                     }
@@ -221,7 +222,8 @@ impl RegionCodec {
                 }
                 let mut octs = Vec::with_capacity(count);
                 for i in 0..count {
-                    let packed = u32::from_le_bytes(body[i * 4..i * 4 + 4].try_into().expect("4 bytes"));
+                    let packed =
+                        u32::from_le_bytes(body[i * 4..i * 4 + 4].try_into().expect("4 bytes"));
                     let rank = packed & ((1 << RANK_BITS) - 1);
                     let id = u64::from(packed >> RANK_BITS);
                     if rank as u64 > 63 || id % (1u64 << rank) != 0 {
@@ -400,10 +402,7 @@ mod tests {
     #[test]
     fn decode_rejects_garbage() {
         assert_eq!(RegionCodec::decode(&[]), Err(RegionEncodeError::Truncated));
-        assert!(matches!(
-            RegionCodec::decode(&[0u8; 10]),
-            Err(RegionEncodeError::BadMagic(_))
-        ));
+        assert!(matches!(RegionCodec::decode(&[0u8; 10]), Err(RegionEncodeError::BadMagic(_))));
         let g = GridGeometry::new(CurveKind::Hilbert, 2, 2);
         let mut bytes = RegionCodec::Naive.encode(&Region::full(g)).unwrap();
         bytes[2] = 99; // codec tag
@@ -427,10 +426,7 @@ mod tests {
         let mut bytes = RegionCodec::Naive.encode(&Region::full(g)).unwrap();
         // run end beyond 15
         bytes[14..18].copy_from_slice(&99u32.to_le_bytes());
-        assert!(matches!(
-            RegionCodec::decode(&bytes),
-            Err(RegionEncodeError::Corrupt(_))
-        ));
+        assert!(matches!(RegionCodec::decode(&bytes), Err(RegionEncodeError::Corrupt(_))));
     }
 
     #[test]
@@ -438,10 +434,7 @@ mod tests {
         // 3 dims x 11 bits = 33 id bits: too wide for u32 codecs.
         let g = GridGeometry::new(CurveKind::Morton, 3, 11);
         let r = Region::empty(g);
-        assert!(matches!(
-            RegionCodec::Naive.encode(&r),
-            Err(RegionEncodeError::IdTooWide { .. })
-        ));
+        assert!(matches!(RegionCodec::Naive.encode(&r), Err(RegionEncodeError::IdTooWide { .. })));
         // 512^3 = 27 id bits: exactly the paper's packing claim; octants
         // still fit (27 + 5 = 32).
         let g512 = GridGeometry::new(CurveKind::Morton, 3, 9);

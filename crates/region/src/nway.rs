@@ -20,11 +20,7 @@ use crate::run::Run;
 pub fn intersect_all(regions: &[&Region]) -> Option<Region> {
     let first = regions.first()?;
     for r in &regions[1..] {
-        assert_eq!(
-            first.geometry(),
-            r.geometry(),
-            "n-way intersection across incompatible grids"
-        );
+        assert_eq!(first.geometry(), r.geometry(), "n-way intersection across incompatible grids");
     }
     if regions.len() == 1 {
         return Some((*first).clone());
@@ -84,8 +80,8 @@ pub fn intersect_all(regions: &[&Region]) -> Option<Region> {
 mod tests {
     use super::*;
     use crate::GridGeometry;
-    use qbism_sfc::CurveKind;
     use proptest::prelude::*;
+    use qbism_sfc::CurveKind;
 
     fn g() -> GridGeometry {
         GridGeometry::new(CurveKind::Hilbert, 3, 3)

@@ -45,10 +45,7 @@ impl Octant {
     /// Panics if `id` is not aligned to `2^rank`.
     pub fn new(id: u64, rank: u32) -> Self {
         assert!(rank < 64, "octant rank {rank} out of range");
-        assert!(
-            id.is_multiple_of(1u64 << rank),
-            "octant id {id} not aligned to rank {rank}"
-        );
+        assert!(id.is_multiple_of(1u64 << rank), "octant id {id} not aligned to rank {rank}");
         Octant { id, rank }
     }
 
@@ -147,8 +144,8 @@ pub fn octants_to_runs(geom: crate::GridGeometry, octants: &[Octant]) -> Region 
 mod tests {
     use super::*;
     use crate::GridGeometry;
-    use qbism_sfc::CurveKind;
     use proptest::prelude::*;
+    use qbism_sfc::CurveKind;
 
     fn geom_2d(kind: CurveKind) -> GridGeometry {
         GridGeometry::new(kind, 2, 2)
@@ -180,11 +177,7 @@ mod tests {
         let octs = paper_region_z().octants(OctantKind::Oblong);
         assert_eq!(
             octs,
-            vec![
-                Octant::new(0b0001, 0),
-                Octant::new(0b0100, 2),
-                Octant::new(0b1100, 1),
-            ]
+            vec![Octant::new(0b0001, 0), Octant::new(0b0100, 2), Octant::new(0b1100, 1),]
         );
     }
 
@@ -206,11 +199,7 @@ mod tests {
         );
         assert_eq!(
             h.octants(OctantKind::Oblong),
-            vec![
-                Octant::new(0b0011, 0),
-                Octant::new(0b0100, 2),
-                Octant::new(0b1000, 1),
-            ]
+            vec![Octant::new(0b0011, 0), Octant::new(0b0100, 2), Octant::new(0b1000, 1),]
         );
     }
 

@@ -39,10 +39,7 @@ impl Region {
 
     /// The region covering the whole grid (a single run).
     pub fn full(geom: GridGeometry) -> Self {
-        Region {
-            geom,
-            runs: vec![Run::new(0, geom.cell_count() - 1)],
-        }
+        Region { geom, runs: vec![Run::new(0, geom.cell_count() - 1)] }
     }
 
     /// Builds a region from arbitrary runs (normalized internally).
@@ -109,9 +106,7 @@ impl Region {
     /// Panics if the geometry is not 3-dimensional.
     pub fn rasterize_solid<S: Solid>(geom: GridGeometry, solid: &S) -> Self {
         assert_eq!(geom.dims(), 3, "rasterize_solid requires a 3-D grid");
-        Region::rasterize(geom, |c| {
-            solid.contains(IVec3::new(c[0], c[1], c[2]).center())
-        })
+        Region::rasterize(geom, |c| solid.contains(IVec3::new(c[0], c[1], c[2]).center()))
     }
 
     /// The axis-aligned box region with inclusive corners (3-D only).
@@ -126,8 +121,11 @@ impl Region {
             return None;
         }
         let curve = geom.curve();
-        let mut ids: Vec<u64> =
-            Vec::with_capacity(((max[0] - min[0] + 1) as usize) * ((max[1] - min[1] + 1) as usize) * ((max[2] - min[2] + 1) as usize));
+        let mut ids: Vec<u64> = Vec::with_capacity(
+            ((max[0] - min[0] + 1) as usize)
+                * ((max[1] - min[1] + 1) as usize)
+                * ((max[2] - min[2] + 1) as usize),
+        );
         for x in min[0]..=max[0] {
             for y in min[1]..=max[1] {
                 for z in min[2]..=max[2] {
@@ -376,9 +374,9 @@ impl Region {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
     use qbism_geometry::{Sphere, Vec3};
     use qbism_sfc::CurveKind;
-    use proptest::prelude::*;
 
     fn geom_2d() -> GridGeometry {
         GridGeometry::new(CurveKind::Morton, 2, 2)
@@ -396,10 +394,7 @@ mod tests {
     #[test]
     fn paper_region_runs_match_table1() {
         let r = paper_region();
-        assert_eq!(
-            r.runs(),
-            &[Run::new(1, 1), Run::new(4, 7), Run::new(12, 13)]
-        );
+        assert_eq!(r.runs(), &[Run::new(1, 1), Run::new(4, 7), Run::new(12, 13)]);
         assert_eq!(r.voxel_count(), 7);
         assert_eq!(r.run_count(), 3);
     }
@@ -415,10 +410,7 @@ mod tests {
         // runs 1;4-7;12-13 -> run 1, gap 2, run 4, gap 4, run 2
         assert_eq!(paper_region().delta_lengths(), vec![1, 2, 4, 4, 2]);
         // On the Hilbert curve there is a single delta.
-        assert_eq!(
-            paper_region().to_curve(CurveKind::Hilbert).delta_lengths(),
-            vec![7]
-        );
+        assert_eq!(paper_region().to_curve(CurveKind::Hilbert).delta_lengths(), vec![7]);
     }
 
     #[test]
@@ -447,7 +439,10 @@ mod tests {
         assert!(b.contains_voxel(&[3, 4, 2]));
         assert!(!b.contains_voxel(&[0, 1, 1]));
         assert!(!b.contains_voxel(&[3, 5, 2]));
-        assert_eq!(b.bounding_box3().unwrap(), IBox3::new(IVec3::new(1, 1, 1), IVec3::new(3, 4, 2)));
+        assert_eq!(
+            b.bounding_box3().unwrap(),
+            IBox3::new(IVec3::new(1, 1, 1), IVec3::new(3, 4, 2))
+        );
         // Out-of-grid box
         assert!(Region::from_box(g, [0, 0, 0], [8, 1, 1]).is_none());
         // Inverted box
@@ -496,10 +491,7 @@ mod tests {
         let a = Region::from_runs(g, vec![Run::new(0, 99)]);
         let b = Region::from_ids(g, vec![10, 11, 50]);
         let d = a.difference(&b);
-        assert_eq!(
-            d.runs(),
-            &[Run::new(0, 9), Run::new(12, 49), Run::new(51, 99)]
-        );
+        assert_eq!(d.runs(), &[Run::new(0, 9), Run::new(12, 49), Run::new(51, 99)]);
     }
 
     #[test]
@@ -561,8 +553,7 @@ mod tests {
     /// Oracle-checked algebra: compare against a bitset model on an 8x8x8
     /// grid with arbitrary voxel sets.
     fn arb_region(g: GridGeometry) -> impl Strategy<Value = Region> {
-        proptest::collection::vec(0u64..512, 0..200)
-            .prop_map(move |ids| Region::from_ids(g, ids))
+        proptest::collection::vec(0u64..512, 0..200).prop_map(move |ids| Region::from_ids(g, ids))
     }
 
     fn to_bits(r: &Region) -> Vec<bool> {

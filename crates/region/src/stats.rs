@@ -49,11 +49,7 @@ impl RepresentationCounts {
             return None;
         }
         let h = self.h_runs as f64;
-        Some((
-            self.z_runs as f64 / h,
-            self.oblong_octants as f64 / h,
-            self.octants as f64 / h,
-        ))
+        Some((self.z_runs as f64 / h, self.oblong_octants as f64 / h, self.octants as f64 / h))
     }
 }
 
@@ -121,17 +117,11 @@ pub fn linear_fit_through_origin(points: &[(f64, f64)]) -> Option<(f64, f64)> {
     let slope = sxy / sxx;
     // Pearson correlation of the raw points.
     let n = points.len() as f64;
-    let (sx, sy): (f64, f64) = points
-        .iter()
-        .fold((0.0, 0.0), |(a, b), p| (a + p.0, b + p.1));
+    let (sx, sy): (f64, f64) = points.iter().fold((0.0, 0.0), |(a, b), p| (a + p.0, b + p.1));
     let sxx_c: f64 = points.iter().map(|p| p.0 * p.0).sum::<f64>() - sx * sx / n;
     let syy_c: f64 = points.iter().map(|p| p.1 * p.1).sum::<f64>() - sy * sy / n;
     let sxy_c: f64 = points.iter().map(|p| p.0 * p.1).sum::<f64>() - sx * sy / n;
-    let r = if sxx_c <= 1e-12 || syy_c <= 1e-12 {
-        1.0
-    } else {
-        sxy_c / (sxx_c * syy_c).sqrt()
-    };
+    let r = if sxx_c <= 1e-12 || syy_c <= 1e-12 { 1.0 } else { sxy_c / (sxx_c * syy_c).sqrt() };
     Some((slope, r))
 }
 

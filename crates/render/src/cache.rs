@@ -28,13 +28,7 @@ impl DxCache {
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "cache capacity must be positive");
-        DxCache {
-            capacity,
-            entries: HashMap::new(),
-            clock: 0,
-            hits: 0,
-            misses: 0,
-        }
+        DxCache { capacity, entries: HashMap::new(), clock: 0, hits: 0, misses: 0 }
     }
 
     /// Number of cached results.
@@ -73,11 +67,8 @@ impl DxCache {
     pub fn put(&mut self, key: String, field: DxField) {
         self.clock += 1;
         if !self.entries.contains_key(&key) && self.entries.len() == self.capacity {
-            if let Some(victim) = self
-                .entries
-                .iter()
-                .min_by_key(|(_, (stamp, _))| *stamp)
-                .map(|(k, _)| k.clone())
+            if let Some(victim) =
+                self.entries.iter().min_by_key(|(_, (stamp, _))| *stamp).map(|(k, _)| k.clone())
             {
                 self.entries.remove(&victim);
             }
@@ -98,11 +89,7 @@ mod tests {
     use qbism_geometry::Vec3;
 
     fn field(n: usize) -> DxField {
-        DxField {
-            positions: vec![Vec3::ZERO; n],
-            values: vec![0.5; n],
-            grid_side: 16,
-        }
+        DxField { positions: vec![Vec3::ZERO; n], values: vec![0.5; n], grid_side: 16 }
     }
 
     #[test]

@@ -26,12 +26,11 @@ pub fn extract_surface(region: &Region) -> TriMesh {
     let side = geom.side();
     let mut mesh = TriMesh::new();
     let mut vertex_ids: HashMap<(u32, u32, u32), u32> = HashMap::new();
-    let mut vertex =
-        |mesh: &mut TriMesh, x: u32, y: u32, z: u32| -> u32 {
-            *vertex_ids.entry((x, y, z)).or_insert_with(|| {
-                mesh.push_vertex(Vec3::new(f64::from(x), f64::from(y), f64::from(z)))
-            })
-        };
+    let mut vertex = |mesh: &mut TriMesh, x: u32, y: u32, z: u32| -> u32 {
+        *vertex_ids.entry((x, y, z)).or_insert_with(|| {
+            mesh.push_vertex(Vec3::new(f64::from(x), f64::from(y), f64::from(z)))
+        })
+    };
     // Neighbour offsets per axis direction with that face's corner
     // layout.  Corners are ordered so triangles wind CCW seen from
     // outside (normal = outward axis direction).
@@ -51,15 +50,24 @@ pub fn extract_surface(region: &Region) -> TriMesh {
         type Face = ((i64, i64, i64), [(u32, u32, u32); 4]);
         let faces: [Face; 6] = [
             // +x face
-            ((1, 0, 0), [(x + 1, y, z), (x + 1, y + 1, z), (x + 1, y + 1, z + 1), (x + 1, y, z + 1)]),
+            (
+                (1, 0, 0),
+                [(x + 1, y, z), (x + 1, y + 1, z), (x + 1, y + 1, z + 1), (x + 1, y, z + 1)],
+            ),
             // -x face
             ((-1, 0, 0), [(x, y, z), (x, y, z + 1), (x, y + 1, z + 1), (x, y + 1, z)]),
             // +y face
-            ((0, 1, 0), [(x, y + 1, z), (x, y + 1, z + 1), (x + 1, y + 1, z + 1), (x + 1, y + 1, z)]),
+            (
+                (0, 1, 0),
+                [(x, y + 1, z), (x, y + 1, z + 1), (x + 1, y + 1, z + 1), (x + 1, y + 1, z)],
+            ),
             // -y face
             ((0, -1, 0), [(x, y, z), (x + 1, y, z), (x + 1, y, z + 1), (x, y, z + 1)]),
             // +z face
-            ((0, 0, 1), [(x, y, z + 1), (x + 1, y, z + 1), (x + 1, y + 1, z + 1), (x, y + 1, z + 1)]),
+            (
+                (0, 0, 1),
+                [(x, y, z + 1), (x + 1, y, z + 1), (x + 1, y + 1, z + 1), (x, y + 1, z + 1)],
+            ),
             // -z face
             ((0, 0, -1), [(x, y, z), (x, y + 1, z), (x + 1, y + 1, z), (x + 1, y, z)]),
         ];
@@ -67,10 +75,8 @@ pub fn extract_surface(region: &Region) -> TriMesh {
             if inside(dx, dy, dz) {
                 continue;
             }
-            let ids: Vec<u32> = corners
-                .iter()
-                .map(|&(cx, cy, cz)| vertex(&mut mesh, cx, cy, cz))
-                .collect();
+            let ids: Vec<u32> =
+                corners.iter().map(|&(cx, cy, cz)| vertex(&mut mesh, cx, cy, cz)).collect();
             mesh.push_triangle([ids[0], ids[1], ids[2]]);
             mesh.push_triangle([ids[0], ids[2], ids[3]]);
         }
@@ -143,10 +149,7 @@ mod tests {
     fn two_disjoint_voxels_make_two_cubes() {
         let r = Region::from_ids(
             geom(),
-            vec![
-                geom().index_of(&[1, 1, 1]),
-                geom().index_of(&[10, 10, 10]),
-            ],
+            vec![geom().index_of(&[1, 1, 1]), geom().index_of(&[10, 10, 10])],
         );
         let m = extract_surface(&r);
         assert_eq!(m.triangle_count(), 24);

@@ -106,10 +106,7 @@ impl Rasterizer {
         let w = self.fb.width as f64;
         let h = self.fb.height as f64;
         let aspect = w / h;
-        (
-            (ndc_x / aspect * 0.5 + 0.5) * w,
-            (0.5 - ndc_y * 0.5) * h,
-        )
+        ((ndc_x / aspect * 0.5 + 0.5) * w, (0.5 - ndc_y * 0.5) * h)
     }
 
     /// Draws a mesh with Gouraud-shaded Lambert lighting in `base` color,
@@ -255,10 +252,7 @@ mod tests {
         assert!(r.triangles_drawn > 100);
         let fb = r.finish();
         let cov = fb.coverage();
-        assert!(
-            (0.02..0.8).contains(&cov),
-            "ball should cover part of the frame, coverage {cov}"
-        );
+        assert!((0.02..0.8).contains(&cov), "ball should cover part of the frame, coverage {cov}");
         // Lit pixels carry non-black color somewhere.
         let lit = (0..96)
             .flat_map(|y| (0..96).map(move |x| (x, y)))

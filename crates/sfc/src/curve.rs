@@ -184,10 +184,7 @@ pub(crate) fn check_coords(dims: u32, bits: u32, coords: &[u32]) {
     );
     let side = 1u32 << bits;
     for (axis, &c) in coords.iter().enumerate() {
-        assert!(
-            c < side,
-            "coordinate {c} on axis {axis} out of range for grid side {side}"
-        );
+        assert!(c < side, "coordinate {c} on axis {axis} out of range for grid side {side}");
     }
 }
 

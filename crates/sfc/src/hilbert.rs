@@ -278,10 +278,7 @@ mod tests {
         let z = crate::MortonCurve::new(3, 6);
         let hr = count_runs(&h);
         let zr = count_runs(&z);
-        assert!(
-            hr < zr,
-            "expected fewer Hilbert runs than Z runs, got h={hr} z={zr}"
-        );
+        assert!(hr < zr, "expected fewer Hilbert runs than Z runs, got h={hr} z={zr}");
     }
 
     proptest! {

@@ -111,6 +111,13 @@ impl Database {
     /// Creates a database whose long-field device holds
     /// `long_field_capacity` bytes (4 KiB pages, like the paper's).
     pub fn new(long_field_capacity: u64) -> Result<Self> {
+        let reg = qbism_obs::global();
+        reg.describe(
+            "qbism_exec_rows_total",
+            "Base-table tuples scanned (Table 3/4 Tuples Scanned).",
+        );
+        reg.describe("qbism_exec_selects_total", "SELECT statements executed.");
+        reg.describe("qbism_udf_calls_total", "User-defined function invocations, by function.");
         Ok(Database {
             catalog: Catalog::new(),
             udfs: UdfRegistry::new(),
@@ -118,14 +125,25 @@ impl Database {
         })
     }
 
+    /// The process-wide metrics registry (shared across layers; exposed
+    /// here so embedders can scrape without importing `qbism-obs`).
+    pub fn metrics(&self) -> &'static qbism_obs::Registry {
+        qbism_obs::global()
+    }
+
     /// Executes one SQL statement.
     pub fn execute(&mut self, sql: &str) -> Result<ExecOutcome> {
-        match parse_statement(sql)? {
+        let span = qbism_obs::trace::root("db.execute");
+        if span.is_recording() {
+            span.record_str("sql", &sql.split_whitespace().collect::<Vec<_>>().join(" "));
+        }
+        let statement = {
+            let _parse = qbism_obs::trace::span("sql.parse");
+            parse_statement(sql)?
+        };
+        match statement {
             Statement::CreateTable { name, columns } => {
-                let cols = columns
-                    .into_iter()
-                    .map(|(n, t)| Column::new(&n, t))
-                    .collect();
+                let cols = columns.into_iter().map(|(n, t)| Column::new(&n, t)).collect();
                 self.catalog.create_table(TableSchema::new(&name, cols)?)?;
                 Ok(ExecOutcome::Created)
             }
@@ -155,10 +173,7 @@ impl Database {
             Statement::Explain(select) => {
                 let plan = crate::plan::plan_select(&select, &self.catalog)?;
                 let text = plan.render(&select);
-                let rows = text
-                    .lines()
-                    .map(|l| vec![Value::Str(l.to_string())])
-                    .collect();
+                let rows = text.lines().map(|l| vec![Value::Str(l.to_string())]).collect();
                 Ok(ExecOutcome::Rows(ResultSet::new(vec!["plan".into()], rows)))
             }
         }
@@ -219,9 +234,9 @@ impl Database {
         // Resolve target columns up front.
         let mut targets = Vec::with_capacity(assignments.len());
         for (col, expr) in assignments {
-            let idx = schema.column_index(col).ok_or_else(|| {
-                DbError::Binding(format!("no column {col} in {table}"))
-            })?;
+            let idx = schema
+                .column_index(col)
+                .ok_or_else(|| DbError::Binding(format!("no column {col} in {table}")))?;
             targets.push((idx, expr));
         }
         let mut scope = crate::expr::Scope::new();
@@ -254,11 +269,8 @@ impl Database {
             }
             let mut next = row.clone();
             for (idx, expr) in &targets {
-                let mut ctx = crate::expr::EvalCtx {
-                    scope: &scope,
-                    udfs: &self.udfs,
-                    lfm: &mut self.lfm,
-                };
+                let mut ctx =
+                    crate::expr::EvalCtx { scope: &scope, udfs: &self.udfs, lfm: &mut self.lfm };
                 let v = crate::expr::eval(expr, &row, &mut ctx)?;
                 let col = &schema.columns[*idx];
                 if !v.fits(col.ty) {
@@ -293,10 +305,7 @@ impl Database {
     /// Registers a user-defined function.
     pub fn register_udf<F>(&mut self, name: &str, f: F)
     where
-        F: Fn(&mut crate::udf::UdfContext<'_>, &[Value]) -> Result<Value>
-            + Send
-            + Sync
-            + 'static,
+        F: Fn(&mut crate::udf::UdfContext<'_>, &[Value]) -> Result<Value> + Send + Sync + 'static,
     {
         self.udfs.register(name, f);
     }
@@ -375,10 +384,7 @@ mod tests {
     fn filter_and_projection() {
         let mut d = db();
         let rs = d.query("select p.name from patient p where p.age = 44 order by p.name").unwrap();
-        assert_eq!(
-            rs.rows(),
-            &[vec![Value::Str("Jane".into())], vec![Value::Str("Mia".into())]]
-        );
+        assert_eq!(rs.rows(), &[vec![Value::Str("Jane".into())], vec![Value::Str("Mia".into())]]);
         assert_eq!(rs.columns(), &["name".to_string()]);
     }
 
@@ -416,7 +422,8 @@ mod tests {
     #[test]
     fn aggregates() {
         let mut d = db();
-        let rs = d.query("select count(*), avg(p.age), min(p.age), max(p.age) from patient p").unwrap();
+        let rs =
+            d.query("select count(*), avg(p.age), min(p.age), max(p.age) from patient p").unwrap();
         assert_eq!(
             rs.rows()[0],
             vec![Value::Int(4), Value::Float(47.0), Value::Int(39), Value::Int(61)]
@@ -476,7 +483,8 @@ mod tests {
     #[test]
     fn three_way_join_like_paper_schema() {
         let mut d = db();
-        d.execute("create table atlasStructure (structureId int, atlasId int, region long)").unwrap();
+        d.execute("create table atlasStructure (structureId int, atlasId int, region long)")
+            .unwrap();
         d.execute("create table neuralStructure (structureId int, structureName string)").unwrap();
         d.execute("insert into neuralStructure values (1, 'putamen'), (2, 'hippocampus')").unwrap();
         let r1 = d.create_long_field(b"region-bytes-1").unwrap();
@@ -497,10 +505,7 @@ mod tests {
         assert!(matches!(d.execute("select * from nope"), Err(DbError::Binding(_))));
         assert!(matches!(d.execute("select zz from patient"), Err(DbError::Binding(_))));
         assert!(matches!(d.execute("not sql at all"), Err(DbError::Parse(_))));
-        assert!(matches!(
-            d.execute("insert into patient values (1, 'x')"),
-            Err(DbError::Type(_))
-        ));
+        assert!(matches!(d.execute("insert into patient values (1, 'x')"), Err(DbError::Type(_))));
         assert!(matches!(
             d.execute("select count(*), p.name from patient p"),
             Err(DbError::Binding(_))
@@ -551,10 +556,7 @@ mod tests {
             .map(|r| (r[0].as_str().unwrap().to_string(), r[1].as_i64().unwrap()))
             .collect();
         rows.sort();
-        assert_eq!(
-            rows,
-            vec![("Ann".into(), 1), ("Jane".into(), 2), ("Sue".into(), 1)]
-        );
+        assert_eq!(rows, vec![("Ann".into(), 1), ("Jane".into(), 2), ("Sue".into(), 1)]);
     }
 
     #[test]
@@ -594,14 +596,8 @@ mod tests {
         );
         // Error paths checked while rows still exist (a non-boolean
         // predicate is only evaluated against actual tuples).
-        assert!(matches!(
-            d.execute("delete from patient where name"),
-            Err(DbError::Type(_))
-        ));
-        assert_eq!(
-            d.execute("delete from patient").unwrap(),
-            ExecOutcome::Deleted(4)
-        );
+        assert!(matches!(d.execute("delete from patient where name"), Err(DbError::Type(_))));
+        assert_eq!(d.execute("delete from patient").unwrap(), ExecOutcome::Deleted(4));
         assert!(d.execute("delete from nope").is_err());
     }
 
@@ -621,19 +617,10 @@ mod tests {
         let rs = d.query("select count(*) from patient p where p.age = 45").unwrap();
         assert_eq!(rs.single_value().unwrap(), &Value::Int(2));
         // UPDATE without predicate touches everything.
-        assert_eq!(
-            d.execute("update patient set name = 'X'").unwrap(),
-            ExecOutcome::Updated(4)
-        );
+        assert_eq!(d.execute("update patient set name = 'X'").unwrap(), ExecOutcome::Updated(4));
         // Type errors rejected.
-        assert!(matches!(
-            d.execute("update patient set age = 'old'"),
-            Err(DbError::Type(_))
-        ));
-        assert!(matches!(
-            d.execute("update patient set nope = 1"),
-            Err(DbError::Binding(_))
-        ));
+        assert!(matches!(d.execute("update patient set age = 'old'"), Err(DbError::Type(_))));
+        assert!(matches!(d.execute("update patient set nope = 1"), Err(DbError::Binding(_))));
     }
 
     #[test]

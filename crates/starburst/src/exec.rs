@@ -9,6 +9,7 @@ use crate::udf::UdfRegistry;
 use crate::value::Value;
 use crate::{DbError, Result};
 use qbism_lfm::LongFieldManager;
+use qbism_obs::trace;
 use std::collections::HashMap;
 
 /// Hashable join key (only types the planner promotes).
@@ -64,17 +65,46 @@ pub fn run_select(
     udfs: &UdfRegistry,
     lfm: &mut LongFieldManager,
 ) -> Result<ResultSet> {
+    let span = trace::span("exec.select");
+    let rs = run_select_inner(select, catalog, udfs, lfm)?;
+    if qbism_obs::enabled() {
+        // Handles resolve once per process; the per-select cost is two
+        // relaxed atomic adds, not two registry-map lookups.
+        static COUNTERS: std::sync::OnceLock<(qbism_obs::Counter, qbism_obs::Counter)> =
+            std::sync::OnceLock::new();
+        let (rows, selects) = COUNTERS.get_or_init(|| {
+            let reg = qbism_obs::global();
+            (reg.counter("qbism_exec_rows_total"), reg.counter("qbism_exec_selects_total"))
+        });
+        rows.add(rs.rows_scanned);
+        selects.inc();
+        span.record_u64("rows_scanned", rs.rows_scanned);
+        span.record_u64("rows_out", rs.len() as u64);
+    }
+    Ok(rs)
+}
+
+fn run_select_inner(
+    select: &Select,
+    catalog: &Catalog,
+    udfs: &UdfRegistry,
+    lfm: &mut LongFieldManager,
+) -> Result<ResultSet> {
     let plan = plan_select(select, catalog)?;
     let (scope, mut rows, rows_scanned) = run_joins(select, &plan, catalog, udfs, lfm)?;
 
     let has_agg = select.items.iter().any(|i| i.expr.contains_aggregate());
     if !select.group_by.is_empty() {
         if !select.order_by.is_empty() {
-            return Err(DbError::Binding(
-                "ORDER BY with GROUP BY is not supported".into(),
-            ));
+            return Err(DbError::Binding("ORDER BY with GROUP BY is not supported".into()));
         }
+        let span = trace::span("exec.group_by");
         let (columns, mut out_rows) = run_grouped(select, &scope, &rows, udfs, lfm)?;
+        if span.is_recording() {
+            span.record_u64("rows_in", rows.len() as u64);
+            span.record_u64("groups", out_rows.len() as u64);
+        }
+        drop(span);
         if let Some(limit) = select.limit {
             out_rows.truncate(limit as usize);
         }
@@ -86,7 +116,10 @@ pub fn run_select(
         if !select.order_by.is_empty() {
             return Err(DbError::Binding("ORDER BY with aggregates is not supported".into()));
         }
+        let span = trace::span("exec.aggregate");
+        span.record_u64("rows_in", rows.len() as u64);
         let (columns, row) = run_aggregates(select, &scope, &rows, udfs, lfm)?;
+        drop(span);
         let mut rs = ResultSet::new(columns, vec![row]);
         rs.rows_scanned = rows_scanned;
         return Ok(rs);
@@ -94,6 +127,8 @@ pub fn run_select(
 
     // ORDER BY keys are computed against the input scope.
     if !select.order_by.is_empty() {
+        let span = trace::span("exec.order_by");
+        span.record_u64("rows", rows.len() as u64);
         let mut keyed: Vec<(Vec<Value>, Vec<Value>)> = Vec::with_capacity(rows.len());
         for row in rows.drain(..) {
             let mut keys = Vec::with_capacity(select.order_by.len());
@@ -121,6 +156,7 @@ pub fn run_select(
     }
 
     // Projection.
+    let span = trace::span("exec.project");
     let (columns, projected) = if select.items.is_empty() {
         // SELECT *: all columns of all tables in order.
         let mut columns = Vec::new();
@@ -149,6 +185,8 @@ pub fn run_select(
         (columns, projected)
     };
     let mut rs = ResultSet::new(columns, projected);
+    span.record_u64("rows", rs.len() as u64);
+    drop(span);
     rs.rows_scanned = rows_scanned;
     Ok(rs)
 }
@@ -168,10 +206,21 @@ fn run_joins(
     let first_table = catalog.table(&first.table)?;
     scope.push(&first.alias, first_table.schema.clone());
     let mut acc: Vec<Vec<Value>> = Vec::new();
-    for row in first_table.rows() {
-        rows_scanned += 1;
-        if passes(&plan.stages[0], row, &scope, udfs, lfm)? {
-            acc.push(row.clone());
+    {
+        let span = if qbism_obs::enabled() {
+            trace::span(format!("exec.scan {}", first.table))
+        } else {
+            trace::span("exec.scan")
+        };
+        for row in first_table.rows() {
+            rows_scanned += 1;
+            if passes(&plan.stages[0], row, &scope, udfs, lfm)? {
+                acc.push(row.clone());
+            }
+        }
+        if span.is_recording() {
+            span.record_u64("rows_in", first_table.rows().len() as u64);
+            span.record_u64("rows_out", acc.len() as u64);
         }
     }
 
@@ -183,6 +232,15 @@ fn run_joins(
         scope.push(&tref.alias, table.schema.clone());
         let preds = &plan.stages[i];
         let mut next: Vec<Vec<Value>> = Vec::new();
+        let span = if qbism_obs::enabled() {
+            trace::span(match &plan.joins[i - 1] {
+                JoinStrategy::Hash { .. } => format!("exec.hash_join {}", tref.table),
+                JoinStrategy::NestedLoop => format!("exec.nested_loop {}", tref.table),
+            })
+        } else {
+            trace::span("exec.join")
+        };
+        let rows_in = acc.len() as u64 + right_rows.len() as u64;
         match &plan.joins[i - 1] {
             JoinStrategy::Hash { left, right } => {
                 // Build side: the new table, keyed by `right` (which only
@@ -230,6 +288,10 @@ fn run_joins(
                 }
             }
         }
+        if span.is_recording() {
+            span.record_u64("rows_in", rows_in);
+            span.record_u64("rows_out", next.len() as u64);
+        }
         acc = next;
     }
     Ok((scope, acc, rows_scanned))
@@ -248,9 +310,7 @@ fn passes(
         match v {
             Value::Bool(true) => {}
             Value::Bool(false) | Value::Null => return Ok(false),
-            other => {
-                return Err(DbError::Type(format!("WHERE predicate evaluated to {other}")))
-            }
+            other => return Err(DbError::Type(format!("WHERE predicate evaluated to {other}"))),
         }
     }
     Ok(true)

@@ -127,9 +127,9 @@ pub fn eval(expr: &Expr, tuple: &[Value], ctx: &mut EvalCtx<'_>) -> Result<Value
             let mut ucx = UdfContext { lfm: ctx.lfm };
             ctx.udfs.call(name, &mut ucx, &vals)
         }
-        Expr::Aggregate { .. } => Err(DbError::Binding(
-            "aggregate used outside a select list".into(),
-        )),
+        Expr::Aggregate { .. } => {
+            Err(DbError::Binding("aggregate used outside a select list".into()))
+        }
         Expr::IsNull { expr, negated } => {
             let v = eval(expr, tuple, ctx)?;
             let is_null = matches!(v, Value::Null);
@@ -173,9 +173,7 @@ pub fn like_match(text: &str, pattern: &str) -> bool {
     fn rec(t: &[char], p: &[char]) -> bool {
         match p.split_first() {
             None => t.is_empty(),
-            Some(('%', rest)) => {
-                (0..=t.len()).any(|skip| rec(&t[skip..], rest))
-            }
+            Some(('%', rest)) => (0..=t.len()).any(|skip| rec(&t[skip..], rest)),
             Some(('_', rest)) => !t.is_empty() && rec(&t[1..], rest),
             Some((c, rest)) => t.first() == Some(c) && rec(&t[1..], rest),
         }
@@ -240,9 +238,9 @@ fn eval_binary(
             if matches!(l, Value::Null) || matches!(r, Value::Null) {
                 return Ok(Value::Null);
             }
-            let ord = l.sql_cmp(&r).ok_or_else(|| {
-                DbError::Type(format!("cannot compare {l} with {r}"))
-            })?;
+            let ord = l
+                .sql_cmp(&r)
+                .ok_or_else(|| DbError::Type(format!("cannot compare {l} with {r}")))?;
             let b = match op {
                 BinOp::Lt => ord.is_lt(),
                 BinOp::Le => ord.is_le(),
@@ -305,8 +303,8 @@ fn arith(op: BinOp, l: &Value, r: &Value) -> Result<Value> {
 mod tests {
     use super::*;
     use crate::catalog::Column;
-    use crate::sql::parse_statement;
     use crate::sql::ast::Statement;
+    use crate::sql::parse_statement;
     use crate::value::DataType;
     use qbism_lfm::LongFieldManager;
 
@@ -347,12 +345,7 @@ mod tests {
     }
 
     fn tuple() -> Vec<Value> {
-        vec![
-            Value::Int(7),
-            Value::Str("Jane".into()),
-            Value::Int(7),
-            Value::Float(2.5),
-        ]
+        vec![Value::Int(7), Value::Str("Jane".into()), Value::Int(7), Value::Float(2.5)]
     }
 
     #[test]
@@ -377,7 +370,10 @@ mod tests {
 
     #[test]
     fn comparisons_and_logic() {
-        assert_eq!(eval_where("select * from t where p.id = v.id", &tuple()).unwrap(), Value::Bool(true));
+        assert_eq!(
+            eval_where("select * from t where p.id = v.id", &tuple()).unwrap(),
+            Value::Bool(true)
+        );
         assert_eq!(
             eval_where("select * from t where v.x > 2 and p.name = 'Jane'", &tuple()).unwrap(),
             Value::Bool(true)
@@ -394,13 +390,22 @@ mod tests {
 
     #[test]
     fn arithmetic_typing() {
-        assert_eq!(eval_where("select * from t where p.id + 1 = 8", &tuple()).unwrap(), Value::Bool(true));
+        assert_eq!(
+            eval_where("select * from t where p.id + 1 = 8", &tuple()).unwrap(),
+            Value::Bool(true)
+        );
         assert_eq!(
             eval_where("select * from t where v.x * 2 = 5.0", &tuple()).unwrap(),
             Value::Bool(true)
         );
-        assert_eq!(eval_where("select * from t where 7 / 2 = 3", &tuple()).unwrap(), Value::Bool(true));
-        assert_eq!(eval_where("select * from t where 7 % 2 = 1", &tuple()).unwrap(), Value::Bool(true));
+        assert_eq!(
+            eval_where("select * from t where 7 / 2 = 3", &tuple()).unwrap(),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            eval_where("select * from t where 7 % 2 = 1", &tuple()).unwrap(),
+            Value::Bool(true)
+        );
         assert!(matches!(
             eval_where("select * from t where 1 / 0 = 0", &tuple()),
             Err(DbError::Exec(_))
@@ -482,10 +487,7 @@ mod tests {
         // NULL semantics: NULL IN (...) is NULL; x IN (.., NULL) with no
         // match is NULL.
         let t = vec![Value::Null, Value::Str("x".into()), Value::Int(0), Value::Float(0.0)];
-        assert_eq!(
-            eval_where("select * from t where p.id in (1, 2)", &t).unwrap(),
-            Value::Null
-        );
+        assert_eq!(eval_where("select * from t where p.id in (1, 2)", &t).unwrap(), Value::Null);
         assert_eq!(
             eval_where("select * from t where v.id in (9, null)", &tuple()).unwrap(),
             Value::Null
@@ -500,9 +502,7 @@ mod tests {
     fn udf_calls_evaluate_arguments() {
         let s = scope();
         let mut udfs = UdfRegistry::new();
-        udfs.register("addone", |_, args| {
-            Ok(Value::Int(args[0].as_i64().unwrap() + 1))
-        });
+        udfs.register("addone", |_, args| Ok(Value::Int(args[0].as_i64().unwrap() + 1)));
         let mut lfm = LongFieldManager::new(1 << 16, 4096).unwrap();
         let mut ctx = EvalCtx { scope: &s, udfs: &udfs, lfm: &mut lfm };
         let e = where_expr("select * from t where addOne(p.id + 1) = 9");

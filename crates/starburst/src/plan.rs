@@ -76,11 +76,7 @@ pub fn plan_select(select: &Select, catalog: &Catalog) -> Result<SelectPlan> {
         scope.push(&tref.alias, table.schema.clone());
         prefix_scopes.push(scope.clone());
     }
-    let mut remaining: Vec<Expr> = select
-        .where_clause
-        .as_ref()
-        .map(conjuncts)
-        .unwrap_or_default();
+    let mut remaining: Vec<Expr> = select.where_clause.as_ref().map(conjuncts).unwrap_or_default();
     let mut stages: Vec<Vec<Expr>> = vec![Vec::new(); select.from.len()];
     let mut joins: Vec<JoinStrategy> = Vec::new();
 
@@ -118,12 +114,14 @@ pub fn plan_select(select: &Select, catalog: &Catalog) -> Result<SelectPlan> {
                             )
                     };
                     if try_pair(left, right) {
-                        strategy = JoinStrategy::Hash { left: (**left).clone(), right: (**right).clone() };
+                        strategy =
+                            JoinStrategy::Hash { left: (**left).clone(), right: (**right).clone() };
                         promoted = true;
                         continue;
                     }
                     if try_pair(right, left) {
-                        strategy = JoinStrategy::Hash { left: (**right).clone(), right: (**left).clone() };
+                        strategy =
+                            JoinStrategy::Hash { left: (**right).clone(), right: (**left).clone() };
                         promoted = true;
                         continue;
                     }
@@ -149,12 +147,10 @@ pub fn plan_select(select: &Select, catalog: &Catalog) -> Result<SelectPlan> {
 
 fn find_binding_error(expr: &Expr, scope: &Scope) -> crate::DbError {
     match expr {
-        Expr::Column { qualifier, name } => {
-            match scope.resolve(qualifier.as_deref(), name) {
-                Err(e) => e,
-                Ok(_) => crate::DbError::Binding(format!("cannot bind predicate over {name}")),
-            }
-        }
+        Expr::Column { qualifier, name } => match scope.resolve(qualifier.as_deref(), name) {
+            Err(e) => e,
+            Ok(_) => crate::DbError::Binding(format!("cannot bind predicate over {name}")),
+        },
         Expr::Binary { left, right, .. } => {
             if !scope.binds(left) {
                 find_binding_error(left, scope)
@@ -234,17 +230,13 @@ mod tests {
             .unwrap(),
         )
         .unwrap();
-        c.create_table(
-            TableSchema::new("c", vec![Column::new("bname", DataType::Str)]).unwrap(),
-        )
-        .unwrap();
+        c.create_table(TableSchema::new("c", vec![Column::new("bname", DataType::Str)]).unwrap())
+            .unwrap();
         c
     }
 
     fn plan(sql: &str) -> SelectPlan {
-        let Statement::Select(s) = parse_statement(sql).unwrap() else {
-            panic!()
-        };
+        let Statement::Select(s) = parse_statement(sql).unwrap() else { panic!() };
         plan_select(&s, &catalog()).unwrap()
     }
 
@@ -295,9 +287,7 @@ mod tests {
 
     #[test]
     fn three_table_chain() {
-        let p = plan(
-            "select * from a, b, c where a.id = b.id and b.name = c.bname",
-        );
+        let p = plan("select * from a, b, c where a.id = b.id and b.name = c.bname");
         assert_eq!(p.joins.len(), 2);
         assert!(matches!(p.joins[0], JoinStrategy::Hash { .. }));
         assert!(matches!(p.joins[1], JoinStrategy::Hash { .. }));
@@ -307,8 +297,10 @@ mod tests {
     fn plan_renders_strategies() {
         let p = plan("select count(*) from a, b where a.id = b.id and a.x > 0 order by 1 limit 5");
         let text = p.render(&match parse_statement(
-            "select count(*) from a, b where a.id = b.id and a.x > 0 order by 1 limit 5"
-        ).unwrap() {
+            "select count(*) from a, b where a.id = b.id and a.x > 0 order by 1 limit 5",
+        )
+        .unwrap()
+        {
             Statement::Select(s) => s,
             _ => unreachable!(),
         });
@@ -320,8 +312,7 @@ mod tests {
 
     #[test]
     fn unknown_column_is_reported() {
-        let Statement::Select(s) =
-            parse_statement("select * from a where a.zz = 1").unwrap()
+        let Statement::Select(s) = parse_statement("select * from a where a.zz = 1").unwrap()
         else {
             panic!()
         };

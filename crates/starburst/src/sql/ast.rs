@@ -267,7 +267,10 @@ mod tests {
             Expr::Column { qualifier: Some("a".into()), name: "x".into() }.default_name(),
             "x"
         );
-        assert_eq!(Expr::Call { name: "intersection".into(), args: vec![] }.default_name(), "intersection");
+        assert_eq!(
+            Expr::Call { name: "intersection".into(), args: vec![] }.default_name(),
+            "intersection"
+        );
         assert_eq!(Expr::Aggregate { kind: AggKind::Avg, arg: None }.default_name(), "avg");
         assert_eq!(Expr::Literal(Literal::Int(1)).default_name(), "expr");
     }

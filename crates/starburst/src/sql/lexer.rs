@@ -49,7 +49,9 @@ pub fn lex(src: &str) -> Result<Vec<SpannedTok>> {
         let at = i;
         if c.is_ascii_alphabetic() || c == '_' {
             let start = i;
-            while i < bytes.len() && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_') {
+            while i < bytes.len()
+                && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+            {
                 i += 1;
             }
             out.push(SpannedTok { tok: Tok::Ident(src[start..i].to_ascii_lowercase()), at });
@@ -61,7 +63,10 @@ pub fn lex(src: &str) -> Result<Vec<SpannedTok>> {
                 i += 1;
             }
             let mut is_float = false;
-            if i < bytes.len() && bytes[i] == b'.' && i + 1 < bytes.len() && (bytes[i + 1] as char).is_ascii_digit()
+            if i < bytes.len()
+                && bytes[i] == b'.'
+                && i + 1 < bytes.len()
+                && (bytes[i + 1] as char).is_ascii_digit()
             {
                 is_float = true;
                 i += 1;

@@ -107,11 +107,7 @@ impl Parser {
         if self.eat_keyword("delete") {
             self.expect_keyword("from")?;
             let table = self.ident()?;
-            let where_clause = if self.eat_keyword("where") {
-                Some(self.expr()?)
-            } else {
-                None
-            };
+            let where_clause = if self.eat_keyword("where") { Some(self.expr()?) } else { None };
             return Ok(Statement::Delete { table, where_clause });
         }
         if self.eat_keyword("update") {
@@ -126,11 +122,7 @@ impl Parser {
                     break;
                 }
             }
-            let where_clause = if self.eat_keyword("where") {
-                Some(self.expr()?)
-            } else {
-                None
-            };
+            let where_clause = if self.eat_keyword("where") { Some(self.expr()?) } else { None };
             return Ok(Statement::Update { table, assignments, where_clause });
         }
         if self.eat_keyword("explain") {
@@ -216,7 +208,8 @@ impl Parser {
                     match self.peek() {
                         // bare alias (identifier that is not a clause keyword)
                         Some(Tok::Ident(s))
-                            if !is_clause_keyword(s) && !matches!(self.peek2(), Some(Tok::Punct("."))) =>
+                            if !is_clause_keyword(s)
+                                && !matches!(self.peek2(), Some(Tok::Punct("."))) =>
                         {
                             Some(self.ident()?)
                         }
@@ -242,11 +235,7 @@ impl Parser {
                 break;
             }
         }
-        let where_clause = if self.eat_keyword("where") {
-            Some(self.expr()?)
-        } else {
-            None
-        };
+        let where_clause = if self.eat_keyword("where") { Some(self.expr()?) } else { None };
         let mut group_by = Vec::new();
         if self.eat_keyword("group") {
             self.expect_keyword("by")?;
@@ -338,11 +327,8 @@ impl Parser {
             let lo = self.add_expr()?;
             self.expect_keyword("and")?;
             let hi = self.add_expr()?;
-            let ge = Expr::Binary {
-                op: BinOp::Ge,
-                left: Box::new(left.clone()),
-                right: Box::new(lo),
-            };
+            let ge =
+                Expr::Binary { op: BinOp::Ge, left: Box::new(left.clone()), right: Box::new(lo) };
             let le = Expr::Binary { op: BinOp::Le, left: Box::new(left), right: Box::new(hi) };
             return Ok(Expr::Binary { op: BinOp::And, left: Box::new(ge), right: Box::new(le) });
         }
@@ -514,8 +500,23 @@ fn agg_kind(name: &str) -> Option<AggKind> {
 fn is_clause_keyword(s: &str) -> bool {
     matches!(
         s,
-        "from" | "where" | "order" | "limit" | "as" | "and" | "or" | "not" | "group" | "by"
-            | "asc" | "desc" | "between" | "is" | "in" | "like" | "set"
+        "from"
+            | "where"
+            | "order"
+            | "limit"
+            | "as"
+            | "and"
+            | "or"
+            | "not"
+            | "group"
+            | "by"
+            | "asc"
+            | "desc"
+            | "between"
+            | "is"
+            | "in"
+            | "like"
+            | "set"
     )
 }
 
@@ -584,12 +585,10 @@ mod tests {
 
     #[test]
     fn paper_second_query_parses_with_udf() {
-        let q = sel(
-            "select ast.region, extractVoxels(wv.data, ast.region)
+        let q = sel("select ast.region, extractVoxels(wv.data, ast.region)
              from warpedVolume wv, atlasStructure ast, neuralStructure ns
              where wv.studyId = 53 and ast.structureId = ns.structureId and
-                   ns.structureName = 'putamen'",
-        );
+                   ns.structureName = 'putamen'");
         assert_eq!(q.items.len(), 2);
         match &q.items[1].expr {
             Expr::Call { name, args } => {

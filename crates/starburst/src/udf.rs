@@ -24,10 +24,19 @@ pub struct UdfContext<'a> {
 /// The UDF calling convention.
 pub type UdfFn = Box<dyn Fn(&mut UdfContext<'_>, &[Value]) -> Result<Value> + Send + Sync>;
 
+/// One registered function plus its pre-resolved observability handles,
+/// so the per-invocation cost is an atomic add rather than a registry
+/// lookup.
+struct UdfEntry {
+    f: UdfFn,
+    calls: qbism_obs::Counter,
+    span_name: String,
+}
+
 /// Name → function registry.
 #[derive(Default)]
 pub struct UdfRegistry {
-    fns: HashMap<String, UdfFn>,
+    fns: HashMap<String, UdfEntry>,
 }
 
 impl UdfRegistry {
@@ -43,7 +52,13 @@ impl UdfRegistry {
     where
         F: Fn(&mut UdfContext<'_>, &[Value]) -> Result<Value> + Send + Sync + 'static,
     {
-        self.fns.insert(name.to_ascii_lowercase(), Box::new(f));
+        let lname = name.to_ascii_lowercase();
+        let entry = UdfEntry {
+            f: Box::new(f),
+            calls: qbism_obs::global().counter_with("qbism_udf_calls_total", &[("udf", &lname)]),
+            span_name: format!("udf.{lname}"),
+        };
+        self.fns.insert(lname, entry);
     }
 
     /// Whether a function named `name` exists.
@@ -53,11 +68,22 @@ impl UdfRegistry {
 
     /// Invokes a function.
     pub fn call(&self, name: &str, ctx: &mut UdfContext<'_>, args: &[Value]) -> Result<Value> {
-        let f = self
+        let lname = name.to_ascii_lowercase();
+        let entry = self
             .fns
-            .get(&name.to_ascii_lowercase())
+            .get(&lname)
             .ok_or_else(|| DbError::Binding(format!("no such function: {name}")))?;
-        f(ctx, args)
+        if qbism_obs::enabled() {
+            entry.calls.inc();
+            let span = qbism_obs::trace::span(entry.span_name.clone());
+            let out = (entry.f)(ctx, args);
+            if let Err(e) = &out {
+                span.record_str("error", &e.to_string());
+            }
+            out
+        } else {
+            (entry.f)(ctx, args)
+        }
     }
 
     /// Registered function names, sorted.

@@ -23,10 +23,7 @@ pub type Volume = Field<u8>;
 impl<T: Copy + Default> Field<T> {
     /// A field with every sample equal to `fill`.
     pub fn filled(geom: GridGeometry, fill: T) -> Self {
-        Field {
-            geom,
-            values: vec![fill; geom.cell_count() as usize],
-        }
+        Field { geom, values: vec![fill; geom.cell_count() as usize] }
     }
 
     /// Builds a field by evaluating `f` at every 3-D voxel coordinate.
@@ -218,7 +215,10 @@ impl Volume {
     ///
     /// # Panics
     /// Panics if `volumes` is empty.
-    pub fn voxelwise_mean(volumes: &[&Volume], region: &Region) -> Result<DataRegion<u8>, VolumeError> {
+    pub fn voxelwise_mean(
+        volumes: &[&Volume],
+        region: &Region,
+    ) -> Result<DataRegion<u8>, VolumeError> {
         assert!(!volumes.is_empty(), "voxelwise_mean needs at least one volume");
         for v in volumes {
             if v.geometry() != region.geometry() {
@@ -400,8 +400,7 @@ mod tests {
     fn vector_field_extension() {
         // The paper's m-vector generalization: store [f32; 3] samples.
         let geom = g(CurveKind::Hilbert);
-        let wind: Field<[f32; 3]> =
-            Field::from_fn3(geom, |x, y, z| [x as f32, y as f32, z as f32]);
+        let wind: Field<[f32; 3]> = Field::from_fn3(geom, |x, y, z| [x as f32, y as f32, z as f32]);
         assert_eq!(wind.probe(3, 1, 4), [3.0, 1.0, 4.0]);
         let r = Region::from_box(geom, [2, 2, 2], [3, 3, 3]).unwrap();
         let dr = wind.extract(&r).unwrap();

@@ -47,10 +47,7 @@ impl std::error::Error for RegistrationError {}
 
 /// Computes the least-squares affine map sending each `patient[i]` to
 /// `atlas[i]`.
-pub fn register_landmarks(
-    patient: &[Vec3],
-    atlas: &[Vec3],
-) -> Result<Affine3, RegistrationError> {
+pub fn register_landmarks(patient: &[Vec3], atlas: &[Vec3]) -> Result<Affine3, RegistrationError> {
     if patient.len() != atlas.len() {
         return Err(RegistrationError::LengthMismatch);
     }
@@ -78,8 +75,8 @@ pub fn register_landmarks(
                 xty[i] += row[i] * y;
             }
         }
-        let beta = solve_linear_system(4, &xtx, &xty)
-            .ok_or(RegistrationError::DegenerateLandmarks)?;
+        let beta =
+            solve_linear_system(4, &xtx, &xty).ok_or(RegistrationError::DegenerateLandmarks)?;
         m[k][0] = beta[0];
         m[k][1] = beta[1];
         m[k][2] = beta[2];
@@ -97,7 +94,13 @@ mod tests {
 
     fn scatter(rng: &mut StdRng, n: usize) -> Vec<Vec3> {
         (0..n)
-            .map(|_| Vec3::new(rng.gen_range(0.0..100.0), rng.gen_range(0.0..100.0), rng.gen_range(0.0..100.0)))
+            .map(|_| {
+                Vec3::new(
+                    rng.gen_range(0.0..100.0),
+                    rng.gen_range(0.0..100.0),
+                    rng.gen_range(0.0..100.0),
+                )
+            })
             .collect()
     }
 
@@ -147,9 +150,8 @@ mod tests {
     fn coplanar_landmarks_are_degenerate() {
         // All z = 0: the z column of the design matrix is linearly
         // dependent with nothing to constrain it.
-        let patient: Vec<Vec3> = (0..8)
-            .map(|i| Vec3::new(f64::from(i), f64::from(i * i % 5), 0.0))
-            .collect();
+        let patient: Vec<Vec3> =
+            (0..8).map(|i| Vec3::new(f64::from(i), f64::from(i * i % 5), 0.0)).collect();
         let atlas = patient.clone();
         assert_eq!(
             register_landmarks(&patient, &atlas),
@@ -179,11 +181,9 @@ mod tests {
         // Judge by how well points map (the quantity that matters for
         // warping), not by coefficient-wise closeness: least squares
         // cannot beat the noise floor, so residuals should sit near it.
-        let mean_residual: f64 = patient
-            .iter()
-            .map(|&p| est.apply(p).distance(truth.apply(p)))
-            .sum::<f64>()
-            / patient.len() as f64;
+        let mean_residual: f64 =
+            patient.iter().map(|&p| est.apply(p).distance(truth.apply(p))).sum::<f64>()
+                / patient.len() as f64;
         assert!(mean_residual < 0.5, "mean residual {mean_residual}");
     }
 

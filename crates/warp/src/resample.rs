@@ -32,9 +32,7 @@ pub fn warp_to_atlas(
         atlas_mm_per_voxel > 0.0,
         "atlas voxel size must be positive, got {atlas_mm_per_voxel}"
     );
-    let atlas_to_patient = patient_to_atlas
-        .inverse()
-        .expect("warping matrix must be invertible");
+    let atlas_to_patient = patient_to_atlas.inverse().expect("warping matrix must be invertible");
     Volume::from_fn3(atlas_geom, |x, y, z| {
         let atlas_mm = Vec3::new(
             (f64::from(x) + 0.5) * atlas_mm_per_voxel,
@@ -59,9 +57,8 @@ mod tests {
     fn identity_warp_same_grid_is_near_lossless() {
         // Raw study already on the atlas grid with 1 mm voxels: identity
         // warp must reproduce each voxel exactly (centres align).
-        let raw = RawStudy::from_fn([16, 16, 16], Vec3::ONE, |x, y, z| {
-            (x * 13 + y * 5 + z * 3) as u8
-        });
+        let raw =
+            RawStudy::from_fn([16, 16, 16], Vec3::ONE, |x, y, z| (x * 13 + y * 5 + z * 3) as u8);
         let warped = warp_to_atlas(&raw, &Affine3::IDENTITY, atlas_geom(), 1.0);
         for (x, y, z) in [(0, 0, 0), (5, 9, 3), (15, 15, 15), (8, 1, 14)] {
             assert_eq!(warped.probe(x, y, z), raw.at(x, y, z), "at ({x},{y},{z})");
@@ -90,9 +87,8 @@ mod tests {
         // The paper's PET studies are 128x128x51 with thick slices; model
         // a 16x16x8 study with 2 mm slices warped into a cubic atlas by a
         // pure unit mapping (patient mm == atlas mm).
-        let raw = RawStudy::from_fn([16, 16, 8], Vec3::new(1.0, 1.0, 2.0), |_, _, z| {
-            (z * 30) as u8
-        });
+        let raw =
+            RawStudy::from_fn([16, 16, 8], Vec3::new(1.0, 1.0, 2.0), |_, _, z| (z * 30) as u8);
         let warped = warp_to_atlas(&raw, &Affine3::IDENTITY, atlas_geom(), 1.0);
         // Atlas z = 2.5 mm falls exactly at slice 1's centre (3 mm)...
         // verify monotone increase along z instead of exact values.
@@ -115,7 +111,11 @@ mod tests {
     fn warp_respects_atlas_voxel_size() {
         // With 2 mm atlas voxels, atlas voxel 4 is at 9 mm.
         let raw = RawStudy::from_fn([32, 32, 32], Vec3::ONE, |x, _, _| {
-            if x == 8 { 180 } else { 0 } // bright plane slab at 8.5mm
+            if x == 8 {
+                180
+            } else {
+                0
+            } // bright plane slab at 8.5mm
         });
         let warped = warp_to_atlas(&raw, &Affine3::IDENTITY, atlas_geom(), 2.0);
         // atlas voxel x=4 centre = 9.0 mm -> halfway between raw 8 (8.5mm)

@@ -25,11 +25,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
          where ns.structureId = ss.structureId and ss.systemId = sys.systemId and
                sys.systemName = 'motor' order by ns.structureName",
     )?;
-    let structures: Vec<String> = rs
-        .rows()
-        .iter()
-        .map(|r| r[0].as_str().unwrap_or("?").to_string())
-        .collect();
+    let structures: Vec<String> =
+        rs.rows().iter().map(|r| r[0].as_str().unwrap_or("?").to_string()).collect();
     println!("step 1 — structures of the motor system: {structures:?}");
 
     // Step 2: "structures may be texture mapped with a patient's PET
@@ -67,9 +64,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Step 4: "an arbitrary region may be compared with the same region
     // from a previous PET study" — same band in study 2, intersected.
-    let (consistent, cost) =
-        sys.server
-            .multi_study_band_region(&[study, sys.pet_study_ids[1]], hot_band, hot_band + 31)?;
+    let (consistent, cost) = sys.server.multi_study_band_region(
+        &[study, sys.pet_study_ids[1]],
+        hot_band,
+        hot_band + 31,
+    )?;
     println!(
         "step 4 — voxels hot in BOTH studies: {} ({} page reads)",
         consistent.voxel_count(),

@@ -17,10 +17,7 @@ use qbism::{QbismConfig, QbismSystem};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let config = QbismConfig { pet_studies: 8, patients: 8, ..QbismConfig::medium() };
-    println!(
-        "installing {} PET studies over {} patients …",
-        config.pet_studies, config.patients
-    );
+    println!("installing {} PET studies over {} patients …", config.pet_studies, config.patients);
     let mut sys = QbismSystem::install(&config)?;
     let structures = ["ntal", "thalamus", "putamen-l", "putamen-r", "cerebellum", "hippocampus-l"];
 

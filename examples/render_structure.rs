@@ -42,11 +42,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let fb = r.finish();
     let path_b = format!("{out_dir}/{structure}_b_data.ppm");
     std::fs::write(&path_b, fb.to_ppm())?;
-    println!(
-        "(b) PET data inside {} — {} voxels splatted -> {path_b}",
-        structure,
-        field.len()
-    );
+    println!("(b) PET data inside {} — {} voxels splatted -> {path_b}", structure, field.len());
 
     // (c) The data texture-mapped onto the surface ("note the difference
     // in shading between a and c").

@@ -51,14 +51,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let side = f64::from(sys.server.config().side());
     let probe = Vec3::new(side * 0.5, side * 0.5, side * 0.55);
     let candidates = index.candidates_at(probe);
-    println!(
-        "\nR-tree: structures whose bounds contain the grid centre {probe:?}: {candidates:?}"
-    );
+    println!("\nR-tree: structures whose bounds contain the grid centre {probe:?}: {candidates:?}");
     let s = sys.server.config().side();
     let beam = index.candidates_in_box([0, s / 2 - 1, s / 2 - 1], [s - 1, s / 2 + 1, s / 2 + 1]);
     println!("structures a lateral beam could touch: {beam:?}");
-    println!(
-        "(filter step only — exact membership still goes through the stored REGIONs)"
-    );
+    println!("(filter step only — exact membership still goes through the stored REGIONs)");
     Ok(())
 }

@@ -133,11 +133,7 @@ fn different_codecs_store_identical_science() {
     // The on-disk REGION encoding must never change query answers.
     use qbism_region::{OctantKind, RegionCodec};
     let mut answers = Vec::new();
-    for codec in [
-        RegionCodec::Naive,
-        RegionCodec::Elias,
-        RegionCodec::Octant(OctantKind::Cubic),
-    ] {
+    for codec in [RegionCodec::Naive, RegionCodec::Elias, RegionCodec::Octant(OctantKind::Cubic)] {
         let config = QbismConfig { region_codec: codec, ..QbismConfig::small_test() };
         let mut sys = QbismSystem::install(&config).expect("install");
         let a = sys.server.structure_data(1, "ntal").expect("query");
@@ -156,12 +152,8 @@ fn different_curves_store_identical_science() {
         let mut sys = QbismSystem::install(&config).expect("install");
         let a = sys.server.structure_data(1, "thalamus").expect("query");
         // Compare as (sorted voxel, value) sets — ids differ per curve.
-        let mut pairs: Vec<((u32, u32, u32), u8)> = a
-            .data
-            .region()
-            .iter_voxels3()
-            .zip(a.data.values().iter().copied())
-            .collect();
+        let mut pairs: Vec<((u32, u32, u32), u8)> =
+            a.data.region().iter_voxels3().zip(a.data.values().iter().copied()).collect();
         pairs.sort();
         per_curve.push(pairs);
     }

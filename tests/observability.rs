@@ -1,0 +1,102 @@
+//! End-to-end observability: every layer of a real query shows up in the
+//! span tree, and the process-wide registry exports the series the
+//! paper's tables are built from.
+//!
+//! The span ring, registry, and enabled switch are process-global, so
+//! these tests serialize on one lock and search `recent_roots` rather
+//! than assuming exclusive ring access.
+
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+use qbism::{QbismConfig, QbismSystem, QueryCost};
+
+static LOCK: Mutex<()> = Mutex::new(());
+
+fn serialize() -> MutexGuard<'static, ()> {
+    LOCK.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn install() -> QbismSystem {
+    QbismSystem::install(&QbismConfig::small_test()).expect("install")
+}
+
+#[test]
+fn mixed_query_emits_a_full_span_tree() {
+    let _g = serialize();
+    let mut sys = install();
+    let study = sys.pet_study_ids[0];
+    sys.server.band_in_structure(study, 224, 255, "ntal1").expect("Q6 runs");
+    let tree = qbism_obs::trace::recent_roots()
+        .into_iter()
+        .rev()
+        .find(|t| t.name == "query.band_in_structure")
+        .expect("query root span retained");
+    // The tree crosses all three instrumented layers.
+    for name in ["db.execute", "sql.parse", "exec.select", "lfm.read"] {
+        assert!(tree.find(name).is_some(), "span {name} missing:\n{}", tree.render_tree());
+    }
+    // The executor annotated row counts and the LFM its page reads.
+    let select = tree.find("exec.select").unwrap();
+    assert!(select.field("rows_scanned").is_some());
+    let lfm = tree.find("lfm.read").unwrap();
+    match lfm.field("pages") {
+        Some(qbism_obs::trace::FieldValue::U64(p)) => assert!(*p >= 1),
+        other => panic!("lfm.read pages field: {other:?}"),
+    }
+    // finish_query stamped the roll-up costs on the root.
+    for key in ["lfm_pages_read", "rows_scanned", "wire_bytes", "sim_db_s"] {
+        assert!(tree.field(key).is_some(), "root field {key} missing");
+    }
+}
+
+#[test]
+fn registry_exports_the_acceptance_series() {
+    let _g = serialize();
+    let mut sys = install();
+    let study = sys.pet_study_ids[0];
+    sys.server.structure_data(study, "ntal").expect("Q3 runs");
+    let text = sys.server.metrics().render_prometheus();
+    for series in [
+        "qbism_lfm_pages_read_total",
+        "qbism_exec_rows_total",
+        "qbism_query_seconds_bucket{class=\"structure\"",
+        "qbism_udf_calls_total{udf=\"extractvoxels\"}",
+    ] {
+        assert!(text.contains(series), "missing {series} in:\n{text}");
+    }
+    // The JSON snapshot carries the same registry.
+    let json = sys.server.metrics().snapshot_json();
+    assert!(json.contains("qbism_lfm_pages_read_total"));
+}
+
+#[test]
+fn query_cost_default_and_accumulate_fold() {
+    let _g = serialize();
+    let mut sys = install();
+    let study = sys.pet_study_ids[0];
+    let a = sys.server.full_study(study).expect("Q1 runs").cost;
+    let b = sys.server.structure_data(study, "ntal").expect("Q3 runs").cost;
+    let mut folded = QueryCost::default();
+    assert_eq!(folded.rows_scanned, 0);
+    assert_eq!(folded.wire_bytes, 0);
+    folded.accumulate(&a);
+    folded.accumulate(&b);
+    assert_eq!(folded.rows_scanned, a.rows_scanned + b.rows_scanned);
+    assert_eq!(folded.wire_bytes, a.wire_bytes + b.wire_bytes);
+    assert_eq!(folded.lfm.pages_read, a.lfm.pages_read + b.lfm.pages_read);
+    assert!(folded.sim_db_seconds >= a.sim_db_seconds);
+}
+
+#[test]
+fn disabling_observability_stops_recording() {
+    let _g = serialize();
+    let mut sys = install();
+    let study = sys.pet_study_ids[0];
+    qbism_obs::set_enabled(false);
+    let before = qbism_obs::trace::recent_roots().len();
+    let answer = sys.server.full_study(study).expect("Q1 runs while disabled");
+    let after = qbism_obs::trace::recent_roots().len();
+    qbism_obs::set_enabled(true);
+    assert!(answer.voxel_count() > 0);
+    assert!(after <= before, "disabled query grew the ring");
+}

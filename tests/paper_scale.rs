@@ -10,11 +10,7 @@ use qbism::{QbismConfig, QbismSystem, QuerySpec};
 #[test]
 #[ignore = "128³ installation takes tens of seconds; release builds only"]
 fn full_paper_scale_pipeline() {
-    let config = QbismConfig {
-        pet_studies: 2,
-        mri_studies: 1,
-        ..QbismConfig::paper_scale()
-    };
+    let config = QbismConfig { pet_studies: 2, mri_studies: 1, ..QbismConfig::paper_scale() };
     let mut sys = QbismSystem::install(&config).expect("install at 128³");
     // Table 3's headline queries at true scale.
     let q1 = qbism::report::run_full_query(&mut sys, 1, &QuerySpec::FullStudy).expect("Q1");
@@ -22,8 +18,8 @@ fn full_paper_scale_pipeline() {
     assert_eq!(q1.h_runs, 1);
     assert!((500..=520).contains(&q1.lfm_ios), "Q1 I/Os {} vs paper 513", q1.lfm_ios);
     assert!((60.0..80.0).contains(&q1.total_sim_seconds), "Q1 total {}", q1.total_sim_seconds);
-    let q3 =
-        qbism::report::run_full_query(&mut sys, 1, &QuerySpec::Structure("ntal".into())).expect("Q3");
+    let q3 = qbism::report::run_full_query(&mut sys, 1, &QuerySpec::Structure("ntal".into()))
+        .expect("Q3");
     assert!((12_000..22_000).contains(&q3.voxels), "ntal voxels {} vs paper 16,016", q3.voxels);
     assert!(q3.total_sim_seconds < q1.total_sim_seconds / 3.0, "early filtering wins big");
     // The structure sizes the anatomy was tuned for.

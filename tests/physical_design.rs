@@ -80,10 +80,7 @@ fn elias_encoding_sits_near_the_entropy_bound() {
         entropy_bytes += DeltaStats::measure(&r.region).entropy_bound_bytes();
     }
     let ratio = elias_bytes / entropy_bytes;
-    assert!(
-        (1.0..1.6).contains(&ratio),
-        "elias/entropy ratio {ratio} (paper: 1.17)"
-    );
+    assert!((1.0..1.6).contains(&ratio), "elias/entropy ratio {ratio} (paper: 1.17)");
 }
 
 #[test]
@@ -93,10 +90,8 @@ fn approximate_regions_accelerate_but_never_lie() {
     let pop = region_population(5, 1, 0, 9);
     let hemisphere = &pop[1].region;
     let band = &pop[12].region;
-    let approx_band = band.approximate(qbism_region::ApproxParams {
-        mingap: 6,
-        min_octant_side: 2,
-    });
+    let approx_band =
+        band.approximate(qbism_region::ApproxParams { mingap: 6, min_octant_side: 2 });
     assert!(approx_band.run_count() <= band.run_count());
     let candidate = hemisphere.intersect(&approx_band);
     let refined = candidate.refine_with_exact(band);
@@ -123,16 +118,10 @@ fn volume_layout_controls_extraction_page_counts() {
         let mut lfm = LongFieldManager::new(1 << 22, 4096).expect("device");
         let id = lfm.create(vol.values()).expect("store");
         lfm.reset_stats();
-        let pieces: Vec<(u64, u64)> =
-            region.runs().iter().map(|r| (r.start, r.len())).collect();
+        let pieces: Vec<(u64, u64)> = region.runs().iter().map(|r| (r.start, r.len())).collect();
         let mut out = Vec::new();
         lfm.read_pieces_into(id, &pieces, &mut out).expect("extract");
         pages.push(lfm.stats().pages_read);
     }
-    assert!(
-        pages[0] <= pages[1],
-        "hilbert layout reads {} pages, scanline {}",
-        pages[0],
-        pages[1]
-    );
+    assert!(pages[0] <= pages[1], "hilbert layout reads {} pages, scanline {}", pages[0], pages[1]);
 }

@@ -104,10 +104,7 @@ fn queries_against_dropped_rows_degrade_gracefully() {
         .database()
         .execute("delete from warpedVolume where warpedVolume.studyId = 1")
         .expect("delete runs");
-    assert!(matches!(
-        sys.server.structure_data(1, "ntal"),
-        Err(qbism::QbismError::NotFound(_))
-    ));
+    assert!(matches!(sys.server.structure_data(1, "ntal"), Err(qbism::QbismError::NotFound(_))));
     // Other studies keep working.
     assert!(sys.server.structure_data(2, "ntal").is_ok());
 }

@@ -31,9 +31,7 @@ fn render(db: &mut Database, sql: &str) -> String {
     let rs = db.query(sql).expect(sql);
     rs.rows()
         .iter()
-        .map(|row| {
-            row.iter().map(|v| v.to_string()).collect::<Vec<_>>().join(",")
-        })
+        .map(|row| row.iter().map(|v| v.to_string()).collect::<Vec<_>>().join(","))
         .collect::<Vec<_>>()
         .join(";")
 }
@@ -113,14 +111,9 @@ fn select_conformance_suite() {
         assert_eq!(&render(&mut db, sql), want, "query: {sql}");
     }
     // GROUP BY result compared order-insensitively.
-    let rs = db
-        .query("select p.sex, count(*) from patient p group by p.sex")
-        .expect("group");
-    let mut rows: Vec<(String, i64)> = rs
-        .rows()
-        .iter()
-        .map(|r| (r[0].as_str().unwrap().into(), r[1].as_i64().unwrap()))
-        .collect();
+    let rs = db.query("select p.sex, count(*) from patient p group by p.sex").expect("group");
+    let mut rows: Vec<(String, i64)> =
+        rs.rows().iter().map(|r| (r[0].as_str().unwrap().into(), r[1].as_i64().unwrap())).collect();
     rows.sort();
     assert_eq!(rows, vec![("F".to_string(), 3), ("M".to_string(), 2)]);
 }
@@ -166,14 +159,9 @@ fn mutation_conformance() {
     );
     assert_eq!(render(&mut db, "select count(*) from study s"), "5");
     db.execute("insert into study values (16, 2, 'SPECT', 1.5)").expect("insert");
-    assert_eq!(
-        render(&mut db, "select s.modality from study s where s.studyId = 16"),
-        "'SPECT'"
-    );
+    assert_eq!(render(&mut db, "select s.modality from study s where s.studyId = 16"), "'SPECT'");
     // Values survive round trips through projection expressions.
-    let rs = db
-        .query("select s.dose / 3 from study s where s.studyId = 16")
-        .expect("arith");
+    let rs = db.query("select s.dose / 3 from study s where s.studyId = 16").expect("arith");
     assert_eq!(rs.single_value().expect("1x1"), &Value::Float(0.5));
 }
 

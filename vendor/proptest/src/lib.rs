@@ -1,0 +1,452 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The workspace builds without crates.io access, so the subset of
+//! proptest it uses is vendored: the [`strategy::Strategy`] trait with
+//! `prop_map`, range / tuple / array / `collection::vec` / `any`
+//! strategies, and the [`proptest!`] / `prop_assert*` / `prop_assume!`
+//! macros backed by a deterministic runner (seed derived from the test
+//! name; case count overridable via `PROPTEST_CASES`).
+//!
+//! Differences from upstream: no shrinking (a failing case panics with
+//! the ordinary assertion message; the run is deterministic so it
+//! reproduces exactly), and value streams differ from upstream's.
+
+#![forbid(unsafe_code)]
+
+pub mod strategy {
+    //! The [`Strategy`] trait and combinators.
+
+    use crate::test_runner::TestRng;
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    macro_rules! range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+    macro_rules! tuple_strategy {
+        ($(($($s:ident . $idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    tuple_strategy! {
+        (S0.0)
+        (S0.0, S1.1)
+        (S0.0, S1.1, S2.2)
+        (S0.0, S1.1, S2.2, S3.3)
+        (S0.0, S1.1, S2.2, S3.3, S4.4)
+        (S0.0, S1.1, S2.2, S3.3, S4.4, S5.5)
+    }
+
+    /// `&str` patterns are regex strategies.  The supported subset is a
+    /// single character class with an optional counted repetition —
+    /// `[chars]{lo,hi}`, `[chars]*`, `[chars]+`, or a literal string —
+    /// which covers the patterns used in this workspace.
+    impl Strategy for &str {
+        type Value = String;
+
+        fn generate(&self, rng: &mut TestRng) -> String {
+            let (alphabet, lo, hi) = parse_simple_regex(self)
+                .unwrap_or_else(|| panic!("unsupported regex strategy pattern: {self:?}"));
+            let len = rng.gen_range(lo..hi + 1);
+            (0..len).map(|_| alphabet[rng.gen_range(0..alphabet.len())]).collect()
+        }
+    }
+
+    /// Parses `[class]{lo,hi}` / `[class]*` / `[class]+` / literal into
+    /// (alphabet, min_len, max_len).
+    fn parse_simple_regex(pattern: &str) -> Option<(Vec<char>, usize, usize)> {
+        let mut chars = pattern.chars().peekable();
+        if chars.peek() != Some(&'[') {
+            // Literal string: generate it verbatim.
+            let lit: Vec<char> = pattern.chars().collect();
+            let n = lit.len();
+            return Some((if n == 0 { vec![' '] } else { lit }, n, n));
+        }
+        chars.next(); // consume '['
+        let mut alphabet = Vec::new();
+        let mut prev: Option<char> = None;
+        loop {
+            let c = chars.next()?;
+            match c {
+                ']' => break,
+                '\\' => {
+                    let e = chars.next()?;
+                    alphabet.push(e);
+                    prev = Some(e);
+                }
+                '-' if prev.is_some() && chars.peek().is_some_and(|&n| n != ']') => {
+                    let end = chars.next()?;
+                    let start = prev.take()?;
+                    for code in (start as u32 + 1)..=(end as u32) {
+                        alphabet.push(char::from_u32(code)?);
+                    }
+                }
+                other => {
+                    alphabet.push(other);
+                    prev = Some(other);
+                }
+            }
+        }
+        if alphabet.is_empty() {
+            return None;
+        }
+        match chars.next() {
+            None => Some((alphabet, 1, 1)),
+            Some('*') if chars.next().is_none() => Some((alphabet, 0, 64)),
+            Some('+') if chars.next().is_none() => Some((alphabet, 1, 64)),
+            Some('{') => {
+                let rest: String = chars.collect();
+                let body = rest.strip_suffix('}')?;
+                let (lo, hi) = match body.split_once(',') {
+                    Some((l, h)) => (l.trim().parse().ok()?, h.trim().parse().ok()?),
+                    None => {
+                        let n = body.trim().parse().ok()?;
+                        (n, n)
+                    }
+                };
+                Some((alphabet, lo, hi))
+            }
+            _ => None,
+        }
+    }
+
+    /// Strategy producing values via [`crate::arbitrary::Arbitrary`].
+    pub struct Any<T>(pub(crate) std::marker::PhantomData<T>);
+
+    impl<T: crate::arbitrary::Arbitrary> Strategy for Any<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// A strategy for any [`crate::arbitrary::Arbitrary`] type.
+    pub fn any<T: crate::arbitrary::Arbitrary>() -> Any<T> {
+        Any(std::marker::PhantomData)
+    }
+}
+
+pub mod arbitrary {
+    //! Default value generation for primitive types.
+
+    use crate::test_runner::TestRng;
+
+    /// Types with a canonical unconstrained strategy.
+    pub trait Arbitrary: Sized {
+        /// Draws one arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! int_arbitrary {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_raw() as $t
+                }
+            }
+        )*};
+    }
+
+    int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_raw() & 1 == 1
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Length specification for [`vec`]: a fixed size or a range.
+    pub struct SizeRange {
+        lo: usize,
+        hi_exclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi_exclusive: n + 1 }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange { lo: r.start, hi_exclusive: r.end }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange { lo: *r.start(), hi_exclusive: *r.end() + 1 }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from a range.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Generates vectors whose elements come from `element` and whose
+    /// length is drawn from `size` (a `usize` or a range).
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.lo..self.size.hi_exclusive);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod array {
+    //! Fixed-size array strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy for `[S::Value; N]`.
+    pub struct UniformArray<S, const N: usize>(S);
+
+    impl<S: Strategy, const N: usize> Strategy for UniformArray<S, N> {
+        type Value = [S::Value; N];
+
+        fn generate(&self, rng: &mut TestRng) -> [S::Value; N] {
+            std::array::from_fn(|_| self.0.generate(rng))
+        }
+    }
+
+    /// `[S::Value; 2]` with each element from `s`.
+    pub fn uniform2<S: Strategy>(s: S) -> UniformArray<S, 2> {
+        UniformArray(s)
+    }
+
+    /// `[S::Value; 3]` with each element from `s`.
+    pub fn uniform3<S: Strategy>(s: S) -> UniformArray<S, 3> {
+        UniformArray(s)
+    }
+
+    /// `[S::Value; 4]` with each element from `s`.
+    pub fn uniform4<S: Strategy>(s: S) -> UniformArray<S, 4> {
+        UniformArray(s)
+    }
+}
+
+pub mod test_runner {
+    //! The deterministic case runner behind [`crate::proptest!`].
+
+    use rand::rngs::StdRng;
+    use rand::{Rng, RngCore, SampleRange, SeedableRng};
+
+    /// Per-test random source.
+    pub struct TestRng(StdRng);
+
+    impl TestRng {
+        /// Uniform sample from a range (integers and floats).
+        pub fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+            self.0.gen_range(range)
+        }
+
+        /// Raw 64 random bits (used by `any::<T>()`).
+        pub fn next_raw(&mut self) -> u64 {
+            self.0.next_u64()
+        }
+    }
+
+    /// Drives the cases of one property test.
+    pub struct TestRunner {
+        /// Random source for strategy generation.
+        pub rng: TestRng,
+        /// Number of cases to run.
+        pub cases: u32,
+    }
+
+    impl TestRunner {
+        /// A runner whose stream is a stable function of the test name.
+        /// `PROPTEST_CASES` overrides the case count.
+        pub fn for_test(name: &str) -> TestRunner {
+            // FNV-1a over the name: stable across runs and platforms.
+            let mut h = 0xcbf29ce484222325u64;
+            for b in name.as_bytes() {
+                h ^= u64::from(*b);
+                h = h.wrapping_mul(0x100000001b3);
+            }
+            let cases =
+                std::env::var("PROPTEST_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(48);
+            TestRunner { rng: TestRng(StdRng::seed_from_u64(h)), cases }
+        }
+    }
+}
+
+pub mod prelude {
+    //! The customary glob import.
+
+    pub use crate::arbitrary::Arbitrary;
+    pub use crate::strategy::{any, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Defines property tests: each `fn name(x in strategy, ...) { body }`
+/// becomes a `#[test]` that runs the body over deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    ($(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut __runner =
+                    $crate::test_runner::TestRunner::for_test(concat!(module_path!(), "::", stringify!($name)));
+                for __case in 0..__runner.cases {
+                    let _ = __case;
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut __runner.rng);)+
+                    // A closure so `prop_assume!` can skip the case via
+                    // `return`.
+                    #[allow(clippy::redundant_closure_call)]
+                    (|| -> () { $body })();
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition within a property test case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Asserts equality within a property test case.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+/// Asserts inequality within a property test case.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*) };
+}
+
+/// Skips the current case unless the precondition holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return;
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_and_tuples(x in 0u32..10, pair in (0u64..100, -1.0f64..1.0)) {
+            prop_assert!(x < 10);
+            prop_assert!(pair.0 < 100);
+            prop_assert!((-1.0..1.0).contains(&pair.1));
+        }
+
+        #[test]
+        fn vec_and_array(v in crate::collection::vec(any::<u8>(), 0..30),
+                         a in crate::array::uniform3(0u32..64)) {
+            prop_assert!(v.len() < 30);
+            prop_assert!(a.iter().all(|&c| c < 64));
+        }
+
+        #[test]
+        fn fixed_len_vec(v in crate::collection::vec(0.0f64..1.0, 16)) {
+            prop_assert_eq!(v.len(), 16);
+        }
+
+        #[test]
+        fn map_and_assume(n in 0u32..100) {
+            prop_assume!(n % 2 == 0);
+            let doubled = (0u32..10).prop_map(|x| x * 2);
+            let mut runner = crate::test_runner::TestRunner::for_test("inner");
+            let v = Strategy::generate(&doubled, &mut runner.rng);
+            prop_assert!(v % 2 == 0 && v < 20);
+            prop_assert!(n % 2 == 0);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runners() {
+        let mut a = crate::test_runner::TestRunner::for_test("same-name");
+        let mut b = crate::test_runner::TestRunner::for_test("same-name");
+        let s = crate::collection::vec(0u64..1000, 1..50);
+        for _ in 0..20 {
+            assert_eq!(Strategy::generate(&s, &mut a.rng), Strategy::generate(&s, &mut b.rng));
+        }
+    }
+}
