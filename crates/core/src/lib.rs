@@ -58,7 +58,7 @@ pub use config::QbismConfig;
 pub use future::{feature_vector, StructureIndex, FEATURE_DIMS};
 pub use loader::QbismSystem;
 pub use report::{FullQueryReport, QuerySpec};
-pub use server::{MedicalServer, QueryAnswer, QueryCost};
+pub use server::{MedicalServer, PopulationAnswer, QueryAnswer, QueryCost};
 
 /// Errors from the integrated system.
 #[derive(Debug)]
@@ -75,6 +75,9 @@ pub enum QbismError {
     Wire(String),
     /// Query addressed something that does not exist.
     NotFound(String),
+    /// Simulated network failure: the answer could not be shipped even
+    /// after the RPC channel's bounded retries.
+    Net(qbism_netsim::NetError),
 }
 
 impl std::fmt::Display for QbismError {
@@ -86,6 +89,7 @@ impl std::fmt::Display for QbismError {
             QbismError::Registration(e) => write!(f, "registration: {e}"),
             QbismError::Wire(m) => write!(f, "wire format: {m}"),
             QbismError::NotFound(m) => write!(f, "not found: {m}"),
+            QbismError::Net(e) => write!(f, "network: {e}"),
         }
     }
 }
@@ -95,6 +99,12 @@ impl std::error::Error for QbismError {}
 impl From<qbism_starburst::DbError> for QbismError {
     fn from(e: qbism_starburst::DbError) -> Self {
         QbismError::Db(e)
+    }
+}
+
+impl From<qbism_netsim::NetError> for QbismError {
+    fn from(e: qbism_netsim::NetError) -> Self {
+        QbismError::Net(e)
     }
 }
 

@@ -16,14 +16,14 @@ use crate::loader::ATLAS_ID;
 use crate::wire::{data_region_wire_size, decode_data_region};
 use crate::{QbismError, Result};
 use qbism_lfm::{DiskModel, IoStats};
-use qbism_netsim::NetworkModel;
+use qbism_netsim::{NetStats, NetworkModel, RpcChannel};
 use qbism_obs::trace;
 use qbism_region::{Region, RegionCodec};
 use qbism_starburst::{Database, Value};
 use qbism_volume::{DataRegion, Volume};
 
 /// Cost accounting for one executed query.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy)]
 pub struct QueryCost {
     /// LFM I/O performed by the query (the "LFM Disk I/Os (4KB)" column).
     pub lfm: IoStats,
@@ -39,12 +39,33 @@ pub struct QueryCost {
     pub messages: u64,
     /// Simulated network real time.
     pub sim_net_seconds: f64,
+    /// Fraction of the requested inputs this answer actually covers.
+    /// `1.0` for every ordinary query; the population aggregate lowers
+    /// it when it degrades gracefully by skipping failed studies.
+    pub coverage: f64,
+}
+
+impl Default for QueryCost {
+    fn default() -> Self {
+        QueryCost {
+            lfm: IoStats::default(),
+            rows_scanned: 0,
+            native_db_seconds: 0.0,
+            sim_db_seconds: 0.0,
+            wire_bytes: 0,
+            messages: 0,
+            sim_net_seconds: 0.0,
+            coverage: 1.0,
+        }
+    }
 }
 
 impl QueryCost {
     /// Field-wise accumulation: folds `other`'s costs into `self`.
     /// Multi-statement query classes (the population aggregate, the
-    /// intensity-range union) sum their per-statement brackets with this.
+    /// intensity-range union) sum their per-statement brackets with
+    /// this.  Coverage folds as the minimum: a composite answer is only
+    /// as complete as its least complete part.
     pub fn accumulate(&mut self, other: &QueryCost) {
         self.lfm = self.lfm.plus(&other.lfm);
         self.rows_scanned += other.rows_scanned;
@@ -53,6 +74,7 @@ impl QueryCost {
         self.wire_bytes += other.wire_bytes;
         self.messages += other.messages;
         self.sim_net_seconds += other.sim_net_seconds;
+        self.coverage = self.coverage.min(other.coverage);
     }
 }
 
@@ -74,6 +96,41 @@ impl QueryAnswer {
     /// Number of voxels in the answer (a Table 3 column).
     pub fn voxel_count(&self) -> u64 {
         self.data.voxel_count() as u64
+    }
+}
+
+/// A population-aggregate answer: the averaged DATA_REGION, its costs,
+/// and the studies the aggregate had to leave out.
+///
+/// The aggregate degrades gracefully: a study whose extraction fails
+/// (missing row, injected device fault, …) is skipped rather than
+/// sinking the whole query, `cost.coverage` records the surviving
+/// fraction, and `skipped` says exactly what went wrong per study.  The
+/// call errors only when *no* study could be read.
+#[derive(Debug)]
+pub struct PopulationAnswer {
+    /// The voxel-wise mean over the studies that could be read.
+    pub data: DataRegion<u8>,
+    /// Cost accounting (`coverage < 1.0` when studies were skipped).
+    pub cost: QueryCost,
+    /// Studies excluded from the mean, with the error that excluded each.
+    pub skipped: Vec<(i64, QbismError)>,
+}
+
+impl PopulationAnswer {
+    /// Number of h-runs in the answer's REGION.
+    pub fn run_count(&self) -> usize {
+        self.data.region().run_count()
+    }
+
+    /// Number of voxels in the answer.
+    pub fn voxel_count(&self) -> u64 {
+        self.data.voxel_count() as u64
+    }
+
+    /// True when every requested study contributed to the mean.
+    pub fn is_complete(&self) -> bool {
+        self.skipped.is_empty()
     }
 }
 
@@ -137,7 +194,7 @@ pub struct MedicalServer {
     db: Database,
     config: QbismConfig,
     disk: DiskModel,
-    net: NetworkModel,
+    chan: RpcChannel,
     metrics: ServerMetrics,
 }
 
@@ -148,7 +205,7 @@ impl MedicalServer {
             db,
             config,
             disk: DiskModel::RS6000_1994,
-            net: NetworkModel::TESTBED_1994,
+            chan: RpcChannel::new(NetworkModel::TESTBED_1994),
             metrics: ServerMetrics::new(),
         }
     }
@@ -178,6 +235,13 @@ impl MedicalServer {
     /// Current LFM counters.
     pub fn lfm_stats(&self) -> IoStats {
         self.db.lfm_stats()
+    }
+
+    /// Cumulative simulated-network counters for every answer this
+    /// server has shipped (retransmits and backoff stay zero unless a
+    /// fault plane injects message loss).
+    pub fn net_stats(&self) -> NetStats {
+        self.chan.stats()
     }
 
     // ----------------------------------------------------------------
@@ -290,13 +354,12 @@ impl MedicalServer {
             from.join(", "),
             preds.join(" and ")
         );
-        let mut answer = self.extract_with_sql(&sql)?;
-        // Post-filter the boundary bands' spill (candidate refinement).
-        let exact = answer.data.filter_intensity(lo, hi);
-        answer.cost.wire_bytes = crate::wire::data_region_wire_size(&exact);
-        answer.cost.messages = self.net.messages_for(answer.cost.wire_bytes);
-        answer.cost.sim_net_seconds = self.net.seconds_for(answer.cost.wire_bytes);
-        answer.data = exact;
+        // Extract the candidate union, refine, then ship only the exact
+        // answer (one shipment per query).
+        let (candidate, _, partial) = self.extract_measured(&sql)?;
+        let exact = candidate.filter_intensity(lo, hi);
+        let cost = self.finish_cost(partial, data_region_wire_size(&exact))?;
+        let answer = QueryAnswer { data: exact, cost };
         self.finish_query(&span, "intensity_range", &answer.cost);
         Ok(answer)
     }
@@ -384,7 +447,7 @@ impl MedicalServer {
         };
         let region = RegionCodec::decode(&bytes)?;
         let wire_bytes = bytes.len() as u64;
-        let cost = self.finish_cost(cost_partial, wire_bytes);
+        let cost = self.finish_cost(cost_partial, wire_bytes)?;
         self.finish_query(&span, "multi_study_band", &cost);
         Ok((region, cost))
     }
@@ -394,22 +457,32 @@ impl MedicalServer {
     /// pages are read; the answer is one structure-sized DATA_REGION —
     /// "the reduction in data traffic will be linear in the number of
     /// studies involved."
+    ///
+    /// The aggregate is the one query class that degrades gracefully: a
+    /// study whose extraction fails — missing row, injected device
+    /// fault — is skipped, the mean is taken over the survivors,
+    /// `cost.coverage` drops below 1.0, and the per-study errors travel
+    /// back in [`PopulationAnswer::skipped`].  Only when *every* study
+    /// fails does the call return the first error.
     pub fn population_average(
         &mut self,
         study_ids: &[i64],
         structure: &str,
-    ) -> Result<QueryAnswer> {
+    ) -> Result<PopulationAnswer> {
         if study_ids.is_empty() {
             return Err(QbismError::NotFound("no studies given".into()));
         }
         let span = Self::query_span("population_average");
         span.record_u64("studies", study_ids.len() as u64);
         span.record_str("structure", structure);
-        // Per-study measured extraction, folded into one cost.
+        // Per-study measured extraction, folded into one cost.  A failed
+        // study still contributes whatever I/O it performed before
+        // failing — the work was done, so the cost is real.
         let mut cost = QueryCost::default();
         let mut extracts: Vec<DataRegion<u8>> = Vec::with_capacity(study_ids.len());
-        for id in study_ids {
-            let (value, partial) = self
+        let mut skipped: Vec<(i64, QbismError)> = Vec::new();
+        for &id in study_ids {
+            let measured = self
                 .run_measured(&format!(
                     "select extractVoxels(wv.data, ast.region)
                      from warpedVolume wv, atlasStructure ast, neuralStructure ns
@@ -423,20 +496,37 @@ impl MedicalServer {
                         QbismError::NotFound(format!("study {id} / {structure}"))
                     }
                     other => other,
-                })?;
-            cost.accumulate(&self.finish_cost(partial, 0));
-            let bytes = value
-                .as_bytes()
-                .ok_or_else(|| QbismError::Wire("extract returned a non-bytes value".into()))?;
-            extracts.push(decode_data_region(bytes)?);
+                })
+                .and_then(|(value, partial)| {
+                    cost.accumulate(&self.db_cost(&partial));
+                    let bytes = value.as_bytes().ok_or_else(|| {
+                        QbismError::Wire("extract returned a non-bytes value".into())
+                    })?;
+                    decode_data_region(bytes)
+                });
+            match measured {
+                Ok(extract) => extracts.push(extract),
+                Err(e) => skipped.push((id, e)),
+            }
         }
+        let Some(first) = extracts.first() else {
+            // Nothing survived: degrading further would return an empty
+            // answer pretending to be a mean — fail with the first cause.
+            let (id, error) = skipped.remove(0);
+            span.record_str(
+                "failed",
+                &format!("all {} studies; first: study {id}", study_ids.len()),
+            );
+            return Err(error);
+        };
+        cost.coverage = extracts.len() as f64 / study_ids.len() as f64;
         // Voxel-wise mean across the aligned extractions (server CPU,
         // still part of the database phase).
         let start = std::time::Instant::now();
-        let region = extracts[0].region().clone();
+        let region = first.region().clone();
         let n = extracts.len() as u32;
-        let mut values = Vec::with_capacity(extracts[0].voxel_count());
-        for i in 0..extracts[0].voxel_count() {
+        let mut values = Vec::with_capacity(first.voxel_count());
+        for i in 0..first.voxel_count() {
             let sum: u32 = extracts.iter().map(|e| u32::from(e.values()[i])).sum();
             values.push((sum / n) as u8);
         }
@@ -445,12 +535,9 @@ impl MedicalServer {
         cost.native_db_seconds += mean_seconds;
         cost.sim_db_seconds += mean_seconds;
         // Only the final averaged DATA_REGION crosses the wire.
-        let wire_bytes = data_region_wire_size(&data);
-        cost.wire_bytes = wire_bytes;
-        cost.messages = self.net.messages_for(wire_bytes);
-        cost.sim_net_seconds = self.net.seconds_for(wire_bytes);
+        self.ship_answer(&mut cost, data_region_wire_size(&data))?;
         self.finish_query(&span, "population_average", &cost);
-        Ok(QueryAnswer { data, cost })
+        Ok(PopulationAnswer { data, cost, skipped })
     }
 
     /// The Section 3.4 "first query": atlas coordinate-space and patient
@@ -565,42 +652,82 @@ impl MedicalServer {
         span.record_u64("messages", cost.messages);
         span.record_f64("sim_db_s", cost.sim_db_seconds);
         span.record_f64("sim_net_s", cost.sim_net_seconds);
+        if cost.coverage < 1.0 {
+            span.record_f64("coverage", cost.coverage);
+        }
     }
 
     /// Runs a one-value SQL query under measurement brackets.
     fn run_measured(&mut self, sql: &str) -> Result<(Value, PartialCost)> {
         let before = self.db.lfm_stats();
+        let latency_before = self.db.lfm_fault_latency_seconds();
         let start = std::time::Instant::now();
         let rs = self.db.query(sql)?;
         let native = start.elapsed().as_secs_f64();
         let lfm = self.db.lfm_stats().since(&before);
+        let fault_latency = self.db.lfm_fault_latency_seconds() - latency_before;
         let value = rs
             .single_value()
             .map_err(|_| QbismError::NotFound(format!("query returned {} rows", rs.len())))?
             .clone();
-        Ok((value, PartialCost { lfm, rows_scanned: rs.rows_scanned, native_db_seconds: native }))
+        Ok((
+            value,
+            PartialCost {
+                lfm,
+                rows_scanned: rs.rows_scanned,
+                native_db_seconds: native,
+                fault_latency,
+            },
+        ))
     }
 
-    fn finish_cost(&self, partial: PartialCost, wire_bytes: u64) -> QueryCost {
+    /// The database-phase bracket of a cost: everything except shipping.
+    fn db_cost(&self, partial: &PartialCost) -> QueryCost {
         QueryCost {
             lfm: partial.lfm,
             rows_scanned: partial.rows_scanned,
             native_db_seconds: partial.native_db_seconds,
-            sim_db_seconds: self.disk.seconds(&partial.lfm) + partial.native_db_seconds,
-            wire_bytes,
-            messages: self.net.messages_for(wire_bytes),
-            sim_net_seconds: self.net.seconds_for(wire_bytes),
+            sim_db_seconds: self.disk.seconds(&partial.lfm)
+                + partial.native_db_seconds
+                + partial.fault_latency,
+            ..QueryCost::default()
         }
     }
 
-    fn extract_with_sql(&mut self, sql: &str) -> Result<QueryAnswer> {
+    /// Ships the answer payload over the RPC channel and folds the
+    /// receipt into `cost`.  With no fault plane armed this is exactly
+    /// the lossless network model; under injected message loss the
+    /// channel's retries surface here as extra messages and backoff
+    /// seconds, and an exhausted retry budget as [`QbismError::Net`].
+    fn ship_answer(&mut self, cost: &mut QueryCost, wire_bytes: u64) -> Result<()> {
+        let receipt = self.chan.ship(wire_bytes).map_err(QbismError::Net)?;
+        cost.wire_bytes = wire_bytes;
+        cost.messages = receipt.messages;
+        cost.sim_net_seconds = receipt.seconds;
+        Ok(())
+    }
+
+    fn finish_cost(&mut self, partial: PartialCost, wire_bytes: u64) -> Result<QueryCost> {
+        let mut cost = self.db_cost(&partial);
+        self.ship_answer(&mut cost, wire_bytes)?;
+        Ok(cost)
+    }
+
+    /// Runs an `extractVoxels` query and decodes its DATA_REGION without
+    /// shipping — callers that post-process the answer (the intensity
+    /// range refinement) ship the final payload exactly once.
+    fn extract_measured(&mut self, sql: &str) -> Result<(DataRegion<u8>, u64, PartialCost)> {
         let (value, partial) = self.run_measured(sql)?;
         let bytes = value
             .as_bytes()
             .ok_or_else(|| QbismError::Wire("extract returned a non-bytes value".into()))?;
         let data = decode_data_region(bytes)?;
-        let wire_bytes = bytes.len() as u64;
-        let cost = self.finish_cost(partial, wire_bytes);
+        Ok((data, bytes.len() as u64, partial))
+    }
+
+    fn extract_with_sql(&mut self, sql: &str) -> Result<QueryAnswer> {
+        let (data, wire_bytes, partial) = self.extract_measured(sql)?;
+        let cost = self.finish_cost(partial, wire_bytes)?;
         Ok(QueryAnswer { data, cost })
     }
 }
@@ -609,6 +736,7 @@ struct PartialCost {
     lfm: IoStats,
     rows_scanned: u64,
     native_db_seconds: f64,
+    fault_latency: f64,
 }
 
 #[cfg(test)]

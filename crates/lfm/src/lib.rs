@@ -35,13 +35,16 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![warn(clippy::unwrap_used)]
 
 mod buddy;
+mod device;
+mod journal;
 mod manager;
 mod model;
 
 pub use buddy::BuddyAllocator;
-pub use manager::{LongFieldId, LongFieldManager};
+pub use manager::{LongFieldId, LongFieldManager, MetaStats, RecoveryReport};
 pub use model::{DiskModel, IoStats};
 
 /// Errors raised by the storage layer.
@@ -66,6 +69,27 @@ pub enum LfmError {
     /// Device geometry is invalid (zero page size, capacity not a
     /// multiple of the page size, …).
     BadGeometry(&'static str),
+    /// A `(offset, order)` pair handed to [`BuddyAllocator::free`] does
+    /// not name a live allocation: double free, misaligned offset, or
+    /// wrong order.
+    InvalidFree {
+        /// Page offset of the rejected free.
+        offset: u64,
+        /// Order of the rejected free.
+        order: u32,
+    },
+    /// The simulated device reported an I/O error for this operation
+    /// (injected by the fault plane).
+    DeviceFault {
+        /// The fault site that errored, e.g. `"lfm.write"`.
+        op: &'static str,
+    },
+    /// The simulated machine has crashed: the device refuses all
+    /// traffic until [`LongFieldManager::recover`] runs.
+    Crashed,
+    /// On-device metadata failed validation (bad superblock, snapshot
+    /// or journal checksums, allocator/directory disagreement).
+    CorruptMetadata(String),
 }
 
 impl std::fmt::Display for LfmError {
@@ -79,6 +103,14 @@ impl std::fmt::Display for LfmError {
                 write!(f, "access [{offset}, {offset}+{len}) outside field of {field_len} bytes")
             }
             LfmError::BadGeometry(what) => write!(f, "bad device geometry: {what}"),
+            LfmError::InvalidFree { offset, order } => {
+                write!(f, "invalid free: no live block at page {offset} with order {order}")
+            }
+            LfmError::DeviceFault { op } => write!(f, "simulated device fault during {op}"),
+            LfmError::Crashed => {
+                write!(f, "simulated device crashed; recover() before further I/O")
+            }
+            LfmError::CorruptMetadata(what) => write!(f, "corrupt device metadata: {what}"),
         }
     }
 }

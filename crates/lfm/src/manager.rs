@@ -1,10 +1,40 @@
 //! The long-field store.
+//!
+//! # Crash consistency
+//!
+//! The simulated device is split into a metadata region (superblock,
+//! two directory-snapshot slots, a write-ahead journal — see
+//! [`crate::journal`]) and the data area.  Every directory mutation is
+//! journaled *before* it is acknowledged:
+//!
+//! * `create` writes the field's data pages first, then appends a
+//!   `Create` record — the record is the commit point, so a crash
+//!   between the two leaves only unreferenced free-space bytes;
+//! * `delete` appends a `Delete` record before touching in-memory state;
+//! * `write_piece` runs undo-logged: old bytes → journal, new bytes →
+//!   device, `WriteCommit` → journal; recovery rolls back any update
+//!   whose commit record never landed.
+//!
+//! [`LongFieldManager::recover`] rebuilds the directory from the last
+//! checkpoint plus the journal, rolls back uncommitted writes, re-pins
+//! every block in a fresh buddy allocator ([`BuddyAllocator::allocate_at`]
+//! — a double allocation surfaces as corruption, not silent overlap) and
+//! verifies a whole-field checksum for every surviving field.
+//!
+//! Metadata I/O is charged to [`MetaStats`], **never** to [`IoStats`]:
+//! the paper's Tables 1–4 count data-plane 4 KiB I/Os only, and stay
+//! bit-identical whether or not the fault/recovery plane exists.
 
 use crate::buddy::BuddyAllocator;
+use crate::device::SimDevice;
+use crate::journal::{
+    self, Record, SnapEntry, Snapshot, Superblock, SNAP_ENTRY_LEN, SNAP_HEADER_LEN, SUPER_LEN,
+};
 use crate::model::{DiskModel, IoStats};
 use crate::{LfmError, Result};
+use qbism_fault::checksum;
 use qbism_obs::{trace, Counter, Gauge};
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 
 /// Cached handles to the global LFM metrics (Table 3/4 columns).
 #[derive(Debug, Clone)]
@@ -18,6 +48,11 @@ struct LfmMetrics {
     sim_disk_micros: Counter,
     live_fields: Gauge,
     allocated_pages: Gauge,
+    journal_records: Counter,
+    journal_bytes: Counter,
+    checkpoints: Counter,
+    recoveries: Counter,
+    fault_latency_micros: Counter,
 }
 
 impl LfmMetrics {
@@ -41,6 +76,20 @@ impl LfmMetrics {
         reg.describe("qbism_lfm_sim_disk_micros_total", "Simulated 1994-disk time, microseconds.");
         reg.describe("qbism_lfm_live_fields", "Long fields currently stored.");
         reg.describe("qbism_lfm_allocated_pages", "Device pages currently allocated.");
+        reg.describe(
+            "qbism_lfm_journal_records_total",
+            "Metadata journal records durably appended (crash-consistency plane).",
+        );
+        reg.describe("qbism_lfm_journal_bytes_total", "Metadata journal bytes appended.");
+        reg.describe(
+            "qbism_lfm_checkpoints_total",
+            "Directory checkpoints written (journal wraps).",
+        );
+        reg.describe("qbism_lfm_recoveries_total", "Successful crash recoveries.");
+        reg.describe(
+            "qbism_lfm_fault_latency_micros_total",
+            "Injected device latency, microseconds (separate from the disk model).",
+        );
         LfmMetrics {
             pages_read: reg.counter("qbism_lfm_pages_read_total"),
             pages_written: reg.counter("qbism_lfm_pages_written_total"),
@@ -51,6 +100,11 @@ impl LfmMetrics {
             sim_disk_micros: reg.counter("qbism_lfm_sim_disk_micros_total"),
             live_fields: reg.gauge("qbism_lfm_live_fields"),
             allocated_pages: reg.gauge("qbism_lfm_allocated_pages"),
+            journal_records: reg.counter("qbism_lfm_journal_records_total"),
+            journal_bytes: reg.counter("qbism_lfm_journal_bytes_total"),
+            checkpoints: reg.counter("qbism_lfm_checkpoints_total"),
+            recoveries: reg.counter("qbism_lfm_recoveries_total"),
+            fault_latency_micros: reg.counter("qbism_lfm_fault_latency_micros_total"),
         }
     }
 }
@@ -65,12 +119,126 @@ pub struct LongFieldId(pub u64);
 
 #[derive(Debug, Clone)]
 struct FieldDesc {
-    /// First device page of the field's buddy block.
+    /// First *data-area* page of the field's buddy block.
     first_page: u64,
     /// Allocation order (block is `2^order` pages).
     order: u32,
     /// Logical length in bytes.
     len: u64,
+    /// FNV-1a checksum of the field's logical bytes.
+    csum: u64,
+}
+
+/// Metadata-plane accounting, deliberately separate from [`IoStats`]:
+/// journal and checkpoint traffic never pollutes the paper's data-plane
+/// I/O columns.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MetaStats {
+    /// Journal records durably appended.
+    pub journal_records: u64,
+    /// Journal bytes durably appended.
+    pub journal_bytes: u64,
+    /// Directory checkpoints written (journal wraps and recoveries).
+    pub checkpoints: u64,
+    /// Successful [`LongFieldManager::recover`] runs.
+    pub recoveries: u64,
+    /// Uncommitted in-place writes rolled back during recovery.
+    pub rolled_back_writes: u64,
+}
+
+/// What [`LongFieldManager::recover`] found and repaired.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Metadata epoch after recovery (recovery always checkpoints).
+    pub epoch: u64,
+    /// Long fields alive after replay.
+    pub fields: usize,
+    /// Journal records replayed on top of the snapshot.
+    pub replayed_records: u64,
+    /// Uncommitted writes rolled back to their pre-images.
+    pub rolled_back_writes: u64,
+}
+
+/// Device layout computed once at format time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Geometry {
+    page_size: usize,
+    snap_start: u64,
+    snap_slot_pages: u64,
+    journal_start: u64,
+    journal_pages: u64,
+    data_start: u64,
+    data_pages: u64,
+    max_order: u32,
+}
+
+impl Geometry {
+    fn for_capacity(capacity_bytes: u64, page_size: usize) -> Result<Geometry> {
+        if page_size == 0 {
+            return Err(LfmError::BadGeometry("page size must be positive"));
+        }
+        if capacity_bytes == 0 {
+            return Err(LfmError::BadGeometry("capacity must be positive"));
+        }
+        let psz = page_size as u64;
+        let data_pages = capacity_bytes.div_ceil(psz).next_power_of_two();
+        let max_order = data_pages.trailing_zeros();
+        if max_order > 40 {
+            return Err(LfmError::BadGeometry("capacity unreasonably large"));
+        }
+        let sb_pages = (SUPER_LEN as u64).div_ceil(psz);
+        // One snapshot slot must hold the worst-case directory: one
+        // entry per data page.
+        let snap_slot_bytes = (SNAP_HEADER_LEN as u64) + data_pages * (SNAP_ENTRY_LEN as u64);
+        let snap_slot_pages = snap_slot_bytes.div_ceil(psz);
+        let journal_pages = (data_pages / 64).clamp(8, 4096);
+        let snap_start = sb_pages;
+        let journal_start = snap_start + 2 * snap_slot_pages;
+        let data_start = journal_start + journal_pages;
+        Ok(Geometry {
+            page_size,
+            snap_start,
+            snap_slot_pages,
+            journal_start,
+            journal_pages,
+            data_start,
+            data_pages,
+            max_order,
+        })
+    }
+
+    fn total_bytes(&self) -> usize {
+        (self.data_start + self.data_pages) as usize * self.page_size
+    }
+
+    fn data_byte(&self, first_page: u64, offset: u64) -> usize {
+        (self.data_start + first_page) as usize * self.page_size + offset as usize
+    }
+
+    fn snap_slot_byte(&self, epoch: u64) -> usize {
+        (self.snap_start + (epoch % 2) * self.snap_slot_pages) as usize * self.page_size
+    }
+
+    fn journal_byte(&self, cursor: usize) -> usize {
+        self.journal_start as usize * self.page_size + cursor
+    }
+
+    fn journal_capacity(&self) -> usize {
+        self.journal_pages as usize * self.page_size
+    }
+
+    fn superblock(&self, epoch: u64) -> Superblock {
+        Superblock {
+            page_size: self.page_size as u32,
+            max_order: self.max_order,
+            epoch,
+            snap_start: self.snap_start,
+            snap_slot_pages: self.snap_slot_pages,
+            journal_start: self.journal_start,
+            journal_pages: self.journal_pages,
+            data_start: self.data_start,
+        }
+    }
 }
 
 /// An unbuffered long-field store over a simulated raw disk device.
@@ -82,42 +250,51 @@ struct FieldDesc {
 #[derive(Debug)]
 pub struct LongFieldManager {
     page_size: usize,
-    device: Vec<u8>,
+    device: SimDevice,
     allocator: BuddyAllocator,
     fields: HashMap<u64, FieldDesc>,
     next_id: u64,
     stats: IoStats,
     disk: DiskModel,
     metrics: LfmMetrics,
+    geo: Geometry,
+    epoch: u64,
+    journal_seq: u64,
+    journal_cursor: usize,
+    meta: MetaStats,
+    fault_latency: f64,
 }
 
 impl LongFieldManager {
     /// Creates a device of `capacity_bytes` with the given page size.
     ///
-    /// Capacity is rounded up to a power-of-two number of pages (buddy
-    /// allocation needs it); the paper's unit is 4096-byte pages.
+    /// Capacity is rounded up to a power-of-two number of *data* pages
+    /// (buddy allocation needs it); the paper's unit is 4096-byte
+    /// pages.  The metadata region (superblock, snapshots, journal) is
+    /// provisioned on top, so the full requested capacity remains
+    /// available for long fields.
     pub fn new(capacity_bytes: u64, page_size: usize) -> Result<Self> {
-        if page_size == 0 {
-            return Err(LfmError::BadGeometry("page size must be positive"));
-        }
-        if capacity_bytes == 0 {
-            return Err(LfmError::BadGeometry("capacity must be positive"));
-        }
-        let pages = capacity_bytes.div_ceil(page_size as u64).next_power_of_two();
-        let order = pages.trailing_zeros();
-        if order > 40 {
-            return Err(LfmError::BadGeometry("capacity unreasonably large"));
-        }
-        Ok(LongFieldManager {
+        let geo = Geometry::for_capacity(capacity_bytes, page_size)?;
+        let mut lfm = LongFieldManager {
             page_size,
-            device: vec![0u8; (pages as usize) * page_size],
-            allocator: BuddyAllocator::new(order),
+            device: SimDevice::new(geo.total_bytes()),
+            allocator: BuddyAllocator::new(geo.max_order),
             fields: HashMap::new(),
             next_id: 1,
             stats: IoStats::default(),
             disk: DiskModel::default(),
             metrics: LfmMetrics::new(),
-        })
+            geo,
+            epoch: 1,
+            journal_seq: 0,
+            journal_cursor: 0,
+            meta: MetaStats::default(),
+            fault_latency: 0.0,
+        };
+        // Format: empty snapshot for epoch 1, then the superblock.
+        lfm.write_snapshot(1)?;
+        lfm.write_superblock(1)?;
+        Ok(lfm)
     }
 
     /// The disk model used to convert I/O deltas into simulated seconds
@@ -146,6 +323,13 @@ impl LongFieldManager {
         sim_seconds
     }
 
+    fn note_latency(&mut self, seconds: f64) {
+        if seconds > 0.0 {
+            self.fault_latency += seconds;
+            self.metrics.fault_latency_micros.add((seconds * 1e6) as u64);
+        }
+    }
+
     fn sync_gauges(&self) {
         self.metrics.live_fields.set(self.fields.len() as i64);
         self.metrics.allocated_pages.set(self.allocator.allocated_pages() as i64);
@@ -156,14 +340,36 @@ impl LongFieldManager {
         self.page_size
     }
 
-    /// Cumulative I/O counters.
+    /// Cumulative data-plane I/O counters.
     pub fn stats(&self) -> IoStats {
         self.stats
     }
 
-    /// Zeroes the I/O counters (used between measured queries).
+    /// Zeroes the I/O counters and the injected-latency accumulator
+    /// (used between measured queries).
     pub fn reset_stats(&mut self) {
         self.stats = IoStats::default();
+        self.fault_latency = 0.0;
+    }
+
+    /// Metadata-plane accounting: journal traffic, checkpoints,
+    /// recoveries.
+    pub fn meta_stats(&self) -> MetaStats {
+        self.meta
+    }
+
+    /// Simulated seconds of injected device latency since the last
+    /// [`LongFieldManager::reset_stats`].  Zero unless a fault plane is
+    /// injecting [`qbism_fault::FaultOutcome::Latency`].
+    pub fn fault_latency_seconds(&self) -> f64 {
+        self.fault_latency
+    }
+
+    /// Whether the simulated machine is down after an injected crash.
+    /// All I/O returns [`LfmError::Crashed`] until
+    /// [`LongFieldManager::recover`] succeeds.
+    pub fn is_crashed(&self) -> bool {
+        self.device.is_crashed()
     }
 
     /// Number of live long fields.
@@ -176,17 +382,151 @@ impl LongFieldManager {
         self.allocator.allocated_pages()
     }
 
+    // ------------------------------------------------------------------
+    // Metadata plane
+    // ------------------------------------------------------------------
+
+    /// Writes `data` at a metadata location.  On a torn write the
+    /// damaged range is scrubbed (zeroed) before returning the error —
+    /// the in-memory state never acknowledged the append, so the medium
+    /// must not half-remember it.  A crash leaves the medium exactly as
+    /// the crash found it; recovery sorts it out.
+    fn meta_write(&mut self, off: usize, data: &[u8]) -> Result<()> {
+        match self.device.write("lfm.meta.write", off, data) {
+            Ok(latency) => {
+                self.note_latency(latency);
+                Ok(())
+            }
+            Err(LfmError::Crashed) => Err(LfmError::Crashed),
+            Err(e) => {
+                self.device.write_direct(off, &vec![0u8; data.len()]);
+                Err(e)
+            }
+        }
+    }
+
+    fn write_snapshot(&mut self, epoch: u64) -> Result<()> {
+        let mut entries: Vec<SnapEntry> = self
+            .fields
+            .iter()
+            .map(|(&id, d)| SnapEntry {
+                id,
+                first_page: d.first_page,
+                order: d.order,
+                len: d.len,
+                csum: d.csum,
+            })
+            .collect();
+        entries.sort_by_key(|e| e.id);
+        let blob = Snapshot { epoch, next_id: self.next_id, entries }.encode();
+        debug_assert!(blob.len() <= self.geo.snap_slot_pages as usize * self.page_size);
+        let off = self.geo.snap_slot_byte(epoch);
+        self.meta_write(off, &blob)
+    }
+
+    /// Rewrites the superblock for `epoch` — the commit point of a
+    /// checkpoint.  A torn superblock write restores the previous
+    /// superblock before erroring, so the device always has a valid
+    /// root.
+    fn write_superblock(&mut self, epoch: u64) -> Result<()> {
+        let bytes = self.geo.superblock(epoch).encode();
+        match self.device.write("lfm.meta.write", 0, &bytes) {
+            Ok(latency) => {
+                self.note_latency(latency);
+                Ok(())
+            }
+            Err(LfmError::Crashed) => Err(LfmError::Crashed),
+            Err(e) => {
+                let old = self.geo.superblock(self.epoch).encode();
+                self.device.write_direct(0, &old);
+                Err(e)
+            }
+        }
+    }
+
+    /// Writes a fresh snapshot to the inactive slot and commits it by
+    /// bumping the superblock epoch; the journal logically restarts.
+    fn checkpoint(&mut self) -> Result<()> {
+        let span = trace::span("lfm.checkpoint");
+        let next = self.epoch + 1;
+        self.write_snapshot(next)?;
+        self.write_superblock(next)?;
+        self.epoch = next;
+        self.journal_cursor = 0;
+        self.journal_seq = 0;
+        self.meta.checkpoints += 1;
+        self.metrics.checkpoints.inc();
+        span.record_u64("epoch", next);
+        Ok(())
+    }
+
+    /// Checkpoints if fewer than `needed` journal bytes remain.
+    fn ensure_journal_room(&mut self, needed: usize) -> Result<()> {
+        if self.journal_cursor + needed > self.geo.journal_capacity() {
+            self.checkpoint()?;
+            if needed > self.geo.journal_capacity() {
+                return Err(LfmError::CorruptMetadata(format!(
+                    "journal record of {needed} bytes exceeds journal capacity"
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Appends one record (plus a zero terminator so stale bytes beyond
+    /// it can never decode).  Callers must have reserved room via
+    /// [`Self::ensure_journal_room`].
+    fn append_journal(&mut self, rec: &Record) -> Result<()> {
+        let mut bytes = journal::encode(self.journal_seq + 1, self.epoch, rec);
+        let rec_len = bytes.len();
+        bytes.extend_from_slice(&[0u8; 4]);
+        debug_assert!(self.journal_cursor + bytes.len() <= self.geo.journal_capacity());
+        let off = self.geo.journal_byte(self.journal_cursor);
+        self.meta_write(off, &bytes)?;
+        self.journal_seq += 1;
+        self.journal_cursor += rec_len;
+        self.meta.journal_records += 1;
+        self.meta.journal_bytes += rec_len as u64;
+        self.metrics.journal_records.inc();
+        self.metrics.journal_bytes.add(rec_len as u64);
+        Ok(())
+    }
+
+    /// Reserves room and appends, for single-record operations.
+    fn journal_one(&mut self, rec: Record) -> Result<()> {
+        self.ensure_journal_room(journal::encoded_len(journal::payload_len(&rec)) + 4)?;
+        self.append_journal(&rec)
+    }
+
+    // ------------------------------------------------------------------
+    // Data plane
+    // ------------------------------------------------------------------
+
     /// Creates a long field holding `data`, writing it to the device.
+    ///
+    /// The field's data pages land before its `Create` journal record;
+    /// the record is the commit point, so a fault or crash anywhere in
+    /// between leaves no trace after recovery.
     pub fn create(&mut self, data: &[u8]) -> Result<LongFieldId> {
         let span = trace::span("lfm.create");
         let pages_needed = (data.len() as u64).div_ceil(self.page_size as u64).max(1);
         let order = BuddyAllocator::order_for_pages(pages_needed);
         let first_page = self.allocator.allocate(order)?;
+        let csum = checksum(data);
         let id = self.next_id;
+        let commit = |lfm: &mut Self| -> Result<()> {
+            let latency = lfm.device.write("lfm.write", lfm.geo.data_byte(first_page, 0), data)?;
+            lfm.note_latency(latency);
+            lfm.journal_one(Record::Create { id, first_page, order, len: data.len() as u64, csum })
+        };
+        if let Err(e) = commit(self) {
+            // The block was never published; reclaim it in memory.  (On
+            // a crash the in-memory state is moot until recovery.)
+            let _ = self.allocator.free(first_page, order);
+            return Err(e);
+        }
         self.next_id += 1;
-        self.fields.insert(id, FieldDesc { first_page, order, len: data.len() as u64 });
-        let base = first_page as usize * self.page_size;
-        self.device[base..base + data.len()].copy_from_slice(data);
+        self.fields.insert(id, FieldDesc { first_page, order, len: data.len() as u64, csum });
         // One sequential write of the touched pages.
         self.charge(IoStats {
             pages_written: pages_needed,
@@ -200,11 +540,13 @@ impl LongFieldManager {
         Ok(LongFieldId(id))
     }
 
-    /// Deletes a long field, freeing its block (no I/O is charged —
+    /// Deletes a long field, freeing its block (no data I/O is charged —
     /// deallocation is a metadata operation).
     pub fn delete(&mut self, id: LongFieldId) -> Result<()> {
-        let desc = self.fields.remove(&id.0).ok_or(LfmError::NoSuchField(id.0))?;
-        self.allocator.free(desc.first_page, desc.order);
+        let desc = self.fields.get(&id.0).ok_or(LfmError::NoSuchField(id.0))?.clone();
+        self.journal_one(Record::Delete { id: id.0 })?;
+        self.fields.remove(&id.0);
+        self.allocator.free(desc.first_page, desc.order)?;
         self.sync_gauges();
         Ok(())
     }
@@ -259,6 +601,9 @@ impl LongFieldManager {
                 return Err(LfmError::OutOfBounds { field_len: desc.len, offset, len });
             }
         }
+        // One logical device read; the fault plane sees it as one op.
+        let latency = self.device.gate_read("lfm.read")?;
+        self.note_latency(latency);
         // Account distinct pages and extents.
         let psz = self.page_size as u64;
         let mut last_page: Option<u64> = None;
@@ -297,11 +642,11 @@ impl LongFieldManager {
             ..IoStats::default()
         });
         // Copy the bytes.
-        let base = desc.first_page as usize * self.page_size;
         let before = out.len();
         for &(offset, len) in pieces {
-            let s = base + offset as usize;
-            out.extend_from_slice(&self.device[s..s + len as usize]);
+            out.extend_from_slice(
+                self.device.slice(self.geo.data_byte(desc.first_page, offset), len as usize),
+            );
         }
         if span.is_recording() {
             span.record_u64("pages", pages);
@@ -314,6 +659,12 @@ impl LongFieldManager {
 
     /// Overwrites `data` at `offset` within an existing field (cannot
     /// grow it).
+    ///
+    /// The update is undo-logged in journal-sized chunks: each chunk's
+    /// pre-image lands in the journal before the data pages change, and
+    /// a `WriteCommit` record seals it.  A fault or crash inside a
+    /// chunk rolls that chunk back (in memory immediately, or during
+    /// [`LongFieldManager::recover`]); already-committed chunks stay.
     pub fn write_piece(&mut self, id: LongFieldId, offset: u64, data: &[u8]) -> Result<()> {
         let desc = self.desc(id)?.clone();
         let len = data.len() as u64;
@@ -334,20 +685,251 @@ impl LongFieldManager {
             ..IoStats::default()
         });
         span.record_u64("pages", last - first + 1);
-        let base = desc.first_page as usize * self.page_size + offset as usize;
-        self.device[base..base + data.len()].copy_from_slice(data);
+        // Undo-logged chunks: journal capacity bounds the pre-image a
+        // single record may carry.
+        let chunk = (self.geo.journal_capacity() / 4).max(256);
+        let commit_len =
+            journal::encoded_len(journal::payload_len(&Record::WriteCommit { id: id.0, csum: 0 }));
+        let field_base = self.geo.data_byte(desc.first_page, 0);
+        let mut done = 0usize;
+        while done < data.len() {
+            let n = chunk.min(data.len() - done);
+            let chunk_off = offset as usize + done;
+            let old = self.device.slice(field_base + chunk_off, n).to_vec();
+            // Reserve room for this chunk's undo *and* commit together,
+            // so a checkpoint can never split the pair across epochs.
+            let undo_len = journal::encoded_len(journal::payload_len(&Record::WriteUndo {
+                id: id.0,
+                offset: chunk_off as u64,
+                bytes: Vec::new(),
+            })) + n;
+            self.ensure_journal_room(undo_len + commit_len + 8)?;
+            self.append_journal(&Record::WriteUndo {
+                id: id.0,
+                offset: chunk_off as u64,
+                bytes: old.clone(),
+            })?;
+            match self.device.write("lfm.write", field_base + chunk_off, &data[done..done + n]) {
+                Ok(latency) => self.note_latency(latency),
+                Err(LfmError::Crashed) => return Err(LfmError::Crashed),
+                Err(e) => {
+                    // Scrub the half-applied chunk back to its pre-image;
+                    // the dangling undo record is idempotent if a later
+                    // crash replays it.
+                    self.device.write_direct(field_base + chunk_off, &old);
+                    return Err(e);
+                }
+            }
+            let new_csum = checksum(self.device.slice(field_base, desc.len as usize));
+            if let Err(e) = self.append_journal(&Record::WriteCommit { id: id.0, csum: new_csum }) {
+                if !matches!(e, LfmError::Crashed) {
+                    self.device.write_direct(field_base + chunk_off, &old);
+                }
+                return Err(e);
+            }
+            if let Some(d) = self.fields.get_mut(&id.0) {
+                d.csum = new_csum;
+            }
+            done += n;
+        }
         Ok(())
     }
 
     fn desc(&self, id: LongFieldId) -> Result<&FieldDesc> {
         self.fields.get(&id.0).ok_or(LfmError::NoSuchField(id.0))
     }
+
+    // ------------------------------------------------------------------
+    // Recovery
+    // ------------------------------------------------------------------
+
+    /// Brings a crashed (or suspect) device back to a consistent state:
+    /// loads the last checkpoint, replays the journal, rolls back
+    /// uncommitted writes, rebuilds the buddy allocator from the
+    /// directory, verifies every field's checksum, and finishes with a
+    /// fresh checkpoint.  Idempotent on a healthy manager.
+    ///
+    /// Runs with fault injection suppressed: recovery models the
+    /// machine rebooting, not the crash schedule continuing.
+    pub fn recover(&mut self) -> Result<RecoveryReport> {
+        qbism_fault::suppressed(|| self.recover_inner())
+    }
+
+    fn recover_inner(&mut self) -> Result<RecoveryReport> {
+        let span = trace::span("lfm.recover");
+        self.device.clear_crash();
+        let sb = Superblock::decode(self.device.slice(0, SUPER_LEN))?;
+        if sb != self.geo.superblock(sb.epoch) {
+            return Err(LfmError::CorruptMetadata(
+                "superblock geometry disagrees with the formatted device".to_string(),
+            ));
+        }
+        let slot_bytes = self.geo.snap_slot_pages as usize * self.page_size;
+        let snap =
+            Snapshot::decode(self.device.slice(self.geo.snap_slot_byte(sb.epoch), slot_bytes))?;
+        if snap.epoch != sb.epoch {
+            return Err(LfmError::CorruptMetadata(format!(
+                "snapshot epoch {} does not match superblock epoch {}",
+                snap.epoch, sb.epoch
+            )));
+        }
+        let mut fields: HashMap<u64, FieldDesc> = snap
+            .entries
+            .iter()
+            .map(|e| {
+                (
+                    e.id,
+                    FieldDesc {
+                        first_page: e.first_page,
+                        order: e.order,
+                        len: e.len,
+                        csum: e.csum,
+                    },
+                )
+            })
+            .collect();
+        let mut next_id = snap.next_id;
+        // Replay the journal.
+        let jlog =
+            self.device.slice(self.geo.journal_byte(0), self.geo.journal_capacity()).to_vec();
+        let mut cursor = 0usize;
+        let mut expect_seq = 1u64;
+        let mut replayed = 0u64;
+        let mut pending: Vec<(u64, u64, Vec<u8>)> = Vec::new(); // (id, offset, pre-image)
+        while let Some((consumed, seq, epoch, rec)) = journal::decode(&jlog[cursor..]) {
+            if epoch != sb.epoch || seq != expect_seq {
+                break; // stale record from before the last checkpoint
+            }
+            cursor += consumed;
+            expect_seq += 1;
+            replayed += 1;
+            match rec {
+                Record::Create { id, first_page, order, len, csum } => {
+                    fields.insert(id, FieldDesc { first_page, order, len, csum });
+                    next_id = next_id.max(id + 1);
+                }
+                Record::Delete { id } => {
+                    fields.remove(&id);
+                    pending.retain(|p| p.0 != id);
+                }
+                Record::WriteUndo { id, offset, bytes } => pending.push((id, offset, bytes)),
+                Record::WriteCommit { id, csum } => {
+                    pending.retain(|p| p.0 != id);
+                    if let Some(d) = fields.get_mut(&id) {
+                        d.csum = csum;
+                    }
+                }
+            }
+        }
+        // Roll back uncommitted writes, newest first.
+        let rolled_back = pending.len() as u64;
+        for (id, offset, bytes) in pending.iter().rev() {
+            if let Some(d) = fields.get(id) {
+                if offset + bytes.len() as u64 <= d.len {
+                    self.device.write_direct(self.geo.data_byte(d.first_page, *offset), bytes);
+                }
+            }
+        }
+        // Rebuild the allocator by pinning every directory block.
+        let mut allocator = BuddyAllocator::new(self.geo.max_order);
+        let mut ids: Vec<u64> = fields.keys().copied().collect();
+        ids.sort_unstable();
+        for id in &ids {
+            let d = &fields[id];
+            allocator.allocate_at(d.first_page, d.order).map_err(|_| {
+                LfmError::CorruptMetadata(format!(
+                    "field {id}: block (page {}, order {}) is double-allocated or out of range",
+                    d.first_page, d.order
+                ))
+            })?;
+        }
+        // Verify every field's bytes against its recorded checksum.
+        for id in &ids {
+            let d = &fields[id];
+            let actual =
+                checksum(self.device.slice(self.geo.data_byte(d.first_page, 0), d.len as usize));
+            if actual != d.csum {
+                return Err(LfmError::CorruptMetadata(format!(
+                    "field {id} failed its data checksum after replay"
+                )));
+            }
+        }
+        // Install and start a clean epoch.
+        self.fields = fields;
+        self.allocator = allocator;
+        self.next_id = next_id;
+        self.epoch = sb.epoch;
+        self.journal_cursor = cursor;
+        self.journal_seq = expect_seq - 1;
+        self.checkpoint()?;
+        self.meta.recoveries += 1;
+        self.meta.rolled_back_writes += rolled_back;
+        self.metrics.recoveries.inc();
+        self.sync_gauges();
+        self.check_invariants()?;
+        let report = RecoveryReport {
+            epoch: self.epoch,
+            fields: self.fields.len(),
+            replayed_records: replayed,
+            rolled_back_writes: rolled_back,
+        };
+        span.record_u64("replayed", replayed);
+        span.record_u64("rolled_back", rolled_back);
+        span.record_u64("fields", report.fields as u64);
+        Ok(report)
+    }
+
+    /// Structural audit of the storage layer: the buddy free lists are
+    /// internally consistent, the allocator's live set and the field
+    /// directory agree block-for-block (no leaked pages, no double
+    /// allocation), every block sits inside the data area, and every
+    /// field's bytes match its recorded checksum.
+    pub fn check_invariants(&self) -> Result<()> {
+        self.allocator.verify()?;
+        let live: BTreeSet<(u64, u32)> = self.allocator.live_blocks().collect();
+        let directory: BTreeSet<(u64, u32)> =
+            self.fields.values().map(|d| (d.first_page, d.order)).collect();
+        if live != directory {
+            return Err(LfmError::CorruptMetadata(format!(
+                "allocator live set ({} blocks) disagrees with field directory ({} blocks)",
+                live.len(),
+                directory.len()
+            )));
+        }
+        if directory.len() != self.fields.len() {
+            return Err(LfmError::CorruptMetadata("two fields share one block".to_string()));
+        }
+        for (id, d) in &self.fields {
+            let block_pages = 1u64 << d.order;
+            if d.first_page + block_pages > self.geo.data_pages {
+                return Err(LfmError::CorruptMetadata(format!(
+                    "field {id} extends past the data area"
+                )));
+            }
+            if d.len > block_pages * self.page_size as u64 {
+                return Err(LfmError::CorruptMetadata(format!(
+                    "field {id} is longer than its block"
+                )));
+            }
+            let actual =
+                checksum(self.device.slice(self.geo.data_byte(d.first_page, 0), d.len as usize));
+            if actual != d.csum {
+                return Err(LfmError::CorruptMetadata(format!(
+                    "field {id} bytes do not match the directory checksum"
+                )));
+            }
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
+
     use super::*;
     use proptest::prelude::*;
+    use qbism_fault::FaultPlane;
 
     fn mk() -> LongFieldManager {
         LongFieldManager::new(1 << 22, 4096).unwrap() // 4 MiB device
@@ -485,6 +1067,176 @@ mod tests {
         let _ = lfm.read_pieces_into(id, &[(100, 10), (50, 10)], &mut out);
     }
 
+    // ------------------------------------------------------------------
+    // Fault injection and recovery
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn metadata_io_never_touches_io_stats() {
+        let mut lfm = mk();
+        let before = lfm.stats();
+        assert_eq!(before, IoStats::default());
+        let id = lfm.create(&vec![1u8; 10_000]).unwrap();
+        let s = lfm.stats();
+        assert_eq!(s.pages_written, 3, "journal traffic must not inflate data-plane pages");
+        assert_eq!(s.write_calls, 1);
+        assert!(lfm.meta_stats().journal_records >= 1);
+        lfm.delete(id).unwrap();
+        assert_eq!(lfm.stats().pages_written, 3, "delete charges no data I/O");
+    }
+
+    #[test]
+    fn injected_read_error_is_typed_and_transient() {
+        let mut lfm = mk();
+        let id = lfm.create(&[7u8; 100]).unwrap();
+        let scope = FaultPlane::new(5).fail_nth("lfm.read", 1).arm();
+        assert_eq!(lfm.read(id), Err(LfmError::DeviceFault { op: "lfm.read" }));
+        assert_eq!(lfm.read(id).unwrap(), vec![7u8; 100], "next read succeeds");
+        drop(scope);
+        lfm.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn failed_create_leaks_nothing() {
+        let mut lfm = mk();
+        let scope = FaultPlane::new(5).fail_nth("lfm.write", 1).arm();
+        assert!(matches!(lfm.create(&vec![1u8; 9000]), Err(LfmError::DeviceFault { .. })));
+        drop(scope);
+        assert_eq!(lfm.field_count(), 0);
+        assert_eq!(lfm.allocated_pages(), 0);
+        lfm.check_invariants().unwrap();
+        // And the device is fully reusable.
+        let id = lfm.create(&vec![2u8; 9000]).unwrap();
+        assert_eq!(lfm.read(id).unwrap(), vec![2u8; 9000]);
+    }
+
+    #[test]
+    fn torn_journal_append_is_scrubbed_and_recoverable() {
+        let mut lfm = mk();
+        let keep = lfm.create(&vec![3u8; 5000]).unwrap();
+        let scope = FaultPlane::new(5).torn_nth("lfm.meta.write", 1, 0.7).arm();
+        assert!(lfm.create(&vec![4u8; 5000]).is_err(), "torn Create append must error");
+        drop(scope);
+        assert_eq!(lfm.field_count(), 1);
+        lfm.check_invariants().unwrap();
+        // A recovery pass sees exactly the committed world.
+        let report = lfm.recover().unwrap();
+        assert_eq!(report.fields, 1);
+        assert_eq!(lfm.read(keep).unwrap(), vec![3u8; 5000]);
+    }
+
+    #[test]
+    fn crash_then_recover_preserves_committed_fields() {
+        let mut lfm = mk();
+        let a: Vec<u8> = (0..9_000u32).map(|i| (i % 211) as u8).collect();
+        let b: Vec<u8> = (0..3_000u32).map(|i| (i % 13) as u8).collect();
+        let ida = lfm.create(&a).unwrap();
+        let idb = lfm.create(&b).unwrap();
+        // Crash on the data write of a third field.
+        let scope = FaultPlane::new(5).crash_nth("lfm.write", 1).arm();
+        assert_eq!(lfm.create(&vec![9u8; 20_000]), Err(LfmError::Crashed));
+        assert!(lfm.is_crashed());
+        assert_eq!(lfm.read(ida), Err(LfmError::Crashed), "crashed device refuses reads");
+        drop(scope);
+        let report = lfm.recover().unwrap();
+        assert!(!lfm.is_crashed());
+        assert_eq!(report.fields, 2);
+        assert_eq!(lfm.read(ida).unwrap(), a);
+        assert_eq!(lfm.read(idb).unwrap(), b);
+        assert_eq!(lfm.meta_stats().recoveries, 1);
+        lfm.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn uncommitted_write_rolls_back_on_recovery() {
+        let mut lfm = mk();
+        let data = vec![1u8; 6000];
+        let id = lfm.create(&data).unwrap();
+        // Crash on the in-place data write: the undo record is durable,
+        // the commit never lands.
+        let scope = FaultPlane::new(5).crash_nth("lfm.write", 1).arm();
+        assert_eq!(lfm.write_piece(id, 1000, &[8u8; 500]), Err(LfmError::Crashed));
+        drop(scope);
+        let report = lfm.recover().unwrap();
+        assert_eq!(report.rolled_back_writes, 1);
+        assert_eq!(lfm.read(id).unwrap(), data, "pre-image restored");
+        lfm.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn committed_write_survives_recovery() {
+        let mut lfm = mk();
+        let id = lfm.create(&vec![1u8; 6000]).unwrap();
+        lfm.write_piece(id, 1000, &[8u8; 500]).unwrap();
+        let mut expect = vec![1u8; 6000];
+        expect[1000..1500].copy_from_slice(&[8u8; 500]);
+        // Crash somewhere else entirely, then recover.
+        let scope = FaultPlane::new(5).crash_nth("lfm.read", 1).arm();
+        assert_eq!(lfm.read(id), Err(LfmError::Crashed));
+        drop(scope);
+        lfm.recover().unwrap();
+        assert_eq!(lfm.read(id).unwrap(), expect);
+    }
+
+    #[test]
+    fn recovery_is_idempotent_on_a_healthy_store() {
+        let mut lfm = mk();
+        let data: Vec<u8> = (0..12_345u32).map(|i| (i % 199) as u8).collect();
+        let id = lfm.create(&data).unwrap();
+        let r1 = lfm.recover().unwrap();
+        let r2 = lfm.recover().unwrap();
+        assert_eq!(r1.fields, 1);
+        assert_eq!(r2.fields, 1);
+        assert_eq!(lfm.read(id).unwrap(), data);
+    }
+
+    #[test]
+    fn checkpoint_wraps_the_journal_without_losing_state() {
+        // A small device has a >= 8-page journal; force enough churn to
+        // wrap it several times.
+        let mut lfm = LongFieldManager::new(4096 * 64, 4096).unwrap();
+        let mut live = Vec::new();
+        for round in 0..600u32 {
+            let data = vec![(round % 251) as u8; 64];
+            let id = lfm.create(&data).unwrap();
+            live.push((id, data));
+            if live.len() > 8 {
+                let (old, _) = live.remove(0);
+                lfm.delete(old).unwrap();
+            }
+        }
+        assert!(lfm.meta_stats().checkpoints > 0, "journal must have wrapped");
+        for (id, data) in &live {
+            assert_eq!(&lfm.read(*id).unwrap(), data);
+        }
+        lfm.check_invariants().unwrap();
+        // And the durable state still recovers.
+        lfm.recover().unwrap();
+        for (id, data) in &live {
+            assert_eq!(&lfm.read(*id).unwrap(), data);
+        }
+    }
+
+    #[test]
+    fn injected_latency_accumulates_separately() {
+        let mut lfm = mk();
+        let id = lfm.create(&[1u8; 100]).unwrap();
+        lfm.reset_stats();
+        let _scope = FaultPlane::new(5)
+            .rule(
+                "lfm.read",
+                qbism_fault::Trigger::Always,
+                qbism_fault::FaultOutcome::Latency { seconds: 0.125 },
+            )
+            .arm();
+        let _ = lfm.read(id).unwrap();
+        let _ = lfm.read(id).unwrap();
+        assert!((lfm.fault_latency_seconds() - 0.25).abs() < 1e-12);
+        assert_eq!(lfm.stats().pages_read, 2, "latency does not change I/O counts");
+        lfm.reset_stats();
+        assert_eq!(lfm.fault_latency_seconds(), 0.0);
+    }
+
     proptest! {
         #[test]
         fn pieces_roundtrip_any_layout(
@@ -524,6 +1276,7 @@ mod tests {
             for (id, c) in ids.iter().zip(&contents) {
                 prop_assert_eq!(&lfm.read(*id).unwrap(), c);
             }
+            lfm.check_invariants().unwrap();
         }
     }
 }

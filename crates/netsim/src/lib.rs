@@ -13,15 +13,30 @@
 //! wire time.  The default constants are calibrated against Table 3
 //! (e.g. Q2: 372 messages, 4.4 s).
 //!
+//! # Loss, timeouts and retry
+//!
+//! A 1994 building network lost messages; the model can too.  When a
+//! [`qbism_fault`] plane is armed, every message consults the
+//! `"net.send"` fault site.  A dropped or errored message costs its
+//! software overhead, waits out an exponential backoff
+//! ([`RetryPolicy`]), and is retransmitted; [`RetryPolicy::max_attempts`]
+//! consecutive losses of the same message surface as
+//! [`NetError::Timeout`].  Retransmissions and backoff are accounted in
+//! [`NetStats`] (`retransmits`, `backoff_seconds`) **and** in the
+//! shipped answer's message/seconds totals, so Table-3 cost columns
+//! show exactly what the flaky wire cost.  With no fault plane armed
+//! the arithmetic is byte-identical to the lossless model.
+//!
 //! # Example
 //!
 //! ```
 //! use qbism_netsim::{NetworkModel, RpcChannel};
 //!
 //! let mut chan = RpcChannel::new(NetworkModel::TESTBED_1994);
-//! chan.ship(400_000); // ship a 400 kB extraction answer
+//! chan.ship(400_000).unwrap(); // ship a 400 kB extraction answer
 //! assert!(chan.stats().messages > 300);
 //! assert!(chan.stats().seconds > 3.0);
+//! assert_eq!(chan.stats().retransmits, 0); // lossless without a fault plane
 //! ```
 
 #![forbid(unsafe_code)]
@@ -69,31 +84,146 @@ impl Default for NetworkModel {
     }
 }
 
+/// Bounded retransmission with exponential backoff.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Send attempts per message before giving up (≥ 1).
+    pub max_attempts: u32,
+    /// Backoff before the first retransmission, seconds.
+    pub base_backoff_seconds: f64,
+    /// Backoff growth factor per further retransmission.
+    pub backoff_multiplier: f64,
+}
+
+impl RetryPolicy {
+    /// Simulated seconds waited before retransmission number `retry`
+    /// (1-based) of one message.
+    pub fn backoff_seconds(&self, retry: u32) -> f64 {
+        self.base_backoff_seconds * self.backoff_multiplier.powi(retry.saturating_sub(1) as i32)
+    }
+}
+
+impl Default for RetryPolicy {
+    /// 4 attempts, 50 ms initial backoff, doubling — a plausible 1994
+    /// RPC stack.
+    fn default() -> Self {
+        RetryPolicy { max_attempts: 4, base_backoff_seconds: 0.050, backoff_multiplier: 2.0 }
+    }
+}
+
+/// A network-layer failure surfaced to the query path.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum NetError {
+    /// One message of an answer was lost on every attempt.
+    Timeout {
+        /// Index of the message within the answer (0-based).
+        message: u64,
+        /// Send attempts made, including the first.
+        attempts: u32,
+    },
+}
+
+impl std::fmt::Display for NetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetError::Timeout { message, attempts } => {
+                write!(f, "network timeout: message {message} lost after {attempts} attempts")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
 /// Accumulated traffic counters for one channel.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct NetStats {
-    /// Messages sent (the paper's "IPC Messages" column).
+    /// Messages sent, including retransmissions (the paper's "IPC
+    /// Messages" column).
     pub messages: u64,
     /// Payload bytes shipped.
     pub bytes: u64,
     /// Simulated real time spent in networking, seconds (the paper's
-    /// "Answer Time (real)" column).
+    /// "Answer Time (real)" column) — includes retransmission overhead
+    /// and backoff.
     pub seconds: f64,
-    /// Number of `ship` calls (logical answers).
+    /// Number of `ship` calls that completed (logical answers).
     pub answers: u64,
+    /// Messages retransmitted after an injected loss.
+    pub retransmits: u64,
+    /// Simulated seconds spent waiting in retry backoff.
+    pub backoff_seconds: f64,
+}
+
+/// Cost breakdown of one shipped answer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShipReceipt {
+    /// Messages sent for this answer, including retransmissions.
+    pub messages: u64,
+    /// Payload bytes shipped.
+    pub payload_bytes: u64,
+    /// Simulated seconds, including retransmission overhead, backoff
+    /// and injected latency.
+    pub seconds: f64,
+    /// Retransmitted messages.
+    pub retransmits: u64,
+    /// Seconds of retry backoff included in `seconds`.
+    pub backoff_seconds: f64,
+}
+
+#[derive(Debug)]
+struct NetCounters {
+    messages: qbism_obs::Counter,
+    bytes: qbism_obs::Counter,
+    micros: qbism_obs::Counter,
+    retries: qbism_obs::Counter,
+    timeouts: qbism_obs::Counter,
+}
+
+fn net_counters() -> &'static NetCounters {
+    static COUNTERS: std::sync::OnceLock<NetCounters> = std::sync::OnceLock::new();
+    COUNTERS.get_or_init(|| {
+        let reg = qbism_obs::global();
+        reg.describe("qbism_net_messages_total", "RPC messages shipped (Table 3 IPC Messages).");
+        reg.describe(
+            "qbism_net_wire_bytes_total",
+            "Answer payload bytes shipped over the channel.",
+        );
+        reg.describe("qbism_net_sim_micros_total", "Simulated 1994 network time, microseconds.");
+        reg.describe("qbism_net_retries_total", "Messages retransmitted after an injected loss.");
+        reg.describe(
+            "qbism_net_timeouts_total",
+            "Answers abandoned after exhausting retransmission attempts.",
+        );
+        NetCounters {
+            messages: reg.counter("qbism_net_messages_total"),
+            bytes: reg.counter("qbism_net_wire_bytes_total"),
+            micros: reg.counter("qbism_net_sim_micros_total"),
+            retries: reg.counter("qbism_net_retries_total"),
+            timeouts: reg.counter("qbism_net_timeouts_total"),
+        }
+    })
 }
 
 /// A MedicalServer → DX channel that records what crosses it.
 #[derive(Debug, Clone)]
 pub struct RpcChannel {
     model: NetworkModel,
+    retry: RetryPolicy,
     stats: NetStats,
 }
 
 impl RpcChannel {
-    /// A channel with the given cost model.
+    /// A channel with the given cost model and the default
+    /// [`RetryPolicy`].
     pub fn new(model: NetworkModel) -> Self {
-        RpcChannel { model, stats: NetStats::default() }
+        RpcChannel { model, retry: RetryPolicy::default(), stats: NetStats::default() }
+    }
+
+    /// Replaces the retry policy.
+    pub fn with_retry_policy(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
     }
 
     /// The cost model in force.
@@ -101,49 +231,95 @@ impl RpcChannel {
         self.model
     }
 
+    /// The retry policy in force.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        self.retry
+    }
+
     /// Ships one logical answer of `payload_bytes`, updating counters.
-    /// Returns the message count of this answer.
-    pub fn ship(&mut self, payload_bytes: u64) -> u64 {
-        let msgs = self.model.messages_for(payload_bytes);
-        let seconds = self.model.seconds_for(payload_bytes);
+    ///
+    /// Without an armed fault plane this is the exact lossless model.
+    /// Under injected loss, each lost message costs its software
+    /// overhead plus exponential backoff and is retransmitted;
+    /// exhausting [`RetryPolicy::max_attempts`] on one message abandons
+    /// the answer with [`NetError::Timeout`] (messages actually sent
+    /// stay accounted, the answer does not).
+    pub fn ship(&mut self, payload_bytes: u64) -> Result<ShipReceipt, NetError> {
+        let base_msgs = self.model.messages_for(payload_bytes);
+        let mut retransmits = 0u64;
+        let mut backoff = 0.0f64;
+        let mut injected_latency = 0.0f64;
+        if qbism_fault::active() {
+            for message in 0..base_msgs {
+                let mut attempt = 1u32;
+                loop {
+                    match qbism_fault::inject("net.send") {
+                        None => break,
+                        Some(qbism_fault::FaultOutcome::Latency { seconds }) => {
+                            injected_latency += seconds.max(0.0);
+                            break;
+                        }
+                        Some(_) => {
+                            // Lost: the send still burned software time.
+                            if attempt >= self.retry.max_attempts.max(1) {
+                                let sent = message + 1 + retransmits;
+                                let secs = sent as f64 * self.model.per_message_seconds
+                                    + backoff
+                                    + injected_latency;
+                                self.stats.messages += sent;
+                                self.stats.seconds += secs;
+                                self.stats.retransmits += retransmits;
+                                self.stats.backoff_seconds += backoff;
+                                if qbism_obs::enabled() {
+                                    let c = net_counters();
+                                    c.messages.add(sent);
+                                    c.micros.add((secs * 1e6) as u64);
+                                    c.retries.add(retransmits);
+                                    c.timeouts.inc();
+                                }
+                                return Err(NetError::Timeout { message, attempts: attempt });
+                            }
+                            backoff += self.retry.backoff_seconds(attempt);
+                            retransmits += 1;
+                            attempt += 1;
+                        }
+                    }
+                }
+            }
+        }
+        let msgs = base_msgs + retransmits;
+        let seconds = self.model.seconds_for(payload_bytes)
+            + retransmits as f64 * self.model.per_message_seconds
+            + backoff
+            + injected_latency;
         self.stats.messages += msgs;
         self.stats.bytes += payload_bytes;
         self.stats.seconds += seconds;
         self.stats.answers += 1;
+        self.stats.retransmits += retransmits;
+        self.stats.backoff_seconds += backoff;
         if qbism_obs::enabled() {
-            // Describe and resolve once per process; per-ship cost is
-            // three relaxed atomic adds.
-            type NetCounters = (qbism_obs::Counter, qbism_obs::Counter, qbism_obs::Counter);
-            static COUNTERS: std::sync::OnceLock<NetCounters> = std::sync::OnceLock::new();
-            let (messages, bytes, micros) = COUNTERS.get_or_init(|| {
-                let reg = qbism_obs::global();
-                reg.describe(
-                    "qbism_net_messages_total",
-                    "RPC messages shipped (Table 3 IPC Messages).",
-                );
-                reg.describe(
-                    "qbism_net_wire_bytes_total",
-                    "Answer payload bytes shipped over the channel.",
-                );
-                reg.describe(
-                    "qbism_net_sim_micros_total",
-                    "Simulated 1994 network time, microseconds.",
-                );
-                (
-                    reg.counter("qbism_net_messages_total"),
-                    reg.counter("qbism_net_wire_bytes_total"),
-                    reg.counter("qbism_net_sim_micros_total"),
-                )
-            });
-            messages.add(msgs);
-            bytes.add(payload_bytes);
-            micros.add((seconds * 1e6) as u64);
+            let c = net_counters();
+            c.messages.add(msgs);
+            c.bytes.add(payload_bytes);
+            c.micros.add((seconds * 1e6) as u64);
+            c.retries.add(retransmits);
             let span = qbism_obs::trace::span("net.ship");
             span.record_u64("bytes", payload_bytes);
             span.record_u64("messages", msgs);
             span.record_f64("sim_net_s", seconds);
+            if retransmits > 0 {
+                span.record_u64("retransmits", retransmits);
+                span.record_f64("backoff_s", backoff);
+            }
         }
-        msgs
+        Ok(ShipReceipt {
+            messages: msgs,
+            payload_bytes,
+            seconds,
+            retransmits,
+            backoff_seconds: backoff,
+        })
     }
 
     /// Counters since construction or the last reset.
@@ -159,8 +335,11 @@ impl RpcChannel {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
+
     use super::*;
     use proptest::prelude::*;
+    use qbism_fault::{FaultOutcome, FaultPlane, Trigger};
 
     #[test]
     fn message_count_includes_control_and_chunks() {
@@ -190,14 +369,104 @@ mod tests {
     #[test]
     fn channel_accumulates_and_resets() {
         let mut chan = RpcChannel::new(NetworkModel::TESTBED_1994);
-        let m1 = chan.ship(100);
-        let m2 = chan.ship(5000);
+        let m1 = chan.ship(100).unwrap().messages;
+        let m2 = chan.ship(5000).unwrap().messages;
         assert_eq!(chan.stats().messages, m1 + m2);
         assert_eq!(chan.stats().bytes, 5100);
         assert_eq!(chan.stats().answers, 2);
         assert!(chan.stats().seconds > 0.0);
         chan.reset_stats();
         assert_eq!(chan.stats(), NetStats::default());
+    }
+
+    /// The lossless default must reproduce the paper-calibrated Q2
+    /// numbers bit-for-bit: no retry arithmetic may leak into the
+    /// fault-free path.
+    #[test]
+    fn lossless_default_reproduces_q2_exactly() {
+        let m = NetworkModel::TESTBED_1994;
+        let q2_bytes = 357_911u64 + 5252 * 8;
+        let mut chan = RpcChannel::new(m);
+        let receipt = chan.ship(q2_bytes).unwrap();
+        assert_eq!(receipt.messages, m.messages_for(q2_bytes));
+        assert_eq!(receipt.messages, 393, "Q2 ships 393 modeled messages (paper: 372)");
+        assert_eq!(receipt.seconds.to_bits(), m.seconds_for(q2_bytes).to_bits());
+        assert!((receipt.seconds - 4.4).abs() < 0.5, "Q2 ≈ 4.4 s, got {}", receipt.seconds);
+        assert_eq!(receipt.retransmits, 0);
+        assert_eq!(receipt.backoff_seconds, 0.0);
+        assert_eq!(chan.stats().retransmits, 0);
+    }
+
+    /// k injected losses add exactly k messages, k × per-message
+    /// seconds, and the policy's modeled backoff to the receipt and to
+    /// `NetStats`.
+    #[test]
+    fn retry_math_is_exact() {
+        let m = NetworkModel::TESTBED_1994;
+        let policy = RetryPolicy::default();
+        let payload = 2048u64; // 2 control + 2 data = 4 messages
+                               // Lose the 2nd send once and the 4th send twice (distinct
+                               // messages: after the first loss the retransmission is send #3).
+        let _scope = FaultPlane::new(9)
+            .rule("net.send", Trigger::Nth(2), FaultOutcome::Drop)
+            .rule("net.send", Trigger::Nth(4), FaultOutcome::Drop)
+            .rule("net.send", Trigger::Nth(5), FaultOutcome::Drop)
+            .arm();
+        let mut chan = RpcChannel::new(m).with_retry_policy(policy);
+        let receipt = chan.ship(payload).unwrap();
+        let k = 3u64;
+        assert_eq!(receipt.retransmits, k);
+        assert_eq!(receipt.messages, m.messages_for(payload) + k);
+        // Message 2 backs off once (50 ms); message 3 backs off twice
+        // (50 ms + 100 ms).
+        let expect_backoff =
+            policy.backoff_seconds(1) + policy.backoff_seconds(1) + policy.backoff_seconds(2);
+        assert!((receipt.backoff_seconds - expect_backoff).abs() < 1e-12);
+        let expect_secs =
+            m.seconds_for(payload) + k as f64 * m.per_message_seconds + expect_backoff;
+        assert!((receipt.seconds - expect_secs).abs() < 1e-12);
+        let stats = chan.stats();
+        assert_eq!(stats.messages, receipt.messages);
+        assert_eq!(stats.retransmits, k);
+        assert!((stats.backoff_seconds - expect_backoff).abs() < 1e-12);
+        assert_eq!(stats.answers, 1);
+    }
+
+    #[test]
+    fn persistent_loss_times_out_with_partial_accounting() {
+        let m = NetworkModel::TESTBED_1994;
+        let policy = RetryPolicy { max_attempts: 3, ..RetryPolicy::default() };
+        // Every send of every message is lost.
+        let _scope = FaultPlane::new(9).rule("net.send", Trigger::Always, FaultOutcome::Drop).arm();
+        let mut chan = RpcChannel::new(m).with_retry_policy(policy);
+        let err = chan.ship(100).unwrap_err();
+        assert_eq!(err, NetError::Timeout { message: 0, attempts: 3 });
+        let stats = chan.stats();
+        assert_eq!(stats.messages, 3, "all three attempts hit the wire");
+        assert_eq!(stats.retransmits, 2);
+        assert_eq!(stats.answers, 0, "a timed-out answer is not an answer");
+        assert_eq!(stats.bytes, 0);
+        let expect_backoff = policy.backoff_seconds(1) + policy.backoff_seconds(2);
+        assert!((stats.backoff_seconds - expect_backoff).abs() < 1e-12);
+    }
+
+    #[test]
+    fn probabilistic_loss_is_deterministic_per_seed() {
+        let run = |seed: u64| {
+            let _scope =
+                FaultPlane::new(seed).with_probability("net.send", 0.2, FaultOutcome::Drop).arm();
+            let mut chan = RpcChannel::new(NetworkModel::TESTBED_1994);
+            let mut out = Vec::new();
+            for _ in 0..20 {
+                out.push(chan.ship(4096).map(|r| (r.messages, r.retransmits)));
+            }
+            (out, chan.stats())
+        };
+        let (a, sa) = run(1234);
+        let (b, sb) = run(1234);
+        assert_eq!(a, b);
+        assert_eq!(sa, sb);
+        assert!(sa.retransmits > 0, "p=0.2 over ~120 sends should lose some");
     }
 
     proptest! {
@@ -220,12 +489,12 @@ mod tests {
             let each = total / parts;
             let mut shipped = 0;
             for _ in 0..parts {
-                split.ship(each);
+                split.ship(each).unwrap();
                 shipped += each;
             }
-            split.ship(total - shipped);
+            split.ship(total - shipped).unwrap();
             let mut whole = RpcChannel::new(m);
-            whole.ship(total);
+            whole.ship(total).unwrap();
             prop_assert!(split.stats().messages >= whole.stats().messages);
             prop_assert_eq!(split.stats().bytes, whole.stats().bytes);
         }

@@ -26,6 +26,11 @@
 //! | `qbism_query_total{class=...}` | per-class query counts |
 //! | `qbism_query_wire_bytes_total` | Table 3 answer-size column (bytes shipped to DX) |
 //! | `qbism_net_messages_total` / `qbism_net_wire_bytes_total` / `qbism_net_sim_micros_total` | Table 3 "IPC Messages" and network "Answer Time (real)" |
+//! | `qbism_faults_injected_total{site=...,outcome=...}` | faults delivered by an armed `qbism-fault` plane |
+//! | `qbism_lfm_journal_records_total` / `qbism_lfm_journal_bytes_total` | LFM metadata write-ahead journal traffic |
+//! | `qbism_lfm_checkpoints_total` / `qbism_lfm_recoveries_total` | LFM snapshot checkpoints and crash recoveries |
+//! | `qbism_lfm_fault_latency_micros_total` | injected device latency (kept out of the Table 3/4 I/O counters) |
+//! | `qbism_net_retries_total` / `qbism_net_timeouts_total` | RPC retransmissions and exhausted retry budgets under injected loss |
 //!
 //! # Reading the span tree
 //!

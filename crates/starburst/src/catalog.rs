@@ -182,6 +182,7 @@ impl Catalog {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
     use super::*;
 
     fn schema() -> TableSchema {

@@ -337,6 +337,12 @@ impl Database {
         self.lfm.stats()
     }
 
+    /// Seconds of injected fault latency absorbed by the LFM since its
+    /// stats were last reset (zero unless a fault plane is armed).
+    pub fn lfm_fault_latency_seconds(&self) -> f64 {
+        self.lfm.fault_latency_seconds()
+    }
+
     /// Table row count (catalog metadata).
     pub fn table_len(&self, table: &str) -> Result<usize> {
         Ok(self.catalog.table(table)?.len())
@@ -354,6 +360,7 @@ impl std::fmt::Debug for Database {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
     use super::*;
 
     fn db() -> Database {

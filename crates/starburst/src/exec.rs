@@ -371,7 +371,9 @@ fn run_grouped(
                     limit: None,
                 };
                 let (_, agg_row) = run_aggregates(&sub, scope, grows, udfs, lfm)?;
-                row_out.push(agg_row.into_iter().next().expect("one aggregate item"));
+                row_out.push(agg_row.into_iter().next().ok_or_else(|| {
+                    DbError::Exec("aggregate produced no value for group item".into())
+                })?);
             } else {
                 // A group key: constant within the group, take the first.
                 let mut ctx = EvalCtx { scope, udfs, lfm };

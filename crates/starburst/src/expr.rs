@@ -301,6 +301,7 @@ fn arith(op: BinOp, l: &Value, r: &Value) -> Result<Value> {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
     use super::*;
     use crate::catalog::Column;
     use crate::sql::ast::Statement;

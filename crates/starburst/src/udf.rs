@@ -102,6 +102,7 @@ impl std::fmt::Debug for UdfRegistry {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
     use super::*;
 
     fn ctx_lfm() -> LongFieldManager {

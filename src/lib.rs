@@ -7,6 +7,7 @@
 //! user would reach for first.
 
 pub use qbism;
+pub use qbism_fault as fault;
 pub use qbism_region as region;
 pub use qbism_sfc as sfc;
 pub use qbism_starburst as starburst;

@@ -1,0 +1,176 @@
+//! Graceful degradation under injected faults: no fault schedule may
+//! panic the server; failures surface as typed errors, retried messages
+//! show up in the cost columns, and the population aggregate degrades
+//! by skipping studies rather than dying.
+
+#![allow(clippy::unwrap_used)]
+
+use qbism::{QbismConfig, QbismError, QbismSystem};
+use qbism_fault::{FaultOutcome, FaultPlane, Trigger};
+
+fn system() -> QbismSystem {
+    QbismSystem::install(&QbismConfig::small_test()).unwrap()
+}
+
+#[test]
+fn an_armed_but_rule_free_plane_changes_no_cost_column() {
+    let mut sys = system();
+    let clean = sys.server.structure_data(1, "ntal").unwrap();
+    let scope = FaultPlane::observer().arm();
+    let observed = sys.server.structure_data(1, "ntal").unwrap();
+    let plane = scope.plane();
+    drop(scope);
+    assert!(plane.ops_seen() > 0, "the observer saw the query's device ops");
+    assert_eq!(plane.faults_injected(), 0);
+    // Every deterministic Table 3 column is bit-identical.
+    assert_eq!(observed.data, clean.data);
+    assert_eq!(observed.cost.lfm, clean.cost.lfm);
+    assert_eq!(observed.cost.rows_scanned, clean.cost.rows_scanned);
+    assert_eq!(observed.cost.wire_bytes, clean.cost.wire_bytes);
+    assert_eq!(observed.cost.messages, clean.cost.messages);
+    assert_eq!(observed.cost.sim_net_seconds, clean.cost.sim_net_seconds);
+    assert_eq!(observed.cost.coverage, 1.0);
+}
+
+#[test]
+fn injected_disk_errors_surface_as_typed_errors_not_panics() {
+    let mut sys = system();
+    let scope = FaultPlane::new(11).fail_nth("lfm.read", 1).arm();
+    let err = sys.server.full_study(1).unwrap_err();
+    drop(scope);
+    assert!(matches!(err, QbismError::Db(_)), "disk fault arrives as a database error: {err}");
+    // The fault was transient: the very next query succeeds.
+    assert_eq!(sys.server.full_study(1).unwrap().voxel_count(), 4096);
+}
+
+#[test]
+fn install_under_torn_writes_fails_cleanly() {
+    let scope = FaultPlane::new(3).torn_nth("lfm.write", 4, 0.5).arm();
+    let result = QbismSystem::install(&QbismConfig::small_test());
+    drop(scope);
+    assert!(result.is_err(), "a torn write during load must fail the install, not corrupt it");
+}
+
+#[test]
+fn message_loss_is_retried_and_billed_in_the_cost_columns() {
+    let mut sys = system();
+    let clean = sys.server.full_study(1).unwrap();
+    let before = sys.server.net_stats();
+
+    // Lose exactly one answer message; the channel retransmits it.
+    let scope = FaultPlane::new(9).rule("net.send", Trigger::Nth(3), FaultOutcome::Drop).arm();
+    let retried = sys.server.full_study(1).unwrap();
+    drop(scope);
+
+    assert_eq!(retried.data, clean.data, "the answer itself is unaffected");
+    assert_eq!(retried.cost.messages, clean.cost.messages + 1, "one retransmission");
+    assert!(
+        retried.cost.sim_net_seconds > clean.cost.sim_net_seconds,
+        "retransmission and backoff cost simulated wire time"
+    );
+    let after = sys.server.net_stats();
+    assert_eq!(after.retransmits - before.retransmits, 1);
+    assert!(after.backoff_seconds > before.backoff_seconds);
+}
+
+#[test]
+fn persistent_message_loss_times_out_with_a_typed_error() {
+    let mut sys = system();
+    let scope = FaultPlane::new(1).rule("net.send", Trigger::Always, FaultOutcome::Drop).arm();
+    let err = sys.server.full_study(1).unwrap_err();
+    drop(scope);
+    assert!(
+        matches!(err, QbismError::Net(_)),
+        "exhausted retries arrive as QbismError::Net: {err}"
+    );
+    // The database itself is untouched; a lossless retry succeeds.
+    assert_eq!(sys.server.full_study(1).unwrap().voxel_count(), 4096);
+}
+
+#[test]
+fn population_average_degrades_by_skipping_failed_studies() {
+    let mut sys = system();
+    let complete = sys.server.population_average(&[1, 2], "ntal").unwrap();
+    assert!(complete.is_complete());
+    assert_eq!(complete.cost.coverage, 1.0);
+    let solo2 = sys.server.structure_data(2, "ntal").unwrap();
+
+    // Fail the first study's volume read: the aggregate must continue
+    // with study 2 alone.
+    let scope = FaultPlane::new(21).fail_nth("lfm.read", 1).arm();
+    let degraded = sys.server.population_average(&[1, 2], "ntal").unwrap();
+    drop(scope);
+
+    assert!(!degraded.is_complete());
+    assert_eq!(degraded.skipped.len(), 1);
+    assert_eq!(degraded.skipped[0].0, 1, "study 1 was the one skipped");
+    assert!(matches!(degraded.skipped[0].1, QbismError::Db(_)));
+    assert_eq!(degraded.cost.coverage, 0.5);
+    assert_eq!(degraded.data, solo2.data, "the mean of one study is that study");
+
+    // A nonexistent study id degrades the same way, fault plane or not.
+    let partial = sys.server.population_average(&[1, 99], "ntal").unwrap();
+    assert_eq!(partial.skipped.len(), 1);
+    assert_eq!(partial.skipped[0].0, 99);
+    assert!(matches!(partial.skipped[0].1, QbismError::NotFound(_)));
+    assert_eq!(partial.cost.coverage, 0.5);
+}
+
+#[test]
+fn population_average_errors_only_when_every_study_fails() {
+    let mut sys = system();
+    let scope = FaultPlane::new(2).rule("lfm.read", Trigger::Always, FaultOutcome::Error).arm();
+    let err = sys.server.population_average(&[1, 2], "ntal").unwrap_err();
+    drop(scope);
+    assert!(matches!(err, QbismError::Db(_)));
+    // And with the plane gone the same call is whole again.
+    assert!(sys.server.population_average(&[1, 2], "ntal").unwrap().is_complete());
+}
+
+#[test]
+fn seeded_chaos_never_panics_and_clears_completely() {
+    let mut sys = system();
+    let baseline = sys.server.structure_data(1, "ntal").unwrap();
+
+    let plane = std::sync::Arc::new(
+        FaultPlane::new(0xD15EA5E)
+            .with_probability("lfm.*", 0.02, FaultOutcome::Error)
+            .with_probability("net.send", 0.02, FaultOutcome::Drop),
+    );
+    let scope = plane.clone().arm_shared();
+    let mut failures = 0usize;
+    for _ in 0..30 {
+        // Ok or typed Err are both acceptable; a panic fails the test.
+        match sys.server.structure_data(1, "ntal") {
+            Ok(answer) => assert_eq!(answer.data, baseline.data),
+            Err(QbismError::Db(_) | QbismError::Net(_)) => failures += 1,
+            Err(other) => panic!("unexpected error class under chaos: {other}"),
+        }
+    }
+    drop(scope);
+    assert!(plane.faults_injected() > 0, "the seeded schedule actually fired");
+    assert!(!plane.injected_log().is_empty(), "injected faults are logged for replay");
+    assert!(failures < 30, "not every query may fail at p=0.02");
+
+    // Outside the scope the system is pristine.
+    let after = sys.server.structure_data(1, "ntal").unwrap();
+    assert_eq!(after.data, baseline.data);
+    assert_eq!(after.cost.lfm, baseline.cost.lfm);
+}
+
+#[test]
+fn injected_latency_shows_up_in_simulated_db_time_only() {
+    let mut sys = system();
+    let clean = sys.server.structure_data(1, "ntal").unwrap();
+    let scope = FaultPlane::new(4)
+        .rule("lfm.read", Trigger::Nth(1), FaultOutcome::Latency { seconds: 0.25 })
+        .arm();
+    let slow = sys.server.structure_data(1, "ntal").unwrap();
+    drop(scope);
+    assert_eq!(slow.data, clean.data);
+    assert_eq!(slow.cost.lfm, clean.cost.lfm, "latency is not an I/O count");
+    // sim_db_seconds also contains native wall time, so allow a little
+    // jitter around the injected 250 ms.
+    let delta = slow.cost.sim_db_seconds - clean.cost.sim_db_seconds;
+    assert!((0.2..0.5).contains(&delta), "the 250 ms spike lands in simulated DB time: {delta}");
+}
