@@ -41,7 +41,7 @@ fn bench_parser(c: &mut Criterion) {
 }
 
 fn bench_joins(c: &mut Criterion) {
-    let mut db = seeded_db(2000);
+    let db = seeded_db(2000);
     let mut group = c.benchmark_group("joins_2000x6000");
     group.sample_size(20);
     group.bench_function("hash_join", |b| {
@@ -67,7 +67,7 @@ fn bench_joins(c: &mut Criterion) {
 }
 
 fn bench_sort_and_aggregate(c: &mut Criterion) {
-    let mut db = seeded_db(2000);
+    let db = seeded_db(2000);
     let mut group = c.benchmark_group("sort_aggregate");
     group.sample_size(20);
     group.bench_function("order_by_limit", |b| {

@@ -16,7 +16,7 @@ fn config() -> QbismConfig {
 }
 
 fn bench_single_study(c: &mut Criterion) {
-    let mut sys = QbismSystem::install(&config()).expect("install");
+    let sys = QbismSystem::install(&config()).expect("install");
     let study = sys.pet_study_ids[0];
     let mut group = c.benchmark_group("single_study_queries_64");
     group.sample_size(20);
@@ -42,7 +42,7 @@ fn bench_single_study(c: &mut Criterion) {
 }
 
 fn bench_multi_study(c: &mut Criterion) {
-    let mut sys = QbismSystem::install(&config()).expect("install");
+    let sys = QbismSystem::install(&config()).expect("install");
     let ids = sys.pet_study_ids.clone();
     let mut group = c.benchmark_group("multi_study_64");
     group.sample_size(20);
@@ -57,7 +57,7 @@ fn bench_multi_study(c: &mut Criterion) {
 
 fn bench_catalog_query(c: &mut Criterion) {
     // The pure relational side: the Section 3.4 catalog join.
-    let mut sys = QbismSystem::install(&config()).expect("install");
+    let sys = QbismSystem::install(&config()).expect("install");
     let study = sys.pet_study_ids[0];
     c.bench_function("catalog_join_query", |b| {
         b.iter(|| black_box(sys.server.atlas_info(study).expect("info")))

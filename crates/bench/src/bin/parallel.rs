@@ -1,0 +1,91 @@
+//! `parallel` — throughput of the shared-read query engine at
+//! 1/2/4/8 client threads; writes `BENCH_parallel.json`.
+//!
+//! ```text
+//! parallel [--bits N] [--items N] [--scale F] [--out PATH]
+//! ```
+//!
+//! Run in release: `cargo run -p qbism-bench --release --bin parallel`.
+//! Clients replay `scale × (sim_db + sim_net)` seconds of each query's
+//! simulated 1994 latency as a real sleep, so the sweep is I/O-wait
+//! bound and the speedup measures lock-free concurrency, not host
+//! cores.  Exits non-zero if 8 clients fail to reach 2.5× the serial
+//! throughput.
+
+use qbism::QbismConfig;
+use qbism_bench::parallel;
+
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+const SPEEDUP_FLOOR: f64 = 2.5;
+
+struct Args {
+    bits: u32,
+    items: usize,
+    scale: f64,
+    out: String,
+}
+
+fn parse_args() -> Result<Args, String> {
+    // Defaults keep the sweep under ~20 s: a 64³ grid where EQ1 costs a
+    // few simulated seconds, replayed at 2 %.
+    let mut args = Args { bits: 6, items: 48, scale: 0.02, out: "BENCH_parallel.json".into() };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut flag = |name: &str| -> Result<String, String> {
+            it.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match a.as_str() {
+            "--bits" => args.bits = flag("--bits")?.parse().map_err(|e| format!("--bits: {e}"))?,
+            "--items" => {
+                args.items = flag("--items")?.parse().map_err(|e| format!("--items: {e}"))?
+            }
+            "--scale" => {
+                args.scale = flag("--scale")?.parse().map_err(|e| format!("--scale: {e}"))?
+            }
+            "--out" => args.out = flag("--out")?,
+            "--help" | "-h" => {
+                return Err("usage: parallel [--bits N] [--items N] [--scale F] [--out PATH]".into())
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    if !(4..=8).contains(&args.bits) {
+        return Err(format!("--bits {} out of supported range 4..=8", args.bits));
+    }
+    if args.scale <= 0.0 || !args.scale.is_finite() {
+        return Err(format!("--scale {} must be a positive fraction", args.scale));
+    }
+    Ok(args)
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+    let config = QbismConfig {
+        atlas_bits: args.bits,
+        pet_studies: 3,
+        mri_studies: 0,
+        device_capacity: 1u64 << 31,
+        ..QbismConfig::paper_scale()
+    };
+    let report = parallel::measure(&config, &THREADS, args.items, args.scale);
+    println!("{}", report.render());
+    if let Err(e) = std::fs::write(&args.out, report.to_json()) {
+        eprintln!("cannot write {}: {e}", args.out);
+        std::process::exit(1);
+    }
+    println!("wrote {}", args.out);
+    if report.peak_speedup() < SPEEDUP_FLOOR {
+        eprintln!(
+            "FAIL: {} clients reached only {:.2}x serial throughput (floor {SPEEDUP_FLOOR}x)",
+            THREADS[THREADS.len() - 1],
+            report.peak_speedup(),
+        );
+        std::process::exit(1);
+    }
+}

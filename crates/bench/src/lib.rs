@@ -16,6 +16,7 @@
 //! | Faloutsos–Roseman 1 : 1.20 rectangle cross-check | [`rects`] |
 //! | §4.2 approximate-REGION trade-off (ablation) | [`approx`] |
 //! | observability overhead on the EQ1 query path | [`obs_overhead`] |
+//! | parallel engine throughput at 1/2/4/8 clients | [`parallel`] |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -24,6 +25,7 @@ pub mod approx;
 pub mod eq1;
 pub mod fig4;
 pub mod obs_overhead;
+pub mod parallel;
 pub mod population;
 pub mod rects;
 pub mod run_counts;

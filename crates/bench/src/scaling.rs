@@ -26,7 +26,7 @@ pub struct ScalingRow {
 /// Measures the aggregate query at 1..=max_studies.
 pub fn measure(config: &QbismConfig, structure: &str, max_studies: usize) -> Vec<ScalingRow> {
     let config = QbismConfig { pet_studies: max_studies, ..config.clone() };
-    let mut sys = QbismSystem::install(&config).expect("install");
+    let sys = QbismSystem::install(&config).expect("install");
     let all_ids = sys.pet_study_ids.clone();
     let full_pages = config.geometry().cell_count().div_ceil(4096);
     let full_bytes = config.geometry().cell_count();

@@ -48,7 +48,7 @@ pub fn measure(base: &QbismConfig, lo: u8, hi: u8) -> Vec<Table4Row> {
         .into_iter()
         .map(|(label, curve, codec)| {
             let config = QbismConfig { curve, region_codec: codec, ..base.clone() };
-            let mut sys = QbismSystem::install(&config).expect("install");
+            let sys = QbismSystem::install(&config).expect("install");
             let ids = sys.pet_study_ids.clone();
             let (region, cost) =
                 sys.server.multi_study_band_region(&ids, lo, hi).expect("multi-study query");

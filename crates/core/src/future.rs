@@ -155,7 +155,7 @@ mod tests {
 
     #[test]
     fn feature_vectors_are_normalized() {
-        let mut sys = system();
+        let sys = system();
         let a = sys.server.structure_data(1, "ntal").unwrap();
         let f = feature_vector(&a.data).unwrap();
         assert_eq!(f.len(), FEATURE_DIMS);

@@ -144,7 +144,7 @@ mod tests {
 
     #[test]
     fn intersection_through_sql() {
-        let (mut db, a, b, _) = setup();
+        let (db, a, b, _) = setup();
         let rs = db.query("select intersection(t.r1, t.r2) from t").unwrap();
         let bytes = rs.rows()[0][0].as_bytes().unwrap();
         let got = RegionCodec::decode(bytes).unwrap();
@@ -154,7 +154,7 @@ mod tests {
 
     #[test]
     fn union_difference_contains_voxels() {
-        let (mut db, a, b, _) = setup();
+        let (db, a, b, _) = setup();
         let rs = db
             .query(
                 "select regionVoxels(runion(t.r1, t.r2)),
@@ -173,7 +173,7 @@ mod tests {
 
     #[test]
     fn extract_voxels_matches_direct_extraction() {
-        let (mut db, a, _, vol) = setup();
+        let (db, a, _, vol) = setup();
         let rs = db.query("select extractVoxels(t.vol, t.r1) from t").unwrap();
         let bytes = rs.rows()[0][0].as_bytes().unwrap();
         let dr = decode_data_region(bytes).unwrap();
@@ -184,7 +184,7 @@ mod tests {
     #[test]
     fn nested_operators_compose() {
         // The paper's mixed-query shape: extract inside an intersection.
-        let (mut db, a, b, vol) = setup();
+        let (db, a, b, vol) = setup();
         let rs = db.query("select extractVoxels(t.vol, intersection(t.r1, t.r2)) from t").unwrap();
         let dr = decode_data_region(rs.rows()[0][0].as_bytes().unwrap()).unwrap();
         assert_eq!(dr, vol.extract(&a.intersect(&b)).unwrap());
@@ -205,7 +205,7 @@ mod tests {
 
     #[test]
     fn type_errors_are_reported() {
-        let (mut db, _, _, _) = setup();
+        let (db, _, _, _) = setup();
         assert!(matches!(
             db.query("select intersection(t.id, t.r1) from t"),
             Err(DbError::Type(_))

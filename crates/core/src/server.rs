@@ -15,9 +15,10 @@ use crate::config::QbismConfig;
 use crate::loader::ATLAS_ID;
 use crate::wire::{data_region_wire_size, decode_data_region};
 use crate::{QbismError, Result};
-use qbism_lfm::{DiskModel, IoStats};
-use qbism_netsim::{NetStats, NetworkModel, RpcChannel};
+use qbism_lfm::{CacheConfig, CacheStats, DiskModel, IoBracket, IoStats};
+use qbism_netsim::{NetStats, NetworkModel, RpcChannel, SharedRpcChannel};
 use qbism_obs::trace;
+use qbism_parallel::Executor;
 use qbism_region::{Region, RegionCodec};
 use qbism_starburst::{Database, Value};
 use qbism_volume::{DataRegion, Volume};
@@ -190,11 +191,20 @@ impl ServerMetrics {
 }
 
 /// The query front end over a populated database.
+///
+/// All query methods take `&self`: per-query I/O is measured with
+/// thread-local [`IoBracket`]s, answers ship through a mutex-guarded
+/// [`SharedRpcChannel`], and the LFM's counters sit behind their own
+/// locks — so any number of client threads may run queries against one
+/// shared server concurrently.  Mutation (loading data, reconfiguring
+/// the cache or the fan-out width) still requires `&mut self`, which
+/// the borrow checker keeps disjoint from in-flight queries.
 pub struct MedicalServer {
     db: Database,
     config: QbismConfig,
     disk: DiskModel,
-    chan: RpcChannel,
+    chan: SharedRpcChannel,
+    threads: usize,
     metrics: ServerMetrics,
 }
 
@@ -205,7 +215,8 @@ impl MedicalServer {
             db,
             config,
             disk: DiskModel::RS6000_1994,
-            chan: RpcChannel::new(NetworkModel::TESTBED_1994),
+            chan: SharedRpcChannel::new(RpcChannel::new(NetworkModel::TESTBED_1994)),
+            threads: 1,
             metrics: ServerMetrics::new(),
         }
     }
@@ -213,6 +224,36 @@ impl MedicalServer {
     /// The active configuration.
     pub fn config(&self) -> &QbismConfig {
         &self.config
+    }
+
+    /// Fan-out width for the multi-study query classes (default 1,
+    /// which runs them inline exactly as the sequential engine does).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Sets the fan-out width for multi-study queries.  Answers and
+    /// every deterministic [`QueryCost`] field are identical at any
+    /// width: workers claim whole studies and the reduce folds results
+    /// in study order.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.threads = threads.max(1);
+    }
+
+    /// Reconfigures the LFM page cache (disabled by default, keeping
+    /// the paper's unbuffered LFM).  Resident pages are dropped.
+    pub fn set_cache_config(&mut self, config: CacheConfig) {
+        self.db.lfm().set_cache_config(config);
+    }
+
+    /// The LFM page-cache configuration in force.
+    pub fn cache_config(&self) -> CacheConfig {
+        self.db.lfm_ref().cache_config()
+    }
+
+    /// Cumulative page-cache behaviour (hits stay 0 while disabled).
+    pub fn cache_stats(&self) -> CacheStats {
+        self.db.lfm_ref().cache_stats()
     }
 
     /// The process-wide metrics registry (scrape with
@@ -249,7 +290,7 @@ impl MedicalServer {
     // ----------------------------------------------------------------
 
     /// Q1: "show a full PET study" — the flat-file reference point.
-    pub fn full_study(&mut self, study_id: i64) -> Result<QueryAnswer> {
+    pub fn full_study(&self, study_id: i64) -> Result<QueryAnswer> {
         let span = Self::query_span("full_study");
         span.record_i64("study_id", study_id);
         let answer = self.extract_with_sql(&format!(
@@ -262,7 +303,7 @@ impl MedicalServer {
     }
 
     /// Q2-style spatial query: data inside a rectangular solid.
-    pub fn box_data(&mut self, study_id: i64, min: [u32; 3], max: [u32; 3]) -> Result<QueryAnswer> {
+    pub fn box_data(&self, study_id: i64, min: [u32; 3], max: [u32; 3]) -> Result<QueryAnswer> {
         let span = Self::query_span("box");
         span.record_i64("study_id", study_id);
         let answer = self.extract_with_sql(&format!(
@@ -277,7 +318,7 @@ impl MedicalServer {
 
     /// Q3/Q4-style spatial query: data inside a named structure — the
     /// exact Section 3.4 query pair.
-    pub fn structure_data(&mut self, study_id: i64, structure: &str) -> Result<QueryAnswer> {
+    pub fn structure_data(&self, study_id: i64, structure: &str) -> Result<QueryAnswer> {
         let span = Self::query_span("structure");
         span.record_i64("study_id", study_id);
         span.record_str("structure", structure);
@@ -294,7 +335,7 @@ impl MedicalServer {
     }
 
     /// Q5-style attribute query: data within a stored intensity band.
-    pub fn band_data(&mut self, study_id: i64, lo: u8, hi: u8) -> Result<QueryAnswer> {
+    pub fn band_data(&self, study_id: i64, lo: u8, hi: u8) -> Result<QueryAnswer> {
         let span = Self::query_span("band");
         span.record_i64("study_id", study_id);
         span.record_u64("lo", u64::from(lo));
@@ -319,7 +360,7 @@ impl MedicalServer {
     /// band REGIONs, never the full volume), the union is extracted, and
     /// the boundary bands' excess voxels are filtered out of the answer
     /// — the same candidate-then-refine pattern as approximate REGIONs.
-    pub fn intensity_range_data(&mut self, study_id: i64, lo: u8, hi: u8) -> Result<QueryAnswer> {
+    pub fn intensity_range_data(&self, study_id: i64, lo: u8, hi: u8) -> Result<QueryAnswer> {
         if lo > hi {
             return Err(QbismError::NotFound(format!("empty intensity range {lo}-{hi}")));
         }
@@ -368,7 +409,7 @@ impl MedicalServer {
     /// DBMS ("includes a call to intersection() in the select list and
     /// additional joins").
     pub fn band_in_structure(
-        &mut self,
+        &self,
         study_id: i64,
         lo: u8,
         hi: u8,
@@ -394,9 +435,17 @@ impl MedicalServer {
 
     /// Table 4's multi-study query: the REGION where *all* the given
     /// studies have intensities in `lo..=hi`, computed as an n-way
-    /// intersection of stored band REGIONs inside the DBMS.
+    /// intersection of stored band REGIONs.
+    ///
+    /// Each study's band REGION is fetched by its own single-table
+    /// query (a per-study stage the executor fans out over
+    /// [`MedicalServer::set_threads`] workers); the intersection is
+    /// then folded innermost-last — exactly the shape the nested
+    /// `intersection(b1.region, intersection(..))` select list produced
+    /// when this ran as one n-way join, so answers, I/O counts, row
+    /// scans and wire bytes are unchanged, at any thread count.
     pub fn multi_study_band_region(
-        &mut self,
+        &self,
         study_ids: &[i64],
         lo: u8,
         hi: u8,
@@ -408,48 +457,82 @@ impl MedicalServer {
         span.record_u64("studies", study_ids.len() as u64);
         span.record_u64("lo", u64::from(lo));
         span.record_u64("hi", u64::from(hi));
-        // Build: select intersection(b1.region, intersection(..)) from
-        // intensityBand b1, ... where bi.studyId = .. and bi.lo = ..
-        let mut select = String::new();
-        for (i, _) in study_ids.iter().enumerate() {
-            if i + 1 < study_ids.len() {
-                select.push_str(&format!("intersection(b{}.region, ", i + 1));
-            } else {
-                select.push_str(&format!("b{}.region", i + 1));
-            }
+        span.record_u64("threads", self.threads as u64);
+        let plane = qbism_fault::current();
+        let fetched = Executor::new(self.threads).map(study_ids.to_vec(), |_, id| {
+            let _fault = plane.clone().map(qbism_fault::FaultPlane::arm_shared);
+            self.band_region_fetch(id, lo, hi)
+        });
+        // Ordered reduce: fold costs in study order (f64 sums are then
+        // identical at every thread count); the first failing study in
+        // study order decides the error, as the join's scan order did.
+        let mut cost = QueryCost::default();
+        let mut blobs: Vec<Vec<u8>> = Vec::with_capacity(study_ids.len());
+        for fetch in fetched {
+            let (bytes, partial) = fetch?;
+            cost.accumulate(&self.db_cost(&partial));
+            blobs.push(bytes);
         }
-        select.push_str(&")".repeat(study_ids.len() - 1));
-        let from: Vec<String> =
-            (1..=study_ids.len()).map(|i| format!("intensityBand b{i}")).collect();
-        let mut preds: Vec<String> = Vec::new();
-        for (i, id) in study_ids.iter().enumerate() {
-            preds.push(format!("b{}.studyId = {id}", i + 1));
-            preds.push(format!("b{}.lo = {lo}", i + 1));
-            preds.push(format!("b{}.hi = {hi}", i + 1));
-        }
-        let sql = format!("select {select} from {} where {}", from.join(", "), preds.join(" and "));
-        let (value, mut cost_partial) = self.run_measured(&sql)?;
-        // One study degenerates to the stored band REGION handle; more
-        // studies produce an immediate intersection value.
-        let bytes: Vec<u8> = match &value {
-            Value::Bytes(b) => b.clone(),
-            Value::Long(id) => {
-                let before = self.db.lfm_stats();
-                let b = self.db.read_long_field(*id)?;
-                cost_partial.lfm = cost_partial.lfm.plus(&self.db.lfm_stats().since(&before));
-                b
+        // One study degenerates to the stored band REGION bytes; more
+        // studies intersect right-to-left and re-encode with the
+        // configured codec (matching the old nested-UDF output byte for
+        // byte).  The fold is server CPU, part of the database phase.
+        let start = std::time::Instant::now();
+        let (bytes, region) = if blobs.len() == 1 {
+            let bytes = blobs.pop().expect("one fetched blob");
+            let region = RegionCodec::decode(&bytes)?;
+            (bytes, region)
+        } else {
+            let mut regions = Vec::with_capacity(blobs.len());
+            for blob in &blobs {
+                regions.push(RegionCodec::decode(blob)?);
             }
-            other => {
-                return Err(QbismError::Wire(format!(
-                    "multi-study answer is not a REGION: {other}"
-                )))
+            let mut acc = regions.pop().expect("at least two regions");
+            while let Some(r) = regions.pop() {
+                acc = r.intersect(&acc);
             }
+            let bytes = self.config.region_codec.encode(&acc)?;
+            (bytes, acc)
         };
-        let region = RegionCodec::decode(&bytes)?;
+        let fold_seconds = start.elapsed().as_secs_f64();
+        cost.native_db_seconds += fold_seconds;
+        cost.sim_db_seconds += fold_seconds;
         let wire_bytes = bytes.len() as u64;
-        let cost = self.finish_cost(cost_partial, wire_bytes)?;
+        self.ship_answer(&mut cost, wire_bytes)?;
         self.finish_query(&span, "multi_study_band", &cost);
         Ok((region, cost))
+    }
+
+    /// The per-study stage of the multi-study query: fetch one study's
+    /// stored band REGION bytes under a measurement bracket.
+    fn band_region_fetch(&self, study_id: i64, lo: u8, hi: u8) -> Result<(Vec<u8>, PartialCost)> {
+        let bracket = IoBracket::begin();
+        let start = std::time::Instant::now();
+        let outcome = (|| {
+            let rs = self.db.query(&format!(
+                "select b.region from intensityBand b
+                 where b.studyId = {study_id} and b.lo = {lo} and b.hi = {hi}"
+            ))?;
+            let rows_scanned = rs.rows_scanned;
+            let value = rs
+                .single_value()
+                .map_err(|_| QbismError::NotFound(format!("query returned {} rows", rs.len())))?
+                .clone();
+            let bytes: Vec<u8> = match value {
+                Value::Long(id) => self.db.read_long_field(id)?,
+                Value::Bytes(b) => b,
+                other => {
+                    return Err(QbismError::Wire(format!(
+                        "multi-study answer is not a REGION: {other}"
+                    )))
+                }
+            };
+            Ok((bytes, rows_scanned))
+        })();
+        let native = start.elapsed().as_secs_f64();
+        let (lfm, fault_latency) = bracket.finish();
+        let (bytes, rows_scanned) = outcome?;
+        Ok((bytes, PartialCost { lfm, rows_scanned, native_db_seconds: native, fault_latency }))
     }
 
     /// The Section 6.4 aggregate: voxel-wise average intensity inside a
@@ -465,7 +548,7 @@ impl MedicalServer {
     /// back in [`PopulationAnswer::skipped`].  Only when *every* study
     /// fails does the call return the first error.
     pub fn population_average(
-        &mut self,
+        &self,
         study_ids: &[i64],
         structure: &str,
     ) -> Result<PopulationAnswer> {
@@ -475,36 +558,27 @@ impl MedicalServer {
         let span = Self::query_span("population_average");
         span.record_u64("studies", study_ids.len() as u64);
         span.record_str("structure", structure);
-        // Per-study measured extraction, folded into one cost.  A failed
-        // study still contributes whatever I/O it performed before
-        // failing — the work was done, so the cost is real.
+        span.record_u64("threads", self.threads as u64);
+        // Per-study measured extraction, fanned out over the executor
+        // (each worker re-arms the caller's fault plane, so injected
+        // schedules stay in force inside the pool), then folded into
+        // one cost *in study order* — the deterministic reduce that
+        // keeps QueryCost bit-identical at every thread count.  A
+        // study whose decode fails still contributes the I/O its query
+        // performed — the work was done, so the cost is real.
+        let plane = qbism_fault::current();
+        let per_study = Executor::new(self.threads).map(study_ids.to_vec(), |_, id| {
+            let _fault = plane.clone().map(qbism_fault::FaultPlane::arm_shared);
+            self.population_extract(id, structure)
+        });
         let mut cost = QueryCost::default();
         let mut extracts: Vec<DataRegion<u8>> = Vec::with_capacity(study_ids.len());
         let mut skipped: Vec<(i64, QbismError)> = Vec::new();
-        for &id in study_ids {
-            let measured = self
-                .run_measured(&format!(
-                    "select extractVoxels(wv.data, ast.region)
-                     from warpedVolume wv, atlasStructure ast, neuralStructure ns
-                     where wv.studyId = {id} and wv.atlasId = {ATLAS_ID} and
-                           ast.atlasId = {ATLAS_ID} and
-                           ast.structureId = ns.structureId and
-                           ns.structureName = '{structure}'"
-                ))
-                .map_err(|e| match e {
-                    QbismError::NotFound(_) => {
-                        QbismError::NotFound(format!("study {id} / {structure}"))
-                    }
-                    other => other,
-                })
-                .and_then(|(value, partial)| {
-                    cost.accumulate(&self.db_cost(&partial));
-                    let bytes = value.as_bytes().ok_or_else(|| {
-                        QbismError::Wire("extract returned a non-bytes value".into())
-                    })?;
-                    decode_data_region(bytes)
-                });
-            match measured {
+        for (extract, &id) in per_study.into_iter().zip(study_ids) {
+            if let Some(db_cost) = extract.cost {
+                cost.accumulate(&db_cost);
+            }
+            match extract.outcome {
                 Ok(extract) => extracts.push(extract),
                 Err(e) => skipped.push((id, e)),
             }
@@ -543,7 +617,7 @@ impl MedicalServer {
     /// The Section 3.4 "first query": atlas coordinate-space and patient
     /// information needed for rendering and annotation.  Returns the
     /// (columns, row) of the catalog lookup.
-    pub fn atlas_info(&mut self, study_id: i64) -> Result<Vec<Value>> {
+    pub fn atlas_info(&self, study_id: i64) -> Result<Vec<Value>> {
         let span = Self::query_span("atlas_info");
         span.record_i64("study_id", study_id);
         let rs = self.db.query(&format!(
@@ -559,7 +633,7 @@ impl MedicalServer {
 
     /// Loads a warped VOLUME fully (used by rendering examples to
     /// texture meshes).  Charged as ordinary LFM reads.
-    pub fn warped_volume(&mut self, study_id: i64) -> Result<Volume> {
+    pub fn warped_volume(&self, study_id: i64) -> Result<Volume> {
         let span = Self::query_span("warped_volume");
         span.record_i64("study_id", study_id);
         let rs = self.db.query(&format!(
@@ -576,7 +650,7 @@ impl MedicalServer {
     }
 
     /// Loads a structure's stored surface mesh.
-    pub fn structure_mesh(&mut self, structure: &str) -> Result<qbism_geometry::TriMesh> {
+    pub fn structure_mesh(&self, structure: &str) -> Result<qbism_geometry::TriMesh> {
         let span = Self::query_span("structure_mesh");
         span.record_str("structure", structure);
         let rs = self.db.query(&format!(
@@ -594,7 +668,7 @@ impl MedicalServer {
     }
 
     /// Loads a structure's stored volumetric REGION.
-    pub fn structure_region(&mut self, structure: &str) -> Result<Region> {
+    pub fn structure_region(&self, structure: &str) -> Result<Region> {
         let span = Self::query_span("structure_region");
         span.record_str("structure", structure);
         let rs = self.db.query(&format!(
@@ -658,14 +732,17 @@ impl MedicalServer {
     }
 
     /// Runs a one-value SQL query under measurement brackets.
-    fn run_measured(&mut self, sql: &str) -> Result<(Value, PartialCost)> {
-        let before = self.db.lfm_stats();
-        let latency_before = self.db.lfm_fault_latency_seconds();
+    ///
+    /// Measurement is a thread-local [`IoBracket`], not a before/after
+    /// delta of the global LFM counters — so concurrent queries on
+    /// other threads never leak their I/O into this query's cost.
+    fn run_measured(&self, sql: &str) -> Result<(Value, PartialCost)> {
+        let bracket = IoBracket::begin();
         let start = std::time::Instant::now();
-        let rs = self.db.query(sql)?;
+        let outcome = self.db.query(sql);
         let native = start.elapsed().as_secs_f64();
-        let lfm = self.db.lfm_stats().since(&before);
-        let fault_latency = self.db.lfm_fault_latency_seconds() - latency_before;
+        let (lfm, fault_latency) = bracket.finish();
+        let rs = outcome?;
         let value = rs
             .single_value()
             .map_err(|_| QbismError::NotFound(format!("query returned {} rows", rs.len())))?
@@ -679,6 +756,39 @@ impl MedicalServer {
                 fault_latency,
             },
         ))
+    }
+
+    /// The per-study stage of the population aggregate: one measured
+    /// extraction.  The database cost is reported whenever the query
+    /// itself ran, even if the answer then fails to decode — which is
+    /// exactly what the sequential loop charged.
+    fn population_extract(&self, id: i64, structure: &str) -> StudyExtract {
+        let measured = self
+            .run_measured(&format!(
+                "select extractVoxels(wv.data, ast.region)
+                 from warpedVolume wv, atlasStructure ast, neuralStructure ns
+                 where wv.studyId = {id} and wv.atlasId = {ATLAS_ID} and
+                       ast.atlasId = {ATLAS_ID} and
+                       ast.structureId = ns.structureId and
+                       ns.structureName = '{structure}'"
+            ))
+            .map_err(|e| match e {
+                QbismError::NotFound(_) => {
+                    QbismError::NotFound(format!("study {id} / {structure}"))
+                }
+                other => other,
+            });
+        match measured {
+            Err(e) => StudyExtract { cost: None, outcome: Err(e) },
+            Ok((value, partial)) => {
+                let cost = self.db_cost(&partial);
+                let outcome = value
+                    .as_bytes()
+                    .ok_or_else(|| QbismError::Wire("extract returned a non-bytes value".into()))
+                    .and_then(decode_data_region);
+                StudyExtract { cost: Some(cost), outcome }
+            }
+        }
     }
 
     /// The database-phase bracket of a cost: everything except shipping.
@@ -699,7 +809,7 @@ impl MedicalServer {
     /// the lossless network model; under injected message loss the
     /// channel's retries surface here as extra messages and backoff
     /// seconds, and an exhausted retry budget as [`QbismError::Net`].
-    fn ship_answer(&mut self, cost: &mut QueryCost, wire_bytes: u64) -> Result<()> {
+    fn ship_answer(&self, cost: &mut QueryCost, wire_bytes: u64) -> Result<()> {
         let receipt = self.chan.ship(wire_bytes).map_err(QbismError::Net)?;
         cost.wire_bytes = wire_bytes;
         cost.messages = receipt.messages;
@@ -707,7 +817,7 @@ impl MedicalServer {
         Ok(())
     }
 
-    fn finish_cost(&mut self, partial: PartialCost, wire_bytes: u64) -> Result<QueryCost> {
+    fn finish_cost(&self, partial: PartialCost, wire_bytes: u64) -> Result<QueryCost> {
         let mut cost = self.db_cost(&partial);
         self.ship_answer(&mut cost, wire_bytes)?;
         Ok(cost)
@@ -716,7 +826,7 @@ impl MedicalServer {
     /// Runs an `extractVoxels` query and decodes its DATA_REGION without
     /// shipping — callers that post-process the answer (the intensity
     /// range refinement) ship the final payload exactly once.
-    fn extract_measured(&mut self, sql: &str) -> Result<(DataRegion<u8>, u64, PartialCost)> {
+    fn extract_measured(&self, sql: &str) -> Result<(DataRegion<u8>, u64, PartialCost)> {
         let (value, partial) = self.run_measured(sql)?;
         let bytes = value
             .as_bytes()
@@ -725,7 +835,7 @@ impl MedicalServer {
         Ok((data, bytes.len() as u64, partial))
     }
 
-    fn extract_with_sql(&mut self, sql: &str) -> Result<QueryAnswer> {
+    fn extract_with_sql(&self, sql: &str) -> Result<QueryAnswer> {
         let (data, wire_bytes, partial) = self.extract_measured(sql)?;
         let cost = self.finish_cost(partial, wire_bytes)?;
         Ok(QueryAnswer { data, cost })
@@ -737,6 +847,14 @@ struct PartialCost {
     rows_scanned: u64,
     native_db_seconds: f64,
     fault_latency: f64,
+}
+
+/// One study's contribution to the population aggregate: the database
+/// cost of its measured query (present whenever the query ran) and the
+/// decoded extraction or the error that will skip the study.
+struct StudyExtract {
+    cost: Option<QueryCost>,
+    outcome: Result<DataRegion<u8>>,
 }
 
 #[cfg(test)]
@@ -751,7 +869,7 @@ mod tests {
 
     #[test]
     fn full_study_returns_every_voxel() {
-        let mut sys = system();
+        let sys = system();
         let a = sys.server.full_study(1).unwrap();
         assert_eq!(a.voxel_count(), 4096);
         assert_eq!(a.run_count(), 1, "the whole grid is one run");
@@ -763,7 +881,7 @@ mod tests {
 
     #[test]
     fn box_query_counts_match_geometry() {
-        let mut sys = system();
+        let sys = system();
         let a = sys.server.box_data(1, [4, 4, 4], [11, 11, 11]).unwrap();
         assert_eq!(a.voxel_count(), 512);
         // every returned voxel is inside the box
@@ -774,7 +892,7 @@ mod tests {
 
     #[test]
     fn structure_query_matches_ground_truth() {
-        let mut sys = system();
+        let sys = system();
         let truth = sys.atlas.structure("ntal").unwrap().region.clone();
         let a = sys.server.structure_data(1, "ntal").unwrap();
         assert_eq!(a.data.region(), &truth);
@@ -786,7 +904,7 @@ mod tests {
 
     #[test]
     fn band_query_matches_band_semantics() {
-        let mut sys = system();
+        let sys = system();
         let a = sys.server.band_data(1, 32, 63).unwrap();
         for &v in a.data.values() {
             assert!((32..=63).contains(&v), "value {v} outside the band");
@@ -798,7 +916,7 @@ mod tests {
 
     #[test]
     fn mixed_query_is_the_intersection() {
-        let mut sys = system();
+        let sys = system();
         let band = sys.server.band_data(1, 32, 63).unwrap();
         let ntal1 = sys.atlas.structure("ntal1").unwrap().region.clone();
         let mixed = sys.server.band_in_structure(1, 32, 63, "ntal1").unwrap();
@@ -811,7 +929,7 @@ mod tests {
     fn early_filtering_reduces_traffic() {
         // The paper's central claim: selective queries ship and read far
         // less than the full-study query.
-        let mut sys = system();
+        let sys = system();
         let full = sys.server.full_study(1).unwrap();
         let small = sys.server.structure_data(1, "thalamus").unwrap();
         assert!(small.voxel_count() < full.voxel_count() / 4);
@@ -822,7 +940,7 @@ mod tests {
 
     #[test]
     fn multi_study_intersection_shrinks_with_studies() {
-        let mut sys = system();
+        let sys = system();
         let (r1, _) = sys.server.multi_study_band_region(&[1], 32, 63).unwrap();
         let (r12, cost) = sys.server.multi_study_band_region(&[1, 2], 32, 63).unwrap();
         assert!(r12.voxel_count() <= r1.voxel_count());
@@ -832,7 +950,7 @@ mod tests {
 
     #[test]
     fn population_average_matches_manual_mean() {
-        let mut sys = system();
+        let sys = system();
         let avg = sys.server.population_average(&[1, 2], "ntal").unwrap();
         let a = sys.server.structure_data(1, "ntal").unwrap();
         let b = sys.server.structure_data(2, "ntal").unwrap();
@@ -843,7 +961,7 @@ mod tests {
 
     #[test]
     fn intensity_range_extension_matches_exact_semantics() {
-        let mut sys = system();
+        let sys = system();
         // A range straddling two stored bands (32-wide): 40..=80.
         let a = sys.server.intensity_range_data(1, 40, 80).unwrap();
         let vol = sys.server.warped_volume(1).unwrap();
@@ -862,7 +980,7 @@ mod tests {
 
     #[test]
     fn atlas_info_returns_metadata() {
-        let mut sys = system();
+        let sys = system();
         let row = sys.server.atlas_info(1).unwrap();
         assert_eq!(row[0], Value::Int(16), "grid resolution n");
         assert!(matches!(row[8], Value::Str(_)), "patient name present");
@@ -870,7 +988,7 @@ mod tests {
 
     #[test]
     fn missing_entities_are_not_found() {
-        let mut sys = system();
+        let sys = system();
         assert!(matches!(sys.server.structure_data(99, "ntal"), Err(QbismError::NotFound(_))));
         assert!(matches!(sys.server.structure_data(1, "amygdala"), Err(QbismError::NotFound(_))));
         assert!(matches!(
@@ -882,7 +1000,7 @@ mod tests {
 
     #[test]
     fn mesh_and_region_accessors() {
-        let mut sys = system();
+        let sys = system();
         let mesh = sys.server.structure_mesh("thalamus").unwrap();
         assert!(mesh.triangle_count() > 0);
         let region = sys.server.structure_region("thalamus").unwrap();

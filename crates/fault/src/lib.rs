@@ -370,6 +370,14 @@ pub fn active() -> bool {
     STACK.with(|s| !s.borrow().is_empty())
 }
 
+/// The innermost plane armed on this thread, if any.  Arming is
+/// thread-local, so code that fans work out to a pool captures the
+/// current plane and re-arms it in each worker (via
+/// [`FaultPlane::arm_shared`]) to keep the schedule in force there.
+pub fn current() -> Option<Arc<FaultPlane>> {
+    STACK.with(|s| s.borrow().last().cloned())
+}
+
 /// The instrumentation point: call at each simulated-hardware operation.
 /// Returns the outcome to honour, or `None` (the overwhelmingly common
 /// case) when the op proceeds normally.

@@ -1,0 +1,301 @@
+//! A clock page cache over the simulated device.
+//!
+//! The paper's LFM "performs no buffering anyway", and the paper tables
+//! depend on that: Tables 1–4 count every logical 4 KiB page touched.
+//! The serving path, however, re-reads the same atlas and structure
+//! REGIONs constantly, so the cache buys real reuse there.  The
+//! resolution: [`crate::IoStats`] keeps counting *logical* I/O whether
+//! or not the cache is on (tablegen stays bit-identical, cache
+//! disabled by default), while [`CacheStats`] separately reports how
+//! many of those page touches were absorbed by the buffer pool.
+//!
+//! Eviction is the classic clock (second-chance) sweep; pinned frames
+//! are skipped, so a read call can pin the pages it is assembling from
+//! and never lose one mid-copy.
+
+use qbism_obs::Counter;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Buffer-pool knobs on the [`crate::LongFieldManager`].
+///
+/// The default is all-zero: no frames, cache disabled — the paper's
+/// unbuffered LFM.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Frames in the pool (one device page each).
+    pub capacity_pages: usize,
+    /// Master switch; `false` restores the paper's unbuffered LFM.
+    pub enabled: bool,
+}
+
+/// Cumulative buffer-pool behaviour (separate from the logical
+/// [`crate::IoStats`], which the cache never alters).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Page lookups served from the pool.
+    pub hits: u64,
+    /// Page lookups that had to go to the device.
+    pub misses: u64,
+    /// Frames reclaimed by the clock sweep.
+    pub evictions: u64,
+}
+
+struct Frame {
+    /// Absolute device page number.
+    page: u64,
+    data: Arc<Vec<u8>>,
+    referenced: bool,
+    pins: u32,
+}
+
+struct CacheMetrics {
+    hits: Counter,
+    misses: Counter,
+    evictions: Counter,
+}
+
+impl CacheMetrics {
+    fn new() -> CacheMetrics {
+        let reg = qbism_obs::global();
+        reg.describe("qbism_lfm_cache_hits_total", "LFM page-cache lookups served from the pool.");
+        reg.describe("qbism_lfm_cache_misses_total", "LFM page-cache lookups that hit the device.");
+        reg.describe("qbism_lfm_cache_evictions_total", "LFM page-cache frames reclaimed.");
+        CacheMetrics {
+            hits: reg.counter("qbism_lfm_cache_hits_total"),
+            misses: reg.counter("qbism_lfm_cache_misses_total"),
+            evictions: reg.counter("qbism_lfm_cache_evictions_total"),
+        }
+    }
+}
+
+/// The pool itself.  All methods take `&mut self`; the manager wraps it
+/// in a `Mutex` so the `&self` read path can use it.
+pub(crate) struct PageCache {
+    config: CacheConfig,
+    frames: Vec<Frame>,
+    map: HashMap<u64, usize>,
+    hand: usize,
+    stats: CacheStats,
+    metrics: CacheMetrics,
+}
+
+impl std::fmt::Debug for PageCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PageCache")
+            .field("config", &self.config)
+            .field("resident", &self.frames.len())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl PageCache {
+    pub(crate) fn new() -> PageCache {
+        PageCache {
+            config: CacheConfig::default(),
+            frames: Vec::new(),
+            map: HashMap::new(),
+            hand: 0,
+            stats: CacheStats::default(),
+            metrics: CacheMetrics::new(),
+        }
+    }
+
+    pub(crate) fn config(&self) -> CacheConfig {
+        self.config
+    }
+
+    pub(crate) fn set_config(&mut self, config: CacheConfig) {
+        self.config = config;
+        self.clear();
+    }
+
+    pub(crate) fn is_active(&self) -> bool {
+        self.config.enabled && self.config.capacity_pages > 0
+    }
+
+    pub(crate) fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Looks `page` up, counting a hit or miss and marking the frame
+    /// referenced for the clock sweep.
+    pub(crate) fn get(&mut self, page: u64) -> Option<Arc<Vec<u8>>> {
+        match self.map.get(&page) {
+            Some(&idx) => {
+                let frame = &mut self.frames[idx];
+                frame.referenced = true;
+                self.stats.hits += 1;
+                self.metrics.hits.inc();
+                Some(Arc::clone(&frame.data))
+            }
+            None => {
+                self.stats.misses += 1;
+                self.metrics.misses.inc();
+                None
+            }
+        }
+    }
+
+    /// Caches `data` for `page`, evicting an unpinned frame via the
+    /// clock hand if the pool is full.  When every frame is pinned the
+    /// insert is skipped — correctness never depends on residency.
+    pub(crate) fn insert(&mut self, page: u64, data: Arc<Vec<u8>>) {
+        if !self.is_active() || self.map.contains_key(&page) {
+            return;
+        }
+        if self.frames.len() < self.config.capacity_pages {
+            self.map.insert(page, self.frames.len());
+            self.frames.push(Frame { page, data, referenced: true, pins: 0 });
+            return;
+        }
+        // Clock sweep: two full passes guarantee a victim if any frame
+        // is unpinned (the first pass may only clear reference bits).
+        for _ in 0..self.frames.len() * 2 {
+            let idx = self.hand;
+            self.hand = (self.hand + 1) % self.frames.len();
+            let frame = &mut self.frames[idx];
+            if frame.pins > 0 {
+                continue;
+            }
+            if frame.referenced {
+                frame.referenced = false;
+                continue;
+            }
+            self.map.remove(&frame.page);
+            self.stats.evictions += 1;
+            self.metrics.evictions.inc();
+            self.map.insert(page, idx);
+            self.frames[idx] = Frame { page, data, referenced: true, pins: 0 };
+            return;
+        }
+    }
+
+    /// Pins a resident page against eviction (no-op when absent).
+    pub(crate) fn pin(&mut self, page: u64) {
+        if let Some(&idx) = self.map.get(&page) {
+            self.frames[idx].pins += 1;
+        }
+    }
+
+    /// Releases one pin on a resident page.
+    pub(crate) fn unpin(&mut self, page: u64) {
+        if let Some(&idx) = self.map.get(&page) {
+            let frame = &mut self.frames[idx];
+            frame.pins = frame.pins.saturating_sub(1);
+        }
+    }
+
+    /// Drops any cached copy of `count` device pages starting at
+    /// `first_page` (called when the underlying bytes change).
+    pub(crate) fn invalidate_range(&mut self, first_page: u64, count: u64) {
+        if self.map.is_empty() {
+            return;
+        }
+        for page in first_page..first_page + count {
+            if let Some(idx) = self.map.remove(&page) {
+                // Tombstone the frame; the clock reuses it next sweep.
+                self.frames[idx].referenced = false;
+                self.frames[idx].pins = 0;
+                self.frames[idx].page = u64::MAX;
+            }
+        }
+    }
+
+    /// Empties the pool (recovery, reconfiguration).  Stats survive.
+    pub(crate) fn clear(&mut self) {
+        self.frames.clear();
+        self.map.clear();
+        self.hand = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used)]
+    use super::*;
+
+    fn active(capacity: usize) -> PageCache {
+        let mut c = PageCache::new();
+        c.set_config(CacheConfig { capacity_pages: capacity, enabled: true });
+        c
+    }
+
+    fn page(fill: u8) -> Arc<Vec<u8>> {
+        Arc::new(vec![fill; 8])
+    }
+
+    #[test]
+    fn default_cache_is_off() {
+        let c = PageCache::new();
+        assert!(!c.is_active());
+        assert_eq!(c.config(), CacheConfig::default());
+    }
+
+    #[test]
+    fn hit_after_insert_miss_before() {
+        let mut c = active(4);
+        assert!(c.get(7).is_none());
+        c.insert(7, page(1));
+        assert_eq!(c.get(7).unwrap().as_slice(), &[1u8; 8]);
+        assert_eq!(c.stats(), CacheStats { hits: 1, misses: 1, evictions: 0 });
+    }
+
+    #[test]
+    fn clock_gives_referenced_pages_a_second_chance() {
+        let mut c = active(3);
+        c.insert(1, page(1));
+        c.insert(2, page(2));
+        c.insert(3, page(3));
+        // Pool full: the sweep clears all reference bits, then evicts
+        // page 1 (first unreferenced frame after the hand wraps).
+        c.insert(4, page(4));
+        assert!(c.get(1).is_none());
+        // Re-reference page 2; page 3's bit stays clear.
+        assert!(c.get(2).is_some());
+        c.insert(5, page(5));
+        assert!(c.get(2).is_some(), "referenced page got its second chance");
+        assert!(c.get(3).is_none(), "unreferenced page was the victim");
+        assert!(c.get(4).is_some());
+        assert!(c.get(5).is_some());
+        assert_eq!(c.stats().evictions, 2);
+    }
+
+    #[test]
+    fn pinned_frames_are_never_evicted() {
+        let mut c = active(2);
+        c.insert(1, page(1));
+        c.insert(2, page(2));
+        c.pin(1);
+        c.pin(2);
+        c.insert(3, page(3)); // nowhere to go: skipped
+        assert!(c.get(3).is_none());
+        c.unpin(2);
+        c.insert(3, page(3));
+        assert!(c.get(3).is_some());
+        assert!(c.get(1).is_some(), "pinned page survived the sweep");
+        assert!(c.get(2).is_none());
+    }
+
+    #[test]
+    fn invalidation_forgets_pages() {
+        let mut c = active(4);
+        for p in 0..4 {
+            c.insert(p, page(p as u8));
+        }
+        c.invalidate_range(1, 2);
+        assert!(c.get(0).is_some());
+        assert!(c.get(1).is_none());
+        assert!(c.get(2).is_none());
+        assert!(c.get(3).is_some());
+    }
+
+    #[test]
+    fn reconfiguring_clears_residency() {
+        let mut c = active(4);
+        c.insert(9, page(9));
+        c.set_config(CacheConfig { capacity_pages: 2, enabled: true });
+        assert!(c.get(9).is_none());
+    }
+}

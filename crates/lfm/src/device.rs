@@ -11,47 +11,50 @@
 
 use crate::{LfmError, Result};
 use qbism_fault::FaultOutcome;
+use std::sync::atomic::{AtomicBool, Ordering};
 
 pub(crate) struct SimDevice {
     bytes: Vec<u8>,
-    crashed: bool,
+    /// Atomic so concurrent readers can consult (and set) the crash flag
+    /// through `&self` while writers still require `&mut self`.
+    crashed: AtomicBool,
 }
 
 impl std::fmt::Debug for SimDevice {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("SimDevice")
             .field("bytes", &self.bytes.len())
-            .field("crashed", &self.crashed)
+            .field("crashed", &self.is_crashed())
             .finish()
     }
 }
 
 impl SimDevice {
     pub(crate) fn new(len: usize) -> SimDevice {
-        SimDevice { bytes: vec![0u8; len], crashed: false }
+        SimDevice { bytes: vec![0u8; len], crashed: AtomicBool::new(false) }
     }
 
     pub(crate) fn is_crashed(&self) -> bool {
-        self.crashed
+        self.crashed.load(Ordering::Acquire)
     }
 
     /// Recovery brings the machine back up.
     pub(crate) fn clear_crash(&mut self) {
-        self.crashed = false;
+        self.crashed.store(false, Ordering::Release);
     }
 
     /// Read-side fault gate: call once per logical device read.  Returns
     /// injected latency seconds (usually `0.0`); afterwards the caller
     /// may copy bytes out via [`SimDevice::slice`].
-    pub(crate) fn gate_read(&mut self, site: &'static str) -> Result<f64> {
-        if self.crashed {
+    pub(crate) fn gate_read(&self, site: &'static str) -> Result<f64> {
+        if self.is_crashed() {
             return Err(LfmError::Crashed);
         }
         match qbism_fault::inject(site) {
             None => Ok(0.0),
             Some(FaultOutcome::Latency { seconds }) => Ok(seconds.max(0.0)),
             Some(FaultOutcome::Crash) => {
-                self.crashed = true;
+                self.crashed.store(true, Ordering::Release);
                 Err(LfmError::Crashed)
             }
             Some(_) => Err(LfmError::DeviceFault { op: site }),
@@ -63,7 +66,7 @@ impl SimDevice {
     /// point — and the call still errors.  Returns injected latency
     /// seconds on success.
     pub(crate) fn write(&mut self, site: &'static str, off: usize, data: &[u8]) -> Result<f64> {
-        if self.crashed {
+        if self.is_crashed() {
             return Err(LfmError::Crashed);
         }
         match qbism_fault::inject(site) {
@@ -83,7 +86,7 @@ impl SimDevice {
             }
             Some(FaultOutcome::Crash) => {
                 // Power dies before the write reaches the platter.
-                self.crashed = true;
+                self.crashed.store(true, Ordering::Release);
                 Err(LfmError::Crashed)
             }
             Some(FaultOutcome::Error) | Some(FaultOutcome::Drop) => {
@@ -145,7 +148,7 @@ mod tests {
 
     #[test]
     fn latency_outcome_surfaces_seconds() {
-        let mut d = SimDevice::new(16);
+        let d = SimDevice::new(16);
         let _scope = FaultPlane::new(7)
             .rule("lfm.read", qbism_fault::Trigger::Always, FaultOutcome::Latency { seconds: 0.5 })
             .arm();

@@ -37,13 +37,17 @@
 #![warn(missing_docs)]
 #![warn(clippy::unwrap_used)]
 
+mod acct;
 mod buddy;
+mod cache;
 mod device;
 mod journal;
 mod manager;
 mod model;
 
+pub use acct::IoBracket;
 pub use buddy::BuddyAllocator;
+pub use cache::{CacheConfig, CacheStats};
 pub use manager::{LongFieldId, LongFieldManager, MetaStats, RecoveryReport};
 pub use model::{DiskModel, IoStats};
 

@@ -26,6 +26,7 @@
 //! bit-identical whether or not the fault/recovery plane exists.
 
 use crate::buddy::BuddyAllocator;
+use crate::cache::{CacheConfig, CacheStats, PageCache};
 use crate::device::SimDevice;
 use crate::journal::{
     self, Record, SnapEntry, Snapshot, Superblock, SNAP_ENTRY_LEN, SNAP_HEADER_LEN, SUPER_LEN,
@@ -35,6 +36,7 @@ use crate::{LfmError, Result};
 use qbism_fault::checksum;
 use qbism_obs::{trace, Counter, Gauge};
 use std::collections::{BTreeSet, HashMap};
+use std::sync::{Arc, Mutex};
 
 /// Cached handles to the global LFM metrics (Table 3/4 columns).
 #[derive(Debug, Clone)]
@@ -241,12 +243,28 @@ impl Geometry {
     }
 }
 
-/// An unbuffered long-field store over a simulated raw disk device.
+/// Mutable accounting shared by concurrent readers, behind one lock.
+#[derive(Debug, Default)]
+struct AcctState {
+    stats: IoStats,
+    fault_latency: f64,
+}
+
+/// A long-field store over a simulated raw disk device.
 ///
 /// Every read and write is accounted in distinct touched 4 KiB pages and
-/// sequential extents; there is no caching of any kind, matching the
-/// paper's measurement discipline ("Starburst's Long Field Manager
-/// performs no buffering anyway").
+/// sequential extents.  [`IoStats`] always counts *logical* I/O — with
+/// the optional page cache enabled the counts do not change, matching
+/// the paper's measurement discipline ("Starburst's Long Field Manager
+/// performs no buffering anyway"); the cache's own behaviour is
+/// reported separately via [`LongFieldManager::cache_stats`].
+///
+/// The read path ([`read`](LongFieldManager::read),
+/// [`read_piece`](LongFieldManager::read_piece),
+/// [`read_pieces_into`](LongFieldManager::read_pieces_into),
+/// [`len`](LongFieldManager::len)) takes `&self`, so any number of
+/// threads may read concurrently; mutations still take `&mut self`, so
+/// Rust's aliasing rules guarantee no writer runs alongside readers.
 #[derive(Debug)]
 pub struct LongFieldManager {
     page_size: usize,
@@ -254,15 +272,15 @@ pub struct LongFieldManager {
     allocator: BuddyAllocator,
     fields: HashMap<u64, FieldDesc>,
     next_id: u64,
-    stats: IoStats,
+    acct: Mutex<AcctState>,
     disk: DiskModel,
     metrics: LfmMetrics,
+    cache: Mutex<PageCache>,
     geo: Geometry,
     epoch: u64,
     journal_seq: u64,
     journal_cursor: usize,
     meta: MetaStats,
-    fault_latency: f64,
 }
 
 impl LongFieldManager {
@@ -281,15 +299,15 @@ impl LongFieldManager {
             allocator: BuddyAllocator::new(geo.max_order),
             fields: HashMap::new(),
             next_id: 1,
-            stats: IoStats::default(),
+            acct: Mutex::new(AcctState::default()),
             disk: DiskModel::default(),
             metrics: LfmMetrics::new(),
+            cache: Mutex::new(PageCache::new()),
             geo,
             epoch: 1,
             journal_seq: 0,
             journal_cursor: 0,
             meta: MetaStats::default(),
-            fault_latency: 0.0,
         };
         // Format: empty snapshot for epoch 1, then the superblock.
         lfm.write_snapshot(1)?;
@@ -308,10 +326,15 @@ impl LongFieldManager {
         self.disk = model;
     }
 
-    /// Charges one I/O delta to both the local [`IoStats`] and the
-    /// process-wide metrics, returning the simulated disk seconds.
-    fn charge(&mut self, delta: IoStats) -> f64 {
-        self.stats = self.stats.plus(&delta);
+    /// Charges one I/O delta to the shared [`IoStats`], any open
+    /// [`crate::IoBracket`]s on this thread, and the process-wide
+    /// metrics, returning the simulated disk seconds.
+    fn charge(&self, delta: IoStats) -> f64 {
+        {
+            let mut acct = self.acct.lock().expect("lfm accounting lock poisoned");
+            acct.stats = acct.stats.plus(&delta);
+        }
+        crate::acct::charge(&delta);
         self.metrics.pages_read.add(delta.pages_read);
         self.metrics.pages_written.add(delta.pages_written);
         self.metrics.extents_read.add(delta.extents_read);
@@ -323,9 +346,10 @@ impl LongFieldManager {
         sim_seconds
     }
 
-    fn note_latency(&mut self, seconds: f64) {
+    fn note_latency(&self, seconds: f64) {
         if seconds > 0.0 {
-            self.fault_latency += seconds;
+            self.acct.lock().expect("lfm accounting lock poisoned").fault_latency += seconds;
+            crate::acct::charge_latency(seconds);
             self.metrics.fault_latency_micros.add((seconds * 1e6) as u64);
         }
     }
@@ -342,14 +366,31 @@ impl LongFieldManager {
 
     /// Cumulative data-plane I/O counters.
     pub fn stats(&self) -> IoStats {
-        self.stats
+        self.acct.lock().expect("lfm accounting lock poisoned").stats
     }
 
     /// Zeroes the I/O counters and the injected-latency accumulator
     /// (used between measured queries).
-    pub fn reset_stats(&mut self) {
-        self.stats = IoStats::default();
-        self.fault_latency = 0.0;
+    pub fn reset_stats(&self) {
+        let mut acct = self.acct.lock().expect("lfm accounting lock poisoned");
+        acct.stats = IoStats::default();
+        acct.fault_latency = 0.0;
+    }
+
+    /// Reconfigures the page cache (the pool is emptied; stats remain).
+    /// Defaults to disabled — the paper's unbuffered LFM.
+    pub fn set_cache_config(&mut self, config: CacheConfig) {
+        self.cache.lock().expect("lfm cache lock poisoned").set_config(config);
+    }
+
+    /// Current page-cache configuration.
+    pub fn cache_config(&self) -> CacheConfig {
+        self.cache.lock().expect("lfm cache lock poisoned").config()
+    }
+
+    /// Cumulative page-cache hit/miss/eviction counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.lock().expect("lfm cache lock poisoned").stats()
     }
 
     /// Metadata-plane accounting: journal traffic, checkpoints,
@@ -362,7 +403,7 @@ impl LongFieldManager {
     /// [`LongFieldManager::reset_stats`].  Zero unless a fault plane is
     /// injecting [`qbism_fault::FaultOutcome::Latency`].
     pub fn fault_latency_seconds(&self) -> f64 {
-        self.fault_latency
+        self.acct.lock().expect("lfm accounting lock poisoned").fault_latency
     }
 
     /// Whether the simulated machine is down after an injected crash.
@@ -512,6 +553,8 @@ impl LongFieldManager {
         let pages_needed = (data.len() as u64).div_ceil(self.page_size as u64).max(1);
         let order = BuddyAllocator::order_for_pages(pages_needed);
         let first_page = self.allocator.allocate(order)?;
+        // A reused block may still be cached from a deleted field.
+        self.invalidate_cached_block(first_page, order);
         let csum = checksum(data);
         let id = self.next_id;
         let commit = |lfm: &mut Self| -> Result<()> {
@@ -547,8 +590,17 @@ impl LongFieldManager {
         self.journal_one(Record::Delete { id: id.0 })?;
         self.fields.remove(&id.0);
         self.allocator.free(desc.first_page, desc.order)?;
+        self.invalidate_cached_block(desc.first_page, desc.order);
         self.sync_gauges();
         Ok(())
+    }
+
+    /// Drops cached copies of a data-area buddy block's pages.
+    fn invalidate_cached_block(&self, first_page: u64, order: u32) {
+        let mut cache = self.cache.lock().expect("lfm cache lock poisoned");
+        if cache.is_active() {
+            cache.invalidate_range(self.geo.data_start + first_page, 1u64 << order);
+        }
     }
 
     /// Logical length of a field in bytes (catalog metadata; no I/O).
@@ -562,14 +614,14 @@ impl LongFieldManager {
     }
 
     /// Reads an entire field.
-    pub fn read(&mut self, id: LongFieldId) -> Result<Vec<u8>> {
+    pub fn read(&self, id: LongFieldId) -> Result<Vec<u8>> {
         let len = self.desc(id)?.len;
         self.read_piece(id, 0, len)
     }
 
     /// Reads `len` bytes at `offset` — the LFM's "fast random I/O to
     /// arbitrary pieces of long fields".
-    pub fn read_piece(&mut self, id: LongFieldId, offset: u64, len: u64) -> Result<Vec<u8>> {
+    pub fn read_piece(&self, id: LongFieldId, offset: u64, len: u64) -> Result<Vec<u8>> {
         let mut out = Vec::with_capacity(len as usize);
         self.read_pieces_into(id, &[(offset, len)], &mut out)?;
         Ok(out)
@@ -584,7 +636,7 @@ impl LongFieldManager {
     /// Pieces must be sorted by offset and non-overlapping (extraction
     /// runs always are); violations are a programming error and panic.
     pub fn read_pieces_into(
-        &mut self,
+        &self,
         id: LongFieldId,
         pieces: &[(u64, u64)],
         out: &mut Vec<u8>,
@@ -641,13 +693,53 @@ impl LongFieldManager {
             read_calls: 1,
             ..IoStats::default()
         });
-        // Copy the bytes.
+        // Copy the bytes — through the buffer pool when it is on, from
+        // the device directly otherwise.  Either way the bytes are
+        // identical (mutations invalidate cached pages), and the
+        // logical accounting above has already happened.
         let before = out.len();
-        for &(offset, len) in pieces {
-            out.extend_from_slice(
-                self.device.slice(self.geo.data_byte(desc.first_page, offset), len as usize),
-            );
+        let mut cache = self.cache.lock().expect("lfm cache lock poisoned");
+        if cache.is_active() {
+            // Pin each page for the duration of this call so the clock
+            // sweep cannot churn a page we are still assembling from.
+            let mut pinned: Vec<u64> = Vec::new();
+            for &(offset, len) in pieces {
+                if len == 0 {
+                    continue;
+                }
+                let start_byte = self.geo.data_byte(desc.first_page, offset);
+                let end_byte = start_byte + len as usize;
+                let first_dev_page = (start_byte / self.page_size) as u64;
+                let last_dev_page = ((end_byte - 1) / self.page_size) as u64;
+                for dev_page in first_dev_page..=last_dev_page {
+                    let page_base = dev_page as usize * self.page_size;
+                    let data = match cache.get(dev_page) {
+                        Some(data) => data,
+                        None => {
+                            let data =
+                                Arc::new(self.device.slice(page_base, self.page_size).to_vec());
+                            cache.insert(dev_page, Arc::clone(&data));
+                            data
+                        }
+                    };
+                    cache.pin(dev_page);
+                    pinned.push(dev_page);
+                    let lo = start_byte.max(page_base) - page_base;
+                    let hi = end_byte.min(page_base + self.page_size) - page_base;
+                    out.extend_from_slice(&data[lo..hi]);
+                }
+            }
+            for dev_page in pinned {
+                cache.unpin(dev_page);
+            }
+        } else {
+            for &(offset, len) in pieces {
+                out.extend_from_slice(
+                    self.device.slice(self.geo.data_byte(desc.first_page, offset), len as usize),
+                );
+            }
         }
+        drop(cache);
         if span.is_recording() {
             span.record_u64("pages", pages);
             span.record_u64("extents", extents);
@@ -678,6 +770,14 @@ impl LongFieldManager {
         let psz = self.page_size as u64;
         let first = (desc.first_page * psz + offset) / psz;
         let last = (desc.first_page * psz + offset + len - 1) / psz;
+        // The touched pages change (or roll back) under this call; a
+        // stale cached copy must not survive it either way.
+        {
+            let mut cache = self.cache.lock().expect("lfm cache lock poisoned");
+            if cache.is_active() {
+                cache.invalidate_range(self.geo.data_start + first, last - first + 1);
+            }
+        }
         self.charge(IoStats {
             pages_written: last - first + 1,
             extents_written: 1,
@@ -758,6 +858,8 @@ impl LongFieldManager {
     fn recover_inner(&mut self) -> Result<RecoveryReport> {
         let span = trace::span("lfm.recover");
         self.device.clear_crash();
+        // Recovery rewrites data pages directly (rollback); start clean.
+        self.cache.lock().expect("lfm cache lock poisoned").clear();
         let sb = Superblock::decode(self.device.slice(0, SUPER_LEN))?;
         if sb != self.geo.superblock(sb.epoch) {
             return Err(LfmError::CorruptMetadata(

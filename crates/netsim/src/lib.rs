@@ -333,6 +333,51 @@ impl RpcChannel {
     }
 }
 
+/// An [`RpcChannel`] shareable across query threads: the channel sits
+/// behind a mutex so concurrent queries can each ship their answer
+/// through `&self`, serializing only the (cheap, in-memory) cost
+/// arithmetic — exactly how one server socket is shared in practice.
+#[derive(Debug)]
+pub struct SharedRpcChannel {
+    inner: std::sync::Mutex<RpcChannel>,
+}
+
+impl SharedRpcChannel {
+    /// Wraps a channel for shared use.
+    pub fn new(chan: RpcChannel) -> Self {
+        SharedRpcChannel { inner: std::sync::Mutex::new(chan) }
+    }
+
+    /// Ships one logical answer; see [`RpcChannel::ship`].
+    pub fn ship(&self, payload_bytes: u64) -> Result<ShipReceipt, NetError> {
+        self.lock().ship(payload_bytes)
+    }
+
+    /// Counters since construction or the last reset.
+    pub fn stats(&self) -> NetStats {
+        self.lock().stats()
+    }
+
+    /// Zeroes the counters (between measured queries).
+    pub fn reset_stats(&self) {
+        self.lock().reset_stats();
+    }
+
+    /// The cost model in force.
+    pub fn model(&self) -> NetworkModel {
+        self.lock().model()
+    }
+
+    /// The retry policy in force.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        self.lock().retry_policy()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, RpcChannel> {
+        self.inner.lock().expect("rpc channel lock poisoned")
+    }
+}
+
 #[cfg(test)]
 mod tests {
     #![allow(clippy::unwrap_used)]

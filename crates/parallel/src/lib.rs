@@ -1,0 +1,176 @@
+//! A tiny owned thread-pool executor for the parallel query engine.
+//!
+//! QBISM's multi-study queries (population averages, cross-study band
+//! intersections) decompose into independent per-study stages followed
+//! by an ordered reduce.  This crate provides exactly that shape and
+//! nothing more: [`Executor::map`] fans a `Vec` of work items out over
+//! scoped worker threads that *claim* indices from a shared atomic
+//! counter (work stealing in its simplest form — an idle worker takes
+//! the next undone item, so an expensive study never serializes the
+//! cheap ones behind it), and hands back results in input order so the
+//! caller's reduce is deterministic regardless of thread count.
+//!
+//! With one thread the executor runs the closure inline on the calling
+//! thread.  That is a correctness feature, not an optimization:
+//! thread-local machinery (trace spans, fault planes) behaves exactly
+//! as in the sequential engine, so `threads = 1` is bit-identical to
+//! the pre-parallel code path by construction.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// A fixed-width fan-out executor.
+///
+/// The pool is *owned* per call — threads are scoped to each
+/// [`Executor::map`] invocation and joined before it returns, so the
+/// closure may borrow from the caller's stack (the server lends its
+/// `&Database` straight to the workers).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Executor {
+    threads: usize,
+}
+
+impl Default for Executor {
+    fn default() -> Executor {
+        Executor::new(1)
+    }
+}
+
+impl Executor {
+    /// An executor that fans out over `threads` workers (clamped to at
+    /// least 1).
+    pub fn new(threads: usize) -> Executor {
+        Executor { threads: threads.max(1) }
+    }
+
+    /// Configured fan-out width.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Applies `f` to every item and returns the results **in input
+    /// order**.  `f` receives `(index, item)` so workers can label
+    /// their work without the caller pre-zipping.
+    ///
+    /// With `threads == 1` (or a single item) this runs inline on the
+    /// calling thread.  Otherwise `min(threads, items)` scoped workers
+    /// claim indices from an atomic counter until the list is drained.
+    ///
+    /// Panics in `f` propagate to the caller once all workers have
+    /// stopped (via [`std::thread::scope`]'s join-and-rethrow).
+    pub fn map<T, R, F>(&self, items: Vec<T>, f: F) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(usize, T) -> R + Sync,
+    {
+        let n = items.len();
+        if self.threads == 1 || n <= 1 {
+            return items.into_iter().enumerate().map(|(i, item)| f(i, item)).collect();
+        }
+        let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+        let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+        let workers = self.threads.min(n);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let item = slots[i]
+                        .lock()
+                        .expect("parallel work slot poisoned")
+                        .take()
+                        .expect("work item claimed twice");
+                    let out = f(i, item);
+                    *results[i].lock().expect("parallel result slot poisoned") = Some(out);
+                });
+            }
+        });
+        results
+            .into_iter()
+            .map(|m| {
+                m.into_inner()
+                    .expect("parallel result slot poisoned")
+                    .expect("worker exited without producing its result")
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used)]
+    use super::*;
+    use std::collections::HashSet;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn zero_threads_clamps_to_one() {
+        assert_eq!(Executor::new(0).threads(), 1);
+    }
+
+    #[test]
+    fn results_come_back_in_input_order() {
+        for threads in [1, 2, 3, 8] {
+            let exec = Executor::new(threads);
+            let out = exec.map((0..37u64).collect(), |i, x| {
+                assert_eq!(i as u64, x);
+                x * x
+            });
+            assert_eq!(out, (0..37u64).map(|x| x * x).collect::<Vec<_>>(), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn single_thread_runs_inline() {
+        let caller = std::thread::current().id();
+        let exec = Executor::new(1);
+        let ids = exec.map(vec![(); 4], |_, ()| std::thread::current().id());
+        assert!(ids.iter().all(|id| *id == caller));
+    }
+
+    #[test]
+    fn multi_thread_actually_fans_out() {
+        // Workers that block until every worker has claimed an item can
+        // only finish if the pool really runs them concurrently.
+        let exec = Executor::new(4);
+        let arrived = AtomicU64::new(0);
+        let out = exec.map(vec![(); 4], |i, ()| {
+            arrived.fetch_add(1, Ordering::SeqCst);
+            while arrived.load(Ordering::SeqCst) < 4 {
+                std::thread::yield_now();
+            }
+            i
+        });
+        assert_eq!(out, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn every_item_runs_exactly_once() {
+        let exec = Executor::new(3);
+        let out = exec.map((0..100usize).collect(), |_, x| x);
+        let distinct: HashSet<usize> = out.iter().copied().collect();
+        assert_eq!(distinct.len(), 100);
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let exec = Executor::new(8);
+        let out: Vec<u32> = exec.map(Vec::<u32>::new(), |_, x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn worker_panics_propagate() {
+        let result = std::panic::catch_unwind(|| {
+            Executor::new(2).map((0..8).collect::<Vec<i32>>(), |_, x| {
+                assert!(x != 5, "boom");
+                x
+            })
+        });
+        assert!(result.is_err());
+    }
+}

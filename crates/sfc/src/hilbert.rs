@@ -15,12 +15,127 @@
 
 use crate::curve::{check_coords, check_index};
 use crate::SpaceFillingCurve;
+use std::sync::OnceLock;
 
 /// Hilbert curve over a `dims`-dimensional grid of `2^bits` per axis.
 #[derive(Debug, Clone)]
 pub struct HilbertCurve {
     dims: u32,
     bits: u32,
+}
+
+/// The 3D `index_of` fast path: a finite-state transducer over octants.
+///
+/// The Hilbert curve is self-similar, so the curve digit emitted for the
+/// octant at each refinement level depends only on the suborientation
+/// (state) reached through the coarser octants — a classic state-machine
+/// formulation.  Rather than hardcoding the table (and risking a skew
+/// against the Skilling bit-twiddling above), the table is *derived from
+/// the bitwise implementation itself* at first use: states are
+/// discovered by breadth-first search over octant prefixes, identified
+/// by their one-level octant→digit map (orientations are cube
+/// symmetries composed with Gray decode, and that composite is distinct
+/// per orientation, so the one-level map is a complete fingerprint).
+///
+/// The payoff: `index_of` becomes `bits` table lookups instead of the
+/// `O(dims · bits)` dependent bit-exchange chain — the hot path of
+/// region construction and voxel extraction over 64³/128³ grids.
+struct HilbertLut3 {
+    start: u8,
+    /// `digit[state][octant]` — curve digit emitted.
+    digit: Vec<[u8; 8]>,
+    /// `next[state][octant]` — successor state.
+    next: Vec<[u8; 8]>,
+}
+
+static LUT3: OnceLock<HilbertLut3> = OnceLock::new();
+
+/// Resolution the transducer is learned at.  State discovery needs
+/// prefixes one level short of the floor; 3D Hilbert closes at a
+/// handful of states within a few levels, so 8 levels is generous.
+const LUT3_LEARN_BITS: u32 = 8;
+
+impl HilbertLut3 {
+    fn get() -> &'static HilbertLut3 {
+        LUT3.get_or_init(HilbertLut3::derive)
+    }
+
+    /// Learns the transducer from the bitwise implementation.
+    fn derive() -> HilbertLut3 {
+        let oracle = HilbertCurve { dims: 3, bits: LUT3_LEARN_BITS };
+        // One-level octant→digit map of the subcube reached by `prefix`
+        // (top-down octant path).  By self-similarity the digit at a
+        // level is independent of the finer octants, so probing with
+        // zero-filled suffixes is exact.
+        let probe = |prefix: &[u8]| -> [u8; 8] {
+            let mut map = [0u8; 8];
+            for o in 0..8u8 {
+                let mut coords = [0u32; 3];
+                let mut level = LUT3_LEARN_BITS;
+                for &oct in prefix.iter().chain(std::iter::once(&o)) {
+                    level -= 1;
+                    coords[0] |= u32::from((oct >> 2) & 1) << level;
+                    coords[1] |= u32::from((oct >> 1) & 1) << level;
+                    coords[2] |= u32::from(oct & 1) << level;
+                }
+                let mut buf = coords;
+                oracle.axes_to_transpose(&mut buf);
+                let index = oracle.pack(&buf);
+                map[o as usize] = ((index >> (3 * level)) & 7) as u8;
+            }
+            map
+        };
+        let mut ids: std::collections::HashMap<[u8; 8], u8> = std::collections::HashMap::new();
+        let mut digit: Vec<[u8; 8]> = Vec::new();
+        let mut next: Vec<[u8; 8]> = Vec::new();
+        let mut queue: std::collections::VecDeque<(u8, Vec<u8>)> =
+            std::collections::VecDeque::new();
+        let mut intern = |map: [u8; 8],
+                          prefix: &[u8],
+                          digit: &mut Vec<[u8; 8]>,
+                          next: &mut Vec<[u8; 8]>,
+                          queue: &mut std::collections::VecDeque<(u8, Vec<u8>)>|
+         -> u8 {
+            *ids.entry(map).or_insert_with(|| {
+                let id = digit.len() as u8;
+                digit.push(map);
+                next.push([0u8; 8]);
+                queue.push_back((id, prefix.to_vec()));
+                id
+            })
+        };
+        let start = intern(probe(&[]), &[], &mut digit, &mut next, &mut queue);
+        while let Some((state, prefix)) = queue.pop_front() {
+            assert!(
+                prefix.len() + 2 <= LUT3_LEARN_BITS as usize,
+                "Hilbert transducer did not close within {LUT3_LEARN_BITS} levels"
+            );
+            for o in 0..8u8 {
+                let mut child_prefix = prefix.clone();
+                child_prefix.push(o);
+                let child =
+                    intern(probe(&child_prefix), &child_prefix, &mut digit, &mut next, &mut queue);
+                next[state as usize][o as usize] = child;
+            }
+        }
+        HilbertLut3 { start, digit, next }
+    }
+
+    /// Table-driven `index_of` for any `bits`: the transducer starts in
+    /// the same orientation at every resolution (the curve refines from
+    /// the top), so one table serves all grids.
+    fn index_of(&self, bits: u32, coords: &[u32]) -> u64 {
+        let mut state = self.start as usize;
+        let mut index = 0u64;
+        for level in (0..bits).rev() {
+            let octant = (((coords[0] >> level) & 1) << 2
+                | ((coords[1] >> level) & 1) << 1
+                | (coords[2] >> level) & 1) as usize;
+            index = (index << 3) | u64::from(self.digit[state][octant]);
+            state = self.next[state][octant] as usize;
+        }
+        index
+    }
 }
 
 impl HilbertCurve {
@@ -110,6 +225,21 @@ impl HilbertCurve {
         out
     }
 
+    /// The Skilling bit-exchange `index_of` (ground truth for the LUT
+    /// fast path, and the general-dimension fallback).
+    fn index_of_bitwise(&self, coords: &[u32]) -> u64 {
+        let mut x: [u32; 8];
+        let buf: &mut [u32] = if coords.len() <= 8 {
+            x = [0u32; 8];
+            x[..coords.len()].copy_from_slice(coords);
+            &mut x[..coords.len()]
+        } else {
+            unreachable!("validate_geometry caps dims at 63")
+        };
+        self.axes_to_transpose(buf);
+        self.pack(buf)
+    }
+
     /// Inverse of [`HilbertCurve::pack`].
     fn unpack(&self, index: u64, x: &mut [u32]) {
         let n = self.dims;
@@ -138,16 +268,11 @@ impl SpaceFillingCurve for HilbertCurve {
         if self.dims == 1 {
             return u64::from(coords[0]);
         }
-        let mut x: [u32; 8];
-        let buf: &mut [u32] = if coords.len() <= 8 {
-            x = [0u32; 8];
-            x[..coords.len()].copy_from_slice(coords);
-            &mut x[..coords.len()]
-        } else {
-            unreachable!("validate_geometry caps dims at 63")
-        };
-        self.axes_to_transpose(buf);
-        self.pack(buf)
+        if self.dims == 3 {
+            // Table-driven fast path for the 3D grids QBISM lives on.
+            return HilbertLut3::get().index_of(self.bits, coords);
+        }
+        self.index_of_bitwise(coords)
     }
 
     fn coords_of(&self, index: u64, coords: &mut [u32]) {
@@ -279,6 +404,88 @@ mod tests {
         let hr = count_runs(&h);
         let zr = count_runs(&z);
         assert!(hr < zr, "expected fewer Hilbert runs than Z runs, got h={hr} z={zr}");
+    }
+
+    #[test]
+    fn lut_learns_a_small_closed_state_machine() {
+        let lut = HilbertLut3::get();
+        assert!(lut.digit.len() >= 2, "3D Hilbert needs more than one orientation");
+        assert!(lut.digit.len() <= 48, "states are cube symmetries, at most 48");
+        for (row, digits) in lut.digit.iter().enumerate() {
+            let mut seen = [false; 8];
+            for &d in digits {
+                seen[d as usize] = true;
+            }
+            assert!(seen.iter().all(|&s| s), "state {row} digit map is not a permutation");
+        }
+    }
+
+    /// Not a correctness test: prints LUT vs bitwise timings over a full
+    /// 128³ sweep.  Run with
+    /// `cargo test -p qbism-sfc --release -- --ignored --nocapture lut_speed`.
+    #[test]
+    #[ignore = "timing report, run explicitly in release mode"]
+    fn lut_speedup_report() {
+        let h = HilbertCurve::new(3, 7);
+        let mut acc = 0u64;
+        acc ^= h.index_of(&[1, 2, 3]); // force LUT derivation outside timing
+        let lut = std::time::Instant::now();
+        for x in 0..128u32 {
+            for y in 0..128 {
+                for z in 0..128 {
+                    acc ^= h.index_of(&[x, y, z]);
+                }
+            }
+        }
+        let lut = lut.elapsed();
+        let bitwise = std::time::Instant::now();
+        for x in 0..128u32 {
+            for y in 0..128 {
+                for z in 0..128 {
+                    acc ^= h.index_of_bitwise(&[x, y, z]);
+                }
+            }
+        }
+        let bitwise = bitwise.elapsed();
+        println!("128^3 index_of sweep: lut {lut:?}  bitwise {bitwise:?}  (acc {acc})");
+    }
+
+    #[test]
+    fn lut_matches_bitwise_exhaustively_at_low_bits() {
+        // Every cell of every grid up to 16³: the LUT path and the
+        // Skilling bit-exchange path must agree index for index.
+        for bits in 1..=4u32 {
+            let h = HilbertCurve::new(3, bits);
+            let side = 1u32 << bits;
+            for x in 0..side {
+                for y in 0..side {
+                    for z in 0..side {
+                        let c = [x, y, z];
+                        assert_eq!(
+                            HilbertLut3::get().index_of(bits, &c),
+                            h.index_of_bitwise(&c),
+                            "bits={bits} coords={c:?}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn lut_matches_bitwise_64_cubed(x in 0u32..64, y in 0u32..64, z in 0u32..64) {
+            // The 64³ PET grid of the paper's experiments.
+            let h = HilbertCurve::new(3, 6);
+            prop_assert_eq!(h.index_of(&[x, y, z]), h.index_of_bitwise(&[x, y, z]));
+        }
+
+        #[test]
+        fn lut_matches_bitwise_128_cubed(x in 0u32..128, y in 0u32..128, z in 0u32..128) {
+            // The 128³ MRI/atlas grid.
+            let h = HilbertCurve::new(3, 7);
+            prop_assert_eq!(h.index_of(&[x, y, z]), h.index_of_bitwise(&[x, y, z]));
+        }
     }
 
     proptest! {

@@ -155,13 +155,7 @@ impl Database {
                 }
                 Ok(ExecOutcome::Inserted(n))
             }
-            Statement::Select(select) => {
-                if select.from.is_empty() {
-                    return Err(DbError::Binding("FROM clause is required".into()));
-                }
-                let rs = run_select(&select, &self.catalog, &self.udfs, &mut self.lfm)?;
-                Ok(ExecOutcome::Rows(rs))
-            }
+            read_only @ (Statement::Select(_) | Statement::Explain(_)) => self.run_read(read_only),
             Statement::Delete { table, where_clause } => {
                 let n = self.run_delete(&table, where_clause.as_ref())?;
                 Ok(ExecOutcome::Deleted(n))
@@ -170,12 +164,27 @@ impl Database {
                 let n = self.run_update(&table, &assignments, where_clause.as_ref())?;
                 Ok(ExecOutcome::Updated(n))
             }
+        }
+    }
+
+    /// Executes a read-only statement through `&self` — the concurrent
+    /// query path.
+    fn run_read(&self, statement: Statement) -> Result<ExecOutcome> {
+        match statement {
+            Statement::Select(select) => {
+                if select.from.is_empty() {
+                    return Err(DbError::Binding("FROM clause is required".into()));
+                }
+                let rs = run_select(&select, &self.catalog, &self.udfs, &self.lfm)?;
+                Ok(ExecOutcome::Rows(rs))
+            }
             Statement::Explain(select) => {
                 let plan = crate::plan::plan_select(&select, &self.catalog)?;
                 let text = plan.render(&select);
                 let rows = text.lines().map(|l| vec![Value::Str(l.to_string())]).collect();
                 Ok(ExecOutcome::Rows(ResultSet::new(vec!["plan".into()], rows)))
             }
+            _ => Err(DbError::Exec("statement mutates; use execute".into())),
         }
     }
 
@@ -200,7 +209,7 @@ impl Database {
                         let mut ctx = crate::expr::EvalCtx {
                             scope: &scope,
                             udfs: &self.udfs,
-                            lfm: &mut self.lfm,
+                            lfm: &self.lfm,
                         };
                         match crate::expr::eval(pred, row, &mut ctx)? {
                             Value::Bool(true) => hits.push(i),
@@ -247,11 +256,8 @@ impl Database {
             let hit = match predicate {
                 None => true,
                 Some(pred) => {
-                    let mut ctx = crate::expr::EvalCtx {
-                        scope: &scope,
-                        udfs: &self.udfs,
-                        lfm: &mut self.lfm,
-                    };
+                    let mut ctx =
+                        crate::expr::EvalCtx { scope: &scope, udfs: &self.udfs, lfm: &self.lfm };
                     match crate::expr::eval(pred, &row, &mut ctx)? {
                         Value::Bool(b) => b,
                         Value::Null => false,
@@ -270,7 +276,7 @@ impl Database {
             let mut next = row.clone();
             for (idx, expr) in &targets {
                 let mut ctx =
-                    crate::expr::EvalCtx { scope: &scope, udfs: &self.udfs, lfm: &mut self.lfm };
+                    crate::expr::EvalCtx { scope: &scope, udfs: &self.udfs, lfm: &self.lfm };
                 let v = crate::expr::eval(expr, &row, &mut ctx)?;
                 let col = &schema.columns[*idx];
                 if !v.fits(col.ty) {
@@ -294,9 +300,24 @@ impl Database {
         Ok(updated)
     }
 
-    /// Convenience: run a SELECT and unwrap its rows.
-    pub fn query(&mut self, sql: &str) -> Result<ResultSet> {
-        match self.execute(sql)? {
+    /// Runs a SELECT (or EXPLAIN) and unwraps its rows.
+    ///
+    /// Takes `&self`: queries never mutate the database, so any number
+    /// of threads may run them against one `Database` concurrently.
+    /// DML and DDL still go through [`Database::execute`].
+    pub fn query(&self, sql: &str) -> Result<ResultSet> {
+        let span = qbism_obs::trace::root("db.execute");
+        if span.is_recording() {
+            span.record_str("sql", &sql.split_whitespace().collect::<Vec<_>>().join(" "));
+        }
+        let statement = {
+            let _parse = qbism_obs::trace::span("sql.parse");
+            parse_statement(sql)?
+        };
+        if !matches!(statement, Statement::Select(_) | Statement::Explain(_)) {
+            return Err(DbError::Exec("statement did not produce rows".into()));
+        }
+        match self.run_read(statement)? {
             ExecOutcome::Rows(rs) => Ok(rs),
             _ => Err(DbError::Exec("statement did not produce rows".into())),
         }
@@ -321,8 +342,8 @@ impl Database {
         Ok(Value::Long(self.lfm.create(bytes)?))
     }
 
-    /// Reads a long field fully.
-    pub fn read_long_field(&mut self, id: LongFieldId) -> Result<Vec<u8>> {
+    /// Reads a long field fully (a read-path operation: `&self`).
+    pub fn read_long_field(&self, id: LongFieldId) -> Result<Vec<u8>> {
         Ok(self.lfm.read(id)?)
     }
 
@@ -330,6 +351,12 @@ impl Database {
     /// benchmark instrumentation).
     pub fn lfm(&mut self) -> &mut LongFieldManager {
         &mut self.lfm
+    }
+
+    /// Shared access to the long-field manager (stats, cache counters,
+    /// concurrent reads).
+    pub fn lfm_ref(&self) -> &LongFieldManager {
+        &self.lfm
     }
 
     /// Read-only LFM statistics.
@@ -380,7 +407,7 @@ mod tests {
 
     #[test]
     fn create_insert_select_star() {
-        let mut d = db();
+        let d = db();
         let rs = d.query("select * from patient").unwrap();
         assert_eq!(rs.len(), 4);
         assert_eq!(rs.columns()[0], "patient.patientid");
@@ -389,7 +416,7 @@ mod tests {
 
     #[test]
     fn filter_and_projection() {
-        let mut d = db();
+        let d = db();
         let rs = d.query("select p.name from patient p where p.age = 44 order by p.name").unwrap();
         assert_eq!(rs.rows(), &[vec![Value::Str("Jane".into())], vec![Value::Str("Mia".into())]]);
         assert_eq!(rs.columns(), &["name".to_string()]);
@@ -397,7 +424,7 @@ mod tests {
 
     #[test]
     fn hash_join_two_tables() {
-        let mut d = db();
+        let d = db();
         let rs = d
             .query(
                 "select p.name, s.modality from patient p, study s
@@ -415,7 +442,7 @@ mod tests {
     #[test]
     fn join_is_not_quadratic_in_scans() {
         // Hash join scans each table once: 4 + 4 base tuples.
-        let mut d = db();
+        let d = db();
         let rs = d
             .query("select p.name from patient p, study s where p.patientId = s.patientId")
             .unwrap();
@@ -428,7 +455,7 @@ mod tests {
 
     #[test]
     fn aggregates() {
-        let mut d = db();
+        let d = db();
         let rs =
             d.query("select count(*), avg(p.age), min(p.age), max(p.age) from patient p").unwrap();
         assert_eq!(
@@ -443,7 +470,7 @@ mod tests {
 
     #[test]
     fn order_by_desc_and_limit() {
-        let mut d = db();
+        let d = db();
         let rs = d
             .query("select p.name, p.age from patient p order by p.age desc, p.name limit 2")
             .unwrap();
@@ -525,7 +552,7 @@ mod tests {
 
     #[test]
     fn group_by_basic() {
-        let mut d = db();
+        let d = db();
         let rs = d
             .query(
                 "select s.modality, count(*), min(s.studyId)
@@ -548,7 +575,7 @@ mod tests {
     fn group_by_over_join() {
         // "statistical responses … over population groups": studies per
         // patient.
-        let mut d = db();
+        let d = db();
         let rs = d
             .query(
                 "select p.name, count(*) as studies
@@ -632,7 +659,7 @@ mod tests {
 
     #[test]
     fn explain_shows_the_strategy() {
-        let mut d = db();
+        let d = db();
         let rs = d
             .query(
                 "explain select p.name from patient p, study s
@@ -648,7 +675,7 @@ mod tests {
 
     #[test]
     fn ambiguous_column_needs_qualifier() {
-        let mut d = db();
+        let d = db();
         let err = d
             .query("select patientId from patient p, study s where p.patientId = s.patientId")
             .unwrap_err();

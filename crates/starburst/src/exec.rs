@@ -63,7 +63,7 @@ pub fn run_select(
     select: &Select,
     catalog: &Catalog,
     udfs: &UdfRegistry,
-    lfm: &mut LongFieldManager,
+    lfm: &LongFieldManager,
 ) -> Result<ResultSet> {
     let span = trace::span("exec.select");
     let rs = run_select_inner(select, catalog, udfs, lfm)?;
@@ -88,7 +88,7 @@ fn run_select_inner(
     select: &Select,
     catalog: &Catalog,
     udfs: &UdfRegistry,
-    lfm: &mut LongFieldManager,
+    lfm: &LongFieldManager,
 ) -> Result<ResultSet> {
     let plan = plan_select(select, catalog)?;
     let (scope, mut rows, rows_scanned) = run_joins(select, &plan, catalog, udfs, lfm)?;
@@ -198,7 +198,7 @@ fn run_joins(
     plan: &SelectPlan,
     catalog: &Catalog,
     udfs: &UdfRegistry,
-    lfm: &mut LongFieldManager,
+    lfm: &LongFieldManager,
 ) -> Result<(Scope, Vec<Vec<Value>>, u64)> {
     let mut rows_scanned = 0u64;
     let mut scope = Scope::new();
@@ -302,7 +302,7 @@ fn passes(
     tuple: &[Value],
     scope: &Scope,
     udfs: &UdfRegistry,
-    lfm: &mut LongFieldManager,
+    lfm: &LongFieldManager,
 ) -> Result<bool> {
     for p in preds {
         let mut ctx = EvalCtx { scope, udfs, lfm };
@@ -324,7 +324,7 @@ fn run_grouped(
     scope: &Scope,
     rows: &[Vec<Value>],
     udfs: &UdfRegistry,
-    lfm: &mut LongFieldManager,
+    lfm: &LongFieldManager,
 ) -> Result<(Vec<String>, Vec<Vec<Value>>)> {
     for item in &select.items {
         if !item.expr.contains_aggregate() && !select.group_by.contains(&item.expr) {
@@ -391,7 +391,7 @@ fn run_aggregates(
     scope: &Scope,
     rows: &[Vec<Value>],
     udfs: &UdfRegistry,
-    lfm: &mut LongFieldManager,
+    lfm: &LongFieldManager,
 ) -> Result<(Vec<String>, Vec<Value>)> {
     let mut columns = Vec::with_capacity(select.items.len());
     let mut out = Vec::with_capacity(select.items.len());

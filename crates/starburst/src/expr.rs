@@ -96,7 +96,7 @@ pub struct EvalCtx<'a> {
     /// Registered UDFs.
     pub udfs: &'a UdfRegistry,
     /// Long-field store, threaded through to UDFs.
-    pub lfm: &'a mut qbism_lfm::LongFieldManager,
+    pub lfm: &'a qbism_lfm::LongFieldManager,
 }
 
 /// Evaluates `expr` against a composite `tuple`.

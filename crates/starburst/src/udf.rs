@@ -17,8 +17,11 @@ use std::collections::HashMap;
 
 /// Runtime services available to a UDF invocation.
 pub struct UdfContext<'a> {
-    /// The long-field store (read query inputs, write query outputs).
-    pub lfm: &'a mut LongFieldManager,
+    /// The long-field store.  Shared, not exclusive: UDFs run on the
+    /// concurrent read path, so they may read long fields but never
+    /// create or mutate them (operators materialize results in memory
+    /// and the server encodes them on the way out).
+    pub lfm: &'a LongFieldManager,
 }
 
 /// The UDF calling convention.

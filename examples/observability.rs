@@ -17,7 +17,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         config.pet_studies,
         config.mri_studies
     );
-    let mut sys = QbismSystem::install(&config)?;
+    let sys = QbismSystem::install(&config)?;
     let study = sys.pet_study_ids[0];
 
     // The Section 3.4 pair: catalog lookup, then spatial extraction.

@@ -14,7 +14,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let structure = args.next().unwrap_or_else(|| "ntal1".to_string());
     let out_dir = args.next().unwrap_or_else(|| ".".to_string());
     let config = QbismConfig::medium();
-    let mut sys = QbismSystem::install(&config)?;
+    let sys = QbismSystem::install(&config)?;
     let study = sys.pet_study_ids[0];
     let camera = Camera::default_for_grid(config.side());
     const W: usize = 512;

@@ -14,7 +14,7 @@ fn system() -> QbismSystem {
 
 #[test]
 fn an_armed_but_rule_free_plane_changes_no_cost_column() {
-    let mut sys = system();
+    let sys = system();
     let clean = sys.server.structure_data(1, "ntal").unwrap();
     let scope = FaultPlane::observer().arm();
     let observed = sys.server.structure_data(1, "ntal").unwrap();
@@ -34,7 +34,7 @@ fn an_armed_but_rule_free_plane_changes_no_cost_column() {
 
 #[test]
 fn injected_disk_errors_surface_as_typed_errors_not_panics() {
-    let mut sys = system();
+    let sys = system();
     let scope = FaultPlane::new(11).fail_nth("lfm.read", 1).arm();
     let err = sys.server.full_study(1).unwrap_err();
     drop(scope);
@@ -53,7 +53,7 @@ fn install_under_torn_writes_fails_cleanly() {
 
 #[test]
 fn message_loss_is_retried_and_billed_in_the_cost_columns() {
-    let mut sys = system();
+    let sys = system();
     let clean = sys.server.full_study(1).unwrap();
     let before = sys.server.net_stats();
 
@@ -75,7 +75,7 @@ fn message_loss_is_retried_and_billed_in_the_cost_columns() {
 
 #[test]
 fn persistent_message_loss_times_out_with_a_typed_error() {
-    let mut sys = system();
+    let sys = system();
     let scope = FaultPlane::new(1).rule("net.send", Trigger::Always, FaultOutcome::Drop).arm();
     let err = sys.server.full_study(1).unwrap_err();
     drop(scope);
@@ -89,7 +89,7 @@ fn persistent_message_loss_times_out_with_a_typed_error() {
 
 #[test]
 fn population_average_degrades_by_skipping_failed_studies() {
-    let mut sys = system();
+    let sys = system();
     let complete = sys.server.population_average(&[1, 2], "ntal").unwrap();
     assert!(complete.is_complete());
     assert_eq!(complete.cost.coverage, 1.0);
@@ -118,7 +118,7 @@ fn population_average_degrades_by_skipping_failed_studies() {
 
 #[test]
 fn population_average_errors_only_when_every_study_fails() {
-    let mut sys = system();
+    let sys = system();
     let scope = FaultPlane::new(2).rule("lfm.read", Trigger::Always, FaultOutcome::Error).arm();
     let err = sys.server.population_average(&[1, 2], "ntal").unwrap_err();
     drop(scope);
@@ -129,7 +129,7 @@ fn population_average_errors_only_when_every_study_fails() {
 
 #[test]
 fn seeded_chaos_never_panics_and_clears_completely() {
-    let mut sys = system();
+    let sys = system();
     let baseline = sys.server.structure_data(1, "ntal").unwrap();
 
     let plane = std::sync::Arc::new(
@@ -160,7 +160,7 @@ fn seeded_chaos_never_panics_and_clears_completely() {
 
 #[test]
 fn injected_latency_shows_up_in_simulated_db_time_only() {
-    let mut sys = system();
+    let sys = system();
     let clean = sys.server.structure_data(1, "ntal").unwrap();
     let scope = FaultPlane::new(4)
         .rule("lfm.read", Trigger::Nth(1), FaultOutcome::Latency { seconds: 0.25 })

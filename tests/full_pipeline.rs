@@ -11,7 +11,7 @@ fn system() -> QbismSystem {
 
 #[test]
 fn load_query_render_pipeline() {
-    let mut sys = system();
+    let sys = system();
     let study = sys.pet_study_ids[0];
     // Query through SQL + UDFs.
     let answer = sys.server.structure_data(study, "ntal").expect("query");
@@ -116,7 +116,7 @@ fn stored_warped_volume_matches_registration_ground_truth() {
 
 #[test]
 fn multi_study_results_are_consistent_with_single_study_bands() {
-    let mut sys = system();
+    let sys = system();
     let ids = sys.pet_study_ids.clone();
     let (joint, _) = sys.server.multi_study_band_region(&ids, 96, 127).expect("joint");
     for &id in &ids {
@@ -135,7 +135,7 @@ fn different_codecs_store_identical_science() {
     let mut answers = Vec::new();
     for codec in [RegionCodec::Naive, RegionCodec::Elias, RegionCodec::Octant(OctantKind::Cubic)] {
         let config = QbismConfig { region_codec: codec, ..QbismConfig::small_test() };
-        let mut sys = QbismSystem::install(&config).expect("install");
+        let sys = QbismSystem::install(&config).expect("install");
         let a = sys.server.structure_data(1, "ntal").expect("query");
         answers.push((a.data.region().voxel_count(), a.data.values().to_vec()));
     }
@@ -149,7 +149,7 @@ fn different_curves_store_identical_science() {
     let mut per_curve = Vec::new();
     for curve in [CurveKind::Hilbert, CurveKind::Morton, CurveKind::Scanline] {
         let config = QbismConfig { curve, ..QbismConfig::small_test() };
-        let mut sys = QbismSystem::install(&config).expect("install");
+        let sys = QbismSystem::install(&config).expect("install");
         let a = sys.server.structure_data(1, "thalamus").expect("query");
         // Compare as (sorted voxel, value) sets — ids differ per curve.
         let mut pairs: Vec<((u32, u32, u32), u8)> =

@@ -23,7 +23,7 @@ fn install() -> QbismSystem {
 #[test]
 fn mixed_query_emits_a_full_span_tree() {
     let _g = serialize();
-    let mut sys = install();
+    let sys = install();
     let study = sys.pet_study_ids[0];
     sys.server.band_in_structure(study, 224, 255, "ntal1").expect("Q6 runs");
     let tree = qbism_obs::trace::recent_roots()
@@ -52,7 +52,7 @@ fn mixed_query_emits_a_full_span_tree() {
 #[test]
 fn registry_exports_the_acceptance_series() {
     let _g = serialize();
-    let mut sys = install();
+    let sys = install();
     let study = sys.pet_study_ids[0];
     sys.server.structure_data(study, "ntal").expect("Q3 runs");
     let text = sys.server.metrics().render_prometheus();
@@ -72,7 +72,7 @@ fn registry_exports_the_acceptance_series() {
 #[test]
 fn query_cost_default_and_accumulate_fold() {
     let _g = serialize();
-    let mut sys = install();
+    let sys = install();
     let study = sys.pet_study_ids[0];
     let a = sys.server.full_study(study).expect("Q1 runs").cost;
     let b = sys.server.structure_data(study, "ntal").expect("Q3 runs").cost;
@@ -90,7 +90,7 @@ fn query_cost_default_and_accumulate_fold() {
 #[test]
 fn disabling_observability_stops_recording() {
     let _g = serialize();
-    let mut sys = install();
+    let sys = install();
     let study = sys.pet_study_ids[0];
     qbism_obs::set_enabled(false);
     let before = qbism_obs::trace::recent_roots().len();

@@ -167,7 +167,7 @@ fn mutation_conformance() {
 
 #[test]
 fn explain_conformance() {
-    let mut db = db();
+    let db = db();
     let rs = db
         .query(
             "explain select p.name from patient p, study s
