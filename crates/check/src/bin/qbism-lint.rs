@@ -1,0 +1,50 @@
+//! Workspace invariant gate.  Usage:
+//!
+//! ```text
+//! cargo run -p qbism-check --bin qbism-lint [workspace-root]
+//! ```
+//!
+//! Lints every crate source under the workspace with the rules in
+//! [`qbism_check::lint::LintConfig::workspace`] and exits non-zero on
+//! any finding, so CI can gate on it.
+
+use qbism_check::lint::{lint_path, LintConfig};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let root = std::env::args().nth(1).map_or_else(find_workspace_root, PathBuf::from);
+    let findings = match lint_path(&root, &LintConfig::workspace()) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("qbism-lint: cannot scan {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    if findings.is_empty() {
+        println!("qbism-lint: workspace clean ({})", root.display());
+        return ExitCode::SUCCESS;
+    }
+    for finding in &findings {
+        println!("{finding}");
+    }
+    eprintln!("qbism-lint: {} finding(s)", findings.len());
+    ExitCode::FAILURE
+}
+
+/// Walks up from the current directory to the first `Cargo.toml`
+/// declaring `[workspace]`.
+fn find_workspace_root() -> PathBuf {
+    let mut dir = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return dir;
+            }
+        }
+        if !dir.pop() {
+            return PathBuf::from(".");
+        }
+    }
+}

@@ -1,0 +1,83 @@
+//! Vector clocks — the happens-before backbone of the race detector.
+//!
+//! Every model thread carries a [`VClock`]; synchronization objects
+//! (mutexes, release-stored atomics) carry snapshot clocks that joining
+//! threads merge in.  An access A happens-before an access B exactly
+//! when A's clock is componentwise ≤ B's thread clock at the time of B.
+
+/// A grow-on-demand vector clock indexed by model thread id.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub(crate) struct VClock {
+    counts: Vec<u64>,
+}
+
+impl VClock {
+    pub(crate) fn new() -> VClock {
+        VClock { counts: Vec::new() }
+    }
+
+    /// This thread's own component advances — a new event on `tid`.
+    pub(crate) fn tick(&mut self, tid: usize) {
+        if self.counts.len() <= tid {
+            self.counts.resize(tid + 1, 0);
+        }
+        self.counts[tid] += 1;
+    }
+
+    /// Componentwise maximum: everything `other` has seen, we have now
+    /// seen too.
+    pub(crate) fn join(&mut self, other: &VClock) {
+        if self.counts.len() < other.counts.len() {
+            self.counts.resize(other.counts.len(), 0);
+        }
+        for (mine, theirs) in self.counts.iter_mut().zip(&other.counts) {
+            *mine = (*mine).max(*theirs);
+        }
+    }
+
+    /// `self` happens-before (or equals) `other`: componentwise ≤.
+    pub(crate) fn leq(&self, other: &VClock) -> bool {
+        self.counts.iter().enumerate().all(|(i, &c)| c <= other.counts.get(i).copied().unwrap_or(0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_clocks_are_ordered_both_ways() {
+        let a = VClock::new();
+        let b = VClock::new();
+        assert!(a.leq(&b) && b.leq(&a));
+    }
+
+    #[test]
+    fn tick_breaks_symmetry() {
+        let mut a = VClock::new();
+        let b = VClock::new();
+        a.tick(0);
+        assert!(b.leq(&a));
+        assert!(!a.leq(&b));
+    }
+
+    #[test]
+    fn join_absorbs_knowledge() {
+        let mut a = VClock::new();
+        let mut b = VClock::new();
+        a.tick(0);
+        b.tick(1);
+        assert!(!a.leq(&b) && !b.leq(&a), "concurrent");
+        b.join(&a);
+        assert!(a.leq(&b), "after join, a's history is visible to b");
+    }
+
+    #[test]
+    fn leq_handles_unequal_lengths() {
+        let mut a = VClock::new();
+        a.tick(3);
+        let b = VClock::new();
+        assert!(b.leq(&a));
+        assert!(!a.leq(&b));
+    }
+}

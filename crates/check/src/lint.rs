@@ -1,0 +1,520 @@
+//! qbism-lint: source-level enforcement of workspace invariants the
+//! compiler can't express.
+//!
+//! Rules (each scoped to the crates where the invariant holds):
+//!
+//! - **no-unwrap** — no `.unwrap()` / `.expect(` outside test code and
+//!   the bench crate: library code returns errors or documents the
+//!   invariant with an explicit `panic!`/`unreachable!` message, and
+//!   lock poisoning is handled via `lock_or_recover`.
+//! - **no-wall-clock** — deterministic crates (the simulation and
+//!   storage planes) never read `Instant::now` / `SystemTime::now`;
+//!   simulated time comes from the cost models.
+//! - **no-raw-sync** — crates ported to the `qbism_check::sync` facade
+//!   don't reach around it for `std::sync` mutexes, condvars or
+//!   atomics (`Arc` and friends are fine); a raw primitive would be
+//!   invisible to the model checker.
+//! - **no-cache-iostats** — the page-cache layer must stay below the
+//!   accounting layer: cache code never touches logical `IoStats`
+//!   (PR 3 separated logical from physical I/O counts; this keeps the
+//!   layers from re-tangling).
+//! - **fault-site-name** — fault-injection site patterns are dotted
+//!   lowercase (`plane.op`, e.g. `lfm.meta.write`), with `*` wildcards,
+//!   so rules written against one crate keep matching as sites grow.
+//!
+//! The scanner is line-based with just enough lexing to strip `//` and
+//! `/* */` comments and string literals (so tokens inside strings or
+//! docs never count), track `#[cfg(test)]` blocks by brace depth, and
+//! associate fault-API calls with their site-name literal.
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// One rule violation at a source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Path relative to the linted root.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    pub rule: &'static str,
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: [{}] {}", self.file, self.line, self.rule, self.message)
+    }
+}
+
+/// Which crates each rule applies to, plus scanner behaviour.
+#[derive(Debug, Clone)]
+pub struct LintConfig {
+    /// Skip `#[cfg(test)]` blocks (true for the workspace gate; the
+    /// fixture corpus also runs with true so fixtures can prove the
+    /// exemption works).
+    pub skip_test_blocks: bool,
+    /// Apply every rule to every file regardless of crate (fixture
+    /// mode).
+    pub all_crates_in_scope: bool,
+    /// Crates exempt from `no-unwrap` (benches are harness code).
+    pub unwrap_exempt: Vec<String>,
+    /// Crates that must never read the wall clock.
+    pub deterministic_crates: Vec<String>,
+    /// Crates ported to the sync facade.
+    pub facade_crates: Vec<String>,
+}
+
+impl LintConfig {
+    /// The workspace gate configuration — the single source of truth
+    /// for which crate holds which invariant.
+    pub fn workspace() -> LintConfig {
+        let s = |v: &[&str]| v.iter().map(|c| c.to_string()).collect();
+        LintConfig {
+            skip_test_blocks: true,
+            all_crates_in_scope: false,
+            unwrap_exempt: s(&["bench"]),
+            deterministic_crates: s(&[
+                "lfm",
+                "netsim",
+                "fault",
+                "parallel",
+                "region",
+                "coding",
+                "volume",
+                "phantom",
+                "geometry",
+                "index",
+                "warp",
+                "sfc",
+                "starburst",
+                "render",
+                "check",
+            ]),
+            facade_crates: s(&["parallel", "lfm", "netsim", "fault", "core"]),
+        }
+    }
+
+    /// Fixture-corpus configuration: every rule in scope for every
+    /// file, test blocks still exempt.
+    pub fn fixtures() -> LintConfig {
+        LintConfig { all_crates_in_scope: true, ..LintConfig::workspace() }
+    }
+}
+
+/// `std::sync` items a facade crate may still use: ownership and
+/// one-shot types carry no scheduling behaviour the model must see.
+const RAW_SYNC_ALLOWED: &[&str] =
+    &["Arc", "Weak", "OnceLock", "Once", "PoisonError", "LockResult", "TryLockError", "mpsc"];
+
+const FAULT_APIS: &[&str] = &["rule", "fail_nth", "torn_nth", "crash_nth"];
+
+/// Lints one source text.  `rel` is the path reported in findings;
+/// `crate_name` decides rule scope (fixture mode ignores it).
+pub fn lint_source(source: &str, rel: &str, crate_name: &str, cfg: &LintConfig) -> Vec<Finding> {
+    let in_scope =
+        |list: &[String]| cfg.all_crates_in_scope || list.iter().any(|c| c == crate_name);
+    let check_unwrap =
+        cfg.all_crates_in_scope || !cfg.unwrap_exempt.iter().any(|c| c == crate_name);
+    let check_clock = in_scope(&cfg.deterministic_crates);
+    let check_sync = in_scope(&cfg.facade_crates);
+    let file_name = rel.rsplit('/').next().unwrap_or(rel);
+    let check_cache =
+        file_name.contains("cache") && (cfg.all_crates_in_scope || crate_name == "lfm");
+
+    let mut findings = Vec::new();
+    let mut scanner = Scanner::default();
+    let mut test_state = TestBlockState::default();
+
+    for (idx, raw_line) in source.lines().enumerate() {
+        let line_no = idx + 1;
+        let parsed = scanner.strip(raw_line);
+        let skip = cfg.skip_test_blocks && test_state.update(raw_line, &parsed.code);
+        if skip {
+            continue;
+        }
+
+        let code = parsed.code.as_str();
+        let mut push = |rule: &'static str, message: String| {
+            findings.push(Finding { file: rel.to_string(), line: line_no, rule, message });
+        };
+
+        if check_unwrap {
+            if code.contains(".unwrap()") {
+                push("no-unwrap", "`.unwrap()` outside test code; return the error or use a poison-recovering lock helper".to_string());
+            }
+            if code.contains(".expect(") {
+                push("no-unwrap", "`.expect(...)` outside test code; return the error or document the invariant with an explicit panic".to_string());
+            }
+        }
+        if check_clock && (code.contains("Instant::now") || code.contains("SystemTime::now")) {
+            push(
+                "no-wall-clock",
+                "wall-clock read in a deterministic crate; use the simulated cost model"
+                    .to_string(),
+            );
+        }
+        if check_sync {
+            for banned in banned_sync_uses(code) {
+                push(
+                    "no-raw-sync",
+                    format!("raw `std::sync::{banned}` in a facade-ported crate; use `qbism_check::sync::{banned}` so the model checker sees it"),
+                );
+            }
+        }
+        if check_cache && code.contains("IoStats") {
+            push(
+                "no-cache-iostats",
+                "cache code must not touch logical IoStats; physical counts live in CacheStats"
+                    .to_string(),
+            );
+        }
+        for (api, site) in fault_site_literals(code, &parsed.literals) {
+            if !valid_fault_site(&site) {
+                push(
+                    "fault-site-name",
+                    format!("fault site \"{site}\" passed to `{api}` is not dotted lowercase (e.g. \"lfm.meta.write\", wildcards allowed)"),
+                );
+            }
+        }
+    }
+    findings
+}
+
+/// Lints every `.rs` file under `crates/*/src` and `src/` of a
+/// workspace root (the gate), or every `.rs` file under a plain
+/// directory (fixture corpora).
+pub fn lint_path(root: &Path, cfg: &LintConfig) -> std::io::Result<Vec<Finding>> {
+    let mut files = Vec::new();
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        for entry in std::fs::read_dir(&crates_dir)? {
+            let src = entry?.path().join("src");
+            if src.is_dir() {
+                collect_rs(&src, &mut files)?;
+            }
+        }
+        let root_src = root.join("src");
+        if root_src.is_dir() {
+            collect_rs(&root_src, &mut files)?;
+        }
+    } else {
+        collect_rs(root, &mut files)?;
+    }
+    files.sort();
+    let mut findings = Vec::new();
+    for file in files {
+        let source = std::fs::read_to_string(&file)?;
+        let rel = file.strip_prefix(root).unwrap_or(&file).to_string_lossy().replace('\\', "/");
+        let crate_name = crate_of(&rel);
+        findings.extend(lint_source(&source, &rel, crate_name, cfg));
+    }
+    Ok(findings)
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// `crates/<name>/src/...` → `<name>`; anything else → `suite`.
+fn crate_of(rel: &str) -> &str {
+    let mut parts = rel.split('/');
+    match (parts.next(), parts.next()) {
+        (Some("crates"), Some(name)) => name,
+        _ => "suite",
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Line scanner
+// ---------------------------------------------------------------------------
+
+struct ParsedLine {
+    /// The line with comments removed and string-literal *contents*
+    /// removed (the quotes remain, so `call("")` shape survives).
+    code: String,
+    /// String literal contents, in order of appearance.
+    literals: Vec<String>,
+}
+
+#[derive(Default)]
+struct Scanner {
+    in_block_comment: bool,
+}
+
+impl Scanner {
+    fn strip(&mut self, line: &str) -> ParsedLine {
+        let mut code = String::with_capacity(line.len());
+        let mut literals = Vec::new();
+        let bytes: Vec<char> = line.chars().collect();
+        let mut i = 0;
+        while i < bytes.len() {
+            if self.in_block_comment {
+                if bytes[i] == '*' && bytes.get(i + 1) == Some(&'/') {
+                    self.in_block_comment = false;
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+                continue;
+            }
+            match bytes[i] {
+                '/' if bytes.get(i + 1) == Some(&'/') => break, // line comment
+                '/' if bytes.get(i + 1) == Some(&'*') => {
+                    self.in_block_comment = true;
+                    i += 2;
+                }
+                '"' => {
+                    code.push('"');
+                    let mut lit = String::new();
+                    i += 1;
+                    while i < bytes.len() {
+                        match bytes[i] {
+                            '\\' => {
+                                lit.push(bytes[i]);
+                                if let Some(&next) = bytes.get(i + 1) {
+                                    lit.push(next);
+                                }
+                                i += 2;
+                            }
+                            '"' => break,
+                            c => {
+                                lit.push(c);
+                                i += 1;
+                            }
+                        }
+                    }
+                    // Unterminated literal (multi-line string): treat
+                    // the rest of the line as its content.
+                    literals.push(lit);
+                    code.push('"');
+                    i += 1;
+                }
+                '\'' => {
+                    // Char literal vs lifetime: a quote closing within
+                    // two chars (three for escapes) is a char literal.
+                    let close = if bytes.get(i + 1) == Some(&'\\') { i + 3 } else { i + 2 };
+                    if bytes.get(close) == Some(&'\'') {
+                        code.push_str("' '");
+                        i = close + 1;
+                    } else {
+                        code.push('\'');
+                        i += 1;
+                    }
+                }
+                c => {
+                    code.push(c);
+                    i += 1;
+                }
+            }
+        }
+        ParsedLine { code, literals }
+    }
+}
+
+/// Tracks `#[cfg(test)]`-gated blocks by brace depth.  Returns `true`
+/// while inside one (including the attribute line itself).
+#[derive(Default)]
+struct TestBlockState {
+    pending: bool,
+    depth: i64,
+    active: bool,
+}
+
+impl TestBlockState {
+    fn update(&mut self, raw_line: &str, code: &str) -> bool {
+        let opens = code.matches('{').count() as i64;
+        let closes = code.matches('}').count() as i64;
+        if self.active {
+            self.depth += opens - closes;
+            if self.depth <= 0 {
+                self.active = false;
+            }
+            return true;
+        }
+        if raw_line.trim_start().starts_with("#[cfg(test)]") {
+            self.pending = true;
+            // An attribute on a braceless item (e.g. a gated `use`)
+            // ends at the semicolon.
+            if opens == 0 && code.contains(';') {
+                self.pending = false;
+            }
+            return true;
+        }
+        if self.pending {
+            if opens > 0 {
+                self.pending = false;
+                self.active = true;
+                self.depth = opens - closes;
+                if self.depth <= 0 {
+                    self.active = false;
+                }
+            } else if code.contains(';') {
+                self.pending = false;
+            }
+            return true;
+        }
+        false
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule helpers
+// ---------------------------------------------------------------------------
+
+/// Banned identifiers reached through `std::sync::` on this line,
+/// including grouped imports (`use std::sync::{Arc, Mutex}`).
+fn banned_sync_uses(code: &str) -> Vec<String> {
+    let mut banned = Vec::new();
+    let mut rest = code;
+    while let Some(pos) = rest.find("std::sync::") {
+        let after = &rest[pos + "std::sync::".len()..];
+        if let Some(group) = after.strip_prefix('{') {
+            let body = group.split('}').next().unwrap_or(group);
+            for item in body.split(',') {
+                let name = item.trim().split("::").next().unwrap_or("").trim();
+                check_sync_item(name, &mut banned);
+            }
+        } else {
+            let name: String =
+                after.chars().take_while(|c| c.is_alphanumeric() || *c == '_').collect();
+            check_sync_item(&name, &mut banned);
+        }
+        rest = after;
+    }
+    banned
+}
+
+fn check_sync_item(name: &str, banned: &mut Vec<String>) {
+    if name.is_empty() || name == "self" {
+        return;
+    }
+    if !RAW_SYNC_ALLOWED.contains(&name) && !banned.iter().any(|b| b == name) {
+        banned.push(name.to_string());
+    }
+}
+
+/// `(api, literal)` for every fault-registry call whose first argument
+/// is a string literal on this line.
+fn fault_site_literals(code: &str, literals: &[String]) -> Vec<(&'static str, String)> {
+    let mut out = Vec::new();
+    for api in FAULT_APIS {
+        let needle = format!("{api}(\"");
+        let mut from = 0;
+        while let Some(pos) = code[from..].find(&needle) {
+            let abs = from + pos;
+            // Reject identifier tails like `push_rule(`.
+            let preceded = abs > 0
+                && code[..abs].chars().next_back().is_some_and(|c| c.is_alphanumeric() || c == '_');
+            if !preceded {
+                // The N-th `"` pair before this call indexes `literals`.
+                let quote_pairs = code[..abs].matches('"').count() / 2;
+                if let Some(lit) = literals.get(quote_pairs) {
+                    out.push((*api, lit.clone()));
+                }
+            }
+            from = abs + needle.len();
+        }
+    }
+    out
+}
+
+/// `*`, or ≥2 dotted components of `[a-z][a-z0-9_]*` (components may
+/// be `*` wildcards).
+fn valid_fault_site(site: &str) -> bool {
+    if site == "*" {
+        return true;
+    }
+    let parts: Vec<&str> = site.split('.').collect();
+    if parts.len() < 2 {
+        return false;
+    }
+    parts.iter().all(|p| {
+        *p == "*"
+            || (p.chars().next().is_some_and(|c| c.is_ascii_lowercase())
+                && p.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lint(src: &str) -> Vec<Finding> {
+        lint_source(src, "crates/lfm/src/x.rs", "lfm", &LintConfig::workspace())
+    }
+
+    #[test]
+    fn flags_unwrap_and_expect() {
+        let f = lint("fn f() { x.unwrap(); y.expect(\"msg\"); }");
+        assert_eq!(f.len(), 2);
+        assert!(f.iter().all(|f| f.rule == "no-unwrap"));
+    }
+
+    #[test]
+    fn unwrap_or_else_is_fine() {
+        assert!(lint("fn f() { x.unwrap_or_else(|| 3); x.unwrap_or(0); }").is_empty());
+    }
+
+    #[test]
+    fn strings_and_comments_do_not_count() {
+        let src = "fn f() { // x.unwrap()\n  let s = \".unwrap()\"; /* y.expect(\"z\") */ }";
+        assert!(lint(src).is_empty());
+    }
+
+    #[test]
+    fn cfg_test_blocks_are_exempt() {
+        let src =
+            "#[cfg(test)]\nmod tests {\n  fn t() { x.unwrap(); }\n}\nfn prod() { y.unwrap(); }";
+        let f = lint(src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].line, 5);
+    }
+
+    #[test]
+    fn wall_clock_scoped_to_deterministic_crates() {
+        let src = "fn f() { let t = std::time::Instant::now(); }";
+        assert_eq!(lint(src).len(), 1);
+        let core = lint_source(src, "crates/core/src/x.rs", "core", &LintConfig::workspace());
+        assert!(core.is_empty(), "core is allowed to time queries");
+    }
+
+    #[test]
+    fn raw_sync_catches_grouped_imports_but_allows_arc() {
+        let f = lint("use std::sync::{Arc, Mutex};");
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("Mutex"));
+        assert!(lint("use std::sync::Arc;").is_empty());
+        assert!(lint("use std::sync::atomic::AtomicU64;").len() == 1);
+    }
+
+    #[test]
+    fn fault_sites_must_be_dotted_lowercase() {
+        let f = lint("let s = plane.fail_nth(\"BadSite\", 1);");
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "fault-site-name");
+        assert!(lint("let s = plane.fail_nth(\"lfm.meta.write\", 1);").is_empty());
+        assert!(lint("let s = plane.rule(\"*\", t, o);").is_empty());
+        assert!(lint("push_rule(\"Whatever\", 1);").is_empty(), "identifier tails skipped");
+    }
+
+    #[test]
+    fn cache_files_must_not_touch_iostats() {
+        let f = lint_source(
+            "fn f(s: &mut IoStats) {}",
+            "crates/lfm/src/cache.rs",
+            "lfm",
+            &LintConfig::workspace(),
+        );
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "no-cache-iostats");
+    }
+}

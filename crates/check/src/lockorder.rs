@@ -1,0 +1,130 @@
+//! Lock-order graph: potential-deadlock detection.
+//!
+//! Whenever a model thread acquires lock B while holding lock A, the
+//! edge A → B is recorded.  A cycle in this graph means two schedules
+//! exist whose acquisition orders oppose each other — a potential
+//! deadlock even if this particular execution never wedged.  Each edge
+//! keeps the backtrace of the acquisition that first created it, so a
+//! reported cycle names the source positions of both orders.
+
+use std::backtrace::Backtrace;
+use std::collections::HashMap;
+
+#[derive(Debug)]
+pub(crate) struct EdgeInfo {
+    /// Display names of the two locks.
+    pub(crate) from_name: String,
+    pub(crate) to_name: String,
+    /// Captured (unresolved — resolution is deferred to formatting) at
+    /// the acquisition that first created the edge.
+    pub(crate) backtrace: Backtrace,
+}
+
+#[derive(Debug, Default)]
+pub(crate) struct LockOrderGraph {
+    /// (held, acquired) → info for the first acquisition in that order.
+    edges: HashMap<(u64, u64), EdgeInfo>,
+    /// Adjacency: held → acquired.
+    succ: HashMap<u64, Vec<u64>>,
+}
+
+impl LockOrderGraph {
+    pub(crate) fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Records that `to` was acquired while `from` was held.  Returns a
+    /// formatted report if this edge closes a cycle.
+    pub(crate) fn add_edge(&mut self, from: (u64, &str), to: (u64, &str)) -> Option<String> {
+        if from.0 == to.0 || self.edges.contains_key(&(from.0, to.0)) {
+            return None;
+        }
+        // Backtraces are expensive; capture only on new edges (there
+        // are at most O(locks²) of them per execution).
+        self.edges.insert(
+            (from.0, to.0),
+            EdgeInfo {
+                from_name: from.1.to_string(),
+                to_name: to.1.to_string(),
+                backtrace: Backtrace::force_capture(),
+            },
+        );
+        self.succ.entry(from.0).or_default().push(to.0);
+        self.find_cycle_through(from.0, to.0).map(|path| self.format_cycle(&path))
+    }
+
+    /// After inserting from → to, a cycle exists iff `from` is
+    /// reachable from `to`.  Returns the full cycle path
+    /// `[from, to, ..., from]`.
+    fn find_cycle_through(&self, from: u64, to: u64) -> Option<Vec<u64>> {
+        let mut stack = vec![vec![to]];
+        let mut visited = std::collections::HashSet::new();
+        visited.insert(to);
+        while let Some(path) = stack.pop() {
+            let last = *path.last().unwrap_or(&to);
+            for &next in self.succ.get(&last).into_iter().flatten() {
+                if next == from {
+                    let mut full = vec![from];
+                    full.extend(&path);
+                    full.push(from);
+                    return Some(full);
+                }
+                if visited.insert(next) {
+                    let mut p = path.clone();
+                    p.push(next);
+                    stack.push(p);
+                }
+            }
+        }
+        None
+    }
+
+    fn format_cycle(&self, path: &[u64]) -> String {
+        let mut out = String::from("lock-order cycle detected:\n");
+        for pair in path.windows(2) {
+            if let Some(info) = self.edges.get(&(pair[0], pair[1])) {
+                out.push_str(&format!(
+                    "  '{}' acquired before '{}'; first seen at:\n",
+                    info.from_name, info.to_name
+                ));
+                out.push_str(&trim_backtrace(&info.backtrace));
+            }
+        }
+        out.push_str("two threads following these orders in opposite directions can deadlock\n");
+        out
+    }
+}
+
+/// Keeps only the user-relevant frames of an acquisition backtrace
+/// (drops the checker's own frames and the thread runtime below the
+/// closure).  Falls back to a note when backtraces are disabled.
+fn trim_backtrace(bt: &Backtrace) -> String {
+    let full = format!("{bt}");
+    if !full.contains("qbism") {
+        return String::from("    (backtrace unavailable; set RUST_BACKTRACE=1 for frames)\n");
+    }
+    let mut out = String::new();
+    let mut lines = full.lines().peekable();
+    while let Some(line) = lines.next() {
+        let l = line.trim_start();
+        // Frame lines look like "N: symbol"; the following line holds
+        // "at file:line".  Keep frames that mention workspace code but
+        // not the checker itself.
+        if l.contains("qbism") && !l.contains("qbism_check") {
+            out.push_str("    ");
+            out.push_str(l);
+            out.push('\n');
+            if let Some(next) = lines.peek() {
+                if next.trim_start().starts_with("at ") {
+                    out.push_str("      ");
+                    out.push_str(next.trim_start());
+                    out.push('\n');
+                }
+            }
+        }
+    }
+    if out.is_empty() {
+        out.push_str("    (no workspace frames captured)\n");
+    }
+    out
+}

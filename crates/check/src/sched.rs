@@ -1,0 +1,551 @@
+//! The cooperative deterministic scheduler.
+//!
+//! A model execution runs the checked closure on real OS threads, but
+//! only **one thread is ever runnable at a time**: every operation on a
+//! [`crate::sync`] primitive is a *yield point* where the running
+//! thread hands control to the scheduler, which picks the next thread
+//! to perform an operation.  Because the schedule makes every choice,
+//! replaying the same choices replays the same interleaving exactly —
+//! which is what lets the checker sweep seeded random schedules and
+//! exhaustively enumerate bounded-preemption schedules.
+//!
+//! What is modeled: the *interleaving* of operations (at sequential
+//! consistency) plus the happens-before edges implied by each
+//! operation's memory ordering.  Relaxed operations move values but
+//! publish no happens-before edge, so a publication protocol that leans
+//! on `Relaxed` where it needs `Release`/`Acquire` shows up as a data
+//! race on the [`crate::race::TrackedCell`] it was supposed to protect
+//! — even though the checker never reorders the operations themselves.
+//!
+//! Model threads must be joined before the checked closure returns
+//! (scoped threads do this automatically); a leaked thread fails the
+//! execution.
+
+use crate::clock::VClock;
+use crate::lockorder::LockOrderGraph;
+use crate::race::RaceState;
+use std::cell::RefCell;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64 as StdAtomicU64, Ordering as StdOrdering};
+use std::sync::{Arc, Condvar as StdCondvar, Mutex as StdMutex};
+
+/// Model thread id: an index into the execution's thread table.
+pub(crate) type Tid = usize;
+
+/// Globally unique ids for locks, condvars, atomics and tracked cells,
+/// assigned lazily on first model use so facade primitives can be
+/// created in `const` contexts.
+pub(crate) fn fresh_object_id() -> u64 {
+    static NEXT: StdAtomicU64 = StdAtomicU64::new(1);
+    NEXT.fetch_add(1, StdOrdering::Relaxed)
+}
+
+/// Why a model thread cannot currently run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum Blocked {
+    /// Runnable.
+    No,
+    /// Waiting to acquire a mutex.
+    OnMutex(u64),
+    /// Parked on a condvar, remembering the mutex to reacquire.
+    OnCondvar { cv: u64, mutex: u64 },
+    /// Joining the listed threads.
+    OnJoin(Vec<Tid>),
+    /// Done (normally or by abort).
+    Finished,
+}
+
+#[derive(Debug)]
+pub(crate) struct ThreadState {
+    pub(crate) blocked: Blocked,
+    pub(crate) clock: VClock,
+    /// Lock ids currently held, in acquisition order, with display names.
+    pub(crate) held: Vec<(u64, String)>,
+    pub(crate) name: String,
+}
+
+#[derive(Debug, Default)]
+pub(crate) struct LockState {
+    pub(crate) owner: Option<Tid>,
+    /// Released-with clock: acquirers join this (the release edge).
+    pub(crate) sync: VClock,
+}
+
+/// One scheduling decision in the exhaustive (DFS) mode: the ordered
+/// candidate threads at this point and which one the current execution
+/// takes.
+#[derive(Debug, Clone)]
+pub(crate) struct Frame {
+    pub(crate) options: Vec<Tid>,
+    pub(crate) next: usize,
+}
+
+#[derive(Debug)]
+pub(crate) enum Policy {
+    /// Seeded uniform choice at every yield point.
+    Random { state: u64 },
+    /// Replay `frames[..]` then extend depth-first, counting a switch
+    /// away from a still-runnable thread as a preemption.
+    Dfs { frames: Vec<Frame>, cursor: usize, preemptions: u32, bound: u32 },
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// How an execution died, for the checker's report.
+#[derive(Debug, Clone)]
+pub(crate) struct Failure {
+    pub(crate) kind: &'static str,
+    pub(crate) detail: String,
+}
+
+const TRACE_CAP: usize = 400;
+
+pub(crate) struct ExecState {
+    pub(crate) threads: Vec<ThreadState>,
+    pub(crate) active: Tid,
+    pub(crate) policy: Policy,
+    pub(crate) steps: u64,
+    pub(crate) max_steps: u64,
+    pub(crate) schedule_points: u64,
+    /// Rolling tail of `(step, tid, op)` for failure reports.
+    pub(crate) trace: VecDeque<(u64, Tid, String)>,
+    pub(crate) failure: Option<Failure>,
+    pub(crate) locks: HashMap<u64, LockState>,
+    /// Per-atomic release clock; acquire-side loads join it.  Condvars
+    /// carry no clock: the happens-before edge of a condvar handoff
+    /// comes from the mutex reacquisition, as in the real memory model.
+    pub(crate) atomics: HashMap<u64, VClock>,
+    pub(crate) race: RaceState,
+    pub(crate) lockorder: LockOrderGraph,
+    /// FNV-1a digest of every schedule choice, proving determinism.
+    pub(crate) digest: u64,
+}
+
+impl ExecState {
+    pub(crate) fn runnable(&self) -> Vec<Tid> {
+        self.threads
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.blocked == Blocked::No)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    fn unfinished(&self) -> Vec<Tid> {
+        self.threads
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.blocked != Blocked::Finished)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    pub(crate) fn fail(&mut self, kind: &'static str, detail: String) {
+        if self.failure.is_none() {
+            self.failure = Some(Failure { kind, detail });
+        }
+    }
+
+    pub(crate) fn trace_push(&mut self, tid: Tid, op: String) {
+        self.steps += 1;
+        if self.trace.len() == TRACE_CAP {
+            self.trace.pop_front();
+        }
+        self.trace.push_back((self.steps, tid, op));
+        if self.steps > self.max_steps {
+            self.fail(
+                "livelock",
+                format!(
+                    "execution exceeded {} steps without finishing \
+                     (unbounded spin loops cannot be model-checked; block on a primitive instead)",
+                    self.max_steps
+                ),
+            );
+        }
+    }
+
+    pub(crate) fn format_trace(&self) -> String {
+        let mut out = String::new();
+        for (step, tid, op) in &self.trace {
+            let name = &self.threads[*tid].name;
+            out.push_str(&format!("  #{step:<5} [{tid}:{name}] {op}\n"));
+        }
+        out
+    }
+
+    fn deadlock_report(&self) -> String {
+        let mut out = String::from("every unfinished thread is blocked:\n");
+        for tid in self.unfinished() {
+            let t = &self.threads[tid];
+            let held: Vec<&str> = t.held.iter().map(|(_, n)| n.as_str()).collect();
+            out.push_str(&format!(
+                "  [{tid}:{}] blocked {:?}, holding [{}]\n",
+                t.name,
+                t.blocked,
+                held.join(", ")
+            ));
+        }
+        out.push_str("schedule trace:\n");
+        out.push_str(&self.format_trace());
+        out
+    }
+
+    /// Picks the next active thread.  Called at every yield point by
+    /// the thread that just arrived there (exactly one scheduling
+    /// decision is ever pending, so the decision sequence is
+    /// deterministic given the choices).
+    fn schedule(&mut self) {
+        let runnable = self.runnable();
+        if runnable.is_empty() {
+            if !self.unfinished().is_empty() && self.failure.is_none() {
+                self.fail("deadlock", self.deadlock_report());
+            }
+            return;
+        }
+        self.schedule_points += 1;
+        let current = self.active;
+        let current_runnable = runnable.contains(&current);
+        let chosen = match &mut self.policy {
+            Policy::Random { state } => {
+                runnable[(splitmix64(state) % runnable.len() as u64) as usize]
+            }
+            Policy::Dfs { frames, cursor, preemptions, bound } => {
+                let mut options: Vec<Tid> = Vec::with_capacity(runnable.len());
+                if current_runnable {
+                    options.push(current);
+                }
+                if *preemptions < *bound || !current_runnable {
+                    options.extend(runnable.iter().copied().filter(|&t| t != current));
+                }
+                if *cursor < frames.len() {
+                    let frame = &frames[*cursor];
+                    if frame.options != options {
+                        let detail = format!(
+                            "replay mismatch at decision {}: recorded options {:?}, live {:?} — \
+                             the checked closure must be deterministic given the schedule",
+                            *cursor, frame.options, options
+                        );
+                        self.fail("nondeterministic-model", detail);
+                        return;
+                    }
+                    let c = frame.options[frame.next];
+                    *cursor += 1;
+                    c
+                } else {
+                    let c = options[0];
+                    frames.push(Frame { options, next: 0 });
+                    *cursor += 1;
+                    c
+                }
+            }
+        };
+        if let Policy::Dfs { preemptions, .. } = &mut self.policy {
+            if current_runnable && chosen != current {
+                *preemptions += 1;
+            }
+        }
+        // FNV-1a over the chosen tid: two runs with the same policy
+        // input must produce the same digest.
+        self.digest ^= chosen as u64;
+        self.digest = self.digest.wrapping_mul(0x0000_0100_0000_01B3);
+        self.active = chosen;
+    }
+}
+
+/// Panic payload used to unwind model threads when the execution has
+/// already failed; wrappers swallow it.
+pub(crate) struct Abort;
+
+pub(crate) fn is_abort(payload: &(dyn std::any::Any + Send)) -> bool {
+    payload.is::<Abort>()
+}
+
+pub(crate) fn payload_to_string(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// One model execution: the shared scheduler state plus the condvar
+/// every model thread parks on while it is not the active thread.
+pub(crate) struct Execution {
+    pub(crate) state: StdMutex<ExecState>,
+    cv: StdCondvar,
+}
+
+/// What an op attempt decided while it held the scheduler state.
+pub(crate) enum Attempt<R> {
+    Done(R),
+    Block(Blocked),
+}
+
+#[derive(Clone)]
+pub(crate) struct ModelCtx {
+    pub(crate) exec: Arc<Execution>,
+    pub(crate) tid: Tid,
+}
+
+thread_local! {
+    static CTX: RefCell<Option<ModelCtx>> = const { RefCell::new(None) };
+}
+
+/// The calling OS thread's model context, if it is a model thread.
+pub(crate) fn current_ctx() -> Option<ModelCtx> {
+    CTX.with(|c| c.borrow().clone())
+}
+
+pub(crate) fn set_ctx(ctx: Option<ModelCtx>) {
+    CTX.with(|c| *c.borrow_mut() = ctx);
+}
+
+impl Execution {
+    pub(crate) fn new(policy: Policy, max_steps: u64) -> Arc<Execution> {
+        let root = ThreadState {
+            blocked: Blocked::No,
+            clock: VClock::new(),
+            held: Vec::new(),
+            name: "root".to_string(),
+        };
+        Arc::new(Execution {
+            state: StdMutex::new(ExecState {
+                threads: vec![root],
+                active: 0,
+                policy,
+                steps: 0,
+                max_steps,
+                schedule_points: 0,
+                trace: VecDeque::new(),
+                failure: None,
+                locks: HashMap::new(),
+                atomics: HashMap::new(),
+                race: RaceState::default(),
+                lockorder: LockOrderGraph::default(),
+                digest: 0xCBF2_9CE4_8422_2325,
+            }),
+            cv: StdCondvar::new(),
+        })
+    }
+
+    fn lock_state(&self) -> std::sync::MutexGuard<'_, ExecState> {
+        // The scheduler lock is never held across user code, so poison
+        // can only mean a bug inside the checker itself; recovering is
+        // still the best way to surface it as a failure report.
+        self.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// The universal yield point.  `desc` labels the op for traces;
+    /// `attempt` runs with the scheduler state locked once this thread
+    /// has been chosen, and may block (mutex held elsewhere), in which
+    /// case it will be retried after a wakeup.
+    ///
+    /// # Panics
+    /// Panics with [`Abort`] when the execution has failed; the model
+    /// thread wrappers catch it.
+    pub(crate) fn op<R>(
+        &self,
+        tid: Tid,
+        desc: &dyn Fn() -> String,
+        mut attempt: impl FnMut(&mut ExecState, Tid) -> Attempt<R>,
+    ) -> R {
+        let mut st = self.lock_state();
+        loop {
+            if st.failure.is_some() {
+                drop(st);
+                std::panic::panic_any(Abort);
+            }
+            st.schedule();
+            self.cv.notify_all();
+            while st.active != tid && st.failure.is_none() {
+                st = self.cv.wait(st).unwrap_or_else(std::sync::PoisonError::into_inner);
+            }
+            if st.failure.is_some() {
+                drop(st);
+                std::panic::panic_any(Abort);
+            }
+            // Chosen: this op happens now.
+            st.threads[tid].clock.tick(tid);
+            st.trace_push(tid, desc());
+            match attempt(&mut st, tid) {
+                Attempt::Done(r) => {
+                    if st.failure.is_some() {
+                        drop(st);
+                        std::panic::panic_any(Abort);
+                    }
+                    return r;
+                }
+                Attempt::Block(b) => {
+                    st.threads[tid].blocked = b;
+                }
+            }
+        }
+    }
+
+    /// Non-yielding variant used during panic unwinding: performs the
+    /// state mutation, wakes waiters, reschedules, but never parks the
+    /// calling thread (it is busy dying).
+    pub(crate) fn quick(&self, f: impl FnOnce(&mut ExecState)) {
+        let mut st = self.lock_state();
+        f(&mut st);
+        st.schedule();
+        self.cv.notify_all();
+    }
+
+    /// Registers a new model thread whose clock inherits the parent's
+    /// history (the spawn edge).  Called from a spawn op's attempt.
+    pub(crate) fn register_thread(st: &mut ExecState, parent: Tid, name: String) -> Tid {
+        let mut clock = st.threads[parent].clock.clone();
+        let tid = st.threads.len();
+        clock.tick(tid);
+        st.threads.push(ThreadState { blocked: Blocked::No, clock, held: Vec::new(), name });
+        st.threads[parent].clock.tick(parent);
+        tid
+    }
+
+    /// Parks a freshly spawned model thread until the scheduler first
+    /// picks it.
+    pub(crate) fn wait_first_schedule(&self, tid: Tid) {
+        let mut st = self.lock_state();
+        while st.active != tid && st.failure.is_none() {
+            st = self.cv.wait(st).unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+        if st.failure.is_some() {
+            drop(st);
+            std::panic::panic_any(Abort);
+        }
+    }
+
+    /// Marks `tid` finished, releases joiners, and hands control on.
+    /// Never parks (the thread is exiting).
+    pub(crate) fn finish_thread(&self, tid: Tid) {
+        self.quick(|st| {
+            st.threads[tid].blocked = Blocked::Finished;
+            let final_clock = st.threads[tid].clock.clone();
+            for t in st.threads.iter_mut() {
+                if let Blocked::OnJoin(waiting_for) = &mut t.blocked {
+                    if waiting_for.contains(&tid) {
+                        waiting_for.retain(|&w| w != tid);
+                        // The join edge: the joiner sees everything the
+                        // finished thread did.  Applied per finishing
+                        // thread so no child's history is lost.
+                        t.clock.join(&final_clock);
+                        if waiting_for.is_empty() {
+                            t.blocked = Blocked::No;
+                        }
+                    }
+                }
+            }
+        });
+    }
+
+    /// Records a user panic as the execution's failure.
+    pub(crate) fn record_panic(&self, tid: Tid, payload: &(dyn std::any::Any + Send)) {
+        let msg = payload_to_string(payload);
+        self.quick(|st| {
+            let detail = format!(
+                "thread [{tid}:{}] panicked: {msg}\nschedule trace:\n{}",
+                st.threads[tid].name,
+                st.format_trace()
+            );
+            st.fail("panic", detail);
+        });
+    }
+
+    /// Blocks `tid` until every thread in `children` has finished.
+    pub(crate) fn join_threads(&self, tid: Tid, children: Vec<Tid>) {
+        self.op(tid, &|| format!("join {children:?}"), |st, me| {
+            let pending: Vec<Tid> = children
+                .iter()
+                .copied()
+                .filter(|&c| st.threads[c].blocked != Blocked::Finished)
+                .collect();
+            if pending.is_empty() {
+                let clocks: Vec<VClock> =
+                    children.iter().map(|&c| st.threads[c].clock.clone()).collect();
+                for c in &clocks {
+                    st.threads[me].clock.join(c);
+                }
+                Attempt::Done(())
+            } else {
+                Attempt::Block(Blocked::OnJoin(pending))
+            }
+        });
+    }
+}
+
+/// Per-execution statistics handed back to the checker.
+pub(crate) struct ExecOutcome {
+    pub(crate) failure: Option<Failure>,
+    pub(crate) steps: u64,
+    pub(crate) schedule_points: u64,
+    pub(crate) digest: u64,
+    pub(crate) lock_edges: usize,
+    pub(crate) frames: Option<Vec<Frame>>,
+}
+
+/// Runs `f` once as model thread 0 under `policy`.
+pub(crate) fn run_once<F: Fn() + Sync>(f: &F, policy: Policy, max_steps: u64) -> ExecOutcome {
+    let exec = Execution::new(policy, max_steps);
+    std::thread::scope(|s| {
+        let exec = Arc::clone(&exec);
+        s.spawn(move || {
+            set_ctx(Some(ModelCtx { exec: Arc::clone(&exec), tid: 0 }));
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f));
+            if let Err(payload) = result {
+                if !is_abort(payload.as_ref()) {
+                    exec.record_panic(0, payload.as_ref());
+                }
+            }
+            exec.finish_thread(0);
+            set_ctx(None);
+        });
+    });
+    let mut st = exec.lock_state();
+    let leaked: Vec<Tid> = st
+        .threads
+        .iter()
+        .enumerate()
+        .filter(|(_, t)| t.blocked != Blocked::Finished)
+        .map(|(i, _)| i)
+        .collect();
+    if !leaked.is_empty() {
+        st.fail(
+            "leaked-threads",
+            format!("threads {leaked:?} were still alive when the checked closure returned; join every model thread (scoped spawns join automatically)"),
+        );
+    }
+    let frames = match &st.policy {
+        Policy::Dfs { frames, .. } => Some(frames.clone()),
+        Policy::Random { .. } => None,
+    };
+    ExecOutcome {
+        failure: st.failure.clone(),
+        steps: st.steps,
+        schedule_points: st.schedule_points,
+        digest: st.digest,
+        lock_edges: st.lockorder.edge_count(),
+        frames,
+    }
+}
+
+/// Advances a DFS frame stack to the next unexplored schedule; `false`
+/// when the tree is exhausted.
+pub(crate) fn advance_frames(frames: &mut Vec<Frame>) -> bool {
+    while let Some(last) = frames.last_mut() {
+        last.next += 1;
+        if last.next < last.options.len() {
+            return true;
+        }
+        frames.pop();
+    }
+    false
+}

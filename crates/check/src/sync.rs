@@ -1,0 +1,532 @@
+//! The sync facade: `Mutex`, `Condvar` and the atomics.
+//!
+//! In a normal build (no model execution on the calling thread) every
+//! primitive is a thin wrapper over its `std::sync` counterpart — the
+//! only added cost is one thread-local read per operation.  Inside a
+//! [`crate::Checker`] execution the same operations become scheduler
+//! yield points: the model serializes them, tracks ownership, builds
+//! happens-before clocks from each operation's memory ordering, feeds
+//! the lock-order graph, and detects deadlocks.
+//!
+//! Port a crate by swapping `use std::sync::{Mutex, ...}` for
+//! `use qbism_check::sync::{Mutex, ...}` and replacing
+//! `.lock().expect(...)` with [`Mutex::lock_or_recover`].
+
+use crate::sched::{current_ctx, fresh_object_id, Attempt, Blocked, ExecState, ModelCtx, Tid};
+use std::ops::{Deref, DerefMut};
+use std::sync::{LockResult, OnceLock, PoisonError};
+
+pub use std::sync::atomic::Ordering;
+
+/// Locks a **std** mutex, recovering the guard if a previous holder
+/// panicked.  For std mutexes that deliberately stay off the facade
+/// (e.g. the observability plane); facade mutexes have the
+/// [`Mutex::lock_or_recover`] method instead.
+///
+/// Poison only means "a thread panicked while holding this"; every
+/// protected structure in this workspace is either repaired by its
+/// owner on reuse or holds data whose partial update is benign, so
+/// recovering beats wedging the whole server on one bad client thread.
+pub fn lock_or_recover<T: ?Sized>(m: &std::sync::Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+// ---------------------------------------------------------------------------
+// Mutex
+// ---------------------------------------------------------------------------
+
+/// Facade mutex.  API mirrors `std::sync::Mutex`; `named` gives the
+/// lock a label that shows up in schedule traces and lock-order
+/// reports.
+#[derive(Debug, Default)]
+pub struct Mutex<T> {
+    id: OnceLock<u64>,
+    name: &'static str,
+    inner: std::sync::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    pub const fn new(value: T) -> Mutex<T> {
+        Mutex::named("mutex", value)
+    }
+
+    pub const fn named(name: &'static str, value: T) -> Mutex<T> {
+        Mutex { id: OnceLock::new(), name, inner: std::sync::Mutex::new(value) }
+    }
+
+    fn model_id(&self) -> u64 {
+        *self.id.get_or_init(fresh_object_id)
+    }
+
+    pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+        match current_ctx() {
+            Some(ctx) => {
+                model_acquire(&ctx, self.model_id(), self.name);
+                // The model grants exclusive ownership before we touch
+                // the real lock, so this acquisition is uncontended.
+                let inner = lock_or_recover(&self.inner);
+                Ok(MutexGuard { lock: self, inner: Some(inner), model: Some(ctx) })
+            }
+            None => match self.inner.lock() {
+                Ok(inner) => Ok(MutexGuard { lock: self, inner: Some(inner), model: None }),
+                Err(poisoned) => Err(PoisonError::new(MutexGuard {
+                    lock: self,
+                    inner: Some(poisoned.into_inner()),
+                    model: None,
+                })),
+            },
+        }
+    }
+
+    /// Locks, recovering from poison: the facade's default way to
+    /// lock.  See [`lock_or_recover`] for why recovery is sound here.
+    pub fn lock_or_recover(&self) -> MutexGuard<'_, T> {
+        self.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Consumes the mutex.  Ownership proves exclusivity, so this is
+    /// not a model yield point.
+    pub fn into_inner(self) -> LockResult<T> {
+        self.inner.into_inner()
+    }
+
+    pub fn into_inner_or_recover(self) -> T {
+        self.inner.into_inner().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    pub fn get_mut(&mut self) -> LockResult<&mut T> {
+        self.inner.get_mut()
+    }
+}
+
+pub struct MutexGuard<'a, T> {
+    lock: &'a Mutex<T>,
+    /// `None` only transiently, while a condvar wait owns the handoff
+    /// or during drop.
+    inner: Option<std::sync::MutexGuard<'a, T>>,
+    model: Option<ModelCtx>,
+}
+
+impl<T> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        match &self.inner {
+            Some(g) => g,
+            None => unreachable!("mutex guard dereferenced after handoff"),
+        }
+    }
+}
+
+impl<T> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        match &mut self.inner {
+            Some(g) => g,
+            None => unreachable!("mutex guard dereferenced after handoff"),
+        }
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        // Release the real lock first so that by the time the model
+        // grants ownership to another thread, the std lock is free.
+        drop(self.inner.take());
+        if let Some(ctx) = self.model.take() {
+            let id = self.lock.model_id();
+            let name = self.lock.name;
+            if std::thread::panicking() {
+                // Unwinding (user panic or model abort): release the
+                // model state without parking — this thread is dying
+                // and must not re-enter the scheduler.
+                ctx.exec.quick(|st| release_state(st, ctx.tid, id));
+            } else {
+                ctx.exec.op(ctx.tid, &|| format!("unlock '{name}'"), |st, tid| {
+                    release_state(st, tid, id);
+                    Attempt::Done(())
+                });
+            }
+        }
+    }
+}
+
+/// Model-side acquisition: blocks until free, joins the lock's release
+/// clock, records lock-order edges against everything already held.
+fn model_acquire(ctx: &ModelCtx, id: u64, name: &'static str) {
+    ctx.exec.op(ctx.tid, &|| format!("lock '{name}'"), |st, tid| {
+        if try_acquire_state(st, tid, id, name) {
+            Attempt::Done(())
+        } else {
+            Attempt::Block(Blocked::OnMutex(id))
+        }
+    });
+}
+
+/// Shared by `lock` and the condvar reacquire path.  Returns `false`
+/// when the lock is held elsewhere (caller blocks).
+pub(crate) fn try_acquire_state(st: &mut ExecState, tid: Tid, id: u64, name: &str) -> bool {
+    match st.locks.entry(id).or_default().owner {
+        Some(owner) if owner == tid => {
+            let detail = format!(
+                "thread [{tid}:{}] locked mutex '{name}' it already holds \
+                 (non-reentrant; this deadlocks outside the model)\nschedule trace:\n{}",
+                st.threads[tid].name,
+                st.format_trace()
+            );
+            st.fail("self-deadlock", detail);
+            true // aborts at op exit
+        }
+        Some(_) => false,
+        None => {
+            let held = st.threads[tid].held.clone();
+            for (held_id, held_name) in &held {
+                if let Some(report) = st.lockorder.add_edge((*held_id, held_name), (id, name)) {
+                    let detail = format!("{report}schedule trace:\n{}", st.format_trace());
+                    st.fail("lock-order", detail);
+                }
+            }
+            let sync = match st.locks.get_mut(&id) {
+                Some(ls) => {
+                    ls.owner = Some(tid);
+                    ls.sync.clone()
+                }
+                None => unreachable!("lock state created by entry() above"),
+            };
+            // The release edge: everything the previous holders did is
+            // now visible to us.
+            st.threads[tid].clock.join(&sync);
+            st.threads[tid].held.push((id, name.to_string()));
+            true
+        }
+    }
+}
+
+/// Shared by guard drop and the condvar release phase: frees the lock,
+/// publishes the holder's clock, wakes blocked acquirers.
+pub(crate) fn release_state(st: &mut ExecState, tid: Tid, id: u64) {
+    let clock = st.threads[tid].clock.clone();
+    if let Some(ls) = st.locks.get_mut(&id) {
+        ls.owner = None;
+        ls.sync.join(&clock);
+    }
+    st.threads[tid].held.retain(|(held_id, _)| *held_id != id);
+    for t in st.threads.iter_mut() {
+        if t.blocked == Blocked::OnMutex(id) {
+            t.blocked = Blocked::No;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Condvar
+// ---------------------------------------------------------------------------
+
+/// Facade condition variable.  Under the model, `wait` is a two-phase
+/// operation (release + park, then reacquire after a notify); the
+/// happens-before edge of the handoff comes from the mutex
+/// reacquisition, exactly as in the real memory model.  The model
+/// generates no spurious wakeups.
+#[derive(Debug, Default)]
+pub struct Condvar {
+    id: OnceLock<u64>,
+    name: &'static str,
+    inner: std::sync::Condvar,
+}
+
+impl Condvar {
+    pub const fn new() -> Condvar {
+        Condvar::named("condvar")
+    }
+
+    pub const fn named(name: &'static str) -> Condvar {
+        Condvar { id: OnceLock::new(), name, inner: std::sync::Condvar::new() }
+    }
+
+    fn model_id(&self) -> u64 {
+        *self.id.get_or_init(fresh_object_id)
+    }
+
+    pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> LockResult<MutexGuard<'a, T>> {
+        let mut guard = guard;
+        match guard.model.take() {
+            Some(ctx) => {
+                let mutex = guard.lock;
+                let mutex_id = mutex.model_id();
+                let mutex_name = mutex.name;
+                let cv_id = self.model_id();
+                let cv_name = self.name;
+                // Free the real lock and disarm the guard's drop; the
+                // model release happens inside the wait op below.
+                drop(guard.inner.take());
+                drop(guard);
+                let mut parked = false;
+                ctx.exec.op(
+                    ctx.tid,
+                    &|| format!("wait '{cv_name}'"),
+                    move |st: &mut ExecState, tid| {
+                        if !parked {
+                            parked = true;
+                            release_state(st, tid, mutex_id);
+                            Attempt::Block(Blocked::OnCondvar { cv: cv_id, mutex: mutex_id })
+                        } else if try_acquire_state(st, tid, mutex_id, mutex_name) {
+                            Attempt::Done(())
+                        } else {
+                            Attempt::Block(Blocked::OnMutex(mutex_id))
+                        }
+                    },
+                );
+                let inner = lock_or_recover(&mutex.inner);
+                Ok(MutexGuard { lock: mutex, inner: Some(inner), model: Some(ctx) })
+            }
+            None => {
+                let mutex = guard.lock;
+                let std_guard = match guard.inner.take() {
+                    Some(g) => g,
+                    None => unreachable!("live guard always holds the std guard"),
+                };
+                drop(guard);
+                match self.inner.wait(std_guard) {
+                    Ok(g) => Ok(MutexGuard { lock: mutex, inner: Some(g), model: None }),
+                    Err(poisoned) => Err(PoisonError::new(MutexGuard {
+                        lock: mutex,
+                        inner: Some(poisoned.into_inner()),
+                        model: None,
+                    })),
+                }
+            }
+        }
+    }
+
+    pub fn wait_while<'a, T, F>(
+        &self,
+        guard: MutexGuard<'a, T>,
+        mut condition: F,
+    ) -> LockResult<MutexGuard<'a, T>>
+    where
+        F: FnMut(&mut T) -> bool,
+    {
+        let mut guard = guard;
+        loop {
+            if !condition(&mut guard) {
+                return Ok(guard);
+            }
+            guard = self.wait(guard).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    pub fn notify_one(&self) {
+        match current_ctx() {
+            Some(ctx) => {
+                let id = self.model_id();
+                let name = self.name;
+                ctx.exec.op(ctx.tid, &|| format!("notify_one '{name}'"), |st, _tid| {
+                    // Deterministic choice: wake the lowest-tid waiter.
+                    if let Some(t) = st
+                        .threads
+                        .iter_mut()
+                        .find(|t| matches!(&t.blocked, Blocked::OnCondvar { cv, .. } if *cv == id))
+                    {
+                        t.blocked = Blocked::No;
+                    }
+                    Attempt::Done(())
+                });
+            }
+            None => self.inner.notify_one(),
+        }
+    }
+
+    pub fn notify_all(&self) {
+        match current_ctx() {
+            Some(ctx) => {
+                let id = self.model_id();
+                let name = self.name;
+                ctx.exec.op(ctx.tid, &|| format!("notify_all '{name}'"), |st, _tid| {
+                    for t in st.threads.iter_mut() {
+                        if matches!(&t.blocked, Blocked::OnCondvar { cv, .. } if *cv == id) {
+                            t.blocked = Blocked::No;
+                        }
+                    }
+                    Attempt::Done(())
+                });
+            }
+            None => self.inner.notify_all(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Atomics
+// ---------------------------------------------------------------------------
+
+/// Applies the happens-before edges of one atomic access.  Values are
+/// sequenced on the real std atomic (the model explores sequentially
+/// consistent interleavings); the *ordering* only decides which clock
+/// edges exist — so a `Relaxed` publication still moves the value but
+/// creates no happens-before, and the race detector catches any
+/// protocol that depended on one.
+fn atomic_hb(st: &mut ExecState, tid: Tid, id: u64, acquire: bool, release: bool) {
+    if acquire {
+        let sync = st.atomics.entry(id).or_default().clone();
+        st.threads[tid].clock.join(&sync);
+    }
+    if release {
+        let clock = st.threads[tid].clock.clone();
+        st.atomics.entry(id).or_default().join(&clock);
+    }
+}
+
+fn load_acquires(order: Ordering) -> bool {
+    matches!(order, Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst)
+}
+
+fn store_releases(order: Ordering) -> bool {
+    matches!(order, Ordering::Release | Ordering::AcqRel | Ordering::SeqCst)
+}
+
+macro_rules! atomic_facade {
+    ($name:ident, $std:path, $t:ty) => {
+        /// Facade atomic.  Mirrors the std API; every access is a model
+        /// yield point whose memory ordering maps to happens-before
+        /// edges (values themselves are sequentially consistent).
+        #[derive(Debug, Default)]
+        pub struct $name {
+            id: OnceLock<u64>,
+            name: &'static str,
+            inner: $std,
+        }
+
+        impl $name {
+            pub const fn new(value: $t) -> $name {
+                $name::named(stringify!($name), value)
+            }
+
+            pub const fn named(name: &'static str, value: $t) -> $name {
+                $name { id: OnceLock::new(), name, inner: <$std>::new(value) }
+            }
+
+            fn model_id(&self) -> u64 {
+                *self.id.get_or_init(fresh_object_id)
+            }
+
+            pub fn load(&self, order: Ordering) -> $t {
+                match current_ctx() {
+                    Some(ctx) => {
+                        let id = self.model_id();
+                        let name = self.name;
+                        ctx.exec.op(ctx.tid, &|| format!("load '{name}'"), |st, tid| {
+                            let value = self.inner.load(Ordering::SeqCst);
+                            atomic_hb(st, tid, id, load_acquires(order), false);
+                            Attempt::Done(value)
+                        })
+                    }
+                    None => self.inner.load(order),
+                }
+            }
+
+            pub fn store(&self, value: $t, order: Ordering) {
+                match current_ctx() {
+                    Some(ctx) => {
+                        let id = self.model_id();
+                        let name = self.name;
+                        ctx.exec.op(ctx.tid, &|| format!("store '{name}'"), |st, tid| {
+                            self.inner.store(value, Ordering::SeqCst);
+                            atomic_hb(st, tid, id, false, store_releases(order));
+                            Attempt::Done(())
+                        })
+                    }
+                    None => self.inner.store(value, order),
+                }
+            }
+
+            pub fn swap(&self, value: $t, order: Ordering) -> $t {
+                match current_ctx() {
+                    Some(ctx) => {
+                        let id = self.model_id();
+                        let name = self.name;
+                        ctx.exec.op(ctx.tid, &|| format!("swap '{name}'"), |st, tid| {
+                            let prev = self.inner.swap(value, Ordering::SeqCst);
+                            atomic_hb(st, tid, id, load_acquires(order), store_releases(order));
+                            Attempt::Done(prev)
+                        })
+                    }
+                    None => self.inner.swap(value, order),
+                }
+            }
+
+            pub fn compare_exchange(
+                &self,
+                current: $t,
+                new: $t,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$t, $t> {
+                match current_ctx() {
+                    Some(ctx) => {
+                        let id = self.model_id();
+                        let name = self.name;
+                        ctx.exec.op(ctx.tid, &|| format!("cas '{name}'"), |st, tid| {
+                            let r = self.inner.compare_exchange(
+                                current,
+                                new,
+                                Ordering::SeqCst,
+                                Ordering::SeqCst,
+                            );
+                            match &r {
+                                Ok(_) => atomic_hb(
+                                    st,
+                                    tid,
+                                    id,
+                                    load_acquires(success),
+                                    store_releases(success),
+                                ),
+                                Err(_) => atomic_hb(st, tid, id, load_acquires(failure), false),
+                            }
+                            Attempt::Done(r)
+                        })
+                    }
+                    None => self.inner.compare_exchange(current, new, success, failure),
+                }
+            }
+        }
+    };
+}
+
+macro_rules! atomic_facade_rmw {
+    ($name:ident, $t:ty, $($method:ident),+) => {
+        impl $name {
+            $(
+                pub fn $method(&self, value: $t, order: Ordering) -> $t {
+                    match current_ctx() {
+                        Some(ctx) => {
+                            let id = self.model_id();
+                            let name = self.name;
+                            ctx.exec.op(
+                                ctx.tid,
+                                &|| format!(concat!(stringify!($method), " '{}'"), name),
+                                |st, tid| {
+                                    let prev = self.inner.$method(value, Ordering::SeqCst);
+                                    atomic_hb(
+                                        st,
+                                        tid,
+                                        id,
+                                        load_acquires(order),
+                                        store_releases(order),
+                                    );
+                                    Attempt::Done(prev)
+                                },
+                            )
+                        }
+                        None => self.inner.$method(value, order),
+                    }
+                }
+            )+
+        }
+    };
+}
+
+atomic_facade!(AtomicBool, std::sync::atomic::AtomicBool, bool);
+atomic_facade!(AtomicUsize, std::sync::atomic::AtomicUsize, usize);
+atomic_facade!(AtomicU64, std::sync::atomic::AtomicU64, u64);
+atomic_facade!(AtomicU32, std::sync::atomic::AtomicU32, u32);
+atomic_facade_rmw!(AtomicUsize, usize, fetch_add, fetch_sub, fetch_max);
+atomic_facade_rmw!(AtomicU64, u64, fetch_add, fetch_sub, fetch_max);
+atomic_facade_rmw!(AtomicU32, u32, fetch_add, fetch_sub, fetch_max);

@@ -1,0 +1,216 @@
+//! The thread facade: `spawn`, `scope`, `yield_now`.
+//!
+//! Model threads are real OS threads — the scheduler just never lets
+//! more than one of them run between yield points.  Spawning is itself
+//! a yield point (the child inherits the parent's clock: the spawn
+//! edge), and joining blocks the joiner at the model level before the
+//! underlying std join (which is then instant), merging the child's
+//! clock into the joiner (the join edge).
+
+use crate::sched::{current_ctx, is_abort, Attempt, Execution, ModelCtx, Tid};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Mutex as StdMutex, PoisonError};
+
+/// A pure yield point: lets the scheduler switch threads here.  Outside
+/// the model it is `std::thread::yield_now`.
+pub fn yield_now() {
+    match current_ctx() {
+        Some(ctx) => {
+            ctx.exec.op(ctx.tid, &|| "yield".to_string(), |_st, _tid| Attempt::Done(()));
+        }
+        None => std::thread::yield_now(),
+    }
+}
+
+/// Registers a child thread with the scheduler (a yield point on the
+/// parent) and returns its model tid.
+fn model_register(ctx: &ModelCtx) -> Tid {
+    ctx.exec.op(ctx.tid, &|| "spawn".to_string(), |st, parent| {
+        let name = format!("t{}", st.threads.len());
+        Attempt::Done(Execution::register_thread(st, parent, name))
+    })
+}
+
+/// Body wrapper for a model thread: parks until first scheduled, runs
+/// the closure, records real panics as the execution's failure (model
+/// aborts are swallowed), and always hands control on.  Returns `None`
+/// on any panic — a joiner never observes it because the failed
+/// execution aborts the join first.
+fn model_run<T>(exec: &Arc<Execution>, tid: Tid, f: impl FnOnce() -> T) -> Option<T> {
+    crate::sched::set_ctx(Some(ModelCtx { exec: Arc::clone(exec), tid }));
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        exec.wait_first_schedule(tid);
+        f()
+    }));
+    let out = match result {
+        Ok(v) => Some(v),
+        Err(payload) => {
+            if !is_abort(payload.as_ref()) {
+                exec.record_panic(tid, payload.as_ref());
+            }
+            None
+        }
+    };
+    exec.finish_thread(tid);
+    crate::sched::set_ctx(None);
+    out
+}
+
+enum HandleInner<T> {
+    Std(std::thread::JoinHandle<T>),
+    Model { std: std::thread::JoinHandle<Option<T>>, ctx: ModelCtx, child: Tid },
+}
+
+pub struct JoinHandle<T>(HandleInner<T>);
+
+impl<T> JoinHandle<T> {
+    pub fn join(self) -> std::thread::Result<T> {
+        match self.0 {
+            HandleInner::Std(h) => h.join(),
+            HandleInner::Model { std, ctx, child } => {
+                ctx.exec.join_threads(ctx.tid, vec![child]);
+                match std.join() {
+                    Ok(Some(v)) => Ok(v),
+                    // A panicked child fails the execution, which
+                    // aborts the joiner inside join_threads above.
+                    _ => unreachable!("model join completed but child produced no value"),
+                }
+            }
+        }
+    }
+}
+
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    match current_ctx() {
+        Some(ctx) => {
+            let child = model_register(&ctx);
+            let exec = Arc::clone(&ctx.exec);
+            let std = std::thread::spawn(move || model_run(&exec, child, f));
+            JoinHandle(HandleInner::Model { std, ctx, child })
+        }
+        None => JoinHandle(HandleInner::Std(std::thread::spawn(f))),
+    }
+}
+
+struct ScopeModel {
+    ctx: ModelCtx,
+    /// Children not yet explicitly joined; the scope joins them (at the
+    /// model level) before the std scope's implicit join.
+    pending: Arc<StdMutex<Vec<Tid>>>,
+}
+
+/// Facade over [`std::thread::scope`]: same borrowing rules, same
+/// panic propagation outside the model.
+pub struct Scope<'scope, 'env: 'scope> {
+    std: &'scope std::thread::Scope<'scope, 'env>,
+    model: Option<ScopeModel>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce() -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        match &self.model {
+            Some(sm) => {
+                let child = model_register(&sm.ctx);
+                lock_pending(&sm.pending).push(child);
+                let exec = Arc::clone(&sm.ctx.exec);
+                let std = self.std.spawn(move || model_run(&exec, child, f));
+                ScopedJoinHandle(ScopedInner::Model {
+                    std,
+                    ctx: sm.ctx.clone(),
+                    child,
+                    pending: Arc::clone(&sm.pending),
+                })
+            }
+            None => ScopedJoinHandle(ScopedInner::Std(self.std.spawn(f))),
+        }
+    }
+}
+
+enum ScopedInner<'scope, T> {
+    Std(std::thread::ScopedJoinHandle<'scope, T>),
+    Model {
+        std: std::thread::ScopedJoinHandle<'scope, Option<T>>,
+        ctx: ModelCtx,
+        child: Tid,
+        pending: Arc<StdMutex<Vec<Tid>>>,
+    },
+}
+
+pub struct ScopedJoinHandle<'scope, T>(ScopedInner<'scope, T>);
+
+impl<T> ScopedJoinHandle<'_, T> {
+    pub fn join(self) -> std::thread::Result<T> {
+        match self.0 {
+            ScopedInner::Std(h) => h.join(),
+            ScopedInner::Model { std, ctx, child, pending } => {
+                lock_pending(&pending).retain(|&t| t != child);
+                ctx.exec.join_threads(ctx.tid, vec![child]);
+                match std.join() {
+                    Ok(Some(v)) => Ok(v),
+                    _ => unreachable!("model join completed but child produced no value"),
+                }
+            }
+        }
+    }
+}
+
+fn lock_pending(p: &StdMutex<Vec<Tid>>) -> std::sync::MutexGuard<'_, Vec<Tid>> {
+    p.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Facade over [`std::thread::scope`].  Under the model, every thread
+/// spawned on the scope and not explicitly joined is scheduler-joined
+/// when the closure returns, so the std scope's implicit join never
+/// blocks outside the model's control.
+pub fn scope<'env, F, T>(f: F) -> T
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> T,
+{
+    match current_ctx() {
+        Some(ctx) => std::thread::scope(move |s| {
+            let scope = Scope {
+                std: s,
+                model: Some(ScopeModel {
+                    ctx: ctx.clone(),
+                    pending: Arc::new(StdMutex::new(Vec::new())),
+                }),
+            };
+            let result = catch_unwind(AssertUnwindSafe(|| f(&scope)));
+            let sm = match &scope.model {
+                Some(sm) => sm,
+                None => unreachable!("model scope constructed above"),
+            };
+            match result {
+                Ok(v) => {
+                    let pending = lock_pending(&sm.pending).clone();
+                    if !pending.is_empty() {
+                        ctx.exec.join_threads(ctx.tid, pending);
+                    }
+                    v
+                }
+                Err(payload) => {
+                    // The closure died with children possibly parked.
+                    // Record the failure (a model abort is already
+                    // recorded) and kick the scheduler so every child
+                    // wakes, aborts, and finishes — otherwise the std
+                    // scope's implicit join below would hang.
+                    if !is_abort(payload.as_ref()) {
+                        ctx.exec.record_panic(ctx.tid, payload.as_ref());
+                    } else {
+                        ctx.exec.quick(|_| {});
+                    }
+                    resume_unwind(payload)
+                }
+            }
+        }),
+        None => std::thread::scope(move |s| f(&Scope { std: s, model: None })),
+    }
+}

@@ -1,0 +1,63 @@
+//! The lint fixture corpus: every line annotated `// LINT: <rule>`
+//! must produce exactly that finding, and no unannotated line may
+//! produce any.  A second test runs the real workspace gate and
+//! requires zero findings — the same check CI runs via `qbism-lint`.
+
+use qbism_check::lint::{lint_path, LintConfig};
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+
+fn fixtures_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/lint_fixtures")
+}
+
+/// `(file, line, rule)` for every `// LINT:` annotation in the corpus.
+fn expected() -> BTreeSet<(String, usize, String)> {
+    let mut out = BTreeSet::new();
+    let dir = fixtures_dir();
+    for entry in std::fs::read_dir(&dir).expect("fixture dir") {
+        let path = entry.expect("entry").path();
+        if path.extension().is_none_or(|e| e != "rs") {
+            continue;
+        }
+        let rel = path.file_name().expect("name").to_string_lossy().to_string();
+        let text = std::fs::read_to_string(&path).expect("fixture readable");
+        for (idx, line) in text.lines().enumerate() {
+            if let Some(tail) = line.split("// LINT:").nth(1) {
+                out.insert((rel.clone(), idx + 1, tail.trim().to_string()));
+            }
+        }
+    }
+    out
+}
+
+#[test]
+fn every_fixture_annotation_is_flagged_and_nothing_else() {
+    let findings = lint_path(&fixtures_dir(), &LintConfig::fixtures()).expect("lint runs");
+    let got: BTreeSet<(String, usize, String)> =
+        findings.iter().map(|f| (f.file.clone(), f.line, f.rule.to_string())).collect();
+    let want = expected();
+    assert!(!want.is_empty(), "corpus has annotations");
+
+    let missed: Vec<_> = want.difference(&got).collect();
+    let spurious: Vec<_> = got.difference(&want).collect();
+    assert!(
+        missed.is_empty() && spurious.is_empty(),
+        "lint corpus mismatch\n  missed (annotated but not flagged): {missed:#?}\n  \
+         spurious (flagged but not annotated): {spurious:#?}"
+    );
+}
+
+#[test]
+fn real_workspace_is_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("workspace root");
+    let findings = lint_path(root, &LintConfig::workspace()).expect("lint runs");
+    assert!(
+        findings.is_empty(),
+        "workspace must lint clean; findings:\n{}",
+        findings.iter().map(ToString::to_string).collect::<Vec<_>>().join("\n")
+    );
+}

@@ -1,0 +1,20 @@
+// Fixture: raw std::sync primitives in a facade-ported crate.
+
+use std::sync::Mutex; // LINT: no-raw-sync
+use std::sync::{Arc, Condvar}; // LINT: no-raw-sync
+use std::sync::atomic::AtomicU64; // LINT: no-raw-sync
+
+fn bad_inline() -> std::sync::RwLock<u32> { // LINT: no-raw-sync
+    std::sync::RwLock::new(0) // LINT: no-raw-sync
+}
+
+use std::sync::OnceLock;
+use std::sync::{Weak, mpsc};
+
+fn fine_ownership(a: Arc<u32>, _w: Weak<u32>, _o: &OnceLock<u32>) -> u32 {
+    *a
+}
+
+fn fine_poison_types(e: std::sync::PoisonError<u32>) -> u32 {
+    e.into_inner()
+}

@@ -41,7 +41,9 @@ impl BitWriter {
         }
         if bit {
             let shift = 7 - self.partial_bits;
-            *self.bytes.last_mut().expect("partial byte exists") |= 1 << shift;
+            if let Some(last) = self.bytes.last_mut() {
+                *last |= 1 << shift;
+            }
         }
         self.partial_bits = (self.partial_bits + 1) % 8;
     }

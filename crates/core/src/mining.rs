@@ -127,9 +127,8 @@ pub fn mine_associations(
     // Strongest first: confidence, then support, then shorter antecedent.
     rules.sort_by(|a, b| {
         b.confidence
-            .partial_cmp(&a.confidence)
-            .expect("finite")
-            .then(b.support.partial_cmp(&a.support).expect("finite"))
+            .total_cmp(&a.confidence)
+            .then(b.support.total_cmp(&a.support))
             .then(a.antecedent.len().cmp(&b.antecedent.len()))
     });
     rules

@@ -478,8 +478,8 @@ impl MedicalServer {
         // configured codec (matching the old nested-UDF output byte for
         // byte).  The fold is server CPU, part of the database phase.
         let start = std::time::Instant::now();
-        let (bytes, region) = if blobs.len() == 1 {
-            let bytes = blobs.pop().expect("one fetched blob");
+        let (bytes, region) = if let [bytes] = &mut blobs[..] {
+            let bytes = std::mem::take(bytes);
             let region = RegionCodec::decode(&bytes)?;
             (bytes, region)
         } else {
@@ -487,7 +487,12 @@ impl MedicalServer {
             for blob in &blobs {
                 regions.push(RegionCodec::decode(blob)?);
             }
-            let mut acc = regions.pop().expect("at least two regions");
+            let mut acc = match regions.pop() {
+                Some(r) => r,
+                None => {
+                    return Err(QbismError::NotFound("band query needs at least one study".into()))
+                }
+            };
             while let Some(r) = regions.pop() {
                 acc = r.intersect(&acc);
             }

@@ -58,7 +58,7 @@ pub fn decode_data_region(bytes: &[u8]) -> Result<DataRegion<u8>> {
     if bytes.len() < 6 || bytes[..2] != DATA_REGION_MAGIC {
         return Err(QbismError::Wire("not a DATA_REGION payload".into()));
     }
-    let rlen = u32::from_le_bytes(bytes[2..6].try_into().expect("4 bytes")) as usize;
+    let rlen = le_u32(&bytes[2..]) as usize;
     let region_end = 6 + rlen;
     if bytes.len() < region_end {
         return Err(QbismError::Wire("truncated DATA_REGION region part".into()));
@@ -112,14 +112,16 @@ pub fn mesh_from_long_field(bytes: &[u8]) -> Result<qbism_geometry::TriMesh> {
     if bytes.len() < 8 {
         return Err(fail("missing header"));
     }
-    let nv = u32::from_le_bytes(bytes[0..4].try_into().expect("4 bytes")) as usize;
-    let nt = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes")) as usize;
+    let nv = le_u32(bytes) as usize;
+    let nt = le_u32(&bytes[4..]) as usize;
     let need = 8 + nv * 24 + nt * 12;
     if bytes.len() != need {
         return Err(fail("length mismatch"));
     }
     let f32_at = |off: usize| -> f64 {
-        f32::from_le_bytes(bytes[off..off + 4].try_into().expect("4 bytes")) as f64
+        let mut buf = [0u8; 4];
+        buf.copy_from_slice(&bytes[off..off + 4]);
+        f32::from_le_bytes(buf) as f64
     };
     let mut mesh = qbism_geometry::TriMesh::new();
     for i in 0..nv {
@@ -132,9 +134,7 @@ pub fn mesh_from_long_field(bytes: &[u8]) -> Result<qbism_geometry::TriMesh> {
     }
     for i in 0..nt {
         let off = 8 + nv * 24 + i * 12;
-        let idx = |k: usize| {
-            u32::from_le_bytes(bytes[off + k * 4..off + k * 4 + 4].try_into().expect("4 bytes"))
-        };
+        let idx = |k: usize| le_u32(&bytes[off + k * 4..]);
         let tri = [idx(0), idx(1), idx(2)];
         if tri.iter().any(|&t| t as usize >= nv) {
             return Err(fail("triangle index out of range"));
@@ -142,6 +142,14 @@ pub fn mesh_from_long_field(bytes: &[u8]) -> Result<qbism_geometry::TriMesh> {
         mesh.push_triangle(tri);
     }
     Ok(mesh)
+}
+
+/// Little-endian u32 at the head of `bytes`; callers bounds-check
+/// before slicing (slicing still panics loudly if they did not).
+fn le_u32(bytes: &[u8]) -> u32 {
+    let mut buf = [0u8; 4];
+    buf.copy_from_slice(&bytes[..4]);
+    u32::from_le_bytes(buf)
 }
 
 #[cfg(test)]

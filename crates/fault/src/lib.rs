@@ -56,10 +56,10 @@
 #![warn(missing_docs)]
 #![warn(clippy::unwrap_used)]
 
+use qbism_check::sync::{AtomicU64, Mutex, Ordering};
 use std::cell::RefCell;
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, OnceLock};
 
 /// What the instrumented call site should do to the current operation.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -190,11 +190,11 @@ impl FaultPlane {
     pub fn new(seed: u64) -> Self {
         FaultPlane {
             seed,
-            rules: Mutex::new(Vec::new()),
-            ops: AtomicU64::new(0),
-            injected: AtomicU64::new(0),
-            site_ops: Mutex::new(BTreeMap::new()),
-            log: Mutex::new(Vec::new()),
+            rules: Mutex::named("fault.rules", Vec::new()),
+            ops: AtomicU64::named("fault.ops", 0),
+            injected: AtomicU64::named("fault.injected", 0),
+            site_ops: Mutex::named("fault.site_ops", BTreeMap::new()),
+            log: Mutex::named("fault.log", Vec::new()),
         }
     }
 
@@ -278,16 +278,16 @@ impl FaultPlane {
         self.lock_log().clone()
     }
 
-    fn lock_rules(&self) -> std::sync::MutexGuard<'_, Vec<Rule>> {
-        self.rules.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    fn lock_rules(&self) -> qbism_check::sync::MutexGuard<'_, Vec<Rule>> {
+        self.rules.lock_or_recover()
     }
 
-    fn lock_sites(&self) -> std::sync::MutexGuard<'_, BTreeMap<String, u64>> {
-        self.site_ops.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    fn lock_sites(&self) -> qbism_check::sync::MutexGuard<'_, BTreeMap<String, u64>> {
+        self.site_ops.lock_or_recover()
     }
 
-    fn lock_log(&self) -> std::sync::MutexGuard<'_, Vec<InjectedFault>> {
-        self.log.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    fn lock_log(&self) -> qbism_check::sync::MutexGuard<'_, Vec<InjectedFault>> {
+        self.log.lock_or_recover()
     }
 
     /// Counts the op, evaluates rules in order, returns the first

@@ -37,7 +37,10 @@ impl TriMesh {
 
     /// Appends a vertex with a placeholder normal, returning its index.
     pub fn push_vertex(&mut self, v: Vec3) -> u32 {
-        let idx = u32::try_from(self.vertices.len()).expect("more than u32::MAX vertices");
+        let idx = match u32::try_from(self.vertices.len()) {
+            Ok(idx) => idx,
+            Err(_) => panic!("more than u32::MAX vertices"),
+        };
         self.vertices.push(v);
         self.normals.push(Vec3::ZERO);
         idx

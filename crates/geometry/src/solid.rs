@@ -274,8 +274,10 @@ impl<A: Solid> Transformed<A> {
     /// # Panics
     /// Panics if `transform` is singular.
     pub fn new(base: A, transform: Affine3) -> Self {
-        let inverse =
-            transform.inverse().expect("cannot transform a solid by a singular affine map");
+        let inverse = match transform.inverse() {
+            Some(inv) => inv,
+            None => panic!("cannot transform a solid by a singular affine map"),
+        };
         Transformed { base, inverse }
     }
 }

@@ -51,10 +51,13 @@ impl<T> KdTree<T> {
             return None;
         }
         let axis = depth % self.dims;
-        items.sort_by(|a, b| a.0[axis].partial_cmp(&b.0[axis]).expect("finite"));
+        items.sort_by(|a, b| a.0[axis].total_cmp(&b.0[axis]));
         let mid = items.len() / 2;
         let mut right_items: Vec<(Vec<f64>, T)> = items.split_off(mid + 1);
-        let (point, payload) = items.pop().expect("mid exists");
+        let (point, payload) = match items.pop() {
+            Some(found) => found,
+            None => unreachable!("mid < len, so the left half is non-empty"),
+        };
         let left = self.build_rec(items, depth + 1);
         let right = self.build_rec(&mut right_items, depth + 1);
         let idx = self.nodes.len();
@@ -87,7 +90,7 @@ impl<T> KdTree<T> {
         if let Some(root) = self.root {
             self.nearest_rec(root, query, k, &mut best);
         }
-        best.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite distances"));
+        best.sort_by(|a, b| a.0.total_cmp(&b.0));
         best.into_iter().map(|(d, i)| (d, &self.nodes[i].payload)).collect()
     }
 
@@ -96,11 +99,11 @@ impl<T> KdTree<T> {
         let dist = euclid(&node.point, query);
         if best.len() < k {
             best.push((dist, idx));
-            best.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
-        } else if dist < best.last().expect("k >= 1").0 {
+            best.sort_by(|a, b| a.0.total_cmp(&b.0));
+        } else if best.last().is_some_and(|worst| dist < worst.0) {
             best.pop();
             best.push((dist, idx));
-            best.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
+            best.sort_by(|a, b| a.0.total_cmp(&b.0));
         }
         let diff = query[node.axis] - node.point[node.axis];
         let (near, far) =
@@ -110,7 +113,7 @@ impl<T> KdTree<T> {
         }
         // Prune the far side unless the splitting plane is closer than
         // the worst current candidate (or we still lack k candidates).
-        let worst = best.last().expect("non-empty").0;
+        let worst = best.last().map_or(f64::INFINITY, |w| w.0);
         if best.len() < k || diff.abs() < worst {
             if let Some(f) = far {
                 self.nearest_rec(f, query, k, best);

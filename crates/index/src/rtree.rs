@@ -174,12 +174,15 @@ fn search_node<'a, T>(node: &'a Node<T>, query: &Aabb, out: &mut Vec<&'a T>) {
 
 fn bbox_of<I: IntoIterator<Item = Aabb>>(boxes: I) -> Aabb {
     let mut it = boxes.into_iter();
-    let first = it.next().expect("non-empty group");
+    let first = match it.next() {
+        Some(b) => b,
+        None => unreachable!("bbox_of is only called on non-empty groups"),
+    };
     it.fold(first, |acc, b| acc.union(&b))
 }
 
 fn cmp_f(a: f64, b: f64) -> std::cmp::Ordering {
-    a.partial_cmp(&b).expect("finite box coordinates")
+    a.total_cmp(&b)
 }
 
 fn chunked<T>(items: Vec<T>, size: usize) -> Vec<Vec<T>> {

@@ -79,9 +79,10 @@ impl IoBracket {
         self.finished = true;
         BRACKETS.with(|b| {
             let mut b = b.borrow_mut();
-            assert_eq!(b.len(), self.depth, "IoBracket closed out of LIFO order");
-            let frame = b.pop().expect("bracket frame present");
-            (frame.stats, frame.fault_latency)
+            match b.pop() {
+                Some(frame) if b.len() + 1 == self.depth => (frame.stats, frame.fault_latency),
+                _ => panic!("IoBracket closed out of LIFO order"),
+            }
         })
     }
 }

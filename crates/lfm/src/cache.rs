@@ -209,6 +209,23 @@ impl PageCache {
         self.map.clear();
         self.hand = 0;
     }
+
+    /// Structural invariants the clock sweep must preserve.  Model
+    /// tests call this after every interleaved operation.
+    #[cfg(test)]
+    pub(crate) fn validate(&self) {
+        assert!(
+            self.frames.is_empty() || self.frames.len() <= self.config.capacity_pages,
+            "pool overflowed its capacity"
+        );
+        assert!(self.hand == 0 || self.hand < self.frames.len(), "clock hand out of range");
+        for (&page, &idx) in &self.map {
+            assert!(idx < self.frames.len(), "map points past the frame table");
+            assert_eq!(self.frames[idx].page, page, "map and frame disagree on page number");
+        }
+        let live = self.frames.iter().filter(|f| f.page != u64::MAX).count();
+        assert_eq!(live, self.map.len(), "frame table and map track different residency");
+    }
 }
 
 #[cfg(test)]
@@ -297,5 +314,57 @@ mod tests {
         c.insert(9, page(9));
         c.set_config(CacheConfig { capacity_pages: 2, enabled: true });
         assert!(c.get(9).is_none());
+    }
+
+    #[test]
+    fn validate_accepts_a_worked_pool() {
+        let mut c = active(2);
+        for p in 0..5 {
+            c.insert(p, page(p as u8));
+            c.validate();
+        }
+        c.pin(3);
+        c.invalidate_range(4, 1);
+        c.validate();
+    }
+
+    /// The clock-hand / pin-count invariants under every explored
+    /// interleaving of a pinning reader against an inserting churner,
+    /// exactly the shape of the manager's `&self` read path.
+    #[test]
+    fn model_pinned_page_survives_concurrent_churn() {
+        use qbism_check::sync::Mutex;
+        use qbism_check::thread;
+        use std::sync::Arc;
+        qbism_check::Checker::random(0x1FAD_CACE, 96).check(|| {
+            let pool = Arc::new(Mutex::named("lfm.cache.model", active(2)));
+            thread::scope(|s| {
+                let reader = Arc::clone(&pool);
+                s.spawn(move || {
+                    {
+                        let mut c = reader.lock_or_recover();
+                        c.insert(1, page(1));
+                        c.pin(1);
+                        c.validate();
+                    }
+                    thread::yield_now();
+                    let mut c = reader.lock_or_recover();
+                    assert!(c.get(1).is_some(), "pinned page evicted under churn");
+                    c.unpin(1);
+                    c.validate();
+                });
+                let churn = Arc::clone(&pool);
+                s.spawn(move || {
+                    for p in [2u64, 3, 4, 5] {
+                        let mut c = churn.lock_or_recover();
+                        c.insert(p, page(p as u8));
+                        let _ = c.get(p);
+                        c.validate();
+                        drop(c);
+                        thread::yield_now();
+                    }
+                });
+            });
+        });
     }
 }

@@ -33,10 +33,11 @@ use crate::journal::{
 };
 use crate::model::{DiskModel, IoStats};
 use crate::{LfmError, Result};
+use qbism_check::sync::Mutex;
 use qbism_fault::checksum;
 use qbism_obs::{trace, Counter, Gauge};
 use std::collections::{BTreeSet, HashMap};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
 /// Cached handles to the global LFM metrics (Table 3/4 columns).
 #[derive(Debug, Clone)]
@@ -299,10 +300,10 @@ impl LongFieldManager {
             allocator: BuddyAllocator::new(geo.max_order),
             fields: HashMap::new(),
             next_id: 1,
-            acct: Mutex::new(AcctState::default()),
+            acct: Mutex::named("lfm.acct", AcctState::default()),
             disk: DiskModel::default(),
             metrics: LfmMetrics::new(),
-            cache: Mutex::new(PageCache::new()),
+            cache: Mutex::named("lfm.cache", PageCache::new()),
             geo,
             epoch: 1,
             journal_seq: 0,
@@ -331,7 +332,7 @@ impl LongFieldManager {
     /// metrics, returning the simulated disk seconds.
     fn charge(&self, delta: IoStats) -> f64 {
         {
-            let mut acct = self.acct.lock().expect("lfm accounting lock poisoned");
+            let mut acct = self.acct.lock_or_recover();
             acct.stats = acct.stats.plus(&delta);
         }
         crate::acct::charge(&delta);
@@ -348,7 +349,7 @@ impl LongFieldManager {
 
     fn note_latency(&self, seconds: f64) {
         if seconds > 0.0 {
-            self.acct.lock().expect("lfm accounting lock poisoned").fault_latency += seconds;
+            self.acct.lock_or_recover().fault_latency += seconds;
             crate::acct::charge_latency(seconds);
             self.metrics.fault_latency_micros.add((seconds * 1e6) as u64);
         }
@@ -366,13 +367,13 @@ impl LongFieldManager {
 
     /// Cumulative data-plane I/O counters.
     pub fn stats(&self) -> IoStats {
-        self.acct.lock().expect("lfm accounting lock poisoned").stats
+        self.acct.lock_or_recover().stats
     }
 
     /// Zeroes the I/O counters and the injected-latency accumulator
     /// (used between measured queries).
     pub fn reset_stats(&self) {
-        let mut acct = self.acct.lock().expect("lfm accounting lock poisoned");
+        let mut acct = self.acct.lock_or_recover();
         acct.stats = IoStats::default();
         acct.fault_latency = 0.0;
     }
@@ -380,17 +381,17 @@ impl LongFieldManager {
     /// Reconfigures the page cache (the pool is emptied; stats remain).
     /// Defaults to disabled — the paper's unbuffered LFM.
     pub fn set_cache_config(&mut self, config: CacheConfig) {
-        self.cache.lock().expect("lfm cache lock poisoned").set_config(config);
+        self.cache.lock_or_recover().set_config(config);
     }
 
     /// Current page-cache configuration.
     pub fn cache_config(&self) -> CacheConfig {
-        self.cache.lock().expect("lfm cache lock poisoned").config()
+        self.cache.lock_or_recover().config()
     }
 
     /// Cumulative page-cache hit/miss/eviction counters.
     pub fn cache_stats(&self) -> CacheStats {
-        self.cache.lock().expect("lfm cache lock poisoned").stats()
+        self.cache.lock_or_recover().stats()
     }
 
     /// Metadata-plane accounting: journal traffic, checkpoints,
@@ -403,7 +404,7 @@ impl LongFieldManager {
     /// [`LongFieldManager::reset_stats`].  Zero unless a fault plane is
     /// injecting [`qbism_fault::FaultOutcome::Latency`].
     pub fn fault_latency_seconds(&self) -> f64 {
-        self.acct.lock().expect("lfm accounting lock poisoned").fault_latency
+        self.acct.lock_or_recover().fault_latency
     }
 
     /// Whether the simulated machine is down after an injected crash.
@@ -597,7 +598,7 @@ impl LongFieldManager {
 
     /// Drops cached copies of a data-area buddy block's pages.
     fn invalidate_cached_block(&self, first_page: u64, order: u32) {
-        let mut cache = self.cache.lock().expect("lfm cache lock poisoned");
+        let mut cache = self.cache.lock_or_recover();
         if cache.is_active() {
             cache.invalidate_range(self.geo.data_start + first_page, 1u64 << order);
         }
@@ -698,7 +699,7 @@ impl LongFieldManager {
         // identical (mutations invalidate cached pages), and the
         // logical accounting above has already happened.
         let before = out.len();
-        let mut cache = self.cache.lock().expect("lfm cache lock poisoned");
+        let mut cache = self.cache.lock_or_recover();
         if cache.is_active() {
             // Pin each page for the duration of this call so the clock
             // sweep cannot churn a page we are still assembling from.
@@ -773,7 +774,7 @@ impl LongFieldManager {
         // The touched pages change (or roll back) under this call; a
         // stale cached copy must not survive it either way.
         {
-            let mut cache = self.cache.lock().expect("lfm cache lock poisoned");
+            let mut cache = self.cache.lock_or_recover();
             if cache.is_active() {
                 cache.invalidate_range(self.geo.data_start + first, last - first + 1);
             }
@@ -859,7 +860,7 @@ impl LongFieldManager {
         let span = trace::span("lfm.recover");
         self.device.clear_crash();
         // Recovery rewrites data pages directly (rollback); start clean.
-        self.cache.lock().expect("lfm cache lock poisoned").clear();
+        self.cache.lock_or_recover().clear();
         let sb = Superblock::decode(self.device.slice(0, SUPER_LEN))?;
         if sb != self.geo.superblock(sb.epoch) {
             return Err(LfmError::CorruptMetadata(
@@ -1035,6 +1036,57 @@ mod tests {
 
     fn mk() -> LongFieldManager {
         LongFieldManager::new(1 << 22, 4096).unwrap() // 4 MiB device
+    }
+
+    /// Poisons a facade mutex by panicking while its guard is held.
+    fn poison<T>(m: &Mutex<T>) {
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = m.lock();
+            panic!("deliberate poison");
+        }));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn reads_answer_after_cache_and_acct_poison() {
+        let mut lfm = mk();
+        lfm.set_cache_config(CacheConfig { capacity_pages: 8, enabled: true });
+        let data: Vec<u8> = (0..9_000u32).map(|i| (i % 199) as u8).collect();
+        let id = lfm.create(&data).unwrap();
+        poison(&lfm.cache);
+        poison(&lfm.acct);
+        assert_eq!(lfm.read(id).unwrap(), data, "read must recover from poisoned locks");
+        assert_eq!(lfm.read_piece(id, 100, 50).unwrap(), &data[100..150]);
+        assert!(lfm.stats().pages_read >= 1, "accounting kept working after recovery");
+    }
+
+    /// The real manager read path — acct brackets plus the page cache —
+    /// explored under the deterministic scheduler.  Reads take `&self`,
+    /// so two model threads share one manager, exactly like the serving
+    /// path under `qbism-parallel`.
+    #[test]
+    fn model_concurrent_piece_reads_agree() {
+        use qbism_check::thread;
+        use std::sync::Arc;
+        qbism_check::Checker::random(0x1F4D_0001, 24).check(|| {
+            let mut lfm = mk();
+            lfm.set_cache_config(CacheConfig { capacity_pages: 4, enabled: true });
+            let data: Vec<u8> = (0..4096u32 * 3).map(|i| (i % 251) as u8).collect();
+            let id = lfm.create(&data).unwrap();
+            let lfm = Arc::new(lfm);
+            thread::scope(|s| {
+                for t in 0..2u64 {
+                    let lfm = Arc::clone(&lfm);
+                    let want = data.clone();
+                    s.spawn(move || {
+                        let off = t * 4096 + 17;
+                        let got = lfm.read_piece(id, off, 2048).unwrap();
+                        assert_eq!(got, &want[off as usize..off as usize + 2048]);
+                    });
+                }
+            });
+            assert_eq!(lfm.stats().read_calls, 2);
+        });
     }
 
     #[test]

@@ -339,13 +339,13 @@ impl RpcChannel {
 /// arithmetic — exactly how one server socket is shared in practice.
 #[derive(Debug)]
 pub struct SharedRpcChannel {
-    inner: std::sync::Mutex<RpcChannel>,
+    inner: qbism_check::sync::Mutex<RpcChannel>,
 }
 
 impl SharedRpcChannel {
     /// Wraps a channel for shared use.
     pub fn new(chan: RpcChannel) -> Self {
-        SharedRpcChannel { inner: std::sync::Mutex::new(chan) }
+        SharedRpcChannel { inner: qbism_check::sync::Mutex::named("net.rpc", chan) }
     }
 
     /// Ships one logical answer; see [`RpcChannel::ship`].
@@ -373,8 +373,10 @@ impl SharedRpcChannel {
         self.lock().retry_policy()
     }
 
-    fn lock(&self) -> std::sync::MutexGuard<'_, RpcChannel> {
-        self.inner.lock().expect("rpc channel lock poisoned")
+    fn lock(&self) -> qbism_check::sync::MutexGuard<'_, RpcChannel> {
+        // Poison-recovering: a panicking client thread must not wedge
+        // every other session's network path.
+        self.inner.lock_or_recover()
     }
 }
 
@@ -393,6 +395,44 @@ mod tests {
         assert_eq!(m.messages_for(1), 3);
         assert_eq!(m.messages_for(1024), 3);
         assert_eq!(m.messages_for(1025), 4);
+    }
+
+    #[test]
+    fn channel_answers_after_lock_poison() {
+        let chan = SharedRpcChannel::new(RpcChannel::new(NetworkModel::TESTBED_1994));
+        chan.ship(4096).unwrap();
+        let poisoner = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = chan.inner.lock();
+            panic!("deliberate poison");
+        }));
+        assert!(poisoner.is_err());
+        let receipt = chan.ship(4096).unwrap();
+        assert!(receipt.messages >= 2, "channel recovered and shipped after poison");
+        assert_eq!(chan.stats().answers, 2);
+    }
+
+    /// Concurrent shippers through one shared channel under the
+    /// deterministic scheduler: counters must account for every ship
+    /// regardless of interleaving.
+    #[test]
+    fn model_concurrent_ships_account_exactly() {
+        use qbism_check::thread;
+        use std::sync::Arc;
+        qbism_check::model(|| {
+            let chan = Arc::new(SharedRpcChannel::new(RpcChannel::new(NetworkModel::TESTBED_1994)));
+            let per_ship = NetworkModel::TESTBED_1994.messages_for(2048);
+            thread::scope(|s| {
+                for _ in 0..2 {
+                    let chan = Arc::clone(&chan);
+                    s.spawn(move || {
+                        chan.ship(2048).unwrap();
+                    });
+                }
+            });
+            let stats = chan.stats();
+            assert_eq!(stats.answers, 2);
+            assert_eq!(stats.messages, 2 * per_ship, "no ship lost or double-counted");
+        });
     }
 
     #[test]

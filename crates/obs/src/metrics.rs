@@ -1,5 +1,6 @@
 //! The process-wide metrics registry: counters, gauges, histograms.
 
+use qbism_check::sync::lock_or_recover;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
@@ -144,7 +145,7 @@ impl Histogram {
             }
             cumulative = next;
         }
-        Some(*inner.bounds.last().expect("non-empty bounds"))
+        inner.bounds.last().copied()
     }
 
     /// Median estimate.
@@ -226,7 +227,7 @@ impl Registry {
     /// # Panics
     /// Panics if `name` is already registered as a different metric type.
     pub fn counter_with(&self, name: &str, labels: &[(&str, &str)]) -> Counter {
-        let mut inner = self.inner.lock().expect("metrics registry poisoned");
+        let mut inner = lock_or_recover(&self.inner);
         match inner
             .metrics
             .entry(make_key(name, labels))
@@ -247,7 +248,7 @@ impl Registry {
     /// # Panics
     /// Panics if `name` is already registered as a different metric type.
     pub fn gauge_with(&self, name: &str, labels: &[(&str, &str)]) -> Gauge {
-        let mut inner = self.inner.lock().expect("metrics registry poisoned");
+        let mut inner = lock_or_recover(&self.inner);
         match inner
             .metrics
             .entry(make_key(name, labels))
@@ -279,7 +280,7 @@ impl Registry {
         labels: &[(&str, &str)],
         bounds: impl FnOnce() -> Vec<f64>,
     ) -> Histogram {
-        let mut inner = self.inner.lock().expect("metrics registry poisoned");
+        let mut inner = lock_or_recover(&self.inner);
         match inner
             .metrics
             .entry(make_key(name, labels))
@@ -292,13 +293,13 @@ impl Registry {
 
     /// Attaches help text to a metric name (rendered as `# HELP`).
     pub fn describe(&self, name: &str, help: &str) {
-        let mut inner = self.inner.lock().expect("metrics registry poisoned");
+        let mut inner = lock_or_recover(&self.inner);
         inner.help.insert(name.to_string(), help.to_string());
     }
 
     /// Renders every metric in the Prometheus text exposition format.
     pub fn render_prometheus(&self) -> String {
-        let inner = self.inner.lock().expect("metrics registry poisoned");
+        let inner = lock_or_recover(&self.inner);
         let mut out = String::new();
         let mut last_name = "";
         for (key, metric) in &inner.metrics {
@@ -362,7 +363,7 @@ impl Registry {
     /// One JSON object holding every metric (counters and gauges as
     /// numbers; histograms as `{count, sum, p50, p95, p99}`).
     pub fn snapshot_json(&self) -> String {
-        let inner = self.inner.lock().expect("metrics registry poisoned");
+        let inner = lock_or_recover(&self.inner);
         let mut out = String::from("{");
         let mut first = true;
         for (key, metric) in &inner.metrics {

@@ -7,6 +7,7 @@
 //! [`last_root`] / [`recent_roots`] and render with
 //! [`SpanNode::render_tree`].
 
+use qbism_check::sync::lock_or_recover;
 use std::borrow::Cow;
 use std::cell::RefCell;
 use std::collections::VecDeque;
@@ -226,7 +227,7 @@ impl Drop for SpanGuard {
         });
         if let Some(node) = node {
             if self.is_root {
-                let mut ring = RING.lock().expect("span ring poisoned");
+                let mut ring = lock_or_recover(&RING);
                 if ring.len() >= RING_CAPACITY {
                     ring.pop_front();
                 }
@@ -266,17 +267,17 @@ pub fn span(name: impl Into<Cow<'static, str>>) -> SpanGuard {
 
 /// The most recently finished root span tree, if any.
 pub fn last_root() -> Option<SpanNode> {
-    RING.lock().expect("span ring poisoned").back().cloned()
+    lock_or_recover(&RING).back().cloned()
 }
 
 /// Every retained finished root (oldest first, at most [`RING_CAPACITY`]).
 pub fn recent_roots() -> Vec<SpanNode> {
-    RING.lock().expect("span ring poisoned").iter().cloned().collect()
+    lock_or_recover(&RING).iter().cloned().collect()
 }
 
 /// Empties the recent-roots ring (test isolation).
 pub fn clear() {
-    RING.lock().expect("span ring poisoned").clear();
+    lock_or_recover(&RING).clear();
 }
 
 #[cfg(test)]

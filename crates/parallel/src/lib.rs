@@ -16,8 +16,10 @@
 //! as in the sequential engine, so `threads = 1` is bit-identical to
 //! the pre-parallel code path by construction.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+#![forbid(unsafe_code)]
+
+use qbism_check::sync::{AtomicUsize, Mutex, Ordering};
+use qbism_check::thread;
 
 /// A fixed-width fan-out executor.
 ///
@@ -68,33 +70,37 @@ impl Executor {
         if self.threads == 1 || n <= 1 {
             return items.into_iter().enumerate().map(|(i, item)| f(i, item)).collect();
         }
-        let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
-        let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
-        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<T>>> =
+            items.into_iter().map(|t| Mutex::named("parallel.slot", Some(t))).collect();
+        let results: Vec<Mutex<Option<R>>> =
+            (0..n).map(|_| Mutex::named("parallel.result", None)).collect();
+        let next = AtomicUsize::named("parallel.next", 0);
         let workers = self.threads.min(n);
-        std::thread::scope(|scope| {
+        thread::scope(|scope| {
             for _ in 0..workers {
                 scope.spawn(|| loop {
+                    // Relaxed is enough: the claim only needs atomicity
+                    // (each index handed out once); the happens-before
+                    // edge for the item itself comes from the slot
+                    // mutex.  The model checker verifies exactly this.
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     if i >= n {
                         break;
                     }
-                    let item = slots[i]
-                        .lock()
-                        .expect("parallel work slot poisoned")
-                        .take()
-                        .expect("work item claimed twice");
+                    let item = match slots[i].lock_or_recover().take() {
+                        Some(item) => item,
+                        None => unreachable!("work item {i} claimed twice"),
+                    };
                     let out = f(i, item);
-                    *results[i].lock().expect("parallel result slot poisoned") = Some(out);
+                    *results[i].lock_or_recover() = Some(out);
                 });
             }
         });
         results
             .into_iter()
-            .map(|m| {
-                m.into_inner()
-                    .expect("parallel result slot poisoned")
-                    .expect("worker exited without producing its result")
+            .map(|m| match m.into_inner_or_recover() {
+                Some(r) => r,
+                None => unreachable!("worker exited without producing its result"),
             })
             .collect()
     }
@@ -105,7 +111,7 @@ mod tests {
     #![allow(clippy::unwrap_used)]
     use super::*;
     use std::collections::HashSet;
-    use std::sync::atomic::AtomicU64;
+    use std::sync::atomic::{AtomicU64, Ordering};
 
     #[test]
     fn zero_threads_clamps_to_one() {

@@ -104,7 +104,10 @@ impl<'a> PetField<'a> {
         while activations.len() < blob_count && guard < blob_count * 200 {
             guard += 1;
             let name = deep[rng.gen_range(0..deep.len())];
-            let region = &atlas.structure(name).expect("known structure").region;
+            let Some(structure) = atlas.structure(name) else {
+                continue;
+            };
+            let region = &structure.region;
             if region.is_empty() {
                 continue;
             }

@@ -120,8 +120,10 @@ impl StudyGenerator {
     ) -> AcquiredStudy {
         let mut rng = StdRng::seed_from_u64(seed ^ 0xacc0_1ade);
         let patient_to_atlas = self.random_misalignment(&mut rng);
-        let atlas_to_patient =
-            patient_to_atlas.inverse().expect("small rigid+scale transforms are invertible");
+        let atlas_to_patient = match patient_to_atlas.inverse() {
+            Some(inv) => inv,
+            None => panic!("small rigid+scale transforms are invertible"),
+        };
         let dims = modality.native_dims(self.atlas_side);
         let spacing = modality.native_spacing(self.atlas_side);
         let noise = self.noise;

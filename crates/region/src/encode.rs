@@ -181,9 +181,8 @@ impl RegionCodec {
                 }
                 let mut runs = Vec::with_capacity(count);
                 for i in 0..count {
-                    let s = u32::from_le_bytes(body[i * 8..i * 8 + 4].try_into().expect("4 bytes"));
-                    let e =
-                        u32::from_le_bytes(body[i * 8 + 4..i * 8 + 8].try_into().expect("4 bytes"));
+                    let s = le_u32(&body[i * 8..]);
+                    let e = le_u32(&body[i * 8 + 4..]);
                     if e < s {
                         return Err(RegionEncodeError::Corrupt("inverted run"));
                     }
@@ -222,8 +221,7 @@ impl RegionCodec {
                 }
                 let mut octs = Vec::with_capacity(count);
                 for i in 0..count {
-                    let packed =
-                        u32::from_le_bytes(body[i * 4..i * 4 + 4].try_into().expect("4 bytes"));
+                    let packed = le_u32(&body[i * 4..]);
                     let rank = packed & ((1 << RANK_BITS) - 1);
                     let id = u64::from(packed >> RANK_BITS);
                     if rank as u64 > 63 || id % (1u64 << rank) != 0 {
@@ -330,6 +328,14 @@ impl std::fmt::Display for RegionEncodeError {
 }
 
 impl std::error::Error for RegionEncodeError {}
+
+/// Little-endian u32 at the head of `bytes`; callers bounds-check the
+/// enclosing body first (slicing still panics loudly if they did not).
+fn le_u32(bytes: &[u8]) -> u32 {
+    let mut buf = [0u8; 4];
+    buf.copy_from_slice(&bytes[..4]);
+    u32::from_le_bytes(buf)
+}
 
 #[cfg(test)]
 mod tests {

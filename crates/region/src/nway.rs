@@ -56,12 +56,10 @@ pub fn intersect_all(regions: &[&Region]) -> Option<Region> {
             }
         }
         // Every current run now covers `start`; emit up to the soonest end.
-        let end = lists
-            .iter()
-            .zip(&cursors)
-            .map(|(list, &c)| list[c].end)
-            .min()
-            .expect("non-empty region list");
+        let end = match lists.iter().zip(&cursors).map(|(list, &c)| list[c].end).min() {
+            Some(end) => end,
+            None => unreachable!("the intersection loop only runs with non-empty lists"),
+        };
         out.push(Run::new(start, end));
         // Advance every list whose run finished at `end`.
         for (i, list) in lists.iter().enumerate() {

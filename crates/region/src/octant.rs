@@ -101,8 +101,9 @@ fn decompose_run(run: Run, dims: u32, kind: OctantKind, out: &mut Vec<Octant>) {
     let mut s = run.start;
     let end = run.end;
     while s <= end {
-        out.push(Octant::new(s, next_rank(s, end, dims, kind)));
-        let step = 1u64 << out.last().expect("just pushed").rank;
+        let oct = Octant::new(s, next_rank(s, end, dims, kind));
+        let step = 1u64 << oct.rank;
+        out.push(oct);
         s += step;
     }
 }

@@ -137,7 +137,10 @@ pub fn plan_select(select: &Select, catalog: &Catalog) -> Result<SelectPlan> {
     // Conjuncts never bound reference unknown columns; surface that now.
     if let Some(c) = remaining.first() {
         // Re-resolve to produce the precise binding error.
-        let full = prefix_scopes.last().expect("non-empty FROM");
+        let full = match prefix_scopes.last() {
+            Some(scope) => scope,
+            None => unreachable!("planning produced a scope per FROM table"),
+        };
         debug_assert!(!full.binds(c));
         // Find the failing column for the message.
         return Err(find_binding_error(c, full));

@@ -91,7 +91,7 @@ impl DataRegion<u8> {
     /// Minimum and maximum intensity, or `None` when empty.
     pub fn min_max(&self) -> Option<(u8, u8)> {
         let min = self.values.iter().copied().min()?;
-        let max = self.values.iter().copied().max().expect("non-empty");
+        let max = self.values.iter().copied().max()?;
         Some((min, max))
     }
 }

@@ -14,13 +14,8 @@ pub fn solve_linear_system(n: usize, a: &[f64], b: &[f64]) -> Option<Vec<f64>> {
     for col in 0..n {
         // Partial pivot.
         let pivot_row = (col..n)
-            .max_by(|&i, &j| {
-                m[i * n + col]
-                    .abs()
-                    .partial_cmp(&m[j * n + col].abs())
-                    .expect("no NaNs in pivot search")
-            })
-            .expect("non-empty range");
+            .max_by(|&i, &j| m[i * n + col].abs().total_cmp(&m[j * n + col].abs()))
+            .unwrap_or(col);
         if m[pivot_row * n + col].abs() < 1e-12 {
             return None;
         }

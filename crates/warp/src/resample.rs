@@ -32,7 +32,10 @@ pub fn warp_to_atlas(
         atlas_mm_per_voxel > 0.0,
         "atlas voxel size must be positive, got {atlas_mm_per_voxel}"
     );
-    let atlas_to_patient = patient_to_atlas.inverse().expect("warping matrix must be invertible");
+    let atlas_to_patient = match patient_to_atlas.inverse() {
+        Some(inv) => inv,
+        None => panic!("warping matrix must be invertible"),
+    };
     Volume::from_fn3(atlas_geom, |x, y, z| {
         let atlas_mm = Vec3::new(
             (f64::from(x) + 0.5) * atlas_mm_per_voxel,

@@ -6,6 +6,8 @@
 //! suites).  The library itself only re-exports the crates a downstream
 //! user would reach for first.
 
+#![forbid(unsafe_code)]
+
 pub use qbism;
 pub use qbism_fault as fault;
 pub use qbism_region as region;

@@ -1,0 +1,41 @@
+//! Scaled-down smoke target for `cargo miri test --test miri_smoke`.
+//!
+//! Miri runs two orders of magnitude slower than native, so this file
+//! holds exactly two scenarios: one LFM journal round-trip and one EQ1
+//! at the small test configuration.  It also runs as a plain native
+//! test so the scenarios can never rot.  (The workspace has
+//! `#![forbid(unsafe_code)]` everywhere, so what miri buys here is
+//! checking of the std/vendored layers underneath, plus the CI wiring
+//! to catch any future unsafe.)
+
+#![allow(clippy::unwrap_used)]
+
+use qbism::{QbismConfig, QbismSystem};
+use qbism_lfm::LongFieldManager;
+
+#[test]
+fn lfm_journal_round_trip() {
+    let mut lfm = LongFieldManager::new(1 << 18, 4096).unwrap(); // 64 data pages
+    let data: Vec<u8> = (0..6000u32).map(|i| (i % 253) as u8).collect();
+    let id = lfm.create(&data).unwrap();
+
+    let mut patch = vec![0xABu8; 512];
+    patch[0] = 0xCD;
+    lfm.write_piece(id, 1000, &patch).unwrap();
+
+    let report = lfm.recover().unwrap();
+    assert_eq!(report.rolled_back_writes, 0, "clean shutdown rolls nothing back");
+
+    let mut want = data;
+    want[1000..1512].copy_from_slice(&patch);
+    assert_eq!(lfm.read(id).unwrap(), want);
+    lfm.check_invariants().unwrap();
+}
+
+#[test]
+fn eq1_full_study_small_config() {
+    let sys = QbismSystem::install(&QbismConfig::small_test()).unwrap();
+    let answer = sys.server.full_study(1).unwrap();
+    assert_eq!(answer.voxel_count(), 4096);
+    assert!(answer.cost.lfm.pages_read >= 1);
+}
