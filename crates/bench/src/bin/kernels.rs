@@ -1,0 +1,84 @@
+//! `kernels` — seed-vs-kernel wall time for the run-native kernels
+//! (n-way intersect, curve transcode, band extract, cold vectored
+//! read) at 64³ and 128³, plus a cached+readahead server replay;
+//! writes `BENCH_kernels.json`.
+//!
+//! ```text
+//! kernels [--queries N] [--out PATH]
+//! ```
+//!
+//! Run in release: `cargo run -p qbism-bench --release --bin kernels`.
+//! Exits non-zero if the n-way intersection or the curve transcode
+//! kernel fails to reach 2× the seed path at 128³ — the perf gate CI
+//! enforces.
+
+use qbism::QbismConfig;
+use qbism_bench::kernels;
+
+const BITS: [u32; 2] = [6, 7];
+const SPEEDUP_FLOOR: f64 = 2.0;
+const GATED: [&str; 2] = ["nway_intersect", "curve_transcode"];
+
+struct Args {
+    queries: usize,
+    out: String,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args { queries: 12, out: "BENCH_kernels.json".into() };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut flag = |name: &str| -> Result<String, String> {
+            it.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match a.as_str() {
+            "--queries" => {
+                args.queries = flag("--queries")?.parse().map_err(|e| format!("--queries: {e}"))?
+            }
+            "--out" => args.out = flag("--out")?,
+            "--help" | "-h" => return Err("usage: kernels [--queries N] [--out PATH]".into()),
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    if args.queries == 0 {
+        return Err("--queries must be positive".into());
+    }
+    Ok(args)
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+    // The replay runs the 64³ testbed: three PET studies, mixed
+    // EQ1/EQ2/population workload, page cache + readahead on.
+    let config = QbismConfig {
+        atlas_bits: 6,
+        pet_studies: 3,
+        mri_studies: 0,
+        device_capacity: 1u64 << 31,
+        ..QbismConfig::paper_scale()
+    };
+    let report = kernels::measure(&BITS, &config, args.queries);
+    println!("{}", report.render());
+    if let Err(e) = std::fs::write(&args.out, report.to_json()) {
+        eprintln!("cannot write {}: {e}", args.out);
+        std::process::exit(1);
+    }
+    println!("wrote {}", args.out);
+    let mut failed = false;
+    for name in GATED {
+        let speedup = report.speedup_of(name, 128);
+        if speedup < SPEEDUP_FLOOR {
+            eprintln!("FAIL: {name} reached only {speedup:.2}x at 128³ (floor {SPEEDUP_FLOOR}x)");
+            failed = true;
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,421 @@
+//! Run-native kernel microbenchmarks: the seed's id-materializing
+//! paths against the streaming kernels, at the paper's 64³ and 128³
+//! scales.
+//!
+//! Four kernels are measured, seed vs kernel, with the answers checked
+//! for equality every repetition:
+//!
+//! * **n-way intersect** — pairwise fold over materialized id vectors
+//!   (`iter_ids` + `from_ids` per step) vs the k-way streaming run
+//!   merge behind [`qbism_region::intersect_all`];
+//! * **curve transcode** — per-voxel `coords_of`/`index_of` plus a
+//!   full re-sort vs the octant-batched run transcoder behind
+//!   [`qbism_region::Region::to_curve`];
+//! * **band extract** — per-id `Field::at_id` gathering vs the
+//!   run-native [`qbism_volume::Field::extract`];
+//! * **cold read** — one `read_piece` call per run vs a single vectored
+//!   [`qbism_lfm::LongFieldManager::read_pieces_into`] call.
+//!
+//! A final *server replay* runs a mixed EQ1/EQ2/population workload on
+//! a real [`qbism::MedicalServer`] with the page cache and sequential
+//! readahead on, reporting wall time, native DB seconds, and the
+//! physical-extent counters (`qbism_lfm_extent_*`) so the kernel-level
+//! wins are visible at server level.  Logical `IoStats` — and with it
+//! every `tablegen` column — is unchanged by any of this.
+//!
+//! The `kernels` binary writes `BENCH_kernels.json` for CI's perf gate.
+
+use qbism::{QbismConfig, QbismSystem};
+use qbism_lfm::{CacheConfig, LongFieldManager};
+use qbism_region::{GridGeometry, Region};
+use qbism_sfc::CurveKind;
+use qbism_volume::Field;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// One kernel measured at one grid scale.
+#[derive(Debug, Clone)]
+pub struct KernelRun {
+    /// Kernel name (stable key: `nway_intersect`, `curve_transcode`,
+    /// `band_extract`, `cold_read`).
+    pub name: &'static str,
+    /// Grid side (voxels per axis).
+    pub side: u32,
+    /// Seconds per repetition on the seed (id-materializing) path.
+    pub seed_seconds: f64,
+    /// Seconds per repetition on the streaming kernel path.
+    pub kernel_seconds: f64,
+}
+
+impl KernelRun {
+    /// Seed time over kernel time.
+    pub fn speedup(&self) -> f64 {
+        if self.kernel_seconds > 0.0 {
+            self.seed_seconds / self.kernel_seconds
+        } else {
+            0.0
+        }
+    }
+}
+
+/// The server-level replay: a mixed query workload with the page cache
+/// and readahead on.
+#[derive(Debug, Clone, Copy)]
+pub struct ReplayRun {
+    /// Grid side of the replayed system.
+    pub side: u32,
+    /// Queries executed.
+    pub queries: usize,
+    /// Wall seconds for the whole replay.
+    pub wall_seconds: f64,
+    /// Native (host CPU) DB seconds summed over the replay — the part
+    /// the kernels accelerate.
+    pub native_db_seconds: f64,
+    /// Physical device transfers performed (coalesced extents).
+    pub phys_reads: u64,
+    /// Demanded pages that rode an existing transfer instead of costing
+    /// their own simulated seek.
+    pub coalesced_pages: u64,
+    /// Pages staged by sequential readahead.
+    pub readahead_pages: u64,
+}
+
+/// The full report: kernel sweeps plus the server replay.
+#[derive(Debug, Clone)]
+pub struct KernelsReport {
+    /// One entry per (kernel, side).
+    pub runs: Vec<KernelRun>,
+    /// The server-level replay.
+    pub replay: ReplayRun,
+}
+
+impl KernelsReport {
+    /// Speedup of a named kernel at a given side (0.0 when absent).
+    pub fn speedup_of(&self, name: &str, side: u32) -> f64 {
+        self.runs
+            .iter()
+            .find(|r| r.name == name && r.side == side)
+            .map(KernelRun::speedup)
+            .unwrap_or(0.0)
+    }
+
+    /// Human-readable report.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "Run-native kernels, seed vs kernel wall time\n\
+             {:>16} {:>6} {:>12} {:>12} {:>9}\n",
+            "kernel", "side", "seed (ms)", "kernel (ms)", "speedup",
+        );
+        for r in &self.runs {
+            out.push_str(&format!(
+                "{:>16} {:>5}³ {:>12.3} {:>12.3} {:>8.2}x\n",
+                r.name,
+                r.side,
+                r.seed_seconds * 1e3,
+                r.kernel_seconds * 1e3,
+                r.speedup(),
+            ));
+        }
+        out.push_str(&format!(
+            "server replay: {} queries on the {}³ system in {:.3} s \
+             ({:.3} s native DB); {} physical transfers, \
+             {} pages coalesced, {} pages readahead\n",
+            self.replay.queries,
+            self.replay.side,
+            self.replay.wall_seconds,
+            self.replay.native_db_seconds,
+            self.replay.phys_reads,
+            self.replay.coalesced_pages,
+            self.replay.readahead_pages,
+        ));
+        out
+    }
+
+    /// Machine-readable report for `BENCH_kernels.json`.
+    pub fn to_json(&self) -> String {
+        let runs = self
+            .runs
+            .iter()
+            .map(|r| {
+                format!(
+                    "    {{ \"kernel\": \"{}\", \"side\": {}, \"seed_seconds\": {:.6}, \
+                     \"kernel_seconds\": {:.6}, \"speedup\": {:.3} }}",
+                    r.name,
+                    r.side,
+                    r.seed_seconds,
+                    r.kernel_seconds,
+                    r.speedup(),
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",\n");
+        format!(
+            "{{\n  \"benchmark\": \"run_native_kernels\",\n  \
+             \"design\": \"seed paths materialize voxel-id vectors per step; kernels stream \
+             sorted run lists (k-way gallop merge, octant-batched transcode, run-native \
+             extract, vectored coalesced reads); logical IoStats and every tablegen column \
+             are unchanged\",\n  \"runs\": [\n{}\n  ],\n  \"server_replay\": {{\n    \
+             \"side\": {},\n    \"queries\": {},\n    \"wall_seconds\": {:.6},\n    \
+             \"native_db_seconds\": {:.6},\n    \"phys_reads\": {},\n    \
+             \"coalesced_pages\": {},\n    \"readahead_pages\": {}\n  }}\n}}\n",
+            runs,
+            self.replay.side,
+            self.replay.queries,
+            self.replay.wall_seconds,
+            self.replay.native_db_seconds,
+            self.replay.phys_reads,
+            self.replay.coalesced_pages,
+            self.replay.readahead_pages,
+        )
+    }
+}
+
+fn time<F: FnMut()>(reps: usize, mut f: F) -> f64 {
+    let start = Instant::now();
+    for _ in 0..reps {
+        f();
+    }
+    start.elapsed().as_secs_f64() / reps.max(1) as f64
+}
+
+/// The seed's n-way intersection: materialize each REGION's id vector
+/// and fold pairwise, rebuilding a canonical Region per step.
+fn seed_intersect_all(regions: &[&Region]) -> Region {
+    let geom = regions[0].geometry();
+    let mut acc: Vec<u64> = regions[0].iter_ids().collect();
+    for r in &regions[1..] {
+        let other: Vec<u64> = r.iter_ids().collect();
+        let mut out = Vec::with_capacity(acc.len().min(other.len()));
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < acc.len() && j < other.len() {
+            match acc[i].cmp(&other[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    out.push(acc[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        acc = out;
+    }
+    Region::from_ids(geom, acc)
+}
+
+/// The seed's curve change: re-map every voxel id and re-sort.
+fn seed_to_curve(region: &Region, dst: CurveKind) -> Region {
+    let src = region.geometry();
+    let dst_geom = src.with_kind(dst);
+    let mut coords = [0u32; 3];
+    let ids: Vec<u64> = region
+        .iter_ids()
+        .map(|id| {
+            src.coords_of(id, &mut coords);
+            dst_geom.index_of(&coords)
+        })
+        .collect();
+    Region::from_ids(dst_geom, ids)
+}
+
+/// `k` staggered, mutually overlapping boxes on a Hilbert grid.
+fn nway_fixture(bits: u32, k: usize) -> Vec<Region> {
+    let geom = GridGeometry::new(CurveKind::Hilbert, 3, bits);
+    let side = geom.side();
+    let span = side * 3 / 4;
+    (0..k as u32)
+        .map(|i| {
+            let lo = (i * side / 16).min(side - span);
+            Region::from_box(geom, [lo; 3], [lo + span - 1; 3]).expect("fixture box")
+        })
+        .collect()
+}
+
+/// A centred ball — the structure-shaped workload for transcode,
+/// extract and cold reads.
+fn ball_fixture(bits: u32) -> Region {
+    let geom = GridGeometry::new(CurveKind::Hilbert, 3, bits);
+    let side = geom.side() as i64;
+    let c = side / 2;
+    let r2 = (side * 3 / 8) * (side * 3 / 8);
+    Region::rasterize(geom, |coords| {
+        let dx = coords[0] as i64 - c;
+        let dy = coords[1] as i64 - c;
+        let dz = coords[2] as i64 - c;
+        dx * dx + dy * dy + dz * dz <= r2
+    })
+}
+
+fn bench_nway(bits: u32, reps: usize) -> KernelRun {
+    let regions = nway_fixture(bits, 5);
+    let refs: Vec<&Region> = regions.iter().collect();
+    let seed = seed_intersect_all(&refs);
+    let kernel = qbism_region::intersect_all(&refs).expect("non-empty input");
+    assert_eq!(seed.runs(), kernel.runs(), "n-way kernel diverged from the seed fold");
+    KernelRun {
+        name: "nway_intersect",
+        side: 1 << bits,
+        seed_seconds: time(reps, || {
+            black_box(seed_intersect_all(black_box(&refs)));
+        }),
+        kernel_seconds: time(reps, || {
+            black_box(qbism_region::intersect_all(black_box(&refs)));
+        }),
+    }
+}
+
+fn bench_transcode(bits: u32, reps: usize) -> KernelRun {
+    let ball = ball_fixture(bits);
+    let seed = seed_to_curve(&ball, CurveKind::Morton);
+    let kernel = ball.to_curve(CurveKind::Morton);
+    assert_eq!(seed.runs(), kernel.runs(), "transcode kernel diverged from the seed re-sort");
+    KernelRun {
+        name: "curve_transcode",
+        side: 1 << bits,
+        seed_seconds: time(reps, || {
+            black_box(seed_to_curve(black_box(&ball), CurveKind::Morton));
+        }),
+        kernel_seconds: time(reps, || {
+            black_box(black_box(&ball).to_curve(CurveKind::Morton));
+        }),
+    }
+}
+
+fn bench_extract(bits: u32, reps: usize) -> KernelRun {
+    let ball = ball_fixture(bits);
+    let geom = ball.geometry();
+    let field: Field<u8> = Field::from_fn3(geom, |x, y, z| ((x ^ y ^ z) & 0xff) as u8);
+    let seed: Vec<u8> = ball.iter_ids().map(|id| field.at_id(id)).collect();
+    let kernel = field.extract(&ball).expect("extract");
+    assert_eq!(seed.as_slice(), kernel.values(), "extract kernel diverged from per-id gather");
+    KernelRun {
+        name: "band_extract",
+        side: 1 << bits,
+        seed_seconds: time(reps, || {
+            let v: Vec<u8> = black_box(&ball).iter_ids().map(|id| field.at_id(id)).collect();
+            black_box(v);
+        }),
+        kernel_seconds: time(reps, || {
+            black_box(field.extract(black_box(&ball)).expect("extract"));
+        }),
+    }
+}
+
+fn bench_cold_read(bits: u32, reps: usize) -> KernelRun {
+    let ball = ball_fixture(bits);
+    let bytes = 1u64 << (3 * bits);
+    let mut lfm = LongFieldManager::new(bytes * 2, 4096).expect("device");
+    let data: Vec<u8> = (0..bytes).map(|i| (i % 253) as u8).collect();
+    let id = lfm.create(&data).expect("create");
+    // One byte per voxel: the ball's runs are the read plan, exactly the
+    // extraction path's piece list.
+    let pieces: Vec<(u64, u64)> = ball.runs().iter().map(|r| (r.start, r.len())).collect();
+    let mut seed_out = Vec::new();
+    for &(off, len) in &pieces {
+        seed_out.extend_from_slice(&lfm.read_piece(id, off, len).expect("seed read"));
+    }
+    let mut kernel_out = Vec::new();
+    lfm.read_pieces_into(id, &pieces, &mut kernel_out).expect("vectored read");
+    assert_eq!(seed_out, kernel_out, "vectored read diverged from per-piece reads");
+    KernelRun {
+        name: "cold_read",
+        side: 1 << bits,
+        seed_seconds: time(reps, || {
+            let mut out = Vec::with_capacity(seed_out.len());
+            for &(off, len) in &pieces {
+                out.extend_from_slice(&lfm.read_piece(id, off, len).expect("seed read"));
+            }
+            black_box(out);
+        }),
+        kernel_seconds: time(reps, || {
+            let mut out = Vec::with_capacity(kernel_out.len());
+            lfm.read_pieces_into(id, &pieces, &mut out).expect("vectored read");
+            black_box(out);
+        }),
+    }
+}
+
+fn replay(config: &QbismConfig, queries: usize) -> ReplayRun {
+    let mut sys = QbismSystem::install(config).expect("install");
+    sys.server.set_cache_config(CacheConfig {
+        capacity_pages: 512,
+        enabled: true,
+        readahead_pages: 8,
+    });
+    let studies = sys.pet_study_ids.clone();
+    let reg = qbism_obs::global();
+    let phys0 = reg.counter("qbism_lfm_extent_phys_reads_total").get();
+    let coal0 = reg.counter("qbism_lfm_extent_coalesced_pages_total").get();
+    let ra0 = reg.counter("qbism_lfm_extent_readahead_pages_total").get();
+    let mut native = 0.0;
+    let start = Instant::now();
+    for i in 0..queries {
+        let study = studies[i % studies.len()];
+        match i % 3 {
+            0 => {
+                let a = sys.server.full_study(study).expect("EQ1");
+                native += a.cost.native_db_seconds;
+            }
+            1 => {
+                let a = sys.server.band_data(study, 32, 63).expect("EQ2");
+                native += a.cost.native_db_seconds;
+            }
+            _ => {
+                let a = sys.server.population_average(&studies, "ntal").expect("population");
+                native += a.cost.native_db_seconds;
+            }
+        }
+    }
+    ReplayRun {
+        side: config.side(),
+        queries,
+        wall_seconds: start.elapsed().as_secs_f64(),
+        native_db_seconds: native,
+        phys_reads: reg.counter("qbism_lfm_extent_phys_reads_total").get() - phys0,
+        coalesced_pages: reg.counter("qbism_lfm_extent_coalesced_pages_total").get() - coal0,
+        readahead_pages: reg.counter("qbism_lfm_extent_readahead_pages_total").get() - ra0,
+    }
+}
+
+/// Runs every kernel at every grid scale in `bits_list`, then the
+/// server replay on `replay_config`.  Every kernel repetition's answer
+/// is asserted equal to the seed path's before any clock starts.
+pub fn measure(
+    bits_list: &[u32],
+    replay_config: &QbismConfig,
+    replay_queries: usize,
+) -> KernelsReport {
+    let mut runs = Vec::with_capacity(bits_list.len() * 4);
+    for &bits in bits_list {
+        let reps = if bits >= 7 { 3 } else { 10 };
+        runs.push(bench_nway(bits, reps));
+        runs.push(bench_transcode(bits, reps));
+        runs.push(bench_extract(bits, reps));
+        runs.push(bench_cold_read(bits, reps));
+    }
+    KernelsReport { runs, replay: replay(replay_config, replay_queries) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernels_agree_with_seed_paths_and_report_renders() {
+        // A tiny sweep: correctness assertions inside each bench are the
+        // point; timings just need to be positive.
+        let report = measure(&[4], &QbismConfig::small_test(), 4);
+        assert_eq!(report.runs.len(), 4);
+        for r in &report.runs {
+            assert!(r.seed_seconds > 0.0 && r.kernel_seconds > 0.0, "{r:?}");
+        }
+        assert!(report.replay.queries == 4);
+        assert!(report.replay.phys_reads > 0, "replay should issue physical transfers");
+        let json = report.to_json();
+        assert!(json.contains("\"benchmark\": \"run_native_kernels\""));
+        assert!(json.contains("\"server_replay\""));
+        assert!(json.contains("\"kernel\": \"nway_intersect\""));
+        let text = report.render();
+        assert!(text.contains("cold_read"));
+    }
+}

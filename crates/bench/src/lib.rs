@@ -17,6 +17,7 @@
 //! | §4.2 approximate-REGION trade-off (ablation) | [`approx`] |
 //! | observability overhead on the EQ1 query path | [`obs_overhead`] |
 //! | parallel engine throughput at 1/2/4/8 clients | [`parallel`] |
+//! | run-native kernels, seed vs kernel wall time | [`kernels`] |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -24,6 +25,7 @@
 pub mod approx;
 pub mod eq1;
 pub mod fig4;
+pub mod kernels;
 pub mod obs_overhead;
 pub mod parallel;
 pub mod population;

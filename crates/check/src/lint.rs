@@ -18,6 +18,12 @@
 //!   accounting layer: cache code never touches logical `IoStats`
 //!   (PR 3 separated logical from physical I/O counts; this keeps the
 //!   layers from re-tangling).
+//! - **no-kernel-materialize** — kernel modules (the run-native hot
+//!   paths of the region/sfc/volume crates, any file named `kernel*`)
+//!   never materialize voxel-id vectors: no `from_ids(` and no
+//!   `iter_voxels` — runs stream through; id lists are for tests and
+//!   API edges (PR 5 rewired the algebra onto streaming kernels; this
+//!   keeps per-voxel paths from creeping back in).
 //! - **fault-site-name** — fault-injection site patterns are dotted
 //!   lowercase (`plane.op`, e.g. `lfm.meta.write`), with `*` wildcards,
 //!   so rules written against one crate keep matching as sites grow.
@@ -121,6 +127,8 @@ pub fn lint_source(source: &str, rel: &str, crate_name: &str, cfg: &LintConfig) 
     let file_name = rel.rsplit('/').next().unwrap_or(rel);
     let check_cache =
         file_name.contains("cache") && (cfg.all_crates_in_scope || crate_name == "lfm");
+    let check_kernel = file_name.contains("kernel")
+        && (cfg.all_crates_in_scope || matches!(crate_name, "region" | "sfc" | "volume"));
 
     let mut findings = Vec::new();
     let mut scanner = Scanner::default();
@@ -168,6 +176,20 @@ pub fn lint_source(source: &str, rel: &str, crate_name: &str, cfg: &LintConfig) 
                 "cache code must not touch logical IoStats; physical counts live in CacheStats"
                     .to_string(),
             );
+        }
+        if check_kernel {
+            if code.contains("from_ids(") {
+                push(
+                    "no-kernel-materialize",
+                    "kernel code must not materialize an id vector via `from_ids`; stream the sorted run lists instead".to_string(),
+                );
+            }
+            if code.contains("iter_voxels") {
+                push(
+                    "no-kernel-materialize",
+                    "kernel code must not expand runs voxel-by-voxel via `iter_voxels`; operate on runs directly".to_string(),
+                );
+            }
         }
         for (api, site) in fault_site_literals(code, &parsed.literals) {
             if !valid_fault_site(&site) {
@@ -504,6 +526,22 @@ mod tests {
         assert!(lint("let s = plane.fail_nth(\"lfm.meta.write\", 1);").is_empty());
         assert!(lint("let s = plane.rule(\"*\", t, o);").is_empty());
         assert!(lint("push_rule(\"Whatever\", 1);").is_empty(), "identifier tails skipped");
+    }
+
+    #[test]
+    fn kernel_files_must_not_materialize_ids() {
+        let src =
+            "fn f(g: G, ids: Vec<u64>) { let r = Region::from_ids(g, ids); r.iter_voxels3(); }";
+        let f = lint_source(src, "crates/region/src/kernel.rs", "region", &LintConfig::workspace());
+        assert_eq!(f.len(), 2);
+        assert!(f.iter().all(|f| f.rule == "no-kernel-materialize"));
+        // Same tokens outside a kernel module are fine.
+        let api =
+            lint_source(src, "crates/region/src/region.rs", "region", &LintConfig::workspace());
+        assert!(api.is_empty(), "API-edge materialization is allowed: {api:?}");
+        // And kernel files in out-of-scope crates are fine too.
+        let core = lint_source(src, "crates/core/src/kernel.rs", "core", &LintConfig::workspace());
+        assert!(core.is_empty());
     }
 
     #[test]

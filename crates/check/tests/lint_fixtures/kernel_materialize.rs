@@ -1,0 +1,39 @@
+// Fixture: kernel code materializing voxel-id vectors.  The file name
+// contains "kernel", which is what scopes the rule — the real targets
+// are the run-native kernel modules of region/sfc/volume.
+
+fn bad_rebuild(geom: Geom, ids: Vec<u64>) -> Region {
+    Region::from_ids(geom, ids) // LINT: no-kernel-materialize
+}
+
+fn bad_expand(region: &Region) -> u64 {
+    region.iter_voxels3().count() as u64 // LINT: no-kernel-materialize
+}
+
+fn fine_streaming(a: &[Run], b: &[Run]) -> Vec<Run> {
+    let mut out = Vec::new();
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        if a[i].end < b[j].start {
+            i += 1;
+        } else if b[j].end < a[i].start {
+            j += 1;
+        } else {
+            out.push(Run { start: a[i].start.max(b[j].start), end: a[i].end.min(b[j].end) });
+            if a[i].end <= b[j].end {
+                i += 1;
+            } else {
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    // Oracles may materialize: test blocks are exempt.
+    fn oracle(geom: Geom, ids: Vec<u64>) -> Region {
+        Region::from_ids(geom, ids)
+    }
+}

@@ -474,9 +474,12 @@ impl MedicalServer {
             blobs.push(bytes);
         }
         // One study degenerates to the stored band REGION bytes; more
-        // studies intersect right-to-left and re-encode with the
-        // configured codec (matching the old nested-UDF output byte for
-        // byte).  The fold is server CPU, part of the database phase.
+        // studies intersect in a single k-way simultaneous merge over all
+        // run lists (no intermediate region per fold step — intersection
+        // is associative and commutative, so the answer is byte-identical
+        // to the old right-to-left pairwise fold) and re-encode with the
+        // configured codec.  The merge is server CPU, part of the
+        // database phase.
         let start = std::time::Instant::now();
         let (bytes, region) = if let [bytes] = &mut blobs[..] {
             let bytes = std::mem::take(bytes);
@@ -487,15 +490,13 @@ impl MedicalServer {
             for blob in &blobs {
                 regions.push(RegionCodec::decode(blob)?);
             }
-            let mut acc = match regions.pop() {
+            let refs: Vec<&Region> = regions.iter().collect();
+            let acc = match qbism_region::intersect_all(&refs) {
                 Some(r) => r,
                 None => {
                     return Err(QbismError::NotFound("band query needs at least one study".into()))
                 }
             };
-            while let Some(r) = regions.pop() {
-                acc = r.intersect(&acc);
-            }
             let bytes = self.config.region_codec.encode(&acc)?;
             (bytes, acc)
         };

@@ -27,6 +27,12 @@ pub struct CacheConfig {
     pub capacity_pages: usize,
     /// Master switch; `false` restores the paper's unbuffered LFM.
     pub enabled: bool,
+    /// Sequential readahead depth: after a demand fetch, the manager may
+    /// stage up to this many following device pages in the same physical
+    /// transfer.  Zero disables readahead.  Pure prefetch policy — the
+    /// pool itself only stores what it is handed, and logical accounting
+    /// never sees the staged pages.
+    pub readahead_pages: usize,
 }
 
 /// Cumulative buffer-pool behaviour (separate from the logical
@@ -117,6 +123,14 @@ impl PageCache {
 
     pub(crate) fn stats(&self) -> CacheStats {
         self.stats
+    }
+
+    /// Residency probe that counts neither a hit nor a miss and leaves
+    /// the reference bit alone.  The manager's readahead policy uses it
+    /// to find the end of a non-resident run without polluting
+    /// [`CacheStats`] for pages the caller never asked for.
+    pub(crate) fn contains(&self, page: u64) -> bool {
+        self.map.contains_key(&page)
     }
 
     /// Looks `page` up, counting a hit or miss and marking the frame
@@ -235,7 +249,7 @@ mod tests {
 
     fn active(capacity: usize) -> PageCache {
         let mut c = PageCache::new();
-        c.set_config(CacheConfig { capacity_pages: capacity, enabled: true });
+        c.set_config(CacheConfig { capacity_pages: capacity, enabled: true, readahead_pages: 0 });
         c
     }
 
@@ -312,8 +326,18 @@ mod tests {
     fn reconfiguring_clears_residency() {
         let mut c = active(4);
         c.insert(9, page(9));
-        c.set_config(CacheConfig { capacity_pages: 2, enabled: true });
+        c.set_config(CacheConfig { capacity_pages: 2, enabled: true, readahead_pages: 0 });
         assert!(c.get(9).is_none());
+    }
+
+    #[test]
+    fn contains_is_stats_neutral() {
+        let mut c = active(4);
+        c.insert(3, page(3));
+        let before = c.stats();
+        assert!(c.contains(3));
+        assert!(!c.contains(4));
+        assert_eq!(c.stats(), before, "residency probes must not count hits or misses");
     }
 
     #[test]

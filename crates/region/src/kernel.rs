@@ -1,0 +1,550 @@
+//! Run-native kernels: streaming set algebra, batched curve transcoding
+//! and box decomposition directly over sorted run lists.
+//!
+//! The paper's thesis is that runs on a space-filling curve are the right
+//! *algebraic* representation, so the hot operators should never leave it.
+//! Every function here consumes and produces canonical run lists (sorted,
+//! disjoint, non-adjacent — see [`crate::Region`] invariants) without
+//! materializing per-voxel id vectors or intermediate regions:
+//!
+//! * [`intersect_runs`] / [`union_runs`] / [`difference_runs`] — linear
+//!   two-pointer merge scans, the run analogue of Orenstein & Manola's
+//!   spatial join;
+//! * [`intersect_k`] — a k-way simultaneous merge with gallop
+//!   (exponential-probe) skipping over disjoint spans, used by
+//!   [`crate::intersect_all`];
+//! * [`count_intersect_runs`] — overlap counting without building the
+//!   intersection;
+//! * [`transcode_runs`] — re-linearization onto another curve that walks
+//!   maximal octree-aligned id blocks (one curve conversion per *block*
+//!   instead of per voxel) whenever both curves are hierarchical;
+//! * [`box_runs3`] — axis-aligned box rasterization by recursive octant
+//!   descent (hierarchical curves) or whole scanline rows, visiting only
+//!   O(surface) cells instead of every voxel in the box.
+
+use crate::run::{normalize, Run};
+use qbism_sfc::{Curve, SpaceFillingCurve};
+
+/// Intersection of two canonical run lists (streaming two-pointer merge).
+pub fn intersect_runs(a: &[Run], b: &[Run]) -> Vec<Run> {
+    let mut out: Vec<Run> = Vec::new();
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        if let Some(r) = a[i].intersect(&b[j]) {
+            out.push(r);
+        }
+        // Advance whichever run ends first.
+        if a[i].end < b[j].end {
+            i += 1;
+        } else {
+            j += 1;
+        }
+    }
+    out
+}
+
+/// Number of ids common to two canonical run lists, counted in place —
+/// the same merge scan as [`intersect_runs`] with no output allocation.
+pub fn count_intersect_runs(a: &[Run], b: &[Run]) -> u64 {
+    let mut count = 0u64;
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        let lo = a[i].start.max(b[j].start);
+        let hi = a[i].end.min(b[j].end);
+        if lo <= hi {
+            count += hi - lo + 1;
+        }
+        if a[i].end < b[j].end {
+            i += 1;
+        } else {
+            j += 1;
+        }
+    }
+    count
+}
+
+/// Union of two canonical run lists: a single streaming merge that fuses
+/// overlap and adjacency on the fly — no concatenate-and-sort pass.
+pub fn union_runs(a: &[Run], b: &[Run]) -> Vec<Run> {
+    let mut out: Vec<Run> = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() || j < b.len() {
+        let take_a = match (a.get(i), b.get(j)) {
+            (Some(ra), Some(rb)) => ra.start <= rb.start,
+            (Some(_), None) => true,
+            _ => false,
+        };
+        let r = if take_a {
+            i += 1;
+            a[i - 1]
+        } else {
+            j += 1;
+            b[j - 1]
+        };
+        match out.last_mut() {
+            // Merge overlap and adjacency (end + 1 == start).
+            Some(last) if r.start <= last.end.saturating_add(1) => {
+                last.end = last.end.max(r.end);
+            }
+            _ => out.push(r),
+        }
+    }
+    out
+}
+
+/// Difference `a \ b` over canonical run lists (streaming cursor scan).
+pub fn difference_runs(a: &[Run], b: &[Run]) -> Vec<Run> {
+    let mut out: Vec<Run> = Vec::new();
+    let mut j = 0usize;
+    for &ra in a {
+        let mut cursor = ra.start;
+        // Skip b-runs entirely before this run.
+        while j < b.len() && b[j].end < ra.start {
+            j += 1;
+        }
+        let mut k = j;
+        while k < b.len() && b[k].start <= ra.end {
+            let rb = b[k];
+            if rb.start > cursor {
+                out.push(Run::new(cursor, rb.start - 1));
+            }
+            cursor = cursor.max(rb.end.saturating_add(1));
+            if rb.end >= ra.end {
+                break;
+            }
+            k += 1;
+        }
+        if cursor <= ra.end {
+            out.push(Run::new(cursor, ra.end));
+        }
+    }
+    out
+}
+
+/// First index at or after `from` whose run ends at or beyond `target`.
+///
+/// Run ends are strictly increasing in a canonical list, so the answer is
+/// found by an exponential probe followed by a binary search — the
+/// "gallop" that lets [`intersect_k`] skip long disjoint spans in
+/// O(log skip) instead of touching every run.
+fn gallop_to(list: &[Run], from: usize, target: u64) -> usize {
+    let mut base = from;
+    let mut step = 1usize;
+    while base + step < list.len() && list[base + step].end < target {
+        base += step;
+        step <<= 1;
+    }
+    let mut lo = base;
+    let mut hi = (base + step).min(list.len());
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if list[mid].end < target {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
+/// K-way intersection of canonical run lists in one simultaneous merge.
+///
+/// Scans each input at most once (galloping over disjoint spans), builds
+/// no intermediate list per fold step, and returns a canonical run list.
+/// An empty `lists` yields an empty result; callers wanting "empty input
+/// = universe" semantics must special-case it (as [`crate::intersect_all`]
+/// does by returning `None`).
+pub fn intersect_k(lists: &[&[Run]]) -> Vec<Run> {
+    let first = match lists.first() {
+        Some(f) => f,
+        None => return Vec::new(),
+    };
+    if lists.len() == 1 {
+        return first.to_vec();
+    }
+    if lists.iter().any(|l| l.is_empty()) {
+        return Vec::new();
+    }
+    let mut cursors = vec![0usize; lists.len()];
+    let mut out: Vec<Run> = Vec::new();
+    // Candidate start of the next common span; only ever grows.
+    let mut start = 0u64;
+    'outer: loop {
+        // Raise the candidate until every list's current run covers it.
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for (i, list) in lists.iter().enumerate() {
+                let c = gallop_to(list, cursors[i], start);
+                if c == list.len() {
+                    break 'outer;
+                }
+                cursors[i] = c;
+                if list[c].start > start {
+                    start = list[c].start;
+                    changed = true;
+                }
+            }
+        }
+        // Every current run covers `start`; emit up to the soonest end.
+        let mut end = u64::MAX;
+        for (list, &c) in lists.iter().zip(&cursors) {
+            end = end.min(list[c].end);
+        }
+        out.push(Run::new(start, end));
+        // At least one list's run finished at `end` and its successor
+        // starts at `end + 2` or later (canonical input), so the next
+        // emitted run cannot be adjacent — the output stays canonical.
+        start = match end.checked_add(1) {
+            Some(s) => s,
+            None => break 'outer,
+        };
+        for (i, list) in lists.iter().enumerate() {
+            if list[cursors[i]].end == end {
+                cursors[i] += 1;
+                if cursors[i] == list.len() {
+                    break 'outer;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Largest `t` (a multiple of `dims`) such that the id block
+/// `[p, p + 2^t)` is aligned at `p` and fits inside `avail` remaining ids.
+fn max_block_log(p: u64, avail: u64, dims: u32) -> u32 {
+    let align = if p == 0 { 63 } else { p.trailing_zeros().min(63) };
+    // floor(log2(avail)); avail >= 1 always.
+    let len_log = 63 - avail.leading_zeros();
+    let t = align.min(len_log);
+    t - t % dims
+}
+
+/// Clears the low `m` bits of every coordinate, snapping a point to the
+/// minimum corner of its side-`2^m` aligned cube.
+fn snap_to_corner(coords: &mut [u32], m: u32) {
+    let mask = if m >= 32 { u32::MAX } else { (1u32 << m) - 1 };
+    for c in coords.iter_mut() {
+        *c &= !mask;
+    }
+}
+
+/// Re-expresses a canonical run list from curve `src` onto curve `dst`
+/// (same dims and bits), returning the canonical run list of the same
+/// voxel set in the destination order.
+///
+/// When both curves are hierarchical
+/// ([`qbism_sfc::CurveKind::is_hierarchical`]),
+/// each run is decomposed into maximal octree-aligned id blocks and each
+/// block transcodes with a *single* curve conversion: an aligned block is
+/// one subcube in the source order and one aligned block in the
+/// destination order, so only its corner needs converting.  Otherwise
+/// (scanline on either side) ids are converted run-by-run through a
+/// reused buffer — still never materializing the whole region at once.
+///
+/// # Panics
+/// Panics if the two curves disagree on dims or bits.
+pub fn transcode_runs(runs: &[Run], src: &Curve, dst: &Curve) -> Vec<Run> {
+    assert_eq!(src.dims(), dst.dims(), "transcode between different dimensionalities");
+    assert_eq!(src.bits(), dst.bits(), "transcode between different grid sizes");
+    let dims = src.dims();
+    let mut coords = vec![0u32; dims as usize];
+    let mut out: Vec<Run> = Vec::new();
+    if src.kind().is_hierarchical() && dst.kind().is_hierarchical() {
+        for r in runs {
+            let mut p = r.start;
+            while p <= r.end {
+                let t = max_block_log(p, r.end - p + 1, dims);
+                src.coords_of(p, &mut coords);
+                snap_to_corner(&mut coords, t / dims);
+                // The corner's destination id lands somewhere inside the
+                // destination block; shift down to the block base.
+                let base = (dst.index_of(&coords) >> t) << t;
+                out.push(Run::new(base, base + ((1u64 << t) - 1)));
+                p += 1u64 << t;
+            }
+        }
+    } else {
+        let mut buf: Vec<u64> = Vec::new();
+        for r in runs {
+            buf.clear();
+            buf.reserve(r.len() as usize);
+            for id in r.start..=r.end {
+                src.coords_of(id, &mut coords);
+                buf.push(dst.index_of(&coords));
+            }
+            buf.sort_unstable();
+            for &id in &buf {
+                match out.last_mut() {
+                    Some(last) if id == last.end + 1 => last.end = id,
+                    _ => out.push(Run::new(id, id)),
+                }
+            }
+        }
+    }
+    normalize(out)
+}
+
+/// Canonical run list of the inclusive axis-aligned box `[min, max]` on a
+/// 3-D curve, computed without visiting individual voxels.
+///
+/// Hierarchical curves use recursive octant descent: an octant entirely
+/// inside the box emits one run covering its whole contiguous id block,
+/// an octant disjoint from the box is skipped, and only octants crossing
+/// the boundary subdivide — O(surface) work.  Scanline order emits one
+/// run per (x, y) row.
+///
+/// # Panics
+/// Panics if the curve is not 3-D or the box is inverted / out of grid.
+pub fn box_runs3(curve: &Curve, min: [u32; 3], max: [u32; 3]) -> Vec<Run> {
+    assert_eq!(curve.dims(), 3, "box_runs3 requires a 3-D curve");
+    let side = curve.side();
+    assert!(
+        max.iter().all(|&c| c < side) && min.iter().zip(&max).all(|(a, b)| a <= b),
+        "box [{min:?}, {max:?}] inverted or outside grid side {side}"
+    );
+    let mut out: Vec<Run> = Vec::new();
+    let push = |out: &mut Vec<Run>, r: Run| match out.last_mut() {
+        Some(last) if r.start <= last.end.saturating_add(1) => last.end = last.end.max(r.end),
+        _ => out.push(r),
+    };
+    if curve.kind().is_hierarchical() {
+        // Iterative octant descent in id order (explicit stack, children
+        // pushed in reverse so they pop in ascending-id order).
+        let mut coords = [0u32; 3];
+        let mut stack: Vec<(u64, u32)> = vec![(0u64, curve.bits())];
+        while let Some((base, level)) = stack.pop() {
+            curve.coords_of(base, &mut coords);
+            snap_to_corner(&mut coords, level);
+            let cube = 1u32 << level;
+            let disjoint = (0..3).any(|a| coords[a] > max[a] || coords[a] + cube - 1 < min[a]);
+            if disjoint {
+                continue;
+            }
+            let inside = (0..3).all(|a| coords[a] >= min[a] && coords[a] + cube - 1 <= max[a]);
+            if inside {
+                push(&mut out, Run::new(base, base + ((1u64 << (3 * level)) - 1)));
+                continue;
+            }
+            // level >= 1 here: a level-0 cube is a single voxel and is
+            // always either inside or disjoint.
+            let child = 1u64 << (3 * (level - 1));
+            for k in (0..8u64).rev() {
+                stack.push((base + k * child, level - 1));
+            }
+        }
+    } else {
+        for x in min[0]..=max[0] {
+            for y in min[1]..=max[1] {
+                let lo = curve.index_of(&[x, y, min[2]]);
+                let hi = curve.index_of(&[x, y, max[2]]);
+                push(&mut out, Run::new(lo, hi));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use qbism_sfc::CurveKind;
+    use std::collections::BTreeSet;
+
+    /// Seed-era reference implementations, kept verbatim-in-spirit as the
+    /// debug oracle the kernels are measured and property-tested against.
+    mod reference {
+        use super::*;
+
+        pub fn to_set(runs: &[Run]) -> BTreeSet<u64> {
+            runs.iter().flat_map(|r| r.start..=r.end).collect()
+        }
+
+        pub fn from_set(set: &BTreeSet<u64>) -> Vec<Run> {
+            let mut out: Vec<Run> = Vec::new();
+            for &id in set {
+                match out.last_mut() {
+                    Some(last) if id == last.end + 1 => last.end = id,
+                    _ => out.push(Run::new(id, id)),
+                }
+            }
+            out
+        }
+
+        /// The seed `to_curve` path: one curve conversion per voxel into
+        /// a materialized id vector.
+        pub fn transcode(runs: &[Run], src: &Curve, dst: &Curve) -> Vec<Run> {
+            let mut coords = vec![0u32; src.dims() as usize];
+            let set: BTreeSet<u64> = to_set(runs)
+                .into_iter()
+                .map(|id| {
+                    src.coords_of(id, &mut coords);
+                    dst.index_of(&coords)
+                })
+                .collect();
+            from_set(&set)
+        }
+
+        /// The seed `from_box` path: every voxel visited individually.
+        pub fn box_runs(curve: &Curve, min: [u32; 3], max: [u32; 3]) -> Vec<Run> {
+            let mut set = BTreeSet::new();
+            for x in min[0]..=max[0] {
+                for y in min[1]..=max[1] {
+                    for z in min[2]..=max[2] {
+                        set.insert(curve.index_of(&[x, y, z]));
+                    }
+                }
+            }
+            from_set(&set)
+        }
+    }
+
+    fn runs_of(ids: &[u64]) -> Vec<Run> {
+        reference::from_set(&ids.iter().copied().collect())
+    }
+
+    fn assert_canonical(runs: &[Run]) {
+        for w in runs.windows(2) {
+            assert!(w[0].end + 1 < w[1].start, "not canonical: {runs:?}");
+        }
+    }
+
+    #[test]
+    fn empty_edge_cases() {
+        let some = runs_of(&[1, 2, 3]);
+        assert_eq!(intersect_runs(&[], &some), vec![]);
+        assert_eq!(intersect_runs(&some, &[]), vec![]);
+        assert_eq!(union_runs(&[], &some), some);
+        assert_eq!(union_runs(&some, &[]), some);
+        assert_eq!(difference_runs(&[], &some), vec![]);
+        assert_eq!(difference_runs(&some, &[]), some);
+        assert_eq!(count_intersect_runs(&some, &[]), 0);
+        assert_eq!(intersect_k(&[]), vec![]);
+        assert_eq!(intersect_k(&[&some, &[]]), vec![]);
+    }
+
+    #[test]
+    fn adjacent_runs_fuse_in_union() {
+        // <0,4> U <5,9> must fuse into the maximal run <0,9>.
+        let a = vec![Run::new(0, 4)];
+        let b = vec![Run::new(5, 9)];
+        assert_eq!(union_runs(&a, &b), vec![Run::new(0, 9)]);
+        assert_eq!(union_runs(&b, &a), vec![Run::new(0, 9)]);
+        // ...while intersection and difference see them as disjoint.
+        assert_eq!(intersect_runs(&a, &b), vec![]);
+        assert_eq!(difference_runs(&a, &b), a);
+    }
+
+    #[test]
+    fn containment_edge_cases() {
+        // b strictly inside a run of a: difference splits it.
+        let a = vec![Run::new(0, 99)];
+        let b = runs_of(&[10, 11, 50]);
+        assert_eq!(
+            difference_runs(&a, &b),
+            vec![Run::new(0, 9), Run::new(12, 49), Run::new(51, 99)]
+        );
+        assert_eq!(intersect_runs(&a, &b), b);
+        assert_eq!(count_intersect_runs(&a, &b), 3);
+        // a == b: difference empties, intersection is identity.
+        assert_eq!(difference_runs(&b, &b), vec![]);
+        assert_eq!(intersect_runs(&b, &b), b);
+    }
+
+    #[test]
+    fn gallop_finds_first_covering_run() {
+        let list: Vec<Run> = (0..100).map(|i| Run::new(i * 10, i * 10 + 3)).collect();
+        assert_eq!(gallop_to(&list, 0, 0), 0);
+        assert_eq!(gallop_to(&list, 0, 4), 1);
+        assert_eq!(gallop_to(&list, 0, 503), 50);
+        assert_eq!(gallop_to(&list, 0, 504), 51);
+        assert_eq!(gallop_to(&list, 40, 503), 50);
+        assert_eq!(gallop_to(&list, 0, 10_000), list.len());
+        assert_eq!(gallop_to(&list, 99, 993), 99);
+    }
+
+    #[test]
+    fn kway_skips_disjoint_spans() {
+        // One list has a single far-right run; gallop must skip the other
+        // list's thousand runs without touching them one by one (the
+        // result is what we can assert).
+        let sparse = vec![Run::new(100_000, 100_001)];
+        let dense: Vec<Run> = (0..=1000).map(|i| Run::new(i * 100, i * 100 + 50)).collect();
+        assert_eq!(intersect_k(&[&sparse, &dense]), vec![Run::new(100_000, 100_001)]);
+    }
+
+    proptest! {
+        #[test]
+        fn algebra_matches_btreeset_oracle(
+            a_ids in proptest::collection::vec(0u64..2000, 0..300),
+            b_ids in proptest::collection::vec(0u64..2000, 0..300),
+        ) {
+            let a: BTreeSet<u64> = a_ids.into_iter().collect();
+            let b: BTreeSet<u64> = b_ids.into_iter().collect();
+            let (ra, rb) = (reference::from_set(&a), reference::from_set(&b));
+            let and: BTreeSet<u64> = a.intersection(&b).copied().collect();
+            let or: BTreeSet<u64> = a.union(&b).copied().collect();
+            let sub: BTreeSet<u64> = a.difference(&b).copied().collect();
+            prop_assert_eq!(&intersect_runs(&ra, &rb), &reference::from_set(&and));
+            prop_assert_eq!(&union_runs(&ra, &rb), &reference::from_set(&or));
+            prop_assert_eq!(&difference_runs(&ra, &rb), &reference::from_set(&sub));
+            prop_assert_eq!(count_intersect_runs(&ra, &rb), and.len() as u64);
+            for r in [intersect_runs(&ra, &rb), union_runs(&ra, &rb), difference_runs(&ra, &rb)] {
+                assert_canonical(&r);
+            }
+        }
+
+        #[test]
+        fn kway_matches_btreeset_oracle(
+            id_sets in proptest::collection::vec(
+                proptest::collection::vec(0u64..1000, 0..200), 1..6),
+        ) {
+            let sets: Vec<BTreeSet<u64>> =
+                id_sets.into_iter().map(|ids| ids.into_iter().collect()).collect();
+            let lists: Vec<Vec<Run>> = sets.iter().map(reference::from_set).collect();
+            let refs: Vec<&[Run]> = lists.iter().map(Vec::as_slice).collect();
+            let mut expect = sets[0].clone();
+            for s in &sets[1..] {
+                expect = expect.intersection(s).copied().collect();
+            }
+            let got = intersect_k(&refs);
+            assert_canonical(&got);
+            prop_assert_eq!(got, reference::from_set(&expect));
+        }
+
+        #[test]
+        fn transcode_matches_reference_on_every_curve_pair(
+            ids in proptest::collection::vec(0u64..4096, 0..250),
+            src_pick in 0usize..3,
+            dst_pick in 0usize..3,
+        ) {
+            let src = CurveKind::ALL[src_pick].curve(3, 4);
+            let dst = CurveKind::ALL[dst_pick].curve(3, 4);
+            let ids: BTreeSet<u64> = ids.into_iter().collect();
+            let runs = reference::from_set(&ids);
+            let got = transcode_runs(&runs, &src, &dst);
+            assert_canonical(&got);
+            prop_assert_eq!(got, reference::transcode(&runs, &src, &dst));
+        }
+
+        #[test]
+        fn box_runs_match_reference_on_every_curve(
+            pick in 0usize..3,
+            c0 in proptest::array::uniform3(0u32..16),
+            c1 in proptest::array::uniform3(0u32..16),
+        ) {
+            let curve = CurveKind::ALL[pick].curve(3, 4);
+            let mut min = [0u32; 3];
+            let mut max = [0u32; 3];
+            for a in 0..3 {
+                min[a] = c0[a].min(c1[a]);
+                max[a] = c0[a].max(c1[a]);
+            }
+            let got = box_runs3(&curve, min, max);
+            assert_canonical(&got);
+            prop_assert_eq!(got, reference::box_runs(&curve, min, max));
+        }
+    }
+}

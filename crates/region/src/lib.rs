@@ -44,6 +44,7 @@
 mod approx;
 mod encode;
 mod geometry;
+pub mod kernel;
 mod nway;
 mod octant;
 mod region;

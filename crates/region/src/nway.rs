@@ -7,6 +7,7 @@
 //! simultaneous merge below scans each input exactly once, the run
 //! analogue of the multi-way spatial join.
 
+use crate::kernel;
 use crate::region::Region;
 use crate::run::Run;
 
@@ -14,6 +15,10 @@ use crate::run::Run;
 ///
 /// Returns `None` for an empty input (there is no universe to default
 /// to).  All regions must share a [`crate::GridGeometry`].
+///
+/// The heavy lifting is [`kernel::intersect_k`]: a k-way merge that
+/// gallops over disjoint spans and emits the canonical result directly —
+/// no intermediate region per fold step, no id vectors.
 ///
 /// # Panics
 /// Panics if the regions' geometries differ.
@@ -26,52 +31,7 @@ pub fn intersect_all(regions: &[&Region]) -> Option<Region> {
         return Some((*first).clone());
     }
     let lists: Vec<&[Run]> = regions.iter().map(|r| r.runs()).collect();
-    if lists.iter().any(|l| l.is_empty()) {
-        return Some(Region::empty(first.geometry()));
-    }
-    let mut cursors = vec![0usize; lists.len()];
-    let mut out: Vec<Run> = Vec::new();
-    'outer: loop {
-        // Candidate start: the max of current run starts.
-        let mut start = 0u64;
-        for (list, &c) in lists.iter().zip(&cursors) {
-            start = start.max(list[c].start);
-        }
-        // Advance lists whose current run ends before the candidate; the
-        // candidate can only grow, so one pass per list per iteration.
-        let mut moved = true;
-        while moved {
-            moved = false;
-            for (i, list) in lists.iter().enumerate() {
-                while list[cursors[i]].end < start {
-                    cursors[i] += 1;
-                    if cursors[i] == list.len() {
-                        break 'outer;
-                    }
-                    moved = true;
-                }
-                if list[cursors[i]].start > start {
-                    start = list[cursors[i]].start;
-                }
-            }
-        }
-        // Every current run now covers `start`; emit up to the soonest end.
-        let end = match lists.iter().zip(&cursors).map(|(list, &c)| list[c].end).min() {
-            Some(end) => end,
-            None => unreachable!("the intersection loop only runs with non-empty lists"),
-        };
-        out.push(Run::new(start, end));
-        // Advance every list whose run finished at `end`.
-        for (i, list) in lists.iter().enumerate() {
-            if list[cursors[i]].end == end {
-                cursors[i] += 1;
-                if cursors[i] == list.len() {
-                    break 'outer;
-                }
-            }
-        }
-    }
-    Some(Region::from_runs(first.geometry(), out))
+    Some(Region::from_runs(first.geometry(), kernel::intersect_k(&lists)))
 }
 
 #[cfg(test)]

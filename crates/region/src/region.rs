@@ -1,6 +1,7 @@
 //! The [`Region`] type and its set algebra.
 
 use crate::geometry::GridGeometry;
+use crate::kernel;
 use crate::run::{normalize, runs_from_ids, Run};
 use qbism_geometry::{IBox3, IVec3, Solid};
 use qbism_sfc::SpaceFillingCurve;
@@ -120,20 +121,9 @@ impl Region {
         if max.iter().any(|&c| c >= side) || min.iter().zip(&max).any(|(a, b)| a > b) {
             return None;
         }
-        let curve = geom.curve();
-        let mut ids: Vec<u64> = Vec::with_capacity(
-            ((max[0] - min[0] + 1) as usize)
-                * ((max[1] - min[1] + 1) as usize)
-                * ((max[2] - min[2] + 1) as usize),
-        );
-        for x in min[0]..=max[0] {
-            for y in min[1]..=max[1] {
-                for z in min[2]..=max[2] {
-                    ids.push(curve.index_of(&[x, y, z]));
-                }
-            }
-        }
-        Some(Region { geom, runs: runs_from_ids(ids) })
+        // Octant descent (or whole scanline rows) — the kernel emits the
+        // canonical run list without visiting individual voxels.
+        Some(Region { geom, runs: kernel::box_runs3(&geom.curve(), min, max) })
     }
 
     // ------------------------------------------------------------------
@@ -226,11 +216,19 @@ impl Region {
     }
 
     /// Number of region voxels inside an inclusive box (3-D only).
+    ///
+    /// Counts overlap in place over the box's run decomposition — no
+    /// intersected `Region` (nor any id vector) is ever allocated.
     pub fn voxel_count_in_box(&self, min: [u32; 3], max: [u32; 3]) -> u64 {
-        match Region::from_box(self.geom, min, max) {
-            Some(b) => self.intersect(&b).voxel_count(),
-            None => 0,
+        let side = self.geom.side();
+        if self.geom.dims() != 3
+            || max.iter().any(|&c| c >= side)
+            || min.iter().zip(&max).any(|(a, b)| a > b)
+        {
+            return 0;
         }
+        let box_runs = kernel::box_runs3(&self.geom.curve(), min, max);
+        kernel::count_intersect_runs(&self.runs, &box_runs)
     }
 
     // ------------------------------------------------------------------
@@ -248,62 +246,21 @@ impl Region {
     /// Spatial intersection — the paper's `INTERSECTION(r1, r2)` operator.
     pub fn intersect(&self, other: &Region) -> Region {
         self.assert_compatible(other, "intersection");
-        let mut out: Vec<Run> = Vec::new();
-        let (mut i, mut j) = (0usize, 0usize);
-        while i < self.runs.len() && j < other.runs.len() {
-            let (a, b) = (self.runs[i], other.runs[j]);
-            if let Some(r) = a.intersect(&b) {
-                out.push(r);
-            }
-            // Advance whichever run ends first.
-            if a.end < b.end {
-                i += 1;
-            } else {
-                j += 1;
-            }
-        }
         // Merge-scan output of canonical inputs is already canonical.
-        Region { geom: self.geom, runs: out }
+        Region { geom: self.geom, runs: kernel::intersect_runs(&self.runs, &other.runs) }
     }
 
     /// Spatial union — the paper's future-work `UNION(r1, r2)` operator.
     pub fn union(&self, other: &Region) -> Region {
         self.assert_compatible(other, "union");
-        let mut merged: Vec<Run> = Vec::with_capacity(self.runs.len() + other.runs.len());
-        merged.extend_from_slice(&self.runs);
-        merged.extend_from_slice(&other.runs);
-        Region { geom: self.geom, runs: normalize(merged) }
+        Region { geom: self.geom, runs: kernel::union_runs(&self.runs, &other.runs) }
     }
 
     /// Spatial difference `self \ other` — the paper's future-work
     /// `DIFFERENCE(r1, r2)` operator.
     pub fn difference(&self, other: &Region) -> Region {
         self.assert_compatible(other, "difference");
-        let mut out: Vec<Run> = Vec::new();
-        let mut j = 0usize;
-        for &a in &self.runs {
-            let mut cursor = a.start;
-            // Skip other-runs entirely before this run.
-            while j < other.runs.len() && other.runs[j].end < a.start {
-                j += 1;
-            }
-            let mut k = j;
-            while k < other.runs.len() && other.runs[k].start <= a.end {
-                let b = other.runs[k];
-                if b.start > cursor {
-                    out.push(Run::new(cursor, b.start - 1));
-                }
-                cursor = cursor.max(b.end.saturating_add(1));
-                if b.end >= a.end {
-                    break;
-                }
-                k += 1;
-            }
-            if cursor <= a.end {
-                out.push(Run::new(cursor, a.end));
-            }
-        }
-        Region { geom: self.geom, runs: out }
+        Region { geom: self.geom, runs: kernel::difference_runs(&self.runs, &other.runs) }
     }
 
     /// Complement within the grid.
@@ -344,15 +301,9 @@ impl Region {
         let src = self.geom.curve();
         let dst_geom = self.geom.with_kind(kind);
         let dst = dst_geom.curve();
-        let mut coords = vec![0u32; self.geom.dims() as usize];
-        let ids: Vec<u64> = self
-            .iter_ids()
-            .map(|id| {
-                src.coords_of(id, &mut coords);
-                dst.index_of(&coords)
-            })
-            .collect();
-        Region { geom: dst_geom, runs: runs_from_ids(ids) }
+        // Batched transcoding: whole octree-aligned blocks convert with a
+        // single curve conversion each when both orders are hierarchical.
+        Region { geom: dst_geom, runs: kernel::transcode_runs(&self.runs, &src, &dst) }
     }
 
     /// The delta sequence: lengths of alternating runs and interior gaps,

@@ -98,6 +98,21 @@ impl CurveKind {
     /// All curve kinds, in the order the paper's tables list them.
     pub const ALL: [CurveKind; 3] = [CurveKind::Hilbert, CurveKind::Morton, CurveKind::Scanline];
 
+    /// Whether the curve is a *hierarchical* (recursive, octree-aligned)
+    /// order: every aligned id block `[q*2^(d*m), (q+1)*2^(d*m))` covers
+    /// exactly one axis-aligned subcube of side `2^m`.
+    ///
+    /// Hilbert and Morton curves are built by recursive subdivision and
+    /// have this property; scanline order does not (a row-major block is
+    /// a slab, not a cube).  Run-native kernels use this to transcode and
+    /// decompose whole blocks at a time instead of individual voxels.
+    pub fn is_hierarchical(self) -> bool {
+        match self {
+            CurveKind::Hilbert | CurveKind::Morton => true,
+            CurveKind::Scanline => false,
+        }
+    }
+
     /// Short lowercase name used in benchmark tables (`hilbert`, `z`,
     /// `scanline`), matching the paper's "h-" / "z-" prefixes.
     pub fn short_name(self) -> &'static str {
@@ -210,6 +225,36 @@ mod tests {
         assert_eq!(CurveKind::Hilbert.to_string(), "hilbert");
         assert_eq!(CurveKind::Morton.to_string(), "z");
         assert_eq!(CurveKind::Scanline.to_string(), "scanline");
+    }
+
+    #[test]
+    fn hierarchical_blocks_are_cubes() {
+        // The property `is_hierarchical` advertises: every aligned id
+        // block of size 2^(3m) covers exactly one axis-aligned cube of
+        // side 2^m (checked exhaustively on a 16^3 grid at every level).
+        for kind in CurveKind::ALL {
+            let c = kind.curve(3, 4);
+            let mut coords = [0u32; 3];
+            let mut all_levels_cubic = true;
+            for m in 1..=4u32 {
+                let block = 1u64 << (3 * m);
+                for q in 0..(c.cell_count() / block) {
+                    let (mut lo, mut hi) = ([u32::MAX; 3], [0u32; 3]);
+                    for id in q * block..(q + 1) * block {
+                        c.coords_of(id, &mut coords);
+                        for a in 0..3 {
+                            lo[a] = lo[a].min(coords[a]);
+                            hi[a] = hi[a].max(coords[a]);
+                        }
+                    }
+                    let side = (1u32 << m) - 1;
+                    if (0..3).any(|a| hi[a] - lo[a] != side || lo[a] % (side + 1) != 0) {
+                        all_levels_cubic = false;
+                    }
+                }
+            }
+            assert_eq!(all_levels_cubic, kind.is_hierarchical(), "{kind}");
+        }
     }
 
     #[test]

@@ -46,6 +46,9 @@ struct HilbertLut3 {
     digit: Vec<[u8; 8]>,
     /// `next[state][octant]` — successor state.
     next: Vec<[u8; 8]>,
+    /// `octant[state][digit]` — inverse of `digit`'s permutation rows;
+    /// drives the table-driven `coords_of` decode.
+    octant: Vec<[u8; 8]>,
 }
 
 static LUT3: OnceLock<HilbertLut3> = OnceLock::new();
@@ -118,7 +121,19 @@ impl HilbertLut3 {
                 next[state as usize][o as usize] = child;
             }
         }
-        HilbertLut3 { start, digit, next }
+        // Each state's octant→digit map is a permutation of 0..8 (pinned
+        // by tests), so inverting it gives the decode table for free.
+        let octant = digit
+            .iter()
+            .map(|row| {
+                let mut inv = [0u8; 8];
+                for (oct, &d) in row.iter().enumerate() {
+                    inv[d as usize] = oct as u8;
+                }
+                inv
+            })
+            .collect();
+        HilbertLut3 { start, digit, next, octant }
     }
 
     /// Table-driven `index_of` for any `bits`: the transducer starts in
@@ -135,6 +150,23 @@ impl HilbertLut3 {
             state = self.next[state][octant] as usize;
         }
         index
+    }
+
+    /// Table-driven `coords_of`: the exact inverse walk of
+    /// [`HilbertLut3::index_of`] — extract the curve digit per level,
+    /// invert it to the octant through `octant[state]`, set one
+    /// coordinate bit per axis, and follow the same successor states.
+    fn coords_of(&self, bits: u32, index: u64, coords: &mut [u32]) {
+        let mut state = self.start as usize;
+        coords.fill(0);
+        for level in (0..bits).rev() {
+            let digit = ((index >> (3 * level)) & 7) as usize;
+            let oct = self.octant[state][digit];
+            coords[0] |= u32::from((oct >> 2) & 1) << level;
+            coords[1] |= u32::from((oct >> 1) & 1) << level;
+            coords[2] |= u32::from(oct & 1) << level;
+            state = self.next[state][oct as usize] as usize;
+        }
     }
 }
 
@@ -288,6 +320,11 @@ impl SpaceFillingCurve for HilbertCurve {
             coords[0] = index as u32;
             return;
         }
+        if self.dims == 3 {
+            // Table-driven fast path, mirroring `index_of`: one digit
+            // lookup per level instead of the unpack + bit-exchange chain.
+            return HilbertLut3::get().coords_of(self.bits, index, coords);
+        }
         self.unpack(index, coords);
         self.transpose_to_axes(coords);
     }
@@ -323,6 +360,13 @@ mod tests {
             let mut c = [0u32; 2];
             self.coords_of(idx, &mut c);
             (c[0], c[1])
+        }
+
+        /// The Skilling unpack + bit-exchange decode — ground truth for
+        /// the LUT `coords_of` fast path.
+        fn coords_of_bitwise(&self, index: u64, coords: &mut [u32]) {
+            self.unpack(index, coords);
+            self.transpose_to_axes(coords);
         }
     }
 
@@ -472,6 +516,22 @@ mod tests {
         }
     }
 
+    #[test]
+    fn lut_decode_matches_bitwise_exhaustively_at_low_bits() {
+        // Every index of every grid up to 16³: the inverse-table decode
+        // and the Skilling unpack + bit-exchange must agree.
+        for bits in 1..=4u32 {
+            let h = HilbertCurve::new(3, bits);
+            let mut lut = [0u32; 3];
+            let mut oracle = [0u32; 3];
+            for idx in 0..h.cell_count() {
+                HilbertLut3::get().coords_of(bits, idx, &mut lut);
+                h.coords_of_bitwise(idx, &mut oracle);
+                assert_eq!(lut, oracle, "bits={bits} index={idx}");
+            }
+        }
+    }
+
     proptest! {
         #[test]
         fn lut_matches_bitwise_64_cubed(x in 0u32..64, y in 0u32..64, z in 0u32..64) {
@@ -485,6 +545,26 @@ mod tests {
             // The 128³ MRI/atlas grid.
             let h = HilbertCurve::new(3, 7);
             prop_assert_eq!(h.index_of(&[x, y, z]), h.index_of_bitwise(&[x, y, z]));
+        }
+
+        #[test]
+        fn lut_decode_matches_bitwise_64_cubed(idx in 0u64..(1u64 << 18)) {
+            let h = HilbertCurve::new(3, 6);
+            let mut lut = [0u32; 3];
+            let mut oracle = [0u32; 3];
+            h.coords_of(idx, &mut lut);
+            h.coords_of_bitwise(idx, &mut oracle);
+            prop_assert_eq!(lut, oracle);
+        }
+
+        #[test]
+        fn lut_decode_matches_bitwise_128_cubed(idx in 0u64..(1u64 << 21)) {
+            let h = HilbertCurve::new(3, 7);
+            let mut lut = [0u32; 3];
+            let mut oracle = [0u32; 3];
+            h.coords_of(idx, &mut lut);
+            h.coords_of_bitwise(idx, &mut oracle);
+            prop_assert_eq!(lut, oracle);
         }
     }
 

@@ -214,6 +214,63 @@ mod tests {
         }
     }
 
+    /// The generic n-D bit-loop — the oracle the magic-mask paths are
+    /// property-tested against (identical to the `_ =>` arms above).
+    fn generic_index_of(dims: u32, bits: u32, coords: &[u32]) -> u64 {
+        let mut out = 0u64;
+        for level in (0..bits).rev() {
+            for (axis, &c) in coords.iter().enumerate() {
+                let bit = u64::from((c >> level) & 1);
+                out |= bit << (level * dims + (dims - 1 - axis as u32));
+            }
+        }
+        out
+    }
+
+    fn generic_coords_of(dims: u32, bits: u32, index: u64, coords: &mut [u32]) {
+        coords.fill(0);
+        for level in 0..bits {
+            for axis in 0..dims {
+                let pos = level * dims + (dims - 1 - axis);
+                let bit = ((index >> pos) & 1) as u32;
+                coords[axis as usize] |= bit << level;
+            }
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn magic_masks_match_bitwise_oracle_64_cubed(
+            x in 0u32..64, y in 0u32..64, zc in 0u32..64,
+        ) {
+            // The 64³ PET grid: encode and decode must both agree with
+            // the bit-loop oracle.
+            let z = MortonCurve::new(3, 6);
+            let idx = z.index_of(&[x, y, zc]);
+            prop_assert_eq!(idx, generic_index_of(3, 6, &[x, y, zc]));
+            let mut fast = [0u32; 3];
+            let mut oracle = [0u32; 3];
+            z.coords_of(idx, &mut fast);
+            generic_coords_of(3, 6, idx, &mut oracle);
+            prop_assert_eq!(fast, oracle);
+        }
+
+        #[test]
+        fn magic_masks_match_bitwise_oracle_128_cubed(
+            x in 0u32..128, y in 0u32..128, zc in 0u32..128,
+        ) {
+            // The 128³ MRI/atlas grid.
+            let z = MortonCurve::new(3, 7);
+            let idx = z.index_of(&[x, y, zc]);
+            prop_assert_eq!(idx, generic_index_of(3, 7, &[x, y, zc]));
+            let mut fast = [0u32; 3];
+            let mut oracle = [0u32; 3];
+            z.coords_of(idx, &mut fast);
+            generic_coords_of(3, 7, idx, &mut oracle);
+            prop_assert_eq!(fast, oracle);
+        }
+    }
+
     proptest! {
         #[test]
         fn roundtrip_3d_21bits(x in 0u32..(1 << 21), y in 0u32..(1 << 21), zc in 0u32..(1 << 21)) {

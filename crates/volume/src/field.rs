@@ -1,7 +1,7 @@
 //! Curve-ordered dense fields.
 
 use crate::{DataRegion, VolumeError};
-use qbism_region::{GridGeometry, Region};
+use qbism_region::{GridGeometry, Region, Run};
 use qbism_sfc::{CurveKind, SpaceFillingCurve};
 
 /// A dense field of samples over a grid, stored linearized in the grid's
@@ -161,13 +161,22 @@ impl Volume {
     /// paper's **intensity band** when the interval is one of the fixed
     /// uniform bands, and the general attribute-query predicate otherwise.
     pub fn intensity_region(&self, lo: u8, hi: u8) -> Region {
-        let mut ids: Vec<u64> = Vec::new();
+        // Values are stored in curve order, so one linear scan tracking
+        // the open run emits the canonical run list directly — no
+        // materialized id vector, no sort.
+        let mut runs: Vec<Run> = Vec::new();
+        let mut open: Option<u64> = None;
         for (id, &v) in self.values.iter().enumerate() {
             if (lo..=hi).contains(&v) {
-                ids.push(id as u64);
+                open.get_or_insert(id as u64);
+            } else if let Some(start) = open.take() {
+                runs.push(Run::new(start, id as u64 - 1));
             }
         }
-        Region::from_ids(self.geom, ids)
+        if let Some(start) = open {
+            runs.push(Run::new(start, self.values.len() as u64 - 1));
+        }
+        Region::from_runs(self.geom, runs)
     }
 
     /// Partitions the 0-255 intensity range into uniform bands of `width`
@@ -183,17 +192,33 @@ impl Volume {
             "band width {width} must divide 256"
         );
         let count = (256 / width) as usize;
-        let mut buckets: Vec<Vec<u64>> = vec![Vec::new(); count];
+        // Bands partition the intensity range, so along the curve at most
+        // one band has an open run at any id: a single pass closing the
+        // open run whenever the band changes builds every band's
+        // canonical run list simultaneously — no id vectors in between.
+        let mut runs: Vec<Vec<Run>> = vec![Vec::new(); count];
+        let mut open: Option<(usize, u64)> = None; // (band, run start)
         for (id, &v) in self.values.iter().enumerate() {
-            buckets[v as usize / width as usize].push(id as u64);
+            let band = v as usize / width as usize;
+            match open {
+                Some((b, _)) if b == band => {}
+                _ => {
+                    if let Some((b, start)) = open {
+                        runs[b].push(Run::new(start, id as u64 - 1));
+                    }
+                    open = Some((band, id as u64));
+                }
+            }
         }
-        buckets
-            .into_iter()
+        if let Some((b, start)) = open {
+            runs[b].push(Run::new(start, self.values.len() as u64 - 1));
+        }
+        runs.into_iter()
             .enumerate()
-            .map(|(i, ids)| {
+            .map(|(i, band_runs)| {
                 let lo = (i as u16 * width) as u8;
                 let hi = (i as u16 * width + width - 1) as u8;
-                (lo, hi, Region::from_ids(self.geom, ids))
+                (lo, hi, Region::from_runs(self.geom, band_runs))
             })
             .collect()
     }

@@ -55,7 +55,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Off by default (the paper's tables assume an unbuffered LFM);
     // when enabled it absorbs repeat device reads without changing any
     // answer or any logical I/O count.
-    sys.server.set_cache_config(CacheConfig { capacity_pages: 256, enabled: true });
+    sys.server.set_cache_config(CacheConfig {
+        capacity_pages: 256,
+        enabled: true,
+        readahead_pages: 8,
+    });
     let cold = sys.server.full_study(ids[0])?;
     let warm = sys.server.full_study(ids[0])?;
     assert_eq!(cold.data, warm.data);

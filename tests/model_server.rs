@@ -18,7 +18,11 @@ fn system() -> &'static QbismSystem {
         let mut sys = QbismSystem::install(&QbismConfig::small_test()).unwrap();
         // Cache on so the model walks the clock-sweep path too, and two
         // engine threads so multi-study queries really fan out.
-        sys.server.set_cache_config(CacheConfig { capacity_pages: 32, enabled: true });
+        sys.server.set_cache_config(CacheConfig {
+            capacity_pages: 32,
+            enabled: true,
+            readahead_pages: 2,
+        });
         sys.server.set_threads(2);
         sys
     })

@@ -93,7 +93,11 @@ fn cache_changes_no_answer_and_no_logical_io() {
     assert!(!sys.server.cache_config().enabled, "paper fidelity: cache off by default");
     assert_eq!(sys.server.cache_stats().hits, 0);
 
-    sys.server.set_cache_config(CacheConfig { capacity_pages: 64, enabled: true });
+    sys.server.set_cache_config(CacheConfig {
+        capacity_pages: 64,
+        enabled: true,
+        readahead_pages: 4,
+    });
     let warm1 = sys.server.full_study(1).unwrap();
     let warm2 = sys.server.full_study(1).unwrap();
     let structure_warm = sys.server.structure_data(1, "ntal").unwrap();
@@ -178,7 +182,11 @@ fn concurrent_stress_under_faults_never_tears_an_answer() {
     sys.server.set_threads(2);
     // Cache on during the storm: eviction, invalidation and pinning all
     // run under contention too.
-    sys.server.set_cache_config(CacheConfig { capacity_pages: 16, enabled: true });
+    sys.server.set_cache_config(CacheConfig {
+        capacity_pages: 16,
+        enabled: true,
+        readahead_pages: 2,
+    });
     let server = &sys.server;
 
     let full = server.full_study(1).unwrap();
