@@ -3,7 +3,13 @@
 //!
 //! ```text
 //! obs_overhead [--bits N] [--rounds N] [--reps N] [--out PATH]
+//!              [--trace-out PATH] [--events-out PATH]
 //! ```
+//!
+//! `--trace-out` / `--events-out` additionally run an 8-client storm
+//! with the flight recorder on and write the Chrome trace JSON
+//! (`about:tracing`-loadable) and the JSONL event journal — the CI
+//! `obs-gate` job uploads both as artifacts.
 //!
 //! Run in release: `cargo run -p qbism-bench --release --bin obs_overhead`.
 
@@ -15,6 +21,8 @@ struct Args {
     rounds: usize,
     reps: usize,
     out: String,
+    trace_out: Option<String>,
+    events_out: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -22,7 +30,14 @@ fn parse_args() -> Result<Args, String> {
     // ~2 µs fixed per-query instrumentation cost is amortized over a
     // realistic extraction.  (Toy grids run microsecond queries, so the
     // same fixed cost shows up as tens of percent there.)
-    let mut args = Args { bits: 7, rounds: 9, reps: 10, out: "BENCH_observability.json".into() };
+    let mut args = Args {
+        bits: 7,
+        rounds: 9,
+        reps: 10,
+        out: "BENCH_observability.json".into(),
+        trace_out: None,
+        events_out: None,
+    };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         let mut flag = |name: &str| -> Result<String, String> {
@@ -35,10 +50,12 @@ fn parse_args() -> Result<Args, String> {
             }
             "--reps" => args.reps = flag("--reps")?.parse().map_err(|e| format!("--reps: {e}"))?,
             "--out" => args.out = flag("--out")?,
+            "--trace-out" => args.trace_out = Some(flag("--trace-out")?),
+            "--events-out" => args.events_out = Some(flag("--events-out")?),
             "--help" | "-h" => {
-                return Err(
-                    "usage: obs_overhead [--bits N] [--rounds N] [--reps N] [--out PATH]".into()
-                )
+                return Err("usage: obs_overhead [--bits N] [--rounds N] [--reps N] [--out PATH] \
+                            [--trace-out PATH] [--events-out PATH]"
+                    .into())
             }
             other => return Err(format!("unknown flag {other}")),
         }
@@ -71,6 +88,22 @@ fn main() {
         std::process::exit(1);
     }
     println!("wrote {}", args.out);
+    if args.trace_out.is_some() || args.events_out.is_some() {
+        // The artifact storm uses a small grid: the point is coherent
+        // per-client traces, not wall time, and small trees stay
+        // loadable in about:tracing.
+        let storm_config = QbismConfig::small_test();
+        let (trace_json, events) = obs_overhead::capture_storm_artifacts(&storm_config, 8);
+        for (path, bytes) in [(&args.trace_out, &trace_json), (&args.events_out, &events)] {
+            if let Some(path) = path {
+                if let Err(e) = std::fs::write(path, bytes) {
+                    eprintln!("cannot write {path}: {e}");
+                    std::process::exit(1);
+                }
+                println!("wrote {path}");
+            }
+        }
+    }
     if !report.within_budget() {
         std::process::exit(1);
     }

@@ -155,9 +155,48 @@ pub fn measure(config: &QbismConfig, rounds: usize, reps_per_round: usize) -> Ov
     }
 }
 
+/// Runs a `clients`-way query storm with the flight recorder on and
+/// returns `(chrome_trace_json, events_jsonl)` — the CI artifacts that
+/// prove an 8-client storm exports coherent per-trace timelines.
+pub fn capture_storm_artifacts(config: &QbismConfig, clients: usize) -> (String, String) {
+    let sys = QbismSystem::install(config).expect("install");
+    let study = sys.pet_study_ids[0];
+    qbism_obs::set_enabled(true);
+    qbism_obs::trace::clear();
+    qbism_obs::event::clear();
+    let server = &sys.server;
+    std::thread::scope(|scope| {
+        for _ in 0..clients.max(1) {
+            scope.spawn(move || {
+                let answer = server.full_study(study).expect("storm Q1 runs");
+                std::hint::black_box(answer.voxel_count());
+            });
+        }
+    });
+    let trace_json = qbism_obs::export::chrome_trace(
+        &qbism_obs::trace::recent_roots(),
+        &qbism_obs::event::events(),
+    );
+    let events = qbism_obs::export::events_jsonl(&qbism_obs::event::events());
+    (trace_json, events)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn storm_artifacts_cover_every_client() {
+        let (trace_json, events) = capture_storm_artifacts(&QbismConfig::small_test(), 3);
+        assert_eq!(trace_json.matches('{').count(), trace_json.matches('}').count());
+        assert!(trace_json.contains("\"ph\":\"X\""));
+        assert!(
+            trace_json.matches("\"name\":\"query.full_study\"").count() >= 3,
+            "one root slice per client"
+        );
+        assert!(!events.is_empty());
+        assert!(events.lines().all(|l| l.starts_with('{') && l.ends_with('}')));
+    }
 
     #[test]
     fn quick_run_produces_samples_and_restores_the_flag() {

@@ -27,6 +27,10 @@
 //! - **fault-site-name** — fault-injection site patterns are dotted
 //!   lowercase (`plane.op`, e.g. `lfm.meta.write`), with `*` wildcards,
 //!   so rules written against one crate keep matching as sites grow.
+//! - **traced-entrypoints** — every public query method (`pub fn` with
+//!   `&self` returning `Result<…>`) on the monitored server/database
+//!   types opens a root span (`trace::root(` or `query_span(`), so no
+//!   query entrypoint can silently fall out of the flight recorder.
 //!
 //! The scanner is line-based with just enough lexing to strip `//` and
 //! `/* */` comments and string literals (so tokens inside strings or
@@ -69,6 +73,11 @@ pub struct LintConfig {
     pub deterministic_crates: Vec<String>,
     /// Crates ported to the sync facade.
     pub facade_crates: Vec<String>,
+    /// Type names whose inherent impls must trace their public query
+    /// methods (`traced-entrypoints`).
+    pub traced_impls: Vec<String>,
+    /// Crates where `traced-entrypoints` applies.
+    pub traced_crates: Vec<String>,
 }
 
 impl LintConfig {
@@ -98,6 +107,8 @@ impl LintConfig {
                 "check",
             ]),
             facade_crates: s(&["parallel", "lfm", "netsim", "fault", "core"]),
+            traced_impls: s(&["MedicalServer", "Database"]),
+            traced_crates: s(&["core", "starburst"]),
         }
     }
 
@@ -130,14 +141,23 @@ pub fn lint_source(source: &str, rel: &str, crate_name: &str, cfg: &LintConfig) 
     let check_kernel = file_name.contains("kernel")
         && (cfg.all_crates_in_scope || matches!(crate_name, "region" | "sfc" | "volume"));
 
+    let check_traced = in_scope(&cfg.traced_crates);
+
     let mut findings = Vec::new();
     let mut scanner = Scanner::default();
     let mut test_state = TestBlockState::default();
+    let mut traced_state = TracedEntrypoints::default();
 
     for (idx, raw_line) in source.lines().enumerate() {
         let line_no = idx + 1;
         let parsed = scanner.strip(raw_line);
         let skip = cfg.skip_test_blocks && test_state.update(raw_line, &parsed.code);
+        if check_traced {
+            // Fed every line (even skipped ones) so brace depths stay
+            // true across `#[cfg(test)]` blocks; `skip` only suppresses
+            // monitoring and findings.
+            traced_state.update(&parsed.code, line_no, skip, &cfg.traced_impls, rel, &mut findings);
+        }
         if skip {
             continue;
         }
@@ -389,6 +409,188 @@ impl TestBlockState {
 }
 
 // ---------------------------------------------------------------------------
+// traced-entrypoints
+// ---------------------------------------------------------------------------
+
+/// A public query method whose body is being watched for a root span.
+struct WatchedBody {
+    fn_name: String,
+    sig_line: usize,
+    /// Brace depth the body's closing `}` returns to.
+    close_depth: i64,
+    traced: bool,
+}
+
+/// Tracks inherent `impl` blocks of the monitored types and requires
+/// every `pub fn (&self, …) -> Result<…>` inside them to open a root
+/// span before its body closes.
+#[derive(Default)]
+struct TracedEntrypoints {
+    depth: i64,
+    /// Brace depth of the monitored impl's body, while inside one.
+    impl_body_depth: Option<i64>,
+    /// Saw a monitored `impl` header whose `{` hasn't appeared yet.
+    pending_impl: bool,
+    /// Accumulated method signature awaiting its body `{`.
+    sig: Option<(String, usize)>,
+    body: Option<WatchedBody>,
+}
+
+fn opens_root_span(code: &str) -> bool {
+    code.contains("trace::root(") || code.contains("query_span(")
+}
+
+impl TracedEntrypoints {
+    fn update(
+        &mut self,
+        code: &str,
+        line_no: usize,
+        suppress: bool,
+        impls: &[String],
+        rel: &str,
+        findings: &mut Vec<Finding>,
+    ) {
+        let opens = code.matches('{').count() as i64;
+        let closes = code.matches('}').count() as i64;
+        let before = self.depth;
+        let after = before + opens - closes;
+        self.depth = after;
+
+        if let Some(body) = &mut self.body {
+            if opens_root_span(code) {
+                body.traced = true;
+            }
+            if after <= body.close_depth {
+                if !body.traced && !suppress {
+                    findings.push(Finding {
+                        file: rel.to_string(),
+                        line: body.sig_line,
+                        rule: "traced-entrypoints",
+                        message: format!(
+                            "public query method `{}` does not open a root span; call `trace::root(..)` (or the server's `query_span`) so the flight recorder sees it",
+                            body.fn_name
+                        ),
+                    });
+                }
+                self.body = None;
+            }
+            return;
+        }
+
+        if let Some(impl_depth) = self.impl_body_depth {
+            if let Some((mut sig, sig_line)) = self.sig.take() {
+                sig.push(' ');
+                sig.push_str(code);
+                if code.contains('{') {
+                    self.watch_if_query(&sig, sig_line, impl_depth, after, suppress, rel, findings);
+                } else if code.contains(';') {
+                    // Signature without a body here (shouldn't occur in
+                    // an inherent impl) — drop it.
+                } else {
+                    self.sig = Some((sig, sig_line));
+                }
+                return;
+            }
+            if after < impl_depth {
+                self.impl_body_depth = None;
+                return;
+            }
+            if before == impl_depth && code.contains("pub fn ") && !suppress {
+                if code.contains('{') {
+                    self.watch_if_query(code, line_no, impl_depth, after, suppress, rel, findings);
+                } else if !code.contains(';') {
+                    self.sig = Some((code.to_string(), line_no));
+                }
+            }
+            return;
+        }
+
+        if self.pending_impl {
+            if opens > 0 {
+                self.pending_impl = false;
+                self.impl_body_depth = Some(before + 1);
+            } else if code.contains(';') {
+                self.pending_impl = false;
+            }
+            return;
+        }
+        if monitored_impl_header(code, impls) {
+            if opens > 0 {
+                self.impl_body_depth = Some(before + 1);
+            } else {
+                self.pending_impl = true;
+            }
+        }
+    }
+
+    /// A complete signature (body `{` seen on `sig`'s last line):
+    /// start watching the body if it is a public query method.
+    #[allow(clippy::too_many_arguments)]
+    fn watch_if_query(
+        &mut self,
+        sig: &str,
+        sig_line: usize,
+        impl_depth: i64,
+        depth_after: i64,
+        suppress: bool,
+        rel: &str,
+        findings: &mut Vec<Finding>,
+    ) {
+        // `&self` is not a substring of `&mut self`, so mutating
+        // (load/maintenance) methods are exempt by construction.
+        if !(sig.contains("&self") && sig.contains("Result<")) {
+            return;
+        }
+        let fn_name: String = sig
+            .split("pub fn ")
+            .nth(1)
+            .unwrap_or("")
+            .chars()
+            .take_while(|c| c.is_alphanumeric() || *c == '_')
+            .collect();
+        let traced = opens_root_span(sig);
+        if depth_after <= impl_depth {
+            // Single-line method: the body already closed.
+            if !traced && !suppress {
+                findings.push(Finding {
+                    file: rel.to_string(),
+                    line: sig_line,
+                    rule: "traced-entrypoints",
+                    message: format!(
+                        "public query method `{fn_name}` does not open a root span; call `trace::root(..)` (or the server's `query_span`) so the flight recorder sees it"
+                    ),
+                });
+            }
+            return;
+        }
+        self.body = Some(WatchedBody { fn_name, sig_line, close_depth: impl_depth, traced });
+    }
+}
+
+/// An inherent-impl header for one of the monitored types (trait impls
+/// — `impl X for Y` — are exempt: they satisfy external contracts).
+fn monitored_impl_header(code: &str, impls: &[String]) -> bool {
+    let trimmed = code.trim_start();
+    if !(trimmed.starts_with("impl ") || trimmed.starts_with("impl<")) {
+        return false;
+    }
+    if code.contains(" for ") {
+        return false;
+    }
+    impls.iter().any(|name| {
+        code.match_indices(name.as_str()).any(|(pos, _)| {
+            let before_ok =
+                code[..pos].chars().next_back().is_none_or(|c| !(c.is_alphanumeric() || c == '_'));
+            let after_ok = code[pos + name.len()..]
+                .chars()
+                .next()
+                .is_none_or(|c| !(c.is_alphanumeric() || c == '_'));
+            before_ok && after_ok
+        })
+    })
+}
+
+// ---------------------------------------------------------------------------
 // Rule helpers
 // ---------------------------------------------------------------------------
 
@@ -542,6 +744,75 @@ mod tests {
         // And kernel files in out-of-scope crates are fine too.
         let core = lint_source(src, "crates/core/src/kernel.rs", "core", &LintConfig::workspace());
         assert!(core.is_empty());
+    }
+
+    #[test]
+    fn traced_entrypoints_flags_untraced_query_methods() {
+        let src = "impl MedicalServer {\n    pub fn quick(&self, id: i64) -> Result<Answer> {\n        self.fetch(id)\n    }\n}";
+        let f = lint_source(src, "crates/core/src/server.rs", "core", &LintConfig::workspace());
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "traced-entrypoints");
+        assert_eq!(f[0].line, 2);
+        assert!(f[0].message.contains("`quick`"));
+    }
+
+    #[test]
+    fn traced_entrypoints_accepts_rooted_methods_and_exemptions() {
+        let src = concat!(
+            "impl Database {\n",
+            // Traced via trace::root — fine.
+            "    pub fn query(&self, sql: &str) -> Result<Rows> {\n",
+            "        let span = qbism_obs::trace::root(\"db.execute\");\n",
+            "        self.run(sql)\n",
+            "    }\n",
+            // Traced via query_span, multi-line signature — fine.
+            "    pub fn multi(\n",
+            "        &self,\n",
+            "        id: i64,\n",
+            "    ) -> Result<Rows> {\n",
+            "        let span = Self::query_span(\"multi\");\n",
+            "        self.fetch(id)\n",
+            "    }\n",
+            // `&mut self` (DML/maintenance) — exempt.
+            "    pub fn execute(&mut self, sql: &str) -> Result<Outcome> {\n",
+            "        self.mutate(sql)\n",
+            "    }\n",
+            // Non-Result accessor — exempt.
+            "    pub fn len(&self) -> usize {\n",
+            "        self.rows.len()\n",
+            "    }\n",
+            // Private helper — exempt.\n
+            "    fn run_read(&self, s: Statement) -> Result<Rows> {\n",
+            "        self.go(s)\n",
+            "    }\n",
+            "}\n",
+            // Trait impls satisfy external contracts — exempt.
+            "impl Render for Database {\n",
+            "    pub fn draw(&self) -> Result<()> {\n",
+            "        Ok(())\n",
+            "    }\n",
+            "}\n",
+            // Other types — out of scope.
+            "impl ResultSet {\n",
+            "    pub fn single_value(&self) -> Result<&Value> {\n",
+            "        self.pick()\n",
+            "    }\n",
+            "}\n",
+        );
+        let f =
+            lint_source(src, "crates/starburst/src/db.rs", "starburst", &LintConfig::workspace());
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn traced_entrypoints_scoped_to_monitored_crates() {
+        let src =
+            "impl Database {\n    pub fn peek(&self) -> Result<u32> {\n        self.go()\n    }\n}";
+        let f = lint_source(src, "crates/lfm/src/x.rs", "lfm", &LintConfig::workspace());
+        assert!(f.is_empty(), "lfm is out of traced scope: {f:?}");
+        let f =
+            lint_source(src, "crates/starburst/src/db.rs", "starburst", &LintConfig::workspace());
+        assert_eq!(f.len(), 1);
     }
 
     #[test]

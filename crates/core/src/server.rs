@@ -268,6 +268,36 @@ impl MedicalServer {
         qbism_obs::trace::last_root()
     }
 
+    /// The flight recorder's recent span trees plus journal events as
+    /// Chrome trace-event JSON (load in `about:tracing` or Perfetto).
+    pub fn flight_recorder_chrome_trace(&self) -> String {
+        qbism_obs::export::chrome_trace(
+            &qbism_obs::trace::recent_roots(),
+            &qbism_obs::event::events(),
+        )
+    }
+
+    /// The flight recorder's journal as newline-delimited JSON.
+    pub fn flight_recorder_events_jsonl(&self) -> String {
+        qbism_obs::export::events_jsonl(&qbism_obs::event::events())
+    }
+
+    /// Queries whose end-to-end time crossed the slow-query threshold,
+    /// each with its captured span tree and event slice.
+    pub fn slow_queries(&self) -> Vec<qbism_obs::SlowQuery> {
+        qbism_obs::event::slow_queries()
+    }
+
+    /// Sets the slow-query capture threshold for this process.
+    pub fn set_slow_query_threshold(&self, threshold: std::time::Duration) {
+        qbism_obs::event::set_slow_query_threshold(threshold);
+    }
+
+    /// Flight-recorder dumps captured by crash-outcome faults.
+    pub fn crash_dumps(&self) -> Vec<qbism_obs::CrashDump> {
+        qbism_obs::event::crash_dumps()
+    }
+
     /// Direct database access (examples, tests, ad-hoc SQL).
     pub fn database(&mut self) -> &mut Database {
         &mut self.db
@@ -459,6 +489,8 @@ impl MedicalServer {
         span.record_u64("hi", u64::from(hi));
         span.record_u64("threads", self.threads as u64);
         let plane = qbism_fault::current();
+        // The executor forks the trace context: worker-side spans land
+        // inside this query's tree, in study order, at any thread count.
         let fetched = Executor::new(self.threads).map(study_ids.to_vec(), |_, id| {
             let _fault = plane.clone().map(qbism_fault::FaultPlane::arm_shared);
             self.band_region_fetch(id, lo, hi)

@@ -419,6 +419,12 @@ fn record_injection(site: &str, outcome: &FaultOutcome) {
     });
     reg.counter_with("qbism_faults_injected_total", &[("site", site), ("outcome", outcome.name())])
         .inc();
+    qbism_obs::event::fault_injected(site, outcome.name());
+    if matches!(outcome, FaultOutcome::Crash) {
+        // Snapshot the flight recorder *after* journaling the fault, so
+        // the dump's event slice ends with the crash that caused it.
+        qbism_obs::event::capture_crash_dump(site);
+    }
     let span = qbism_obs::trace::span("fault.inject");
     span.record_str("site", site);
     span.record_str("outcome", outcome.name());

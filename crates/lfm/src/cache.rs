@@ -142,11 +142,13 @@ impl PageCache {
                 frame.referenced = true;
                 self.stats.hits += 1;
                 self.metrics.hits.inc();
+                qbism_obs::event::cache_hit(page);
                 Some(Arc::clone(&frame.data))
             }
             None => {
                 self.stats.misses += 1;
                 self.metrics.misses.inc();
+                qbism_obs::event::cache_miss(page);
                 None
             }
         }
@@ -180,6 +182,7 @@ impl PageCache {
             self.map.remove(&frame.page);
             self.stats.evictions += 1;
             self.metrics.evictions.inc();
+            qbism_obs::event::cache_evict(frame.page);
             self.map.insert(page, idx);
             self.frames[idx] = Frame { page, data, referenced: true, pins: 0 };
             return;

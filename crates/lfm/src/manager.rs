@@ -551,6 +551,7 @@ impl LongFieldManager {
         self.meta.journal_bytes += rec_len as u64;
         self.metrics.journal_records.inc();
         self.metrics.journal_bytes.add(rec_len as u64);
+        qbism_obs::event::journal_record(rec_len as u64);
         Ok(())
     }
 
@@ -860,6 +861,7 @@ impl LongFieldManager {
         }
         drop(cache);
         if span.is_recording() {
+            qbism_obs::event::page_read(pages, extents);
             span.record_u64("pages", pages);
             span.record_u64("extents", extents);
             span.record_u64("bytes", (out.len() - before) as u64);

@@ -277,10 +277,12 @@ impl RpcChannel {
                                     c.retries.add(retransmits);
                                     c.timeouts.inc();
                                 }
+                                qbism_obs::event::timeout("net.ship", attempt as u64);
                                 return Err(NetError::Timeout { message, attempts: attempt });
                             }
                             backoff += self.retry.backoff_seconds(attempt);
                             retransmits += 1;
+                            qbism_obs::event::retry("net.ship", attempt as u64);
                             attempt += 1;
                         }
                     }

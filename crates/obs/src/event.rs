@@ -1,0 +1,556 @@
+//! Bounded structured event journal, slow-query log, and crash dumps —
+//! the always-on half of the flight recorder.
+//!
+//! Every instrumented layer appends typed [`Event`]s (span open/close,
+//! LFM page reads, cache hits/evictions, injected faults, RPC retries)
+//! to one process-wide ring.  Appends are lock-cheap: one timestamp,
+//! one short mutex-guarded push; the ring is bounded so an always-on
+//! recorder can never grow without limit — old events fall off the
+//! front and are counted in [`dropped`].
+//!
+//! Two triggers snapshot the ring:
+//!
+//! * **slow queries** — a finished root span whose duration meets the
+//!   configurable threshold ([`set_slow_query_threshold`]) captures its
+//!   EXPLAIN ANALYZE tree plus the journal slice belonging to its
+//!   trace ([`slow_queries`]);
+//! * **crashes** — the `qbism-fault` crash path calls
+//!   [`capture_crash_dump`], which snapshots the whole ring and every
+//!   live span stack, so a `crash_sweep` failure always comes with the
+//!   events leading up to it ([`crash_dumps`]).
+
+use qbism_check::sync::lock_or_recover;
+use std::borrow::Cow;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+use crate::context;
+use crate::trace::SpanNode;
+
+/// Default bound on the event ring.
+pub const DEFAULT_JOURNAL_CAPACITY: usize = 16_384;
+/// How many slow-query records are retained (newest win).
+pub const SLOW_LOG_CAPACITY: usize = 16;
+/// How many crash dumps are retained (newest win).
+pub const CRASH_DUMP_CAPACITY: usize = 8;
+/// Default slow-query threshold: 250 ms.
+pub const DEFAULT_SLOW_QUERY_MICROS: u64 = 250_000;
+
+/// A typed journal event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EventKind {
+    /// A span opened ([`crate::trace`]).
+    SpanOpen {
+        /// Span name.
+        name: Cow<'static, str>,
+    },
+    /// A span closed.
+    SpanClose {
+        /// Span name.
+        name: Cow<'static, str>,
+        /// Span duration in microseconds.
+        micros: u64,
+    },
+    /// The LFM served a read: distinct 4 KiB pages and contiguous
+    /// extents.
+    PageRead {
+        /// Distinct pages read.
+        pages: u64,
+        /// Contiguous extents (seeks).
+        extents: u64,
+    },
+    /// Page cache hit.
+    CacheHit {
+        /// Page number.
+        page: u64,
+    },
+    /// Page cache miss.
+    CacheMiss {
+        /// Page number.
+        page: u64,
+    },
+    /// Page cache eviction.
+    CacheEvict {
+        /// Page number evicted.
+        page: u64,
+    },
+    /// The LFM metadata journal appended a record.
+    JournalRecord {
+        /// Record size in bytes.
+        bytes: u64,
+    },
+    /// An armed fault plane delivered a fault.
+    FaultInjected {
+        /// Site pattern that matched, e.g. `lfm.read`.
+        site: String,
+        /// Outcome name (`error`, `torn`, `crash`, `latency`, `drop`).
+        outcome: &'static str,
+    },
+    /// An RPC was retransmitted.
+    Retry {
+        /// Site, e.g. `net.ship`.
+        site: &'static str,
+        /// 1-based retransmission attempt.
+        attempt: u64,
+    },
+    /// An RPC exhausted its retry budget.
+    Timeout {
+        /// Site, e.g. `net.ship`.
+        site: &'static str,
+        /// Attempts made before giving up.
+        attempts: u64,
+    },
+    /// A root span met the slow-query threshold.
+    SlowQuery {
+        /// Root span name.
+        name: String,
+        /// Query duration in microseconds.
+        micros: u64,
+    },
+    /// A crash dump was captured at this point.
+    CrashDump {
+        /// Faulted site.
+        site: String,
+    },
+    /// Free-form instrumentation point.
+    Custom {
+        /// Event name (static so hot paths don't allocate for it).
+        name: &'static str,
+        /// Short detail string.
+        detail: String,
+    },
+}
+
+impl EventKind {
+    /// Stable lowercase label for exports (`span_open`, `page_read`, …).
+    pub fn label(&self) -> &'static str {
+        match self {
+            EventKind::SpanOpen { .. } => "span_open",
+            EventKind::SpanClose { .. } => "span_close",
+            EventKind::PageRead { .. } => "page_read",
+            EventKind::CacheHit { .. } => "cache_hit",
+            EventKind::CacheMiss { .. } => "cache_miss",
+            EventKind::CacheEvict { .. } => "cache_evict",
+            EventKind::JournalRecord { .. } => "journal_record",
+            EventKind::FaultInjected { .. } => "fault_injected",
+            EventKind::Retry { .. } => "retry",
+            EventKind::Timeout { .. } => "timeout",
+            EventKind::SlowQuery { .. } => "slow_query",
+            EventKind::CrashDump { .. } => "crash_dump",
+            EventKind::Custom { .. } => "custom",
+        }
+    }
+}
+
+/// One journal entry: monotone sequence number, timestamp, causal
+/// context, payload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Monotone per-process sequence number (gaps mean eviction).
+    pub seq: u64,
+    /// Microseconds since the process trace epoch.
+    pub micros: u64,
+    /// Owning trace id, or 0 when recorded outside any trace.
+    pub trace: u64,
+    /// Recording thread's ordinal.
+    pub thread: u64,
+    /// Payload.
+    pub kind: EventKind,
+}
+
+struct Journal {
+    events: VecDeque<Event>,
+    next_seq: u64,
+    dropped: u64,
+}
+
+static JOURNAL: Mutex<Journal> =
+    Mutex::new(Journal { events: VecDeque::new(), next_seq: 0, dropped: 0 });
+static CAPACITY: AtomicUsize = AtomicUsize::new(DEFAULT_JOURNAL_CAPACITY);
+static SLOW_THRESHOLD: AtomicU64 = AtomicU64::new(DEFAULT_SLOW_QUERY_MICROS);
+
+static SLOW_LOG: Mutex<VecDeque<SlowQuery>> = Mutex::new(VecDeque::new());
+static CRASH_DUMPS: Mutex<VecDeque<CrashDump>> = Mutex::new(VecDeque::new());
+
+/// Appends one event to the journal.  No-op while recording is
+/// disabled; evicts the oldest entry at capacity.
+pub fn record(kind: EventKind) {
+    if !crate::enabled() {
+        return;
+    }
+    let event = Event {
+        seq: 0,
+        micros: context::now_micros(),
+        trace: context::current_raw(),
+        thread: context::thread_ordinal(),
+        kind,
+    };
+    let capacity = CAPACITY.load(Ordering::Relaxed).max(1);
+    let mut journal = lock_or_recover(&JOURNAL);
+    let mut event = event;
+    event.seq = journal.next_seq;
+    journal.next_seq += 1;
+    while journal.events.len() >= capacity {
+        journal.events.pop_front();
+        journal.dropped += 1;
+    }
+    journal.events.push_back(event);
+}
+
+pub(crate) fn span_opened(name: Cow<'static, str>) {
+    record(EventKind::SpanOpen { name });
+}
+
+pub(crate) fn span_closed(name: Cow<'static, str>, micros: u64) {
+    record(EventKind::SpanClose { name, micros });
+}
+
+/// Records an LFM page read (`pages` distinct pages over `extents`
+/// contiguous extents).
+pub fn page_read(pages: u64, extents: u64) {
+    record(EventKind::PageRead { pages, extents });
+}
+
+/// Records a page-cache hit.
+pub fn cache_hit(page: u64) {
+    record(EventKind::CacheHit { page });
+}
+
+/// Records a page-cache miss.
+pub fn cache_miss(page: u64) {
+    record(EventKind::CacheMiss { page });
+}
+
+/// Records a page-cache eviction.
+pub fn cache_evict(page: u64) {
+    record(EventKind::CacheEvict { page });
+}
+
+/// Records an LFM metadata-journal append of `bytes` bytes.
+pub fn journal_record(bytes: u64) {
+    record(EventKind::JournalRecord { bytes });
+}
+
+/// Records an injected fault at `site` with the given outcome name.
+pub fn fault_injected(site: &str, outcome: &'static str) {
+    record(EventKind::FaultInjected { site: site.to_string(), outcome });
+}
+
+/// Records an RPC retransmission.
+pub fn retry(site: &'static str, attempt: u64) {
+    record(EventKind::Retry { site, attempt });
+}
+
+/// Records an exhausted RPC retry budget.
+pub fn timeout(site: &'static str, attempts: u64) {
+    record(EventKind::Timeout { site, attempts });
+}
+
+/// Records a free-form event.
+pub fn custom(name: &'static str, detail: &str) {
+    record(EventKind::Custom { name, detail: detail.to_string() });
+}
+
+/// Snapshot of the journal, oldest first.
+pub fn events() -> Vec<Event> {
+    lock_or_recover(&JOURNAL).events.iter().cloned().collect()
+}
+
+/// Journal entries belonging to one trace, oldest first.
+pub fn events_for_trace(trace: u64) -> Vec<Event> {
+    lock_or_recover(&JOURNAL).events.iter().filter(|e| e.trace == trace).cloned().collect()
+}
+
+/// Events evicted from the ring so far (journal pressure indicator).
+pub fn dropped() -> u64 {
+    lock_or_recover(&JOURNAL).dropped
+}
+
+/// Empties the journal (test isolation).  Sequence numbers keep
+/// counting; the drop counter resets.
+pub fn clear() {
+    let mut journal = lock_or_recover(&JOURNAL);
+    journal.events.clear();
+    journal.dropped = 0;
+}
+
+/// Bounds the event ring to `capacity` entries (clamped to ≥ 1).
+/// Excess entries are evicted on the next append.
+pub fn set_journal_capacity(capacity: usize) {
+    CAPACITY.store(capacity.max(1), Ordering::Relaxed);
+}
+
+/// Current journal bound.
+pub fn journal_capacity() -> usize {
+    CAPACITY.load(Ordering::Relaxed)
+}
+
+/// A captured slow query: its finished EXPLAIN ANALYZE tree plus the
+/// journal slice that belongs to its trace.
+#[derive(Debug, Clone)]
+pub struct SlowQuery {
+    /// Owning trace id.
+    pub trace: u64,
+    /// Query duration in microseconds.
+    pub micros: u64,
+    /// The finished root span tree.
+    pub tree: SpanNode,
+    /// Journal events recorded under this trace (bounded by the ring).
+    pub events: Vec<Event>,
+}
+
+/// Sets the slow-query threshold.  Roots at least this long are
+/// captured; `Duration::ZERO` captures every query,
+/// `Duration::MAX` effectively disables the log.
+pub fn set_slow_query_threshold(threshold: Duration) {
+    let micros = u64::try_from(threshold.as_micros()).unwrap_or(u64::MAX);
+    SLOW_THRESHOLD.store(micros, Ordering::Relaxed);
+}
+
+/// Current slow-query threshold in microseconds.
+pub fn slow_query_threshold_micros() -> u64 {
+    SLOW_THRESHOLD.load(Ordering::Relaxed)
+}
+
+/// Retained slow-query captures, oldest first (at most
+/// [`SLOW_LOG_CAPACITY`]).
+pub fn slow_queries() -> Vec<SlowQuery> {
+    lock_or_recover(&SLOW_LOG).iter().cloned().collect()
+}
+
+/// Empties the slow-query log (test isolation).
+pub fn clear_slow_queries() {
+    lock_or_recover(&SLOW_LOG).clear();
+}
+
+/// Called by the tracer when a root span finishes: journals the
+/// `slow_query` event and captures the tree + event slice when the
+/// threshold is met.
+pub(crate) fn note_root_finished(node: &SpanNode) {
+    let micros = (node.seconds * 1e6) as u64;
+    if micros < SLOW_THRESHOLD.load(Ordering::Relaxed) {
+        return;
+    }
+    record(EventKind::SlowQuery { name: node.name.to_string(), micros });
+    let capture = SlowQuery {
+        trace: node.trace_id,
+        micros,
+        tree: node.clone(),
+        events: events_for_trace(node.trace_id),
+    };
+    let mut log = lock_or_recover(&SLOW_LOG);
+    if log.len() >= SLOW_LOG_CAPACITY {
+        log.pop_front();
+    }
+    log.push_back(capture);
+}
+
+/// A flight-recorder dump captured when an armed fault plane delivered
+/// a crash: the whole event ring plus every live span stack at the
+/// moment of the crash.
+#[derive(Debug, Clone)]
+pub struct CrashDump {
+    /// Faulted site, e.g. `lfm.meta.write`.
+    pub site: String,
+    /// Microseconds since the process trace epoch.
+    pub micros: u64,
+    /// Trace current on the crashing thread (0 = none).
+    pub trace: u64,
+    /// Crashing thread's ordinal.
+    pub thread: u64,
+    /// The event ring at the moment of the crash, oldest first.
+    pub events: Vec<Event>,
+    /// Live span stacks (outermost first), one per active thread.
+    pub live_spans: Vec<Vec<String>>,
+}
+
+/// Captures a crash dump: journals a `crash_dump` event, then snapshots
+/// the event ring and every live span stack.  Called by the
+/// `qbism-fault` crash path; bounded at [`CRASH_DUMP_CAPACITY`].
+pub fn capture_crash_dump(site: &str) {
+    if !crate::enabled() {
+        return;
+    }
+    record(EventKind::CrashDump { site: site.to_string() });
+    let dump = CrashDump {
+        site: site.to_string(),
+        micros: context::now_micros(),
+        trace: context::current_raw(),
+        thread: context::thread_ordinal(),
+        events: events(),
+        live_spans: crate::profile::live_stacks(),
+    };
+    crate::global().counter("qbism_obs_crash_dumps_total").inc();
+    let mut dumps = lock_or_recover(&CRASH_DUMPS);
+    if dumps.len() >= CRASH_DUMP_CAPACITY {
+        dumps.pop_front();
+    }
+    dumps.push_back(dump);
+}
+
+/// Retained crash dumps, oldest first.
+pub fn crash_dumps() -> Vec<CrashDump> {
+    lock_or_recover(&CRASH_DUMPS).iter().cloned().collect()
+}
+
+/// The most recent crash dump, if any.
+pub fn last_crash_dump() -> Option<CrashDump> {
+    lock_or_recover(&CRASH_DUMPS).back().cloned()
+}
+
+/// Empties the crash-dump store (test isolation).
+pub fn clear_crash_dumps() {
+    lock_or_recover(&CRASH_DUMPS).clear();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace;
+
+    #[test]
+    fn journal_records_and_bounds() {
+        let _g = crate::test_lock();
+        clear();
+        let before = journal_capacity();
+        set_journal_capacity(8);
+        for i in 0..20 {
+            page_read(i, 1);
+        }
+        let evs = events();
+        assert_eq!(evs.len(), 8);
+        assert!(dropped() >= 12);
+        // Oldest were evicted: the survivors are the last 8 appends.
+        match &evs[0].kind {
+            EventKind::PageRead { pages, .. } => assert_eq!(*pages, 12),
+            other => panic!("unexpected {other:?}"),
+        }
+        // Sequence numbers are monotone and dense within the window.
+        for w in evs.windows(2) {
+            assert_eq!(w[1].seq, w[0].seq + 1);
+        }
+        set_journal_capacity(before);
+        clear();
+    }
+
+    #[test]
+    fn events_carry_the_current_trace() {
+        let _g = crate::test_lock();
+        clear();
+        trace::clear();
+        page_read(1, 1); // outside any trace
+        let trace_id = {
+            let _root = trace::root("query.event_ctx");
+            cache_hit(42);
+            context::current_raw()
+        };
+        assert!(trace_id != 0);
+        let evs = events();
+        let outside = evs.iter().find(|e| matches!(e.kind, EventKind::PageRead { .. }));
+        assert_eq!(outside.map(|e| e.trace), Some(0));
+        let inside: Vec<_> = events_for_trace(trace_id);
+        assert!(
+            inside.iter().any(|e| matches!(e.kind, EventKind::CacheHit { page: 42 })),
+            "cache hit attributed to the trace: {inside:?}"
+        );
+        assert!(
+            inside.iter().any(
+                |e| matches!(&e.kind, EventKind::SpanOpen { name } if name == "query.event_ctx")
+            ),
+            "span open journaled under the trace"
+        );
+        clear();
+    }
+
+    #[test]
+    fn disabled_recording_journals_nothing() {
+        let _g = crate::test_lock();
+        clear();
+        crate::set_enabled(false);
+        page_read(1, 1);
+        crate::set_enabled(true);
+        assert!(events().is_empty());
+    }
+
+    #[test]
+    fn slow_query_threshold_captures_tree_and_events() {
+        let _g = crate::test_lock();
+        clear();
+        clear_slow_queries();
+        trace::clear();
+        let before = slow_query_threshold_micros();
+        set_slow_query_threshold(Duration::ZERO);
+        {
+            let _root = trace::root("query.slow");
+            page_read(3, 2);
+        }
+        set_slow_query_threshold(Duration::from_micros(before));
+        let log = slow_queries();
+        assert_eq!(log.len(), 1);
+        let slow = &log[0];
+        assert_eq!(slow.tree.name, "query.slow");
+        assert!(slow.trace != 0);
+        assert!(slow
+            .events
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::PageRead { pages: 3, extents: 2 })));
+        // The slow_query event itself landed in the journal.
+        assert!(events()
+            .iter()
+            .any(|e| matches!(&e.kind, EventKind::SlowQuery { name, .. } if name == "query.slow")));
+        clear_slow_queries();
+        clear();
+    }
+
+    #[test]
+    fn fast_queries_are_not_captured() {
+        let _g = crate::test_lock();
+        clear_slow_queries();
+        trace::clear();
+        {
+            let _root = trace::root("query.fast");
+        }
+        assert!(slow_queries().is_empty(), "default 250ms threshold skips a µs query");
+    }
+
+    #[test]
+    fn crash_dump_snapshots_ring_and_live_stacks() {
+        let _g = crate::test_lock();
+        clear();
+        clear_crash_dumps();
+        trace::clear();
+        {
+            let _root = trace::root("query.crashing");
+            let _inner = trace::span("lfm.read");
+            fault_injected("lfm.read", "crash");
+            capture_crash_dump("lfm.read");
+        }
+        let dump = last_crash_dump().expect("dump captured");
+        assert_eq!(dump.site, "lfm.read");
+        assert!(dump.trace != 0, "dump tied to the crashing query's trace");
+        assert!(dump
+            .events
+            .iter()
+            .any(|e| matches!(&e.kind, EventKind::FaultInjected { site, outcome } if site == "lfm.read" && *outcome == "crash")));
+        let stack = dump
+            .live_spans
+            .iter()
+            .find(|s| s.contains(&"query.crashing".to_string()))
+            .expect("crashing thread's live stack present");
+        assert_eq!(stack.last().map(String::as_str), Some("lfm.read"));
+        clear_crash_dumps();
+        clear();
+    }
+
+    #[test]
+    fn kind_labels_are_stable() {
+        assert_eq!(EventKind::PageRead { pages: 1, extents: 1 }.label(), "page_read");
+        assert_eq!(EventKind::SpanOpen { name: "x".into() }.label(), "span_open");
+        assert_eq!(
+            EventKind::FaultInjected { site: "a.b".into(), outcome: "torn" }.label(),
+            "fault_injected"
+        );
+    }
+}

@@ -65,14 +65,39 @@
 //! when disabled via [`set_enabled`] — the harness that proves the <5 %
 //! overhead bound (`BENCH_observability.json`) flips exactly this
 //! switch.
+//!
+//! # The flight recorder
+//!
+//! Beyond aggregate metrics and span trees, the crate is a full flight
+//! recorder:
+//!
+//! * [`context`] — every query root mints a [`TraceId`]; finished trees
+//!   carry preorder [`SpanId`]s with parent links, and
+//!   [`context::fork`] carries the context across `qbism-parallel`
+//!   workers so fanned-out queries produce the same tree as inline
+//!   execution;
+//! * [`event`] — a bounded ring of typed events (span open/close, page
+//!   reads, cache hits/evictions, injected faults, retries), plus the
+//!   slow-query log and fault-crash dumps;
+//! * [`export`] — JSONL event dumps and `about:tracing`-loadable
+//!   Chrome trace JSON;
+//! * [`profile`] — a dependency-free sampling profiler over the live
+//!   span stacks with folded-stack (flamegraph) output.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod context;
+pub mod event;
+pub mod export;
 pub mod metrics;
+pub mod profile;
 pub mod trace;
 
-pub use metrics::{global, Counter, Gauge, Histogram, Registry};
+pub use context::{current_trace, SpanId, TraceId};
+pub use event::{CrashDump, Event, EventKind, SlowQuery};
+pub use metrics::{global, Counter, Gauge, Histogram, MetricError, Registry};
+pub use profile::{Profile, Profiler};
 pub use trace::SpanNode;
 
 use std::sync::atomic::{AtomicBool, Ordering};

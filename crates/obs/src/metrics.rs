@@ -191,10 +191,62 @@ enum Metric {
     Histogram(Histogram),
 }
 
+/// Default cap on distinct series per registry — the cardinality guard
+/// that keeps a label explosion (e.g. a study id used as a label) from
+/// growing the registry without bound.
+pub const DEFAULT_MAX_SERIES: usize = 4096;
+
+/// Typed registration failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MetricError {
+    /// Registering one more series would exceed the cardinality cap
+    /// ([`Registry::set_series_limit`]).
+    CardinalityLimit {
+        /// Metric name that was refused.
+        name: String,
+        /// The cap in force.
+        limit: usize,
+    },
+    /// The name is already registered as a different metric type.
+    TypeConflict {
+        /// Conflicting metric name.
+        name: String,
+    },
+}
+
+impl std::fmt::Display for MetricError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MetricError::CardinalityLimit { name, limit } => {
+                write!(f, "registering {name} would exceed the {limit}-series cardinality cap")
+            }
+            MetricError::TypeConflict { name } => {
+                write!(f, "metric {name} is already registered as a different type")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MetricError {}
+
 #[derive(Default)]
 struct Inner {
     metrics: BTreeMap<Key, Metric>,
     help: BTreeMap<String, String>,
+    /// Series cap; 0 means [`DEFAULT_MAX_SERIES`].
+    max_series: usize,
+    /// Registrations refused (or detached) by the cardinality guard.
+    dropped_series: u64,
+}
+
+impl Inner {
+    fn limit(&self) -> usize {
+        if self.max_series == 0 {
+            DEFAULT_MAX_SERIES
+        } else {
+            self.max_series
+        }
+    }
 }
 
 /// A metrics registry.  [`global()`] returns the process-wide instance
@@ -224,18 +276,45 @@ impl Registry {
 
     /// The counter `name` with the given label pairs.
     ///
+    /// At the cardinality cap a *detached* counter is returned — it
+    /// works but is not registered or exported — and the drop is
+    /// counted in [`Registry::dropped_series`].  Use
+    /// [`Registry::try_counter_with`] for the typed error.
+    ///
     /// # Panics
     /// Panics if `name` is already registered as a different metric type.
     pub fn counter_with(&self, name: &str, labels: &[(&str, &str)]) -> Counter {
-        let mut inner = lock_or_recover(&self.inner);
-        match inner
-            .metrics
-            .entry(make_key(name, labels))
-            .or_insert_with(|| Metric::Counter(Counter::default()))
-        {
-            Metric::Counter(c) => c.clone(),
-            _ => panic!("metric {name} already registered as a non-counter"),
+        match self.try_counter_with(name, labels) {
+            Ok(c) => c,
+            Err(MetricError::CardinalityLimit { .. }) => Counter::default(),
+            Err(MetricError::TypeConflict { .. }) => {
+                panic!("metric {name} already registered as a non-counter")
+            }
         }
+    }
+
+    /// Fallible form of [`Registry::counter_with`]: a typed error
+    /// instead of a panic or a detached fallback.
+    pub fn try_counter_with(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+    ) -> Result<Counter, MetricError> {
+        let mut inner = lock_or_recover(&self.inner);
+        if let Some(metric) = inner.metrics.get(&make_key(name, labels)) {
+            return match metric {
+                Metric::Counter(c) => Ok(c.clone()),
+                _ => Err(MetricError::TypeConflict { name: name.to_string() }),
+            };
+        }
+        let limit = inner.limit();
+        if inner.metrics.len() >= limit {
+            inner.dropped_series += 1;
+            return Err(MetricError::CardinalityLimit { name: name.to_string(), limit });
+        }
+        let counter = Counter::default();
+        inner.metrics.insert(make_key(name, labels), Metric::Counter(counter.clone()));
+        Ok(counter)
     }
 
     /// The unlabeled gauge `name`.
@@ -243,20 +322,42 @@ impl Registry {
         self.gauge_with(name, &[])
     }
 
-    /// The gauge `name` with labels.
+    /// The gauge `name` with labels.  Detached-fallback semantics at
+    /// the cardinality cap, as for [`Registry::counter_with`].
     ///
     /// # Panics
     /// Panics if `name` is already registered as a different metric type.
     pub fn gauge_with(&self, name: &str, labels: &[(&str, &str)]) -> Gauge {
-        let mut inner = lock_or_recover(&self.inner);
-        match inner
-            .metrics
-            .entry(make_key(name, labels))
-            .or_insert_with(|| Metric::Gauge(Gauge::default()))
-        {
-            Metric::Gauge(g) => g.clone(),
-            _ => panic!("metric {name} already registered as a non-gauge"),
+        match self.try_gauge_with(name, labels) {
+            Ok(g) => g,
+            Err(MetricError::CardinalityLimit { .. }) => Gauge::default(),
+            Err(MetricError::TypeConflict { .. }) => {
+                panic!("metric {name} already registered as a non-gauge")
+            }
         }
+    }
+
+    /// Fallible form of [`Registry::gauge_with`].
+    pub fn try_gauge_with(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+    ) -> Result<Gauge, MetricError> {
+        let mut inner = lock_or_recover(&self.inner);
+        if let Some(metric) = inner.metrics.get(&make_key(name, labels)) {
+            return match metric {
+                Metric::Gauge(g) => Ok(g.clone()),
+                _ => Err(MetricError::TypeConflict { name: name.to_string() }),
+            };
+        }
+        let limit = inner.limit();
+        if inner.metrics.len() >= limit {
+            inner.dropped_series += 1;
+            return Err(MetricError::CardinalityLimit { name: name.to_string(), limit });
+        }
+        let gauge = Gauge::default();
+        inner.metrics.insert(make_key(name, labels), Metric::Gauge(gauge.clone()));
+        Ok(gauge)
     }
 
     /// The unlabeled histogram `name` with the default latency buckets.
@@ -271,6 +372,8 @@ impl Registry {
 
     /// The histogram `name` with labels and explicit bucket bounds
     /// (`bounds` is only invoked when the instance is first created).
+    /// Detached-fallback semantics at the cardinality cap, as for
+    /// [`Registry::counter_with`].
     ///
     /// # Panics
     /// Panics if `name` is already registered as a different metric type.
@@ -280,15 +383,59 @@ impl Registry {
         labels: &[(&str, &str)],
         bounds: impl FnOnce() -> Vec<f64>,
     ) -> Histogram {
-        let mut inner = lock_or_recover(&self.inner);
-        match inner
-            .metrics
-            .entry(make_key(name, labels))
-            .or_insert_with(|| Metric::Histogram(Histogram::new(bounds())))
-        {
-            Metric::Histogram(h) => h.clone(),
-            _ => panic!("metric {name} already registered as a non-histogram"),
+        match self.try_histogram_with_buckets(name, labels, bounds) {
+            Ok(h) => h,
+            Err(MetricError::CardinalityLimit { .. }) => Histogram::new(default_seconds_buckets()),
+            Err(MetricError::TypeConflict { .. }) => {
+                panic!("metric {name} already registered as a non-histogram")
+            }
         }
+    }
+
+    /// Fallible form of [`Registry::histogram_with_buckets`].
+    pub fn try_histogram_with_buckets(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        bounds: impl FnOnce() -> Vec<f64>,
+    ) -> Result<Histogram, MetricError> {
+        let mut inner = lock_or_recover(&self.inner);
+        if let Some(metric) = inner.metrics.get(&make_key(name, labels)) {
+            return match metric {
+                Metric::Histogram(h) => Ok(h.clone()),
+                _ => Err(MetricError::TypeConflict { name: name.to_string() }),
+            };
+        }
+        let limit = inner.limit();
+        if inner.metrics.len() >= limit {
+            inner.dropped_series += 1;
+            return Err(MetricError::CardinalityLimit { name: name.to_string(), limit });
+        }
+        let histogram = Histogram::new(bounds());
+        inner.metrics.insert(make_key(name, labels), Metric::Histogram(histogram.clone()));
+        Ok(histogram)
+    }
+
+    /// Caps the number of distinct series (clamped to ≥ 1).  Existing
+    /// series always survive; only *new* registrations are refused.
+    pub fn set_series_limit(&self, limit: usize) {
+        lock_or_recover(&self.inner).max_series = limit.max(1);
+    }
+
+    /// The cardinality cap in force.
+    pub fn series_limit(&self) -> usize {
+        lock_or_recover(&self.inner).limit()
+    }
+
+    /// Distinct series currently registered.
+    pub fn series_count(&self) -> usize {
+        lock_or_recover(&self.inner).metrics.len()
+    }
+
+    /// Registrations refused (infallible callers got detached handles)
+    /// by the cardinality guard.
+    pub fn dropped_series(&self) -> u64 {
+        lock_or_recover(&self.inner).dropped_series
     }
 
     /// Attaches help text to a metric name (rendered as `# HELP`).
@@ -298,10 +445,15 @@ impl Registry {
     }
 
     /// Renders every metric in the Prometheus text exposition format.
+    /// Histograms additionally export `{name}_quantiles` gauge series
+    /// with p50/p95/p99 estimates (grouped after the main families so
+    /// each family's samples stay contiguous).
     pub fn render_prometheus(&self) -> String {
+        type QuantileSeries = (String, Vec<(String, String)>, Histogram);
         let inner = lock_or_recover(&self.inner);
         let mut out = String::new();
         let mut last_name = "";
+        let mut quantile_series: Vec<QuantileSeries> = Vec::new();
         for (key, metric) in &inner.metrics {
             if key.name != last_name {
                 if let Some(help) = inner.help.get(&key.name) {
@@ -353,6 +505,27 @@ impl Registry {
                         "{} {}",
                         render_series(&format!("{}_count", key.name), &key.labels, &[]),
                         h.count()
+                    );
+                    if h.count() > 0 {
+                        quantile_series.push((key.name.clone(), key.labels.clone(), h.clone()));
+                    }
+                }
+            }
+        }
+        let mut last_quantile_name = String::new();
+        for (name, labels, h) in quantile_series {
+            let qname = format!("{name}_quantiles");
+            if qname != last_quantile_name {
+                let _ = writeln!(out, "# TYPE {qname} gauge");
+                last_quantile_name = qname.clone();
+            }
+            for (q, v) in [("0.5", h.p50()), ("0.95", h.p95()), ("0.99", h.p99())] {
+                if let Some(v) = v {
+                    let _ = writeln!(
+                        out,
+                        "{} {}",
+                        render_series(&qname, &labels, &[("quantile", q)]),
+                        format_f64(v)
                     );
                 }
             }
@@ -413,7 +586,7 @@ fn escape_label(v: &str) -> String {
     v.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")
 }
 
-fn json_string(s: &str) -> String {
+pub(crate) fn json_string(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {
@@ -432,7 +605,7 @@ fn json_string(s: &str) -> String {
 }
 
 /// Shortest float rendering that survives a round-trip parse.
-fn format_f64(v: f64) -> String {
+pub(crate) fn format_f64(v: f64) -> String {
     if v == v.trunc() && v.abs() < 1e15 {
         format!("{v:.1}") // keep a decimal point so the type is evident
     } else {
@@ -628,13 +801,78 @@ mod tests {
             samples += 1;
         }
         assert!(saw_help && saw_type);
-        // counter + gauge + (buckets + sum + count) for the histogram
+        // counter + gauge + (buckets + sum + count) for the histogram,
+        // plus the p50/p95/p99 quantile summary gauges.
         let expected_hist_lines = default_seconds_buckets().len() + 1 + 2;
-        assert_eq!(samples, 2 + expected_hist_lines);
+        assert_eq!(samples, 2 + expected_hist_lines + 3);
         // The advertised acceptance series are present.
         assert!(text.contains("qbism_lfm_pages_read_total 29"));
         assert!(text.contains("qbism_query_seconds_bucket{class=\"structure\",le=\"+Inf\"} 2"));
         assert!(text.contains("qbism_query_seconds_count{class=\"structure\"} 2"));
+        assert!(text.contains("# TYPE qbism_query_seconds_quantiles gauge"));
+        assert!(
+            text.contains("qbism_query_seconds_quantiles{class=\"structure\",quantile=\"0.95\"}")
+        );
+    }
+
+    #[test]
+    fn empty_histograms_export_no_quantiles() {
+        let _g = crate::test_lock();
+        let r = Registry::new();
+        let _ = r.histogram("idle_seconds");
+        let text = r.render_prometheus();
+        assert!(!text.contains("idle_seconds_quantiles"), "no quantiles without observations");
+    }
+
+    #[test]
+    fn cardinality_guard_refuses_with_typed_error() {
+        let _g = crate::test_lock();
+        let r = Registry::new();
+        r.set_series_limit(2);
+        assert_eq!(r.series_limit(), 2);
+        let _ = r.counter_with("fits", &[("class", "a")]);
+        let _ = r.counter_with("fits", &[("class", "b")]);
+        assert_eq!(r.series_count(), 2);
+        match r.try_counter_with("fits", &[("class", "c")]) {
+            Err(MetricError::CardinalityLimit { name, limit }) => {
+                assert_eq!(name, "fits");
+                assert_eq!(limit, 2);
+            }
+            other => panic!("expected cardinality error, got {other:?}"),
+        }
+        // Existing series are still reachable below the cap.
+        assert!(r.try_counter_with("fits", &[("class", "a")]).is_ok());
+        // Histograms and gauges hit the same guard.
+        assert!(matches!(r.try_gauge_with("g", &[]), Err(MetricError::CardinalityLimit { .. })));
+        assert!(matches!(
+            r.try_histogram_with_buckets("h", &[], || vec![1.0]),
+            Err(MetricError::CardinalityLimit { .. })
+        ));
+    }
+
+    #[test]
+    fn infallible_callers_get_detached_handles_at_the_cap() {
+        let _g = crate::test_lock();
+        let r = Registry::new();
+        r.set_series_limit(1);
+        let _ = r.counter("kept_total");
+        let detached = r.counter_with("dropped_total", &[("id", "9999")]);
+        detached.add(7);
+        assert_eq!(detached.get(), 7, "detached handle still works");
+        assert!(r.dropped_series() >= 1);
+        assert_eq!(r.series_count(), 1);
+        assert!(!r.render_prometheus().contains("dropped_total"), "detached series not exported");
+    }
+
+    #[test]
+    fn try_constructors_report_type_conflicts() {
+        let _g = crate::test_lock();
+        let r = Registry::new();
+        let _ = r.counter("m_total");
+        assert!(matches!(
+            r.try_gauge_with("m_total", &[]),
+            Err(MetricError::TypeConflict { name }) if name == "m_total"
+        ));
     }
 
     #[test]

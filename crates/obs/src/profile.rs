@@ -1,0 +1,259 @@
+//! Dependency-free sampling wall-clock profiler over the live span
+//! stacks.
+//!
+//! Every thread that opens spans mirrors its open-span names into a
+//! shared registry (one short uncontended lock per span open/close).
+//! [`Profiler::start`] launches a sampler thread that periodically
+//! snapshots every live stack and folds it into
+//! `outer;inner;leaf count` lines — the folded-stack format flamegraph
+//! tooling consumes directly.
+//!
+//! The profiler lives entirely in `qbism-obs`: deterministic crates
+//! never read the wall clock themselves (the `qbism-lint`
+//! `no-wall-clock` rule), they only open spans, and the sampling
+//! happens here.  The same mirror registry feeds crash dumps
+//! ([`live_stacks`]).
+
+use qbism_check::sync::lock_or_recover;
+use std::borrow::Cow;
+use std::cell::OnceCell;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, Weak};
+use std::time::Duration;
+
+/// Per-thread mirror of the open-span name stack, outermost first.
+#[derive(Debug)]
+struct StackMirror {
+    names: Mutex<Vec<Cow<'static, str>>>,
+}
+
+static MIRRORS: Mutex<Vec<Weak<StackMirror>>> = Mutex::new(Vec::new());
+
+thread_local! {
+    static LOCAL: OnceCell<Arc<StackMirror>> = const { OnceCell::new() };
+}
+
+fn with_local(f: impl FnOnce(&StackMirror)) {
+    LOCAL.with(|cell| {
+        let mirror = cell.get_or_init(|| {
+            let mirror = Arc::new(StackMirror { names: Mutex::new(Vec::new()) });
+            lock_or_recover(&MIRRORS).push(Arc::downgrade(&mirror));
+            mirror
+        });
+        f(mirror);
+    });
+}
+
+/// Mirrors a span open on this thread (called by the tracer).
+pub(crate) fn push_frame(name: Cow<'static, str>) {
+    with_local(|m| lock_or_recover(&m.names).push(name));
+}
+
+/// Mirrors a span close on this thread (called by the tracer).
+pub(crate) fn pop_frame() {
+    with_local(|m| {
+        lock_or_recover(&m.names).pop();
+    });
+}
+
+/// Snapshot of every non-empty live span stack (outermost first), one
+/// entry per thread.  This is what crash dumps embed.
+pub fn live_stacks() -> Vec<Vec<String>> {
+    let mirrors = lock_or_recover(&MIRRORS);
+    let mut out = Vec::new();
+    for weak in mirrors.iter() {
+        if let Some(mirror) = weak.upgrade() {
+            let names = lock_or_recover(&mirror.names);
+            if !names.is_empty() {
+                out.push(names.iter().map(|n| n.to_string()).collect());
+            }
+        }
+    }
+    out
+}
+
+/// Why a profiler could not start.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProfileError {
+    /// Another [`Profiler`] is already sampling; only one may run.
+    AlreadyRunning,
+}
+
+impl std::fmt::Display for ProfileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProfileError::AlreadyRunning => write!(f, "a profiler is already running"),
+        }
+    }
+}
+
+impl std::error::Error for ProfileError {}
+
+static ACTIVE: AtomicBool = AtomicBool::new(false);
+
+/// A finished profiling session: folded stack counts.
+#[derive(Debug, Clone)]
+pub struct Profile {
+    /// Sampling interval used, in microseconds.
+    pub interval_micros: u64,
+    /// Total stack samples collected (one per non-idle thread per tick).
+    pub samples: u64,
+    counts: BTreeMap<String, u64>,
+}
+
+impl Profile {
+    /// `stack count` pairs, keyed by `outer;inner;leaf` folded stacks.
+    pub fn counts(&self) -> &BTreeMap<String, u64> {
+        &self.counts
+    }
+
+    /// Whether no samples were collected.
+    pub fn is_empty(&self) -> bool {
+        self.samples == 0
+    }
+
+    /// The folded-stack rendering (`outer;inner;leaf count`, one line
+    /// per distinct stack) that flamegraph tooling consumes.
+    pub fn to_folded(&self) -> String {
+        let mut out = String::new();
+        for (stack, count) in &self.counts {
+            let _ = writeln!(out, "{stack} {count}");
+        }
+        out
+    }
+}
+
+fn sample_into(profile: &mut Profile) {
+    let live: Vec<Arc<StackMirror>> = {
+        let mut mirrors = lock_or_recover(&MIRRORS);
+        mirrors.retain(|w| w.strong_count() > 0);
+        mirrors.iter().filter_map(Weak::upgrade).collect()
+    };
+    for mirror in live {
+        let key = {
+            let names = lock_or_recover(&mirror.names);
+            if names.is_empty() {
+                continue;
+            }
+            names.iter().map(Cow::as_ref).collect::<Vec<&str>>().join(";")
+        };
+        *profile.counts.entry(key).or_insert(0) += 1;
+        profile.samples += 1;
+    }
+}
+
+/// A running sampling session.  Obtain with [`Profiler::start`]; stop
+/// with [`Profiler::stop`] (dropping also stops, discarding the
+/// profile).
+#[derive(Debug)]
+pub struct Profiler {
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<Profile>>,
+}
+
+impl Profiler {
+    /// Starts the sampler thread at the given interval (clamped to
+    /// ≥ 50 µs).  Only one profiler may run at a time.
+    pub fn start(interval: Duration) -> Result<Profiler, ProfileError> {
+        if ACTIVE.swap(true, Ordering::SeqCst) {
+            return Err(ProfileError::AlreadyRunning);
+        }
+        let interval = interval.max(Duration::from_micros(50));
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let handle = std::thread::spawn(move || {
+            let mut profile = Profile {
+                interval_micros: u64::try_from(interval.as_micros()).unwrap_or(u64::MAX),
+                samples: 0,
+                counts: BTreeMap::new(),
+            };
+            while !stop_flag.load(Ordering::Relaxed) {
+                sample_into(&mut profile);
+                std::thread::sleep(interval);
+            }
+            profile
+        });
+        Ok(Profiler { stop, handle: Some(handle) })
+    }
+
+    /// Stops the sampler and returns the folded profile.
+    pub fn stop(mut self) -> Profile {
+        self.stop.store(true, Ordering::SeqCst);
+        let profile = match self.handle.take().map(std::thread::JoinHandle::join) {
+            Some(Ok(profile)) => profile,
+            _ => Profile { interval_micros: 0, samples: 0, counts: BTreeMap::new() },
+        };
+        ACTIVE.store(false, Ordering::SeqCst);
+        profile
+    }
+}
+
+impl Drop for Profiler {
+    fn drop(&mut self) {
+        if let Some(handle) = self.handle.take() {
+            self.stop.store(true, Ordering::SeqCst);
+            let _ = handle.join();
+            ACTIVE.store(false, Ordering::SeqCst);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace;
+
+    #[test]
+    fn sampler_folds_live_span_stacks() {
+        let _g = crate::test_lock();
+        let profiler = Profiler::start(Duration::from_micros(100)).expect("no other profiler");
+        {
+            let _root = trace::root("query.profiled");
+            let _inner = trace::span("lfm.read");
+            // Hold the stack open long enough for several ticks.
+            std::thread::sleep(Duration::from_millis(30));
+        }
+        let profile = profiler.stop();
+        assert!(!profile.is_empty(), "sampler saw the open stack");
+        let folded = profile.to_folded();
+        assert!(
+            folded.contains("query.profiled;lfm.read"),
+            "folded stack has the nesting: {folded}"
+        );
+        let line = folded.lines().find(|l| l.starts_with("query.profiled")).map(str::to_string);
+        let count: u64 = line
+            .as_deref()
+            .and_then(|l| l.rsplit(' ').next())
+            .and_then(|c| c.parse().ok())
+            .expect("folded line ends in a count");
+        assert!(count >= 1);
+    }
+
+    #[test]
+    fn only_one_profiler_at_a_time() {
+        let _g = crate::test_lock();
+        let first = Profiler::start(Duration::from_millis(1)).expect("first start");
+        assert_eq!(
+            Profiler::start(Duration::from_millis(1)).err(),
+            Some(ProfileError::AlreadyRunning)
+        );
+        let _ = first.stop();
+        // Stopping releases the slot.
+        let again = Profiler::start(Duration::from_millis(1)).expect("slot released");
+        drop(again);
+    }
+
+    #[test]
+    fn live_stacks_reflect_open_spans() {
+        let _g = crate::test_lock();
+        {
+            let _root = trace::root("query.live");
+            let stacks = live_stacks();
+            assert!(stacks.iter().any(|s| s == &vec!["query.live".to_string()]));
+        }
+        let after = live_stacks();
+        assert!(!after.iter().any(|s| s.contains(&"query.live".to_string())));
+    }
+}

@@ -6,6 +6,21 @@
 //! finished root trees land in a bounded ring readable via
 //! [`last_root`] / [`recent_roots`] and render with
 //! [`SpanNode::render_tree`].
+//!
+//! # Causal identity
+//!
+//! A true root (no active parent) mints a process-unique trace id and
+//! makes it current for the thread (see [`crate::context`]).  When the
+//! root finishes, the whole tree is *finalized*: every span is stamped
+//! with the trace id and a [`SpanId`](crate::SpanId) equal to its
+//! 1-based preorder position, with parent links.  Because numbering
+//! happens on the finished tree, the ids are a pure function of tree
+//! shape — a query fanned out over 8 workers gets exactly the ids its
+//! single-threaded execution would have.
+//!
+//! Span opens and closes are also journaled as typed events
+//! ([`crate::event`]) and mirrored into the live-stack registry the
+//! sampling profiler and crash dumps walk ([`crate::profile`]).
 
 use qbism_check::sync::lock_or_recover;
 use std::borrow::Cow;
@@ -14,6 +29,8 @@ use std::collections::VecDeque;
 use std::fmt::Write as _;
 use std::sync::Mutex;
 use std::time::Instant;
+
+use crate::{context, event, profile};
 
 /// How many finished root spans the ring retains.
 pub const RING_CAPACITY: usize = 32;
@@ -42,7 +59,7 @@ impl std::fmt::Display for FieldValue {
     }
 }
 
-/// A finished span: name, wall time, fields and children.
+/// A finished span: identity, name, wall time, fields and children.
 #[derive(Debug, Clone)]
 pub struct SpanNode {
     /// Span name, e.g. `exec.scan` or `lfm.read`.  Borrowed for the
@@ -50,6 +67,18 @@ pub struct SpanNode {
     pub name: Cow<'static, str>,
     /// Wall-clock duration in seconds.
     pub seconds: f64,
+    /// Microseconds since the process trace epoch when the span opened.
+    pub start_micros: u64,
+    /// Owning trace; 0 until the tree is finalized (root finished).
+    pub trace_id: u64,
+    /// 1-based preorder position in the finished tree (1 = root);
+    /// 0 until finalized.
+    pub span_id: u64,
+    /// `span_id` of the parent span; 0 for the root.
+    pub parent_span_id: u64,
+    /// Ordinal of the OS thread that executed the span
+    /// ([`context::thread_ordinal`]).
+    pub thread: u64,
     /// Key-value annotations recorded while the span was open.  Keys are
     /// static so recording a field costs one `Vec` push.
     pub fields: Vec<(&'static str, FieldValue)>,
@@ -74,6 +103,22 @@ impl SpanNode {
     /// The value of field `key` on this span, if recorded.
     pub fn field(&self, key: &str) -> Option<&FieldValue> {
         self.fields.iter().rev().find(|(k, _)| *k == key).map(|(_, v)| v)
+    }
+
+    /// The tree's shape as a flat preorder list of `(span_id,
+    /// parent_span_id, name)` — the thing that must be identical at any
+    /// thread count.
+    pub fn shape(&self) -> Vec<(u64, u64, String)> {
+        let mut out = Vec::with_capacity(self.span_count());
+        self.shape_into(&mut out);
+        out
+    }
+
+    fn shape_into(&self, out: &mut Vec<(u64, u64, String)>) {
+        out.push((self.span_id, self.parent_span_id, self.name.to_string()));
+        for child in &self.children {
+            child.shape_into(out);
+        }
     }
 
     /// Renders the tree with `├─`/`└─` rails, one span per line:
@@ -120,6 +165,11 @@ fn format_duration(seconds: f64) -> String {
 struct Frame {
     name: Cow<'static, str>,
     started: Instant,
+    start_micros: u64,
+    /// Capture sentinel pushed by [`capture_begin`]: collects a
+    /// parallel work item's subtrees for later replay and never becomes
+    /// a span itself.
+    capture: bool,
     fields: Vec<(&'static str, FieldValue)>,
     children: Vec<SpanNode>,
 }
@@ -139,23 +189,29 @@ pub struct SpanGuard {
     live: bool,
     /// Root spans push the finished tree to the global ring.
     is_root: bool,
+    /// Trace id this guard minted (0 when it joined an existing trace).
+    minted: u64,
 }
 
 impl SpanGuard {
-    fn open(name: Cow<'static, str>, is_root: bool) -> SpanGuard {
+    fn open(name: Cow<'static, str>, is_root: bool, minted: u64) -> SpanGuard {
+        profile::push_frame(name.clone());
+        event::span_opened(name.clone());
         STACK.with(|stack| {
             stack.borrow_mut().push(Frame {
                 name,
                 started: Instant::now(),
+                start_micros: context::now_micros(),
+                capture: false,
                 fields: Vec::new(),
                 children: Vec::new(),
             });
         });
-        SpanGuard { live: true, is_root }
+        SpanGuard { live: true, is_root, minted }
     }
 
     fn inert() -> SpanGuard {
-        SpanGuard { live: false, is_root: false }
+        SpanGuard { live: false, is_root: false, minted: 0 }
     }
 
     /// Whether this guard is actually recording.
@@ -209,12 +265,20 @@ impl Drop for SpanGuard {
         if !self.live {
             return;
         }
+        let mut closed: Option<(Cow<'static, str>, u64)> = None;
         let node = STACK.with(|stack| {
             let mut stack = stack.borrow_mut();
             let frame = stack.pop()?;
+            let seconds = frame.started.elapsed().as_secs_f64();
+            closed = Some((frame.name.clone(), (seconds * 1e6) as u64));
             let node = SpanNode {
                 name: frame.name,
-                seconds: frame.started.elapsed().as_secs_f64(),
+                seconds,
+                start_micros: frame.start_micros,
+                trace_id: 0,
+                span_id: 0,
+                parent_span_id: 0,
+                thread: context::thread_ordinal(),
                 fields: frame.fields,
                 children: frame.children,
             };
@@ -225,21 +289,109 @@ impl Drop for SpanGuard {
                 Some(node)
             }
         });
-        if let Some(node) = node {
+        profile::pop_frame();
+        if let Some((name, micros)) = closed {
+            event::span_closed(name, micros);
+        }
+        if let Some(mut node) = node {
             if self.is_root {
-                let mut ring = lock_or_recover(&RING);
-                if ring.len() >= RING_CAPACITY {
-                    ring.pop_front();
-                }
-                ring.push_back(node);
+                finalize_root(&mut node, self.minted);
+                file_root(node);
             }
+        }
+        if self.minted != 0 {
+            context::set_current_trace(0);
+        }
+    }
+}
+
+/// Stamps trace id, preorder span ids and parent links onto a finished
+/// tree.  `trace_id == 0` mints a fresh trace.
+fn finalize_root(node: &mut SpanNode, trace_id: u64) {
+    let trace = if trace_id != 0 { trace_id } else { context::mint_trace() };
+    let mut next = 0u64;
+    assign_ids(node, trace, 0, &mut next);
+}
+
+fn assign_ids(node: &mut SpanNode, trace: u64, parent: u64, next: &mut u64) {
+    *next += 1;
+    node.trace_id = trace;
+    node.span_id = *next;
+    node.parent_span_id = parent;
+    let me = *next;
+    for child in &mut node.children {
+        assign_ids(child, trace, me, next);
+    }
+}
+
+/// Slow-query check, then the bounded recent-roots ring.
+fn file_root(node: SpanNode) {
+    event::note_root_finished(&node);
+    let mut ring = lock_or_recover(&RING);
+    if ring.len() >= RING_CAPACITY {
+        ring.pop_front();
+    }
+    ring.push_back(node);
+}
+
+/// Pushes a capture sentinel frame: spans opened on this thread until
+/// the matching [`capture_end`] nest under it instead of starting trees
+/// of their own.  Used by [`context::ForkHandle`] on worker threads.
+pub(crate) fn capture_begin() {
+    STACK.with(|stack| {
+        stack.borrow_mut().push(Frame {
+            name: Cow::Borrowed("(capture)"),
+            started: Instant::now(),
+            start_micros: context::now_micros(),
+            capture: true,
+            fields: Vec::new(),
+            children: Vec::new(),
+        });
+    });
+}
+
+/// Pops the capture sentinel and returns the subtrees it collected.
+pub(crate) fn capture_end() -> Vec<SpanNode> {
+    STACK.with(|stack| {
+        let mut stack = stack.borrow_mut();
+        match stack.pop() {
+            Some(frame) if frame.capture => frame.children,
+            Some(frame) => {
+                // Unbalanced (a guard leaked past its capture scope);
+                // restore and bail rather than corrupt the stack.
+                stack.push(frame);
+                Vec::new()
+            }
+            None => Vec::new(),
+        }
+    })
+}
+
+/// Appends already-finished subtrees to the currently open span, in
+/// order — the replay half of cross-thread capture.  With no open span
+/// each subtree is finalized and filed as a root of its own.
+pub(crate) fn attach(nodes: Vec<SpanNode>) {
+    let leftover = STACK.with(|stack| {
+        let mut stack = stack.borrow_mut();
+        if let Some(frame) = stack.last_mut() {
+            frame.children.extend(nodes);
+            None
+        } else {
+            Some(nodes)
+        }
+    });
+    if let Some(nodes) = leftover {
+        for mut node in nodes {
+            finalize_root(&mut node, 0);
+            file_root(node);
         }
     }
 }
 
 /// Opens a span that starts a new tree when no span is active on this
 /// thread (the finished tree is kept in the recent-roots ring), or
-/// nests under the active span otherwise.
+/// nests under the active span otherwise.  A true root mints the
+/// thread's current [`TraceId`](crate::TraceId).
 ///
 /// Accepts `&'static str` (no allocation) or an owned `String` for
 /// dynamic names.
@@ -247,7 +399,15 @@ pub fn root(name: impl Into<Cow<'static, str>>) -> SpanGuard {
     if !crate::enabled() {
         return SpanGuard::inert();
     }
-    SpanGuard::open(name.into(), true)
+    let has_parent = STACK.with(|stack| !stack.borrow().is_empty());
+    let minted = if has_parent {
+        0
+    } else {
+        let id = context::mint_trace();
+        context::set_current_trace(id);
+        id
+    };
+    SpanGuard::open(name.into(), !has_parent, minted)
 }
 
 /// Opens a child span under the currently active span.  When no span is
@@ -262,7 +422,7 @@ pub fn span(name: impl Into<Cow<'static, str>>) -> SpanGuard {
     if !has_parent {
         return SpanGuard::inert();
     }
-    SpanGuard::open(name.into(), false)
+    SpanGuard::open(name.into(), false, 0)
 }
 
 /// The most recently finished root span tree, if any.
@@ -319,6 +479,56 @@ mod tests {
         assert_eq!(lfm.field("pages"), Some(&FieldValue::U64(29)));
         // Parent durations cover child durations.
         assert!(tree.seconds >= ex.seconds);
+    }
+
+    #[test]
+    fn finalized_ids_are_preorder_with_parent_links() {
+        let _g = crate::test_lock();
+        clear();
+        {
+            let _q = root("query.ids");
+            {
+                let _a = span("exec.select");
+                let _b = span("exec.scan");
+            }
+            let _c = span("net.ship");
+        }
+        let tree = last_root().expect("root retained");
+        assert!(tree.trace_id != 0);
+        let shape = tree.shape();
+        let expected: Vec<(u64, u64, &str)> = vec![
+            (1, 0, "query.ids"),
+            (2, 1, "exec.select"),
+            (3, 2, "exec.scan"),
+            (4, 1, "net.ship"),
+        ];
+        assert_eq!(shape.len(), expected.len());
+        for ((id, parent, name), (eid, eparent, ename)) in shape.iter().zip(&expected) {
+            assert_eq!((id, parent, name.as_str()), (eid, eparent, *ename));
+        }
+        // Every span carries the same trace and a timestamp after epoch.
+        fn walk(n: &SpanNode, trace: u64) {
+            assert_eq!(n.trace_id, trace);
+            assert!(n.thread >= 1);
+            for c in &n.children {
+                assert!(c.start_micros >= n.start_micros);
+                walk(c, trace);
+            }
+        }
+        walk(&tree, tree.trace_id);
+    }
+
+    #[test]
+    fn current_trace_is_set_while_root_open() {
+        let _g = crate::test_lock();
+        clear();
+        assert!(crate::context::current_trace().is_none());
+        {
+            let _q = root("query.current");
+            let inside = crate::context::current_trace().expect("trace current inside root");
+            assert!(inside.0 != 0);
+        }
+        assert!(crate::context::current_trace().is_none(), "cleared after root drop");
     }
 
     #[test]

@@ -15,6 +15,16 @@
 //! thread-local machinery (trace spans, fault planes) behaves exactly
 //! as in the sequential engine, so `threads = 1` is bit-identical to
 //! the pre-parallel code path by construction.
+//!
+//! The fan-out path carries the caller's *trace context* across the
+//! workers (the same shape as the fault plane's `arm_shared` re-arm
+//! hook, but owned by the executor so every caller gets it): the
+//! caller's `qbism-obs` context is forked before the pool starts, each
+//! work item adopts it — its spans are captured on the worker instead
+//! of becoming stray root trees — and after the join the captured
+//! subtrees are replayed into the caller's open span in input order.
+//! The finished span tree is therefore *identical* at any thread
+//! count, which is what gives trace/span ids their meaning.
 
 #![forbid(unsafe_code)]
 
@@ -76,6 +86,7 @@ impl Executor {
             (0..n).map(|_| Mutex::named("parallel.result", None)).collect();
         let next = AtomicUsize::named("parallel.next", 0);
         let workers = self.threads.min(n);
+        let fork = qbism_obs::context::fork();
         thread::scope(|scope| {
             for _ in 0..workers {
                 scope.spawn(|| loop {
@@ -91,11 +102,16 @@ impl Executor {
                         Some(item) => item,
                         None => unreachable!("work item {i} claimed twice"),
                     };
+                    let adopted = fork.as_ref().map(|fk| fk.adopt(i));
                     let out = f(i, item);
+                    drop(adopted);
                     *results[i].lock_or_recover() = Some(out);
                 });
             }
         });
+        if let Some(fork) = fork {
+            fork.join();
+        }
         results
             .into_iter()
             .map(|m| match m.into_inner_or_recover() {
@@ -167,6 +183,38 @@ mod tests {
         let exec = Executor::new(8);
         let out: Vec<u32> = exec.map(Vec::<u32>::new(), |_, x| x);
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn trace_context_propagates_and_attaches_in_order() {
+        // Worker-side spans must land inside the caller's open span, in
+        // input order, producing the same tree at any thread count.
+        let mut shapes = Vec::new();
+        for threads in [1usize, 4] {
+            qbism_obs::trace::clear();
+            {
+                let _root = qbism_obs::trace::root("query.map_test");
+                let exec = Executor::new(threads);
+                exec.map((0..8u64).collect(), |i, x| {
+                    let span = qbism_obs::trace::root("db.execute");
+                    span.record_u64("i", x);
+                    i
+                });
+            }
+            let root = qbism_obs::trace::last_root().expect("finished root");
+            assert_eq!(root.name, "query.map_test", "threads={threads}");
+            assert_eq!(root.children.len(), 8, "threads={threads}");
+            for (i, child) in root.children.iter().enumerate() {
+                assert_eq!(child.name, "db.execute");
+                assert_eq!(child.parent_span_id, root.span_id, "threads={threads}");
+                assert_eq!(child.trace_id, root.trace_id, "threads={threads}");
+                let got = child.fields.iter().find(|(k, _)| *k == "i").map(|(_, v)| v.clone());
+                assert_eq!(got, Some(qbism_obs::trace::FieldValue::U64(i as u64)));
+            }
+            shapes.push(root.shape());
+        }
+        assert_eq!(shapes[0], shapes[1], "tree shape differs between 1 and 4 threads");
+        qbism_obs::trace::clear();
     }
 
     #[test]

@@ -135,7 +135,9 @@ impl Database {
     pub fn execute(&mut self, sql: &str) -> Result<ExecOutcome> {
         let span = qbism_obs::trace::root("db.execute");
         if span.is_recording() {
-            span.record_str("sql", &sql.split_whitespace().collect::<Vec<_>>().join(" "));
+            let compact = sql.split_whitespace().collect::<Vec<_>>().join(" ");
+            qbism_obs::event::custom("sql", &compact);
+            span.record_str("sql", &compact);
         }
         let statement = {
             let _parse = qbism_obs::trace::span("sql.parse");
@@ -308,7 +310,9 @@ impl Database {
     pub fn query(&self, sql: &str) -> Result<ResultSet> {
         let span = qbism_obs::trace::root("db.execute");
         if span.is_recording() {
-            span.record_str("sql", &sql.split_whitespace().collect::<Vec<_>>().join(" "));
+            let compact = sql.split_whitespace().collect::<Vec<_>>().join(" ");
+            qbism_obs::event::custom("sql", &compact);
+            span.record_str("sql", &compact);
         }
         let statement = {
             let _parse = qbism_obs::trace::span("sql.parse");
@@ -344,7 +348,12 @@ impl Database {
 
     /// Reads a long field fully (a read-path operation: `&self`).
     pub fn read_long_field(&self, id: LongFieldId) -> Result<Vec<u8>> {
-        Ok(self.lfm.read(id)?)
+        let span = qbism_obs::trace::root("db.read_long_field");
+        let bytes = self.lfm.read(id)?;
+        if span.is_recording() {
+            span.record_u64("bytes", bytes.len() as u64);
+        }
+        Ok(bytes)
     }
 
     /// Direct access to the long-field manager (loaders, UDF helpers,
@@ -372,6 +381,7 @@ impl Database {
 
     /// Table row count (catalog metadata).
     pub fn table_len(&self, table: &str) -> Result<usize> {
+        let _span = qbism_obs::trace::root("db.table_len");
         Ok(self.catalog.table(table)?.len())
     }
 }

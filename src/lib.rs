@@ -10,6 +10,7 @@
 
 pub use qbism;
 pub use qbism_fault as fault;
+pub use qbism_obs as obs;
 pub use qbism_region as region;
 pub use qbism_sfc as sfc;
 pub use qbism_starburst as starburst;

@@ -9,6 +9,7 @@
 use std::sync::{Mutex, MutexGuard, PoisonError};
 
 use qbism::{QbismConfig, QbismSystem, QueryCost};
+use qbism_fault::{FaultOutcome, FaultPlane, Trigger};
 
 static LOCK: Mutex<()> = Mutex::new(());
 
@@ -85,6 +86,174 @@ fn query_cost_default_and_accumulate_fold() {
     assert_eq!(folded.wire_bytes, a.wire_bytes + b.wire_bytes);
     assert_eq!(folded.lfm.pages_read, a.lfm.pages_read + b.lfm.pages_read);
     assert!(folded.sim_db_seconds >= a.sim_db_seconds);
+}
+
+#[test]
+fn span_tree_shape_is_identical_at_any_thread_count() {
+    let _g = serialize();
+    let config = QbismConfig { pet_studies: 5, ..QbismConfig::small_test() };
+    let mut sys = QbismSystem::install(&config).expect("install");
+    let studies: Vec<i64> = sys.pet_study_ids.clone();
+    let mut shapes: Vec<Vec<(u64, u64, String)>> = Vec::new();
+    for threads in [1usize, 2, 8] {
+        sys.server.set_threads(threads);
+        qbism_obs::trace::clear();
+        sys.server.multi_study_band_region(&studies, 32, 63).expect("fan-out query");
+        let tree = qbism_obs::trace::recent_roots()
+            .into_iter()
+            .rev()
+            .find(|t| t.name == "query.multi_study_band")
+            .expect("fan-out root retained");
+        // Worker subtrees were replayed in study order, so preorder
+        // span ids and parent links are a pure function of tree shape.
+        let shape = tree.shape();
+        for (span_id, parent, _) in &shape {
+            assert!(*span_id > *parent, "preorder ids grow away from the root");
+        }
+        shapes.push(shape);
+    }
+    assert_eq!(shapes[0], shapes[1], "tree shape diverged between 1 and 2 threads");
+    assert_eq!(shapes[0], shapes[2], "tree shape diverged between 1 and 8 threads");
+    qbism_obs::trace::clear();
+}
+
+#[test]
+fn injected_faults_land_inside_the_owning_trace() {
+    let _g = serialize();
+    let config = QbismConfig { pet_studies: 3, ..QbismConfig::small_test() };
+    let mut sys = QbismSystem::install(&config).expect("install");
+    let studies: Vec<i64> = sys.pet_study_ids.clone();
+    for threads in [1usize, 2] {
+        sys.server.set_threads(threads);
+        qbism_obs::trace::clear();
+        qbism_obs::event::clear();
+        let scope = FaultPlane::new(5)
+            .rule("lfm.read", Trigger::Always, FaultOutcome::Latency { seconds: 0.0001 })
+            .arm();
+        sys.server.multi_study_band_region(&studies, 32, 63).expect("query under latency");
+        drop(scope);
+        let tree = qbism_obs::trace::recent_roots()
+            .into_iter()
+            .rev()
+            .find(|t| t.name == "query.multi_study_band")
+            .expect("root retained");
+        let owned = qbism_obs::event::events_for_trace(tree.trace_id);
+        let faults: Vec<_> = owned
+            .iter()
+            .filter(|e| matches!(&e.kind, qbism_obs::EventKind::FaultInjected { site, .. } if site == "lfm.read"))
+            .collect();
+        assert!(
+            !faults.is_empty(),
+            "injected faults must be attributed to the query's trace at {threads} threads"
+        );
+    }
+    qbism_obs::event::clear();
+    qbism_obs::trace::clear();
+}
+
+#[test]
+fn eight_client_storm_exports_coherent_chrome_traces() {
+    let _g = serialize();
+    let mut sys = install();
+    let study = sys.pet_study_ids[0];
+    let mut shapes_by_threads: Vec<Vec<Vec<(u64, u64, String)>>> = Vec::new();
+    for threads in [1usize, 8] {
+        sys.server.set_threads(threads);
+        qbism_obs::trace::clear();
+        qbism_obs::event::clear();
+        let server = &sys.server;
+        std::thread::scope(|scope| {
+            for _client in 0..8u8 {
+                scope.spawn(move || {
+                    server.band_data(study, 32, 63).expect("storm query");
+                });
+            }
+        });
+        let roots: Vec<_> = qbism_obs::trace::recent_roots()
+            .into_iter()
+            .filter(|t| t.name == "query.band")
+            .collect();
+        assert_eq!(roots.len(), 8, "one coherent tree per client");
+        let mut traces = std::collections::BTreeSet::new();
+        for root in &roots {
+            traces.insert(root.trace_id);
+            assert_parent_links(root);
+        }
+        assert_eq!(traces.len(), 8, "each client minted its own trace id");
+        let json = sys.server.flight_recorder_chrome_trace();
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert!(json.contains("\"ph\":\"X\""));
+        for trace in traces {
+            assert!(json.contains(&format!("\"pid\":{trace}")), "trace {trace} exported");
+        }
+        let mut shapes: Vec<_> = roots.iter().map(|r| r.shape()).collect();
+        shapes.sort();
+        shapes_by_threads.push(shapes);
+    }
+    assert_eq!(
+        shapes_by_threads[0], shapes_by_threads[1],
+        "storm tree shapes must not depend on server thread count"
+    );
+    qbism_obs::event::clear();
+    qbism_obs::trace::clear();
+}
+
+fn assert_parent_links(node: &qbism_obs::SpanNode) {
+    for child in &node.children {
+        assert_eq!(child.parent_span_id, node.span_id, "child links to its parent");
+        assert_eq!(child.trace_id, node.trace_id, "one trace per tree");
+        assert_parent_links(child);
+    }
+}
+
+#[test]
+fn slow_queries_capture_their_tree_and_events() {
+    let _g = serialize();
+    let sys = install();
+    let study = sys.pet_study_ids[0];
+    qbism_obs::event::clear_slow_queries();
+    sys.server.set_slow_query_threshold(std::time::Duration::ZERO);
+    sys.server.full_study(study).expect("Q1 runs");
+    let slow = sys.server.slow_queries();
+    let hit = slow.iter().rev().find(|s| s.tree.name == "query.full_study").expect("captured");
+    assert!(hit.trace != 0);
+    assert!(hit.tree.find("db.execute").is_some(), "captured tree keeps its children");
+    // Restore the default threshold for later tests.
+    sys.server.set_slow_query_threshold(std::time::Duration::from_micros(250_000));
+    qbism_obs::event::clear_slow_queries();
+}
+
+#[test]
+fn a_crash_fault_dumps_the_flight_recorder() {
+    let _g = serialize();
+    let sys = install();
+    let study = sys.pet_study_ids[0];
+    qbism_obs::trace::clear();
+    qbism_obs::event::clear();
+    qbism_obs::event::clear_crash_dumps();
+    let scope = FaultPlane::new(7).crash_nth("lfm.read", 1).arm();
+    let result = sys.server.full_study(study);
+    drop(scope);
+    assert!(result.is_err(), "a crash fault fails the query");
+    let dump = qbism_obs::event::last_crash_dump().expect("crash captured a dump");
+    assert_eq!(dump.site, "lfm.read");
+    assert!(
+        dump.events.iter().any(|e| matches!(
+            &e.kind,
+            qbism_obs::EventKind::FaultInjected { site, outcome } if site == "lfm.read" && *outcome == "crash"
+        )),
+        "the dump's event slice contains the fault that triggered it"
+    );
+    assert!(
+        dump.live_spans.iter().flatten().any(|s| s.starts_with("query.")),
+        "the dump records the in-flight query's live span stack: {:?}",
+        dump.live_spans
+    );
+    let json = qbism_obs::export::crash_dump_json(&dump);
+    assert!(json.contains("\"site\":\"lfm.read\""));
+    qbism_obs::event::clear_crash_dumps();
+    qbism_obs::event::clear();
+    qbism_obs::trace::clear();
 }
 
 #[test]
