@@ -1,0 +1,104 @@
+//! `cluster` — sharded-warehouse scaling at 1/2/4/8 shards plus
+//! mid-query failover recovery time; writes `BENCH_cluster.json`.
+//!
+//! ```text
+//! cluster [--bits N] [--studies N] [--items N] [--scale F] [--out PATH]
+//! ```
+//!
+//! Run in release: `cargo run -p qbism-bench --release --bin cluster`.
+//! Each shard replays `scale × sim_db` seconds of every sub-query's
+//! simulated 1994 database latency inside its single service lane, so
+//! the sweep is lane-bound and the speedup measures scatter/gather
+//! over independent shards, not host cores.  Exits non-zero if 8
+//! shards fail to reach 2.5× the one-shard throughput.
+
+use qbism::QbismConfig;
+use qbism_bench::cluster;
+
+const SHARDS: [usize; 4] = [1, 2, 4, 8];
+const REPLICATION: usize = 2;
+const SPEEDUP_FLOOR: f64 = 2.5;
+
+struct Args {
+    bits: u32,
+    studies: usize,
+    items: usize,
+    scale: f64,
+    out: String,
+}
+
+fn parse_args() -> Result<Args, String> {
+    // Defaults keep the sweep under ~30 s: a 64³ grid, 16 studies
+    // spread over up to 8 lanes, lane replay at 5 % (large enough that
+    // a failover's rerouted replay is visible over scheduling noise).
+    let mut args =
+        Args { bits: 6, studies: 16, items: 6, scale: 0.05, out: "BENCH_cluster.json".into() };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut flag = |name: &str| -> Result<String, String> {
+            it.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match a.as_str() {
+            "--bits" => args.bits = flag("--bits")?.parse().map_err(|e| format!("--bits: {e}"))?,
+            "--studies" => {
+                args.studies = flag("--studies")?.parse().map_err(|e| format!("--studies: {e}"))?
+            }
+            "--items" => {
+                args.items = flag("--items")?.parse().map_err(|e| format!("--items: {e}"))?
+            }
+            "--scale" => {
+                args.scale = flag("--scale")?.parse().map_err(|e| format!("--scale: {e}"))?
+            }
+            "--out" => args.out = flag("--out")?,
+            "--help" | "-h" => {
+                return Err(
+                    "usage: cluster [--bits N] [--studies N] [--items N] [--scale F] [--out PATH]"
+                        .into(),
+                )
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    if !(4..=8).contains(&args.bits) {
+        return Err(format!("--bits {} out of supported range 4..=8", args.bits));
+    }
+    if args.studies < 2 {
+        return Err(format!("--studies {} too few for a placement sweep", args.studies));
+    }
+    if args.scale <= 0.0 || !args.scale.is_finite() {
+        return Err(format!("--scale {} must be a positive fraction", args.scale));
+    }
+    Ok(args)
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+    let config = QbismConfig {
+        atlas_bits: args.bits,
+        pet_studies: args.studies,
+        mri_studies: 0,
+        device_capacity: 1u64 << 31,
+        ..QbismConfig::paper_scale()
+    };
+    let report = cluster::measure(&config, &SHARDS, REPLICATION, args.items, args.scale);
+    println!("{}", report.render());
+    if let Err(e) = std::fs::write(&args.out, report.to_json()) {
+        eprintln!("cannot write {}: {e}", args.out);
+        std::process::exit(1);
+    }
+    println!("wrote {}", args.out);
+    if report.peak_speedup() < SPEEDUP_FLOOR {
+        eprintln!(
+            "FAIL: {} shards reached only {:.2}x one-shard throughput (floor {SPEEDUP_FLOOR}x)",
+            SHARDS[SHARDS.len() - 1],
+            report.peak_speedup(),
+        );
+        std::process::exit(1);
+    }
+}

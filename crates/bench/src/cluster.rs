@@ -1,0 +1,304 @@
+//! Sharded warehouse throughput and failover recovery: population
+//! aggregates against a [`ClusterWarehouse`] at 1/2/4/8 shards, plus
+//! the wall-clock cost of losing a replica mid-query.
+//!
+//! **Why this speeds up on any machine**: each shard serves its
+//! sub-queries through a single service lane, and the warehouse
+//! *replays* a scaled slice of every sub-query's simulated 1994
+//! database seconds inside that lane (`replay_scale × sim_db`, a real
+//! sleep).  At one shard every study's sub-query serializes on one
+//! lane; at eight, placement spreads the studies over eight lanes the
+//! router's fan-out keeps busy.  The speedup therefore measures
+//! scatter/gather over independent shard lanes — not host cores — and
+//! every answer is still checked against the single-node reference.
+//!
+//! The recovery measurement arms a `cluster.shard.kill` fault on the
+//! first kill-site pass and times the same query: the delta over the
+//! fault-free baseline is what one mid-query failover costs, and the
+//! answer must stay byte-identical.
+//!
+//! `tablegen` does not run this (it is wall-clock, not a paper table);
+//! the `cluster` binary writes `BENCH_cluster.json` for CI.
+
+use qbism::QbismConfig;
+use qbism_cluster::ClusterWarehouse;
+use qbism_fault::{sites, FaultOutcome, FaultPlane, Trigger};
+use std::time::Instant;
+
+/// Throughput at one shard count.
+#[derive(Debug, Clone, Copy)]
+pub struct ShardRun {
+    /// Shards serving the placement catalog.
+    pub shards: usize,
+    /// Wall seconds to drain the whole workload.
+    pub wall_seconds: f64,
+    /// Population queries per wall second.
+    pub qps: f64,
+}
+
+/// Wall-clock cost of one mid-query replica loss at the widest sweep
+/// point, answers checked for exactness.
+#[derive(Debug, Clone, Copy)]
+pub struct RecoveryReport {
+    /// Median fault-free single-query wall seconds.
+    pub baseline_seconds: f64,
+    /// Median wall seconds for the same query with a kill injected on
+    /// the first kill-site pass.
+    pub faulted_seconds: f64,
+    /// Failovers each kill forced (≥ 1).
+    pub failovers: u64,
+}
+
+impl RecoveryReport {
+    /// Added wall-clock cost of the failover (clamped at zero: on a
+    /// noisy host the retried sub-query can hide inside the fan-out).
+    pub fn recovery_seconds(&self) -> f64 {
+        (self.faulted_seconds - self.baseline_seconds).max(0.0)
+    }
+}
+
+/// The full sweep report.
+#[derive(Debug, Clone)]
+pub struct ClusterReport {
+    /// Grid side (voxels per axis).
+    pub side: u32,
+    /// Studies placed on the warehouse.
+    pub studies: usize,
+    /// Replicas per study.
+    pub replication: usize,
+    /// Population queries per sweep point.
+    pub items: usize,
+    /// Fraction of each sub-query's simulated database seconds
+    /// replayed inside its shard's service lane.
+    pub replay_scale: f64,
+    /// One entry per shard count, in sweep order (first is one shard).
+    pub runs: Vec<ShardRun>,
+    /// Failover cost at the widest sweep point.
+    pub recovery: RecoveryReport,
+}
+
+impl ClusterReport {
+    /// Speedup of `run` over the one-shard (first) sweep point.
+    pub fn speedup(&self, run: &ShardRun) -> f64 {
+        match self.runs.first() {
+            Some(serial) if run.qps > 0.0 && serial.qps > 0.0 => run.qps / serial.qps,
+            _ => 0.0,
+        }
+    }
+
+    /// Speedup at the widest sweep point.
+    pub fn peak_speedup(&self) -> f64 {
+        self.runs.last().map(|r| self.speedup(r)).unwrap_or(0.0)
+    }
+
+    /// Human-readable report.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "Sharded warehouse, {}³ grid — {} population queries over {} studies, k={}\n\
+             per-shard lane replay: {:.0} % of simulated 1994 database time\n\
+             {:>8} {:>12} {:>10} {:>9}\n",
+            self.side,
+            self.items,
+            self.studies,
+            self.replication,
+            self.replay_scale * 100.0,
+            "shards",
+            "wall (s)",
+            "queries/s",
+            "speedup",
+        );
+        for run in &self.runs {
+            out.push_str(&format!(
+                "{:>8} {:>12.3} {:>10.2} {:>8.2}x\n",
+                run.shards,
+                run.wall_seconds,
+                run.qps,
+                self.speedup(run),
+            ));
+        }
+        out.push_str(&format!(
+            "failover recovery at {} shards: baseline {:.3} s, with kill {:.3} s \
+             (+{:.3} s, {} failover(s)), answer byte-identical\n",
+            self.runs.last().map(|r| r.shards).unwrap_or(0),
+            self.recovery.baseline_seconds,
+            self.recovery.faulted_seconds,
+            self.recovery.recovery_seconds(),
+            self.recovery.failovers,
+        ));
+        out
+    }
+
+    /// Machine-readable report for `BENCH_cluster.json`.
+    pub fn to_json(&self) -> String {
+        let runs = self
+            .runs
+            .iter()
+            .map(|r| {
+                format!(
+                    "    {{ \"shards\": {}, \"wall_seconds\": {:.6}, \"qps\": {:.2}, \"speedup\": {:.3} }}",
+                    r.shards,
+                    r.wall_seconds,
+                    r.qps,
+                    self.speedup(r)
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",\n");
+        format!(
+            "{{\n  \"benchmark\": \"cluster_warehouse\",\n  \
+             \"workload\": \"population_average fanned over placement-directed shards\",\n  \
+             \"design\": \"each shard replays replay_scale x simulated 1994 database seconds inside its single service lane; speedup comes from scattering studies over independent lanes, independent of host core count; every answer is checked against the single-node reference\",\n  \
+             \"grid_side\": {},\n  \"studies\": {},\n  \"replication\": {},\n  \
+             \"items\": {},\n  \"replay_scale\": {},\n  \
+             \"peak_speedup\": {:.3},\n  \"runs\": [\n{}\n  ],\n  \
+             \"recovery\": {{\n    \"baseline_seconds\": {:.6},\n    \
+             \"faulted_seconds\": {:.6},\n    \"recovery_seconds\": {:.6},\n    \
+             \"failovers\": {},\n    \"answer_exact\": true\n  }}\n}}\n",
+            self.side,
+            self.studies,
+            self.replication,
+            self.items,
+            self.replay_scale,
+            self.peak_speedup(),
+            runs,
+            self.recovery.baseline_seconds,
+            self.recovery.faulted_seconds,
+            self.recovery.recovery_seconds(),
+            self.recovery.failovers,
+        )
+    }
+}
+
+/// Runs the sweep: installs a one-shard warehouse, then grows it
+/// through `shard_counts` with [`ClusterWarehouse::add_shard`]
+/// (exercising the rebalance path), draining the same population
+/// workload at each membership.  Every answer is checked against the
+/// single-node reference.  At the widest point, times one fault-free
+/// query against the same query under an injected first-pass shard
+/// kill and reports the delta as the failover recovery cost.
+pub fn measure(
+    config: &QbismConfig,
+    shard_counts: &[usize],
+    replication: usize,
+    items: usize,
+    replay_scale: f64,
+) -> ClusterReport {
+    let first = shard_counts.first().copied().unwrap_or(1).max(1);
+    let mut warehouse =
+        ClusterWarehouse::install(config, first, replication).expect("warehouse install");
+    let studies: Vec<i64> = warehouse.studies().to_vec();
+    warehouse.set_threads(studies.len().min(16));
+    warehouse.set_replay_scale(replay_scale);
+
+    // Single-node reference answer; the sweep checks every cluster
+    // answer against it (voxel counts per item, full values once per
+    // membership — divergence fails loudly).
+    let reference =
+        warehouse.reference_server().population_average(&studies, "ntal").expect("reference pop");
+
+    let mut runs = Vec::with_capacity(shard_counts.len());
+    for &target in shard_counts {
+        let target = target.max(1);
+        while warehouse.shard_count() < target {
+            warehouse.add_shard().expect("grow warehouse");
+        }
+        assert_eq!(warehouse.shard_count(), target, "sweep shard counts must be non-decreasing");
+        let probe = warehouse.population_average(&studies, "ntal").expect("probe under membership");
+        assert_eq!(
+            probe.data.values(),
+            reference.data.values(),
+            "answer diverged at {target} shards"
+        );
+        let start = Instant::now();
+        for _ in 0..items.max(1) {
+            let answer = warehouse.population_average(&studies, "ntal").expect("pop under sweep");
+            assert!(answer.is_complete());
+            assert_eq!(
+                answer.data.voxel_count(),
+                reference.data.voxel_count(),
+                "answer diverged at {target} shards"
+            );
+        }
+        let wall_seconds = start.elapsed().as_secs_f64();
+        runs.push(ShardRun {
+            shards: target,
+            wall_seconds,
+            qps: items.max(1) as f64 / wall_seconds.max(f64::EPSILON),
+        });
+    }
+
+    // Recovery: median fault-free query time vs the median time of the
+    // same query with the serving shard killed on the first kill-site
+    // pass.  Medians of several runs, after a warmup, because the
+    // failover's rerouting cost is small against host scheduling noise.
+    const RECOVERY_RUNS: usize = 5;
+    let median = |mut xs: Vec<f64>| -> f64 {
+        xs.sort_by(f64::total_cmp);
+        xs[xs.len() / 2]
+    };
+    let baseline = warehouse.population_average(&studies, "ntal").expect("recovery warmup");
+    let mut baseline_walls = Vec::with_capacity(RECOVERY_RUNS);
+    for _ in 0..RECOVERY_RUNS {
+        let start = Instant::now();
+        warehouse.population_average(&studies, "ntal").expect("recovery baseline");
+        baseline_walls.push(start.elapsed().as_secs_f64());
+    }
+    let failovers_before = warehouse.recovery_stats().failovers;
+    let mut faulted_walls = Vec::with_capacity(RECOVERY_RUNS);
+    for run in 0..RECOVERY_RUNS {
+        let scope = FaultPlane::new(0xBE + run as u64)
+            .rule(sites::CLUSTER_SHARD_KILL, Trigger::Nth(1), FaultOutcome::Error)
+            .arm();
+        let start = Instant::now();
+        let faulted = warehouse.population_average(&studies, "ntal").expect("survives the kill");
+        faulted_walls.push(start.elapsed().as_secs_f64());
+        drop(scope);
+        assert!(faulted.is_complete(), "the kill must not lose a study");
+        assert_eq!(
+            faulted.data.values(),
+            baseline.data.values(),
+            "failover changed the answer bytes"
+        );
+        warehouse.revive_all();
+    }
+    let failovers_total = warehouse.recovery_stats().failovers - failovers_before;
+    assert!(failovers_total >= RECOVERY_RUNS as u64, "every kill must force at least one failover");
+    let baseline_seconds = median(baseline_walls);
+    let faulted_seconds = median(faulted_walls);
+    let failovers = failovers_total / RECOVERY_RUNS as u64;
+
+    ClusterReport {
+        side: config.side(),
+        studies: studies.len(),
+        replication,
+        items: items.max(1),
+        replay_scale,
+        runs,
+        recovery: RecoveryReport { baseline_seconds, faulted_seconds, failovers },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_overlaps_shard_lanes() {
+        // Tiny grid, two memberships, generous lane replay: two shards
+        // must overlap their lanes even on one host core.
+        let config = QbismConfig { pet_studies: 4, ..QbismConfig::small_test() };
+        let report = measure(&config, &[1, 2], 2, 3, 0.25);
+        assert_eq!(report.runs.len(), 2);
+        assert!(report.runs.iter().all(|r| r.qps > 0.0));
+        assert!(
+            report.peak_speedup() > 1.1,
+            "two shard lanes should overlap replays: {}",
+            report.render()
+        );
+        assert!(report.recovery.failovers >= 1);
+        let json = report.to_json();
+        assert!(json.contains("\"benchmark\": \"cluster_warehouse\""));
+        assert!(json.contains("\"peak_speedup\""));
+        assert!(json.contains("\"recovery_seconds\""));
+    }
+}

@@ -23,6 +23,7 @@
 #![warn(missing_docs)]
 
 pub mod approx;
+pub mod cluster;
 pub mod eq1;
 pub mod fig4;
 pub mod kernels;

@@ -14,6 +14,13 @@
 //!   don't reach around it for `std::sync` mutexes, condvars or
 //!   atomics (`Arc` and friends are fine); a raw primitive would be
 //!   invisible to the model checker.
+//! - **facade-sync-in-cluster** — the sharded warehouse's router and
+//!   shard state (`crates/cluster`) never reach for raw `std::sync`:
+//!   failover races (racing kills, claim/merge, lane handoff) must run
+//!   on the `qbism_check::sync` facade so the model checker can drive
+//!   them.  Same detection as `no-raw-sync`, reported under its own
+//!   rule name because the stake is different — an invisible primitive
+//!   here voids the crate's headline exactness-under-fault argument.
 //! - **no-cache-iostats** — the page-cache layer must stay below the
 //!   accounting layer: cache code never touches logical `IoStats`
 //!   (PR 3 separated logical from physical I/O counts; this keeps the
@@ -107,8 +114,8 @@ impl LintConfig {
                 "check",
             ]),
             facade_crates: s(&["parallel", "lfm", "netsim", "fault", "core"]),
-            traced_impls: s(&["MedicalServer", "Database"]),
-            traced_crates: s(&["core", "starburst"]),
+            traced_impls: s(&["MedicalServer", "Database", "ClusterWarehouse"]),
+            traced_crates: s(&["core", "starburst", "cluster"]),
         }
     }
 
@@ -134,8 +141,13 @@ pub fn lint_source(source: &str, rel: &str, crate_name: &str, cfg: &LintConfig) 
     let check_unwrap =
         cfg.all_crates_in_scope || !cfg.unwrap_exempt.iter().any(|c| c == crate_name);
     let check_clock = in_scope(&cfg.deterministic_crates);
-    let check_sync = in_scope(&cfg.facade_crates);
     let file_name = rel.rsplit('/').next().unwrap_or(rel);
+    // The cluster crate gets its own rule name for the same detection:
+    // in fixture mode (flat corpus, no crates/ prefix) scope by file
+    // name, as the cache/kernel rules do.
+    let cluster_scope =
+        crate_name == "cluster" || (cfg.all_crates_in_scope && file_name.starts_with("cluster"));
+    let check_sync = cluster_scope || in_scope(&cfg.facade_crates);
     let check_cache =
         file_name.contains("cache") && (cfg.all_crates_in_scope || crate_name == "lfm");
     let check_kernel = file_name.contains("kernel")
@@ -184,10 +196,17 @@ pub fn lint_source(source: &str, rel: &str, crate_name: &str, cfg: &LintConfig) 
         }
         if check_sync {
             for banned in banned_sync_uses(code) {
-                push(
-                    "no-raw-sync",
-                    format!("raw `std::sync::{banned}` in a facade-ported crate; use `qbism_check::sync::{banned}` so the model checker sees it"),
-                );
+                if cluster_scope {
+                    push(
+                        "facade-sync-in-cluster",
+                        format!("raw `std::sync::{banned}` in the sharded warehouse; use `qbism_check::sync::{banned}` so failover races stay model-checkable"),
+                    );
+                } else {
+                    push(
+                        "no-raw-sync",
+                        format!("raw `std::sync::{banned}` in a facade-ported crate; use `qbism_check::sync::{banned}` so the model checker sees it"),
+                    );
+                }
             }
         }
         if check_cache && code.contains("IoStats") {

@@ -1,0 +1,35 @@
+// Fixture: raw std::sync in the sharded warehouse.  Same detection as
+// no-raw-sync, but cluster-scoped files (crates/cluster in the
+// workspace gate; cluster* file names in this flat corpus) report it
+// under the crate's own rule — failover races that the model checker
+// cannot see void the exactness-under-fault argument.
+
+use std::sync::Mutex; // LINT: facade-sync-in-cluster
+use std::sync::atomic::AtomicBool; // LINT: facade-sync-in-cluster
+use std::sync::{Arc, Condvar}; // LINT: facade-sync-in-cluster
+
+struct BadShardState {
+    healthy: std::sync::atomic::AtomicU64, // LINT: facade-sync-in-cluster
+}
+
+fn bad_lane() -> std::sync::RwLock<()> { // LINT: facade-sync-in-cluster
+    std::sync::RwLock::new(()) // LINT: facade-sync-in-cluster
+}
+
+// Ownership and one-shot types carry no scheduling the model must see.
+use std::sync::OnceLock;
+use std::sync::{mpsc, Weak};
+
+fn fine_ownership(a: Arc<u32>, _w: Weak<u32>, _o: &OnceLock<u32>) -> u32 {
+    *a
+}
+
+#[cfg(test)]
+mod tests {
+    // Test code may use raw primitives; the gate skips it.
+    use std::sync::Mutex;
+
+    fn fine_in_tests() -> Mutex<u32> {
+        Mutex::new(0)
+    }
+}

@@ -1,0 +1,245 @@
+//! Catalog-directed placement: which shards serve which study.
+//!
+//! Every shard holds a complete copy of the deterministically installed
+//! database (same config, same seed → byte-identical bytes on every
+//! shard), so placement governs *serving ownership only*: which k
+//! shards a study's sub-queries are routed to, and in what failover
+//! order.  Ownership is computed by rendezvous (highest-random-weight)
+//! hashing, the classic scheme whose property we need for rebalancing:
+//! adding or removing one shard moves only the studies whose top-k set
+//! actually changed, never reshuffles the rest.
+
+use std::collections::BTreeMap;
+
+/// Mixes a (shard, study) pair into a 64-bit rendezvous weight.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Rendezvous weight of `shard` for `study` (higher wins).
+fn weight(shard: u64, study: i64) -> u64 {
+    splitmix64(shard.rotate_left(17) ^ (study as u64).wrapping_mul(0xA24B_AED4_963E_E407))
+}
+
+/// The owners of one study, primary first.
+fn rank(shards: &[u64], study: i64, k: usize) -> Vec<u64> {
+    let mut ranked: Vec<u64> = shards.to_vec();
+    // Total order: weight descending, shard id ascending as tiebreak —
+    // fully deterministic for any shard set.
+    ranked.sort_by(|&a, &b| weight(b, study).cmp(&weight(a, study)).then(a.cmp(&b)));
+    ranked.truncate(k.min(shards.len()));
+    ranked
+}
+
+/// An inconsistency found by [`PlacementCatalog::verify`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlacementViolation {
+    /// The catalog has no entry for a study the warehouse serves.
+    MissingStudy {
+        /// The unplaced study.
+        study: i64,
+    },
+    /// A study's replica list names a shard the cluster does not have.
+    UnknownShard {
+        /// The mis-placed study.
+        study: i64,
+        /// The dangling shard id.
+        shard: u64,
+    },
+    /// A study's replica list repeats a shard (replication would lie).
+    DuplicateReplica {
+        /// The mis-placed study.
+        study: i64,
+        /// The repeated shard id.
+        shard: u64,
+    },
+    /// A study has the wrong replica count (`expected` = min(k, shards)).
+    WrongReplicaCount {
+        /// The mis-placed study.
+        study: i64,
+        /// min(replication factor, live shards).
+        expected: usize,
+        /// Replicas actually recorded.
+        actual: usize,
+    },
+    /// A study's recorded owners differ from a fresh rendezvous
+    /// computation — the catalog drifted from its own placement rule.
+    NotCanonical {
+        /// The drifted study.
+        study: i64,
+    },
+}
+
+impl std::fmt::Display for PlacementViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlacementViolation::MissingStudy { study } => {
+                write!(f, "study {study} has no placement entry")
+            }
+            PlacementViolation::UnknownShard { study, shard } => {
+                write!(f, "study {study} placed on unknown shard {shard}")
+            }
+            PlacementViolation::DuplicateReplica { study, shard } => {
+                write!(f, "study {study} lists shard {shard} twice")
+            }
+            PlacementViolation::WrongReplicaCount { study, expected, actual } => {
+                write!(f, "study {study} has {actual} replicas, expected {expected}")
+            }
+            PlacementViolation::NotCanonical { study } => {
+                write!(f, "study {study} placement differs from rendezvous rule")
+            }
+        }
+    }
+}
+
+/// The placement catalog: study → ordered replica list (primary
+/// first), rebuilt on membership change.
+#[derive(Debug, Clone)]
+pub struct PlacementCatalog {
+    replication: usize,
+    entries: BTreeMap<i64, Vec<u64>>,
+}
+
+impl PlacementCatalog {
+    /// Builds a catalog placing `studies` over `shards` with `k`-way
+    /// replication (clamped to ≥ 1).
+    pub fn build(shards: &[u64], studies: &[i64], k: usize) -> Self {
+        let k = k.max(1);
+        let entries = studies.iter().map(|&s| (s, rank(shards, s, k))).collect();
+        PlacementCatalog { replication: k, entries }
+    }
+
+    /// The configured replication factor.
+    pub fn replication(&self) -> usize {
+        self.replication
+    }
+
+    /// The ordered replica list (primary first) serving `study`, empty
+    /// when the study is unknown.
+    pub fn replicas(&self, study: i64) -> &[u64] {
+        self.entries.get(&study).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// All placed studies, ascending.
+    pub fn studies(&self) -> Vec<i64> {
+        self.entries.keys().copied().collect()
+    }
+
+    /// Recomputes placement over a new shard set, returning how many
+    /// studies had their replica list change — the rendezvous property
+    /// keeps this minimal on single add/remove.
+    pub fn rebuild(&mut self, shards: &[u64]) -> u64 {
+        let mut moved = 0;
+        for (&study, owners) in self.entries.iter_mut() {
+            let fresh = rank(shards, study, self.replication);
+            if *owners != fresh {
+                *owners = fresh;
+                moved += 1;
+            }
+        }
+        moved
+    }
+
+    /// The invariant checker: every study placed, exactly
+    /// `min(k, |shards|)` distinct owners, all owners live, and the
+    /// recorded order identical to a fresh rendezvous computation.
+    pub fn verify(&self, shards: &[u64], studies: &[i64]) -> Vec<PlacementViolation> {
+        let mut violations = Vec::new();
+        for &study in studies {
+            let Some(owners) = self.entries.get(&study) else {
+                violations.push(PlacementViolation::MissingStudy { study });
+                continue;
+            };
+            let expected = self.replication.min(shards.len());
+            if owners.len() != expected {
+                violations.push(PlacementViolation::WrongReplicaCount {
+                    study,
+                    expected,
+                    actual: owners.len(),
+                });
+            }
+            let mut seen = Vec::with_capacity(owners.len());
+            for &shard in owners {
+                if !shards.contains(&shard) {
+                    violations.push(PlacementViolation::UnknownShard { study, shard });
+                }
+                if seen.contains(&shard) {
+                    violations.push(PlacementViolation::DuplicateReplica { study, shard });
+                }
+                seen.push(shard);
+            }
+            if *owners != rank(shards, study, self.replication) {
+                violations.push(PlacementViolation::NotCanonical { study });
+            }
+        }
+        violations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn placement_is_deterministic_and_verifies_clean() {
+        let shards = [0, 1, 2, 3];
+        let studies = [2, 3, 5, 7, 11, 13];
+        let a = PlacementCatalog::build(&shards, &studies, 2);
+        let b = PlacementCatalog::build(&shards, &studies, 2);
+        for &s in &studies {
+            assert_eq!(a.replicas(s), b.replicas(s));
+            assert_eq!(a.replicas(s).len(), 2);
+        }
+        assert!(a.verify(&shards, &studies).is_empty());
+    }
+
+    #[test]
+    fn replication_clamps_to_live_shards() {
+        let catalog = PlacementCatalog::build(&[0], &[1, 2], 3);
+        assert_eq!(catalog.replicas(1), &[0]);
+        assert!(catalog.verify(&[0], &[1, 2]).is_empty());
+    }
+
+    #[test]
+    fn rebuild_moves_minimally_on_add() {
+        let studies: Vec<i64> = (1..=64).collect();
+        let mut catalog = PlacementCatalog::build(&[0, 1, 2, 3], &studies, 1);
+        let before: Vec<Vec<u64>> = studies.iter().map(|&s| catalog.replicas(s).to_vec()).collect();
+        let moved = catalog.rebuild(&[0, 1, 2, 3, 4]);
+        // Rendezvous property: only studies newly won by shard 4 move,
+        // everything else keeps its owner — roughly 1/5 of the studies.
+        assert!(moved > 0 && moved < 32, "moved {moved} of 64");
+        for (i, &s) in studies.iter().enumerate() {
+            if catalog.replicas(s) != before[i].as_slice() {
+                assert_eq!(catalog.replicas(s), &[4]);
+            }
+        }
+        assert!(catalog.verify(&[0, 1, 2, 3, 4], &studies).is_empty());
+    }
+
+    #[test]
+    fn verify_catches_drift() {
+        let studies = [1, 2, 3];
+        let mut catalog = PlacementCatalog::build(&[0, 1, 2], &studies, 2);
+        // Shard 2 removed but the catalog not rebuilt: dangling owners
+        // and non-canonical orders must both surface.
+        let violations = catalog.verify(&[0, 1], &studies);
+        assert!(!violations.is_empty());
+        assert!(violations.iter().any(|v| matches!(
+            v,
+            PlacementViolation::UnknownShard { shard: 2, .. }
+        ) || matches!(
+            v,
+            PlacementViolation::NotCanonical { .. }
+        )));
+        catalog.rebuild(&[0, 1]);
+        assert!(catalog.verify(&[0, 1], &studies).is_empty());
+        assert!(catalog
+            .verify(&[0, 1], &[1, 2, 3, 4])
+            .contains(&PlacementViolation::MissingStudy { study: 4 }));
+    }
+}

@@ -58,7 +58,9 @@ pub use config::QbismConfig;
 pub use future::{feature_vector, StructureIndex, FEATURE_DIMS};
 pub use loader::QbismSystem;
 pub use report::{FullQueryReport, QuerySpec};
-pub use server::{MedicalServer, PopulationAnswer, QueryAnswer, QueryCost};
+pub use server::{
+    MedicalServer, PopulationAnswer, QueryAnswer, QueryCost, StudyExtract, StudyFetch,
+};
 
 /// Errors from the integrated system.
 #[derive(Debug)]

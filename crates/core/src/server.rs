@@ -573,6 +573,21 @@ impl MedicalServer {
         Ok((bytes, PartialCost { lfm, rows_scanned, native_db_seconds: native, fault_latency }))
     }
 
+    /// The per-study stage of the multi-study band query, exposed for
+    /// scatter/gather routers: one measured band-REGION fetch with its
+    /// database-phase cost attached on success.  A failed fetch charges
+    /// nothing — the router discards the attempt and retries a replica,
+    /// which is what keeps the fault-free and failover cost columns
+    /// byte-identical.
+    pub fn band_region_stage(&self, study_id: i64, lo: u8, hi: u8) -> StudyFetch {
+        match self.band_region_fetch(study_id, lo, hi) {
+            Ok((bytes, partial)) => {
+                StudyFetch { cost: Some(self.db_cost(&partial)), outcome: Ok(bytes) }
+            }
+            Err(e) => StudyFetch { cost: None, outcome: Err(e) },
+        }
+    }
+
     /// The Section 6.4 aggregate: voxel-wise average intensity inside a
     /// structure over a set of studies.  Only the per-study relevant
     /// pages are read; the answer is one structure-sized DATA_REGION —
@@ -607,7 +622,7 @@ impl MedicalServer {
         let plane = qbism_fault::current();
         let per_study = Executor::new(self.threads).map(study_ids.to_vec(), |_, id| {
             let _fault = plane.clone().map(qbism_fault::FaultPlane::arm_shared);
-            self.population_extract(id, structure)
+            self.population_stage(id, structure)
         });
         let mut cost = QueryCost::default();
         let mut extracts: Vec<DataRegion<u8>> = Vec::with_capacity(study_ids.len());
@@ -800,7 +815,12 @@ impl MedicalServer {
     /// extraction.  The database cost is reported whenever the query
     /// itself ran, even if the answer then fails to decode — which is
     /// exactly what the sequential loop charged.
-    fn population_extract(&self, id: i64, structure: &str) -> StudyExtract {
+    ///
+    /// Public so scatter/gather routers (`qbism-cluster`) can run the
+    /// stage on a shard's server and fold the costs themselves; the
+    /// stage never ships, so the router keeps the ship-exactly-once
+    /// invariant.
+    pub fn population_stage(&self, id: i64, structure: &str) -> StudyExtract {
         let measured = self
             .run_measured(&format!(
                 "select extractVoxels(wv.data, ast.region)
@@ -890,9 +910,23 @@ struct PartialCost {
 /// One study's contribution to the population aggregate: the database
 /// cost of its measured query (present whenever the query ran) and the
 /// decoded extraction or the error that will skip the study.
-struct StudyExtract {
-    cost: Option<QueryCost>,
-    outcome: Result<DataRegion<u8>>,
+pub struct StudyExtract {
+    /// Database-phase cost of the measured query, present whenever the
+    /// query itself ran (even if decoding then failed).
+    pub cost: Option<QueryCost>,
+    /// The decoded extraction, or the error that skips the study.
+    pub outcome: Result<DataRegion<u8>>,
+}
+
+/// One study's contribution to the multi-study band query: the
+/// database-phase cost (present only on success — a failed fetch is
+/// discarded wholesale by failover routers) and the stored band-REGION
+/// bytes or the error.
+pub struct StudyFetch {
+    /// Database-phase cost of the measured fetch, present on success.
+    pub cost: Option<QueryCost>,
+    /// The study's stored band-REGION bytes, or the error.
+    pub outcome: Result<Vec<u8>>,
 }
 
 #[cfg(test)]

@@ -405,6 +405,28 @@ pub fn checksum(bytes: &[u8]) -> u64 {
     fnv1a64(bytes)
 }
 
+/// Well-known fault-site names of the sharded warehouse tier.
+///
+/// The cluster router consults these around every sub-query dispatch,
+/// so a plane armed on the client thread (and re-armed in fan-out
+/// workers via [`FaultPlane::arm_shared`]) can kill a shard, degrade
+/// it, or drop its answer leg at a deterministic routing point.  All
+/// names are dotted lowercase, as the `fault-site-name` lint requires.
+pub mod sites {
+    /// Routing a sub-query to a shard finds its service dead.  Any
+    /// outcome delivered here downs the shard; the router fails over
+    /// to the next replica.
+    pub const CLUSTER_SHARD_KILL: &str = "cluster.shard.kill";
+    /// The shard answers, but slowly.  Arm with
+    /// [`FaultOutcome::Latency`](crate::FaultOutcome::Latency); the
+    /// extra seconds flow into the sub-query's simulated database time.
+    pub const CLUSTER_SHARD_SLOW: &str = "cluster.shard.slow";
+    /// The shard→router answer leg loses a message.  The per-shard
+    /// channel retries with bounded backoff; exhausting the budget
+    /// surfaces as a timeout and the router fails over.
+    pub const CLUSTER_ROUTE_DROP: &str = "cluster.route.drop";
+}
+
 fn record_injection(site: &str, outcome: &FaultOutcome) {
     if !qbism_obs::enabled() {
         return;
@@ -541,6 +563,26 @@ mod tests {
             .arm();
         assert_eq!(inject("slow"), Some(FaultOutcome::Latency { seconds: 0.25 }));
         assert_eq!(inject("lfm.write"), Some(FaultOutcome::Torn { fraction: 0.5 }));
+    }
+
+    #[test]
+    fn cluster_sites_are_dotted_lowercase_and_glob_matchable() {
+        for site in
+            [sites::CLUSTER_SHARD_KILL, sites::CLUSTER_SHARD_SLOW, sites::CLUSTER_ROUTE_DROP]
+        {
+            assert!(
+                site.split('.').count() >= 2
+                    && site.chars().all(|c| c.is_ascii_lowercase() || c == '.'),
+                "site {site} must be dotted lowercase"
+            );
+            assert!(pattern_matches("cluster.*", site));
+            assert!(pattern_matches(site, site));
+        }
+        // A plane armed on the whole cluster namespace hits a kill consult.
+        let _scope =
+            FaultPlane::new(3).rule("cluster.*", Trigger::Always, FaultOutcome::Error).arm();
+        assert_eq!(inject(sites::CLUSTER_SHARD_KILL), Some(FaultOutcome::Error));
+        assert_eq!(inject("net.send"), None);
     }
 
     #[test]

@@ -121,6 +121,12 @@ pub enum NetError {
         /// Send attempts made, including the first.
         attempts: u32,
     },
+    /// A ship was addressed to an endpoint the channel set does not
+    /// have (see [`EndpointChannels`]).
+    UnknownEndpoint {
+        /// The endpoint index that was addressed.
+        endpoint: usize,
+    },
 }
 
 impl std::fmt::Display for NetError {
@@ -128,6 +134,9 @@ impl std::fmt::Display for NetError {
         match self {
             NetError::Timeout { message, attempts } => {
                 write!(f, "network timeout: message {message} lost after {attempts} attempts")
+            }
+            NetError::UnknownEndpoint { endpoint } => {
+                write!(f, "no such network endpoint: {endpoint}")
             }
         }
     }
@@ -153,6 +162,20 @@ pub struct NetStats {
     pub retransmits: u64,
     /// Simulated seconds spent waiting in retry backoff.
     pub backoff_seconds: f64,
+}
+
+impl NetStats {
+    /// Field-wise sum (aggregating per-endpoint counters).
+    pub fn plus(&self, other: &NetStats) -> NetStats {
+        NetStats {
+            messages: self.messages + other.messages,
+            bytes: self.bytes + other.bytes,
+            seconds: self.seconds + other.seconds,
+            answers: self.answers + other.answers,
+            retransmits: self.retransmits + other.retransmits,
+            backoff_seconds: self.backoff_seconds + other.backoff_seconds,
+        }
+    }
 }
 
 /// Cost breakdown of one shipped answer.
@@ -211,19 +234,45 @@ pub struct RpcChannel {
     model: NetworkModel,
     retry: RetryPolicy,
     stats: NetStats,
+    /// Fault site each message consults while a plane is armed.
+    fault_site: &'static str,
+    /// Site name stamped on retry/timeout flight-recorder events.
+    event_site: &'static str,
 }
 
 impl RpcChannel {
     /// A channel with the given cost model and the default
     /// [`RetryPolicy`].
     pub fn new(model: NetworkModel) -> Self {
-        RpcChannel { model, retry: RetryPolicy::default(), stats: NetStats::default() }
+        RpcChannel {
+            model,
+            retry: RetryPolicy::default(),
+            stats: NetStats::default(),
+            fault_site: "net.send",
+            event_site: "net.ship",
+        }
     }
 
     /// Replaces the retry policy.
     pub fn with_retry_policy(mut self, retry: RetryPolicy) -> Self {
         self.retry = retry;
         self
+    }
+
+    /// Names the fault site this channel's messages consult (default
+    /// `"net.send"`).  Distinct logical links — e.g. the cluster
+    /// router's shard answer legs at `"cluster.route.drop"` — use this
+    /// so a plane can target one link without dropping traffic on the
+    /// others.  Retry/timeout events are stamped with the same name.
+    pub fn with_fault_site(mut self, site: &'static str) -> Self {
+        self.fault_site = site;
+        self.event_site = site;
+        self
+    }
+
+    /// The fault site in force.
+    pub fn fault_site(&self) -> &'static str {
+        self.fault_site
     }
 
     /// The cost model in force.
@@ -253,7 +302,7 @@ impl RpcChannel {
             for message in 0..base_msgs {
                 let mut attempt = 1u32;
                 loop {
-                    match qbism_fault::inject("net.send") {
+                    match qbism_fault::inject(self.fault_site) {
                         None => break,
                         Some(qbism_fault::FaultOutcome::Latency { seconds }) => {
                             injected_latency += seconds.max(0.0);
@@ -277,12 +326,12 @@ impl RpcChannel {
                                     c.retries.add(retransmits);
                                     c.timeouts.inc();
                                 }
-                                qbism_obs::event::timeout("net.ship", attempt as u64);
+                                qbism_obs::event::timeout(self.event_site, attempt as u64);
                                 return Err(NetError::Timeout { message, attempts: attempt });
                             }
                             backoff += self.retry.backoff_seconds(attempt);
                             retransmits += 1;
-                            qbism_obs::event::retry("net.ship", attempt as u64);
+                            qbism_obs::event::retry(self.event_site, attempt as u64);
                             attempt += 1;
                         }
                     }
@@ -306,7 +355,7 @@ impl RpcChannel {
             c.bytes.add(payload_bytes);
             c.micros.add((seconds * 1e6) as u64);
             c.retries.add(retransmits);
-            let span = qbism_obs::trace::span("net.ship");
+            let span = qbism_obs::trace::span(self.event_site);
             span.record_u64("bytes", payload_bytes);
             span.record_u64("messages", msgs);
             span.record_f64("sim_net_s", seconds);
@@ -382,6 +431,108 @@ impl SharedRpcChannel {
     }
 }
 
+/// One independent [`SharedRpcChannel`] per logical endpoint.
+///
+/// A router talking to N shards is N *separate* links, not one: wrapping
+/// a single channel in a mutex would serialize concurrent shard legs
+/// **and** co-mingle their retransmit/backoff accounting, so a flaky
+/// link to shard 3 would pollute shard 5's `NetStats`.  Here each
+/// endpoint owns its channel and counters; concurrent ships to distinct
+/// endpoints proceed in parallel and account independently.
+#[derive(Debug)]
+pub struct EndpointChannels {
+    endpoints: Vec<SharedRpcChannel>,
+    model: NetworkModel,
+    retry: RetryPolicy,
+    fault_site: &'static str,
+}
+
+impl EndpointChannels {
+    /// `n` endpoints sharing one cost model, each with its own channel,
+    /// retry state and counters.  Messages consult the default
+    /// `"net.send"` fault site until [`with_fault_site`] renames it.
+    ///
+    /// [`with_fault_site`]: EndpointChannels::with_fault_site
+    pub fn new(n: usize, model: NetworkModel) -> Self {
+        let mut chans = EndpointChannels {
+            endpoints: Vec::new(),
+            model,
+            retry: RetryPolicy::default(),
+            fault_site: "net.send",
+        };
+        for _ in 0..n {
+            chans.add_endpoint();
+        }
+        chans
+    }
+
+    /// Replaces the retry policy on every existing and future endpoint.
+    pub fn with_retry_policy(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self.endpoints = (0..self.endpoints.len()).map(|_| self.make_endpoint()).collect();
+        self
+    }
+
+    /// Names the fault site every endpoint's messages consult; existing
+    /// endpoint counters are rebuilt fresh.
+    pub fn with_fault_site(mut self, site: &'static str) -> Self {
+        self.fault_site = site;
+        self.endpoints = (0..self.endpoints.len()).map(|_| self.make_endpoint()).collect();
+        self
+    }
+
+    fn make_endpoint(&self) -> SharedRpcChannel {
+        SharedRpcChannel::new(
+            RpcChannel::new(self.model)
+                .with_retry_policy(self.retry)
+                .with_fault_site(self.fault_site),
+        )
+    }
+
+    /// Adds one endpoint and returns its index.
+    pub fn add_endpoint(&mut self) -> usize {
+        self.endpoints.push(self.make_endpoint());
+        self.endpoints.len() - 1
+    }
+
+    /// Number of endpoints.
+    pub fn len(&self) -> usize {
+        self.endpoints.len()
+    }
+
+    /// True when no endpoints exist.
+    pub fn is_empty(&self) -> bool {
+        self.endpoints.is_empty()
+    }
+
+    /// Ships one logical answer over `endpoint`'s own channel; see
+    /// [`RpcChannel::ship`].  Concurrent ships to *different* endpoints
+    /// do not serialize against each other.
+    pub fn ship(&self, endpoint: usize, payload_bytes: u64) -> Result<ShipReceipt, NetError> {
+        self.endpoints
+            .get(endpoint)
+            .ok_or(NetError::UnknownEndpoint { endpoint })?
+            .ship(payload_bytes)
+    }
+
+    /// Counters of one endpoint, if it exists.
+    pub fn stats(&self, endpoint: usize) -> Option<NetStats> {
+        self.endpoints.get(endpoint).map(SharedRpcChannel::stats)
+    }
+
+    /// Field-wise sum of every endpoint's counters.
+    pub fn total_stats(&self) -> NetStats {
+        self.endpoints.iter().fold(NetStats::default(), |acc, e| acc.plus(&e.stats()))
+    }
+
+    /// Zeroes every endpoint's counters.
+    pub fn reset_stats(&self) {
+        for e in &self.endpoints {
+            e.reset_stats();
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     #![allow(clippy::unwrap_used)]
@@ -434,6 +585,75 @@ mod tests {
             let stats = chan.stats();
             assert_eq!(stats.answers, 2);
             assert_eq!(stats.messages, 2 * per_ship, "no ship lost or double-counted");
+        });
+    }
+
+    /// Each endpoint accounts independently: a flaky link to one shard
+    /// must not pollute another shard's retransmit/backoff counters,
+    /// and a custom fault site must not react to `net.send` rules.
+    #[test]
+    fn endpoint_channels_isolate_accounting_and_fault_sites() {
+        let chans = EndpointChannels::new(3, NetworkModel::TESTBED_1994)
+            .with_retry_policy(RetryPolicy { max_attempts: 2, ..RetryPolicy::default() })
+            .with_fault_site("cluster.route.drop");
+        // Rules on net.send must not touch the renamed link.
+        {
+            let _scope =
+                FaultPlane::new(5).rule("net.send", Trigger::Always, FaultOutcome::Drop).arm();
+            chans.ship(0, 2048).unwrap();
+            assert_eq!(chans.stats(0).unwrap().retransmits, 0);
+        }
+        // Drop every message on the shared site: only the shipped-to
+        // endpoint times out; its siblings stay pristine.
+        {
+            let _scope = FaultPlane::new(5)
+                .rule("cluster.route.drop", Trigger::Always, FaultOutcome::Drop)
+                .arm();
+            let err = chans.ship(1, 100).unwrap_err();
+            assert_eq!(err, NetError::Timeout { message: 0, attempts: 2 });
+        }
+        let s0 = chans.stats(0).unwrap();
+        let s1 = chans.stats(1).unwrap();
+        let s2 = chans.stats(2).unwrap();
+        assert_eq!(s0.answers, 1);
+        assert_eq!(s0.retransmits, 0, "endpoint 0 never saw endpoint 1's losses");
+        assert_eq!(s1.answers, 0);
+        assert_eq!(s1.retransmits, 1);
+        assert_eq!(s2, NetStats::default(), "untouched endpoint stays zero");
+        let total = chans.total_stats();
+        assert_eq!(total.messages, s0.messages + s1.messages);
+        assert_eq!(total.retransmits, 1);
+        assert_eq!(
+            chans.ship(7, 10).unwrap_err(),
+            NetError::UnknownEndpoint { endpoint: 7 },
+            "out-of-range endpoint is a typed error"
+        );
+        chans.reset_stats();
+        assert_eq!(chans.total_stats(), NetStats::default());
+    }
+
+    /// Concurrent ships to distinct endpoints both account exactly
+    /// under the deterministic scheduler — nothing is lost to a shared
+    /// lock, and per-endpoint counters never co-mingle.
+    #[test]
+    fn model_concurrent_endpoint_ships_stay_independent() {
+        use qbism_check::thread;
+        use std::sync::Arc;
+        qbism_check::model(|| {
+            let chans = Arc::new(EndpointChannels::new(2, NetworkModel::TESTBED_1994));
+            thread::scope(|s| {
+                for endpoint in 0..2usize {
+                    let chans = Arc::clone(&chans);
+                    s.spawn(move || {
+                        chans.ship(endpoint, 1024 * (endpoint as u64 + 1)).unwrap();
+                    });
+                }
+            });
+            let m = NetworkModel::TESTBED_1994;
+            let s0 = chans.stats(0).unwrap();
+            let s1 = chans.stats(1).unwrap();
+            assert_eq!((s0.answers, s0.messages, s0.bytes), (1, m.messages_for(1024), 1024));
+            assert_eq!((s1.answers, s1.messages, s1.bytes), (1, m.messages_for(2048), 2048));
         });
     }
 

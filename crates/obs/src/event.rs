@@ -102,6 +102,27 @@ pub enum EventKind {
         /// Attempts made before giving up.
         attempts: u64,
     },
+    /// The cluster router rerouted a sub-query to a replica mid-query.
+    Failover {
+        /// Study whose sub-query was rerouted.
+        study: i64,
+        /// Shard the sub-query was abandoned on.
+        from_shard: u64,
+        /// Replica shard the sub-query was retried on.
+        to_shard: u64,
+    },
+    /// A shard was marked unavailable (injected kill or health check).
+    ShardDown {
+        /// The downed shard.
+        shard: u64,
+    },
+    /// The placement catalog was rebuilt after an add/remove-shard.
+    Rebalance {
+        /// Live shards after the rebuild.
+        shards: u64,
+        /// Studies whose replica set changed.
+        moved: u64,
+    },
     /// A root span met the slow-query threshold.
     SlowQuery {
         /// Root span name.
@@ -137,6 +158,9 @@ impl EventKind {
             EventKind::FaultInjected { .. } => "fault_injected",
             EventKind::Retry { .. } => "retry",
             EventKind::Timeout { .. } => "timeout",
+            EventKind::Failover { .. } => "failover",
+            EventKind::ShardDown { .. } => "shard_down",
+            EventKind::Rebalance { .. } => "rebalance",
             EventKind::SlowQuery { .. } => "slow_query",
             EventKind::CrashDump { .. } => "crash_dump",
             EventKind::Custom { .. } => "custom",
@@ -246,6 +270,22 @@ pub fn retry(site: &'static str, attempt: u64) {
 /// Records an exhausted RPC retry budget.
 pub fn timeout(site: &'static str, attempts: u64) {
     record(EventKind::Timeout { site, attempts });
+}
+
+/// Records a mid-query failover of `study`'s sub-query between shards.
+pub fn failover(study: i64, from_shard: u64, to_shard: u64) {
+    record(EventKind::Failover { study, from_shard, to_shard });
+}
+
+/// Records a shard being marked unavailable.
+pub fn shard_down(shard: u64) {
+    record(EventKind::ShardDown { shard });
+}
+
+/// Records a placement-catalog rebuild over `shards` live shards that
+/// moved `moved` study replica sets.
+pub fn rebalance(shards: u64, moved: u64) {
+    record(EventKind::Rebalance { shards, moved });
 }
 
 /// Records a free-form event.

@@ -74,6 +74,18 @@ fn append_kind_fields(out: &mut String, kind: &EventKind) {
         EventKind::Timeout { site, attempts } => {
             let _ = write!(out, ",\"site\":{},\"attempts\":{attempts}", json_string(site));
         }
+        EventKind::Failover { study, from_shard, to_shard } => {
+            let _ = write!(
+                out,
+                ",\"study\":{study},\"from_shard\":{from_shard},\"to_shard\":{to_shard}"
+            );
+        }
+        EventKind::ShardDown { shard } => {
+            let _ = write!(out, ",\"shard\":{shard}");
+        }
+        EventKind::Rebalance { shards, moved } => {
+            let _ = write!(out, ",\"shards\":{shards},\"moved\":{moved}");
+        }
         EventKind::SlowQuery { name, micros } => {
             let _ = write!(out, ",\"name\":{},\"dur_micros\":{micros}", json_string(name));
         }
