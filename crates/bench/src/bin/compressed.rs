@@ -1,0 +1,80 @@
+//! `compressed` — default vs compressed tablespace at 64³ and 128³:
+//! REGION bytes on device, pages read, cold/cached/paced wall time;
+//! writes `BENCH_compressed.json`.
+//!
+//! ```text
+//! compressed [--scale F] [--out PATH]
+//! ```
+//!
+//! Run in release: `cargo run -p qbism-bench --release --bin compressed`.
+//! Exits non-zero unless, at 128³, the region-dominated query class
+//! (the multi-study band fold, 100 % REGION pages) reads at least 1.5×
+//! fewer physical pages under the compressed tablespace and wins on
+//! paced wall time — the compressed-gate CI enforces.
+
+use qbism_bench::compressed;
+
+const BITS: [u32; 2] = [6, 7];
+const GATED_SIDE: u32 = 128;
+const PAGES_FLOOR: f64 = 1.5;
+
+struct Args {
+    scale: f64,
+    out: String,
+}
+
+fn parse_args() -> Result<Args, String> {
+    // 2 % latency replay keeps the sweep interactive while still
+    // letting the disk model dominate the paced wall numbers.
+    let mut args = Args { scale: 0.02, out: "BENCH_compressed.json".into() };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut flag = |name: &str| -> Result<String, String> {
+            it.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match a.as_str() {
+            "--scale" => {
+                args.scale = flag("--scale")?.parse().map_err(|e| format!("--scale: {e}"))?
+            }
+            "--out" => args.out = flag("--out")?,
+            "--help" | "-h" => return Err("usage: compressed [--scale F] [--out PATH]".into()),
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    if args.scale < 0.0 || !args.scale.is_finite() {
+        return Err(format!("--scale {} must be a non-negative fraction", args.scale));
+    }
+    Ok(args)
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+    let report = compressed::measure(&BITS, args.scale);
+    println!("{}", report.render());
+    if let Err(e) = std::fs::write(&args.out, report.to_json()) {
+        eprintln!("cannot write {}: {e}", args.out);
+        std::process::exit(1);
+    }
+    println!("wrote {}", args.out);
+    let ratio = report.gated_pages_ratio(GATED_SIDE);
+    if ratio < PAGES_FLOOR {
+        eprintln!(
+            "FAIL: region-dominated queries at {GATED_SIDE}³ read only {ratio:.2}x fewer \
+             physical pages compressed (floor {PAGES_FLOOR}x)"
+        );
+        std::process::exit(1);
+    }
+    if !report.gated_wall_win(GATED_SIDE) {
+        eprintln!(
+            "FAIL: compressed tablespace lost on paced wall time for a region-dominated \
+             query at {GATED_SIDE}³"
+        );
+        std::process::exit(1);
+    }
+}

@@ -31,6 +31,13 @@
 //!   `iter_voxels` — runs stream through; id lists are for tests and
 //!   API edges (PR 5 rewired the algebra onto streaming kernels; this
 //!   keeps per-voxel paths from creeping back in).
+//! - **no-full-decode-in-kernel** — compressed-domain kernel modules
+//!   (any file named `kernel*` in the region/sfc/volume/coding crates)
+//!   never fall back to full decompression: no `decode_all(` and no
+//!   `to_runs_vec(` — cursors stream and gallop; draining a compressed
+//!   payload into a run vector belongs to API edges and tests (the
+//!   compressed tablespace's I/O win depends on kernels touching only
+//!   the runs a merge actually needs).
 //! - **fault-site-name** — fault-injection site patterns are dotted
 //!   lowercase (`plane.op`, e.g. `lfm.meta.write`), with `*` wildcards,
 //!   so rules written against one crate keep matching as sites grow.
@@ -152,6 +159,11 @@ pub fn lint_source(source: &str, rel: &str, crate_name: &str, cfg: &LintConfig) 
         file_name.contains("cache") && (cfg.all_crates_in_scope || crate_name == "lfm");
     let check_kernel = file_name.contains("kernel")
         && (cfg.all_crates_in_scope || matches!(crate_name, "region" | "sfc" | "volume"));
+    // The compressed-domain rule also covers the coding crate, where
+    // the queryable cursors live.
+    let check_full_decode = file_name.contains("kernel")
+        && (cfg.all_crates_in_scope
+            || matches!(crate_name, "region" | "sfc" | "volume" | "coding"));
 
     let check_traced = in_scope(&cfg.traced_crates);
 
@@ -227,6 +239,20 @@ pub fn lint_source(source: &str, rel: &str, crate_name: &str, cfg: &LintConfig) 
                 push(
                     "no-kernel-materialize",
                     "kernel code must not expand runs voxel-by-voxel via `iter_voxels`; operate on runs directly".to_string(),
+                );
+            }
+        }
+        if check_full_decode {
+            if code.contains("decode_all(") {
+                push(
+                    "no-full-decode-in-kernel",
+                    "kernel code must not fully decompress via `decode_all`; merge through the streaming cursor instead".to_string(),
+                );
+            }
+            if code.contains("to_runs_vec(") {
+                push(
+                    "no-full-decode-in-kernel",
+                    "kernel code must not drain a compressed cursor via `to_runs_vec`; stream and gallop — full decode belongs to API edges and tests".to_string(),
                 );
             }
         }
@@ -761,6 +787,30 @@ mod tests {
             lint_source(src, "crates/region/src/region.rs", "region", &LintConfig::workspace());
         assert!(api.is_empty(), "API-edge materialization is allowed: {api:?}");
         // And kernel files in out-of-scope crates are fine too.
+        let core = lint_source(src, "crates/core/src/kernel.rs", "core", &LintConfig::workspace());
+        assert!(core.is_empty());
+    }
+
+    #[test]
+    fn kernel_files_must_not_fully_decode_compressed_payloads() {
+        let src = "fn f(c: Cursor) { let v = c.to_runs_vec(); let w = d.decode_all(); }";
+        let f = lint_source(
+            src,
+            "crates/region/src/kernel_compressed.rs",
+            "region",
+            &LintConfig::workspace(),
+        );
+        assert_eq!(f.len(), 2, "{f:?}");
+        assert!(f.iter().all(|f| f.rule == "no-full-decode-in-kernel"));
+        // The coding crate's kernel files are in scope too.
+        let coding =
+            lint_source(src, "crates/coding/src/kernel.rs", "coding", &LintConfig::workspace());
+        assert_eq!(coding.len(), 2);
+        // Full decode outside kernel modules (API edges, decode paths) is fine.
+        let api =
+            lint_source(src, "crates/region/src/compressed.rs", "region", &LintConfig::workspace());
+        assert!(api.is_empty(), "API-edge full decode is allowed: {api:?}");
+        // And kernel files in out-of-scope crates are fine.
         let core = lint_source(src, "crates/core/src/kernel.rs", "core", &LintConfig::workspace());
         assert!(core.is_empty());
     }

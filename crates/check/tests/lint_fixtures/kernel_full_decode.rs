@@ -1,0 +1,38 @@
+// Fixture: kernel code falling back to full decompression.  The file
+// name contains "kernel", which is what scopes the rule — the real
+// targets are the compressed-domain merge modules of region/coding.
+
+fn bad_drain(cursor: CompressedCursor<'_>) -> Vec<Run> {
+    cursor.to_runs_vec().unwrap_or_default() // LINT: no-full-decode-in-kernel
+}
+
+fn bad_decode(cursor: &RunListCursor<'_>) -> Vec<(u64, u64)> {
+    cursor.clone().decode_all().unwrap_or_default() // LINT: no-full-decode-in-kernel
+}
+
+fn fine_streaming_merge(a: &mut dyn RunCursor, b: &mut dyn RunCursor) -> Vec<(u64, u64)> {
+    let mut out = Vec::new();
+    while let (Some((a_s, a_e)), Some((b_s, b_e))) = (a.peek(), b.peek()) {
+        if a_e < b_s {
+            let _ = a.seek(b_s); // gallop, don't decode
+        } else if b_e < a_s {
+            let _ = b.seek(a_s);
+        } else {
+            out.push((a_s.max(b_s), a_e.min(b_e)));
+            if a_e <= b_e {
+                let _ = a.advance();
+            } else {
+                let _ = b.advance();
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    // Oracles may drain the cursor: test blocks are exempt.
+    fn oracle(cursor: CompressedCursor<'_>) -> Vec<Run> {
+        cursor.to_runs_vec().unwrap()
+    }
+}

@@ -1,0 +1,384 @@
+//! k³-tree: an octree bitmap over the SFC id space — the queryable
+//! compressed representation for *dense* REGIONs.
+//!
+//! A k²-tree (Brisaboa et al.) stores a 2-D bitmap as a k-ary tree of
+//! bit codes; the k³ variant here uses branching factor 8 over the id
+//! space `[0, 8^levels)`, which on a hierarchical curve (Hilbert or
+//! Morton) makes every node an axis-aligned octant.  Each child of a
+//! node costs two bits — `00` empty, `01` full, `10` partial — and
+//! only partial children recurse, so a solid structure collapses to a
+//! handful of codes no matter how many voxels it holds: the whole-grid
+//! REGION is 16 bits where the naive run codec needs 8 bytes and a
+//! run-list codec grows with the boundary.
+//!
+//! Child codes are emitted in depth-first child order, which *is*
+//! increasing id order, so [`K3Cursor`] streams maximal `(start, end)`
+//! runs directly off the bit stream — no voxel materialization, no
+//! intermediate tree.  Seeking consumes (but never assembles) the
+//! subtrees before the target, counting each pruned subtree as one
+//! skip.
+
+use crate::bitio::{BitReader, BitWriter};
+use crate::varint::{read_uvarint, write_uvarint};
+use crate::{CodingError, Result, RunCursor};
+
+const EMPTY: u64 = 0;
+const FULL: u64 = 1;
+const PARTIAL: u64 = 2;
+
+/// Encodes a canonical run list over `[0, 2^id_bits)` into a k³-tree
+/// payload (`varint id_bits`, `varint run_count`, then the bit codes).
+pub fn encode_runs(runs: &[(u64, u64)], id_bits: u32) -> Result<Vec<u8>> {
+    if id_bits == 0 || id_bits > 33 {
+        return Err(CodingError::ValueOutOfDomain { value: u64::from(id_bits), codec: "k3-tree" });
+    }
+    let levels = id_bits.div_ceil(3).max(1);
+    let size = 8u64.pow(levels);
+    let mut prev: Option<u64> = None;
+    for &(start, end) in runs {
+        if end < start || end >= (1u64 << id_bits) {
+            return Err(CodingError::Corrupt("run outside the id space"));
+        }
+        if let Some(pe) = prev {
+            if start < pe + 2 {
+                return Err(CodingError::Corrupt("run list not canonical"));
+            }
+        }
+        prev = Some(end);
+    }
+    let mut out = Vec::new();
+    write_uvarint(&mut out, u64::from(id_bits));
+    write_uvarint(&mut out, runs.len() as u64);
+    if !runs.is_empty() {
+        let mut w = BitWriter::new();
+        encode_node(&mut w, runs, 0, size);
+        out.extend_from_slice(&w.finish());
+    }
+    Ok(out)
+}
+
+/// Emits one internal node: eight 2-bit child codes in id order, each
+/// partial child's subtree following its code immediately (preorder).
+fn encode_node(w: &mut BitWriter, runs: &[(u64, u64)], base: u64, size: u64) {
+    let csize = size / 8;
+    for i in 0..8 {
+        let lo = base + i * csize;
+        let hi = lo + csize - 1;
+        let from = runs.partition_point(|&(_, end)| end < lo);
+        let to = runs.partition_point(|&(start, _)| start <= hi);
+        let slice = &runs[from..to];
+        if slice.is_empty() {
+            w.write_bits(EMPTY, 2);
+        } else if slice.len() == 1 && slice[0].0 <= lo && slice[0].1 >= hi {
+            w.write_bits(FULL, 2);
+        } else {
+            w.write_bits(PARTIAL, 2);
+            encode_node(w, slice, lo, csize);
+        }
+    }
+}
+
+/// One DFS frame: a node's id range and the next child to visit.
+#[derive(Debug, Clone, Copy)]
+struct Frame {
+    base: u64,
+    /// Ids covered by one child of this node.
+    child_size: u64,
+    next_child: u8,
+}
+
+/// Streaming run decoder over a k³-tree payload.
+#[derive(Debug, Clone)]
+pub struct K3Cursor<'a> {
+    bits: BitReader<'a>,
+    stack: Vec<Frame>,
+    /// Fully-covered interval read ahead of `current` (adjacency
+    /// lookahead for maximal-run assembly).
+    lookahead: Option<(u64, u64)>,
+    current: Option<(u64, u64)>,
+    count: usize,
+    skips: u64,
+    /// Subtrees wholly before this id may be consumed unassembled.
+    prune_below: u64,
+}
+
+impl<'a> K3Cursor<'a> {
+    /// Parses the payload header and decodes the first run.
+    pub fn new(bytes: &'a [u8]) -> Result<Self> {
+        let mut pos = 0;
+        let id_bits = read_uvarint(bytes, &mut pos)?;
+        if id_bits == 0 || id_bits > 33 {
+            return Err(CodingError::Corrupt("bad k3-tree id width"));
+        }
+        let count = read_uvarint(bytes, &mut pos)? as usize;
+        let levels = (id_bits as u32).div_ceil(3).max(1);
+        let size = 8u64.pow(levels);
+        let mut cursor = K3Cursor {
+            bits: BitReader::new(&bytes[pos..]),
+            stack: Vec::with_capacity(levels as usize),
+            lookahead: None,
+            current: None,
+            count,
+            skips: 0,
+            prune_below: 0,
+        };
+        if count > 0 {
+            cursor.stack.push(Frame { base: 0, child_size: size / 8, next_child: 0 });
+            cursor.pump()?;
+        }
+        Ok(cursor)
+    }
+
+    /// Total runs recorded in the header.
+    pub fn run_count(&self) -> usize {
+        self.count
+    }
+
+    /// Next fully-covered child interval in id order, pruning subtrees
+    /// that end below `prune_below`.
+    fn next_covered(&mut self) -> Result<Option<(u64, u64)>> {
+        while let Some(frame) = self.stack.last().copied() {
+            if frame.next_child >= 8 {
+                self.stack.pop();
+                continue;
+            }
+            let lo = frame.base + u64::from(frame.next_child) * frame.child_size;
+            let hi = lo + frame.child_size - 1;
+            if let Some(top) = self.stack.last_mut() {
+                top.next_child += 1;
+            }
+            match self.bits.read_bits(2)? {
+                EMPTY => {}
+                FULL => {
+                    if hi >= self.prune_below {
+                        return Ok(Some((lo, hi)));
+                    }
+                }
+                PARTIAL => {
+                    if frame.child_size < 8 {
+                        return Err(CodingError::Corrupt("partial code at cell level"));
+                    }
+                    if hi < self.prune_below {
+                        // The whole subtree precedes the seek target:
+                        // consume its codes without assembling runs.
+                        self.consume_subtree(frame.child_size / 8)?;
+                        self.skips += 1;
+                    } else {
+                        self.stack.push(Frame {
+                            base: lo,
+                            child_size: frame.child_size / 8,
+                            next_child: 0,
+                        });
+                    }
+                }
+                _ => return Err(CodingError::Corrupt("bad k3-tree child code")),
+            }
+        }
+        Ok(None)
+    }
+
+    /// Reads past one subtree's codes (a node whose children each cover
+    /// `child_size` ids) without emitting anything.
+    fn consume_subtree(&mut self, child_size: u64) -> Result<()> {
+        for _ in 0..8 {
+            if self.bits.read_bits(2)? == PARTIAL {
+                if child_size < 8 {
+                    return Err(CodingError::Corrupt("partial code at cell level"));
+                }
+                self.consume_subtree(child_size / 8)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Assembles the next maximal run into `current`.
+    fn pump(&mut self) -> Result<()> {
+        if self.current.is_some() {
+            return Ok(());
+        }
+        let first = match self.lookahead.take() {
+            Some(iv) => Some(iv),
+            None => self.next_covered()?,
+        };
+        let Some((start, mut end)) = first else {
+            return Ok(());
+        };
+        // Extend while covered intervals stay adjacent.
+        loop {
+            match self.next_covered()? {
+                Some((lo, hi)) if lo == end + 1 => end = hi,
+                other => {
+                    self.lookahead = other;
+                    break;
+                }
+            }
+        }
+        self.current = Some((start, end));
+        Ok(())
+    }
+
+    /// Drains the cursor into a `(start, end)` vector.  Test/API-edge
+    /// helper — kernel code streams instead (lint
+    /// `no-full-decode-in-kernel` bans this call there).
+    pub fn decode_all(mut self) -> Result<Vec<(u64, u64)>> {
+        let mut out = Vec::with_capacity(self.count);
+        while let Some(run) = self.peek() {
+            out.push(run);
+            self.advance()?;
+        }
+        Ok(out)
+    }
+}
+
+impl RunCursor for K3Cursor<'_> {
+    fn peek(&self) -> Option<(u64, u64)> {
+        self.current
+    }
+
+    fn advance(&mut self) -> Result<()> {
+        self.current = None;
+        self.pump()
+    }
+
+    fn seek(&mut self, target: u64) -> Result<()> {
+        self.prune_below = self.prune_below.max(target);
+        loop {
+            match self.current {
+                Some((_, end)) if end >= target => return Ok(()),
+                Some(_) => {
+                    self.current = None;
+                    if let Some((_, la_end)) = self.lookahead {
+                        if la_end < target {
+                            self.lookahead = None;
+                        }
+                    }
+                    self.pump()?;
+                }
+                None => {
+                    self.pump()?;
+                    if self.current.is_none() {
+                        return Ok(());
+                    }
+                }
+            }
+        }
+    }
+
+    fn skips(&self) -> u64 {
+        self.skips
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn canonical(mut ids: Vec<u64>) -> Vec<(u64, u64)> {
+        ids.sort_unstable();
+        ids.dedup();
+        let mut runs: Vec<(u64, u64)> = Vec::new();
+        for id in ids {
+            match runs.last_mut() {
+                Some((_, end)) if *end + 1 == id => *end = id,
+                _ => runs.push((id, id)),
+            }
+        }
+        runs
+    }
+
+    #[test]
+    fn dense_regions_collapse_to_a_few_codes() {
+        // The full 12-bit id space: root's 8 children all FULL.
+        let full = vec![(0u64, (1u64 << 12) - 1)];
+        let bytes = encode_runs(&full, 12).unwrap();
+        assert!(bytes.len() <= 4, "full grid should cost ~2 header bytes + 16 bits");
+        let back = K3Cursor::new(&bytes).unwrap().decode_all().unwrap();
+        assert_eq!(back, full);
+    }
+
+    #[test]
+    fn roundtrips_structured_regions() {
+        let runs = vec![(0u64, 63), (100, 100), (512, 1023), (2048, 2050)];
+        let bytes = encode_runs(&runs, 12).unwrap();
+        let back = K3Cursor::new(&bytes).unwrap().decode_all().unwrap();
+        assert_eq!(back, runs);
+    }
+
+    #[test]
+    fn empty_region_roundtrips() {
+        let bytes = encode_runs(&[], 15).unwrap();
+        let mut c = K3Cursor::new(&bytes).unwrap();
+        assert_eq!(c.peek(), None);
+        c.seek(10).unwrap();
+        assert_eq!(c.peek(), None);
+    }
+
+    #[test]
+    fn seek_prunes_earlier_subtrees() {
+        // Every third id: every subtree is partial, so a long-distance
+        // seek must consume interior subtrees without assembling them.
+        let ids: Vec<u64> = (0..8_192).step_by(3).collect();
+        let runs = canonical(ids);
+        let bytes = encode_runs(&runs, 13).unwrap();
+        let mut c = K3Cursor::new(&bytes).unwrap();
+        c.seek(8_000).unwrap();
+        assert_eq!(c.peek(), Some((8_001, 8_001)));
+        assert!(c.skips() >= 1, "expected pruned subtrees, got {}", c.skips());
+    }
+
+    #[test]
+    fn rejects_out_of_space_and_non_canonical_runs() {
+        assert!(encode_runs(&[(0, 1 << 12)], 12).is_err());
+        assert!(encode_runs(&[(5, 3)], 12).is_err());
+        assert!(encode_runs(&[(0, 3), (4, 6)], 12).is_err());
+    }
+
+    #[test]
+    fn truncated_payloads_error_not_panic() {
+        let runs = vec![(0u64, 10), (500, 700), (4000, 4095)];
+        let bytes = encode_runs(&runs, 12).unwrap();
+        for cut in 0..bytes.len() {
+            if let Ok(mut c) = K3Cursor::new(&bytes[..cut]) {
+                while c.peek().is_some() {
+                    if c.advance().is_err() {
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn fuzz_roundtrip_random_regions(ids in proptest::collection::vec(0u64..32_768, 0..500)) {
+            let runs = canonical(ids);
+            let bytes = encode_runs(&runs, 15).unwrap();
+            let back = K3Cursor::new(&bytes).unwrap().decode_all().unwrap();
+            prop_assert_eq!(back, runs);
+        }
+
+        #[test]
+        fn fuzz_seek_returns_clipped_suffix(
+            ids in proptest::collection::vec(0u64..8_192, 1..300),
+            target in 0u64..9_000,
+        ) {
+            let runs = canonical(ids);
+            let bytes = encode_runs(&runs, 13).unwrap();
+            let mut c = K3Cursor::new(&bytes).unwrap();
+            c.seek(target).unwrap();
+            let truth = runs.iter().find(|&&(_, e)| e >= target).copied();
+            match (c.peek(), truth) {
+                (None, None) => {}
+                (Some((got_s, got_e)), Some((want_s, want_e))) => {
+                    // The cursor may clip ids below the seek target but
+                    // must agree from the target onward.
+                    prop_assert_eq!(got_e, want_e);
+                    prop_assert_eq!(got_s.max(target), want_s.max(target));
+                    prop_assert!(got_s >= want_s);
+                }
+                (got, want) => prop_assert!(false, "got {:?} want {:?}", got, want),
+            }
+        }
+    }
+}

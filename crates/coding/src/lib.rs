@@ -21,6 +21,19 @@
 //! All codes implement [`IntCodec`] over strictly positive integers
 //! (delta lengths are always ≥ 1).
 //!
+//! Beyond the offline Figure 4 study, the crate now carries *queryable*
+//! compressed representations — compact forms a kernel can merge and
+//! seek without decompressing:
+//!
+//! * [`write_uvarint`] / [`read_uvarint`] — byte-aligned LEB128 varints
+//!   hardened against truncated and over-long input;
+//! * [`runcode`] — delta+varint run lists with fixed-interval skip
+//!   blocks ([`RunListCursor`] gallops via the block directory);
+//! * [`k3tree`] — a k³-tree octree bitmap for dense structures
+//!   ([`K3Cursor`] streams maximal runs off the bit codes);
+//! * [`RunCursor`] — the streaming trait both cursors implement, the
+//!   contract `qbism_region`'s compressed kernels merge over.
+//!
 //! # Example
 //!
 //! ```
@@ -44,10 +57,43 @@
 mod bitio;
 mod codecs;
 mod entropy;
+pub mod k3tree;
+pub mod runcode;
+mod varint;
 
 pub use bitio::{BitReader, BitWriter};
 pub use codecs::{EliasDelta, EliasGamma, FixedWidth, Golomb, IntCodec, Rice, Unary};
 pub use entropy::{empirical_entropy_bits, Histogram};
+pub use k3tree::K3Cursor;
+pub use runcode::{RunListCursor, SkipEntry, SKIP_BLOCK_RUNS};
+pub use varint::{read_uvarint, uvarint_len, write_uvarint, MAX_VARINT_BYTES};
+
+/// A streaming cursor over a compressed REGION's maximal `(start, end)`
+/// run list, in increasing id order.
+///
+/// This is the merge contract for compressed-domain kernels: intersect,
+/// union, difference and range restriction consume two (or k) cursors
+/// and emit runs without ever materializing a decoded run vector.
+///
+/// # Seek contract
+///
+/// `seek(target)` positions the cursor on the first run whose *end* is
+/// `>= target`.  A block-skipping implementation may clip the reported
+/// run's start upward (never past `target`): every id `>= target` is
+/// reported exactly, ids below `target` may be elided.  Merges only
+/// consume ids `>= target` after a seek, so results are unaffected.
+pub trait RunCursor {
+    /// Current run, or `None` once the stream is exhausted.
+    fn peek(&self) -> Option<(u64, u64)>;
+    /// Steps to the next run in id order.
+    fn advance(&mut self) -> Result<()>;
+    /// Gallops forward to the first run with `end >= target`.
+    /// Never moves backward; seeking behind the current run is a no-op.
+    fn seek(&mut self, target: u64) -> Result<()>;
+    /// Number of skip-jumps taken so far (blocks or subtrees bypassed
+    /// without run assembly) — the observable win of queryability.
+    fn skips(&self) -> u64;
+}
 
 /// Errors raised by encoders and decoders.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -1,0 +1,411 @@
+//! Queryable compressed run lists: delta+varint coding under a
+//! fixed-interval skip-block directory.
+//!
+//! The operational REGION representation is a sorted list of maximal
+//! `(start, end)` id runs.  This codec stores it in the
+//! Brisaboa-et-al. spirit — compact *and* directly queryable:
+//!
+//! * **delta+varint payload** — per run, the gap to the previous run
+//!   and the run length, each LEB128-coded ([`crate::read_uvarint`]),
+//!   so short runs and short gaps (the power-law mass of EQ 1) cost a
+//!   byte or two instead of the naive eight;
+//! * **fixed-interval skip blocks** — every [`SKIP_BLOCK_RUNS`] runs a
+//!   fixed-width directory entry records the block's bounding SFC
+//!   range (`first_start ..= last_end`), its longest run, and the byte
+//!   offset of its payload.  Each block's deltas restart from the
+//!   directory entry, so a cursor can land on any block and decode it
+//!   without touching the bytes before it.
+//!
+//! [`RunListCursor::seek`] uses the directory to gallop: a binary
+//! search over bounding ranges jumps straight to the first block that
+//! can contain the target id, skipping the payload of every block in
+//! between *without decoding it* — the streamed set operations in
+//! `qbism_region` ride this to merge two compressed operands while
+//! touching only the bytes near their intersection.
+
+use crate::varint::{read_uvarint, uvarint_len, write_uvarint};
+use crate::{CodingError, Result, RunCursor};
+
+/// Runs per skip block (a directory entry every 32 runs costs half a
+/// byte per run against typical 2–4 byte coded runs).
+pub const SKIP_BLOCK_RUNS: usize = 32;
+
+/// Bytes per fixed-width directory entry:
+/// `first_start, last_end, max_run_len, byte_offset` as `u32` LE.
+const DIR_ENTRY_BYTES: usize = 16;
+
+/// Encodes a canonical run list (sorted, disjoint, non-adjacent,
+/// inclusive `(start, end)` pairs) into the skip-block payload.
+///
+/// Ids must fit in 32 bits (the directory words); the id-width gate at
+/// the REGION layer enforces the same limit the naive codec has.
+pub fn encode_runs(runs: &[(u64, u64)]) -> Result<Vec<u8>> {
+    let mut out = Vec::with_capacity(8 + runs.len() * 3);
+    write_uvarint(&mut out, runs.len() as u64);
+    let n_blocks = runs.len().div_ceil(SKIP_BLOCK_RUNS);
+    write_uvarint(&mut out, n_blocks as u64);
+    let dir_base = out.len();
+    out.resize(dir_base + n_blocks * DIR_ENTRY_BYTES, 0);
+    let runs_base = out.len();
+    let mut prev_end = 0u64;
+    for (b, block) in runs.chunks(SKIP_BLOCK_RUNS).enumerate() {
+        let byte_off = (out.len() - runs_base) as u64;
+        let first_start = block[0].0;
+        let last_end = block[block.len() - 1].1;
+        let mut max_run = 0u64;
+        for (j, &(start, end)) in block.iter().enumerate() {
+            if end < start {
+                return Err(CodingError::Corrupt("inverted run"));
+            }
+            if end > u64::from(u32::MAX) {
+                return Err(CodingError::ValueOutOfDomain { value: end, codec: "run-vskip" });
+            }
+            if b > 0 || j > 0 {
+                if start < prev_end + 2 {
+                    return Err(CodingError::Corrupt("run list not canonical"));
+                }
+                if j > 0 {
+                    write_uvarint(&mut out, start - prev_end - 2);
+                }
+            }
+            write_uvarint(&mut out, end - start);
+            max_run = max_run.max(end - start + 1);
+            prev_end = end;
+        }
+        let entry = dir_base + b * DIR_ENTRY_BYTES;
+        out[entry..entry + 4].copy_from_slice(&(first_start as u32).to_le_bytes());
+        out[entry + 4..entry + 8].copy_from_slice(&(last_end as u32).to_le_bytes());
+        out[entry + 8..entry + 12].copy_from_slice(&(max_run as u32).to_le_bytes());
+        out[entry + 12..entry + 16].copy_from_slice(&(byte_off as u32).to_le_bytes());
+    }
+    Ok(out)
+}
+
+/// Encoded payload size without building it.
+pub fn encoded_len(runs: &[(u64, u64)]) -> usize {
+    let n_blocks = runs.len().div_ceil(SKIP_BLOCK_RUNS);
+    let mut bytes =
+        uvarint_len(runs.len() as u64) + uvarint_len(n_blocks as u64) + n_blocks * DIR_ENTRY_BYTES;
+    let mut prev_end = 0u64;
+    for (i, &(start, end)) in runs.iter().enumerate() {
+        if i % SKIP_BLOCK_RUNS != 0 {
+            bytes += uvarint_len(start.saturating_sub(prev_end + 2));
+        }
+        bytes += uvarint_len(end.saturating_sub(start));
+        prev_end = end;
+    }
+    bytes
+}
+
+/// One parsed skip-directory entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SkipEntry {
+    /// First id covered by the block.
+    pub first_start: u64,
+    /// Last id covered by the block (ends are increasing, so this
+    /// bounds every run in it).
+    pub last_end: u64,
+    /// Longest run in the block, in ids.
+    pub max_run_len: u64,
+    /// Byte offset of the block's payload inside the runs area.
+    pub byte_offset: u64,
+}
+
+/// Streaming decoder over a skip-block payload.
+///
+/// The cursor holds one decoded run at a time; [`RunListCursor::seek`]
+/// gallops through the directory instead of decoding skipped blocks.
+#[derive(Debug, Clone)]
+pub struct RunListCursor<'a> {
+    bytes: &'a [u8],
+    runs_base: usize,
+    dir_base: usize,
+    count: usize,
+    n_blocks: usize,
+    /// Global index of the run in `current` (count = exhausted).
+    index: usize,
+    /// Byte position of the *next* codeword in the runs area.
+    pos: usize,
+    current: Option<(u64, u64)>,
+    skips: u64,
+}
+
+impl<'a> RunListCursor<'a> {
+    /// Parses the payload header and decodes the first run.
+    pub fn new(bytes: &'a [u8]) -> Result<Self> {
+        let mut pos = 0;
+        let count = read_uvarint(bytes, &mut pos)? as usize;
+        let n_blocks = read_uvarint(bytes, &mut pos)? as usize;
+        if n_blocks != count.div_ceil(SKIP_BLOCK_RUNS) {
+            return Err(CodingError::Corrupt("skip directory size mismatch"));
+        }
+        let dir_base = pos;
+        let runs_base = dir_base
+            .checked_add(n_blocks * DIR_ENTRY_BYTES)
+            .filter(|&b| b <= bytes.len())
+            .ok_or(CodingError::UnexpectedEnd)?;
+        let mut cursor = RunListCursor {
+            bytes,
+            runs_base,
+            dir_base,
+            count,
+            n_blocks,
+            index: 0,
+            pos: 0,
+            current: None,
+            skips: 0,
+        };
+        if count > 0 {
+            cursor.enter_block(0)?;
+        }
+        Ok(cursor)
+    }
+
+    /// Total runs in the payload.
+    pub fn run_count(&self) -> usize {
+        self.count
+    }
+
+    /// Skip-directory entry `b`.
+    pub fn skip_entry(&self, b: usize) -> Result<SkipEntry> {
+        if b >= self.n_blocks {
+            return Err(CodingError::Corrupt("skip entry out of range"));
+        }
+        let at = self.dir_base + b * DIR_ENTRY_BYTES;
+        let word = |o: usize| -> u64 {
+            let mut w = [0u8; 4];
+            w.copy_from_slice(&self.bytes[at + o..at + o + 4]);
+            u64::from(u32::from_le_bytes(w))
+        };
+        Ok(SkipEntry {
+            first_start: word(0),
+            last_end: word(4),
+            max_run_len: word(8),
+            byte_offset: word(12),
+        })
+    }
+
+    /// Positions the cursor on block `b`'s first run.
+    fn enter_block(&mut self, b: usize) -> Result<()> {
+        let entry = self.skip_entry(b)?;
+        self.pos = entry.byte_offset as usize;
+        self.index = b * SKIP_BLOCK_RUNS;
+        let len = self.read_varint()?;
+        let start = entry.first_start;
+        self.current = Some((start, start.checked_add(len).ok_or(overflow())?));
+        Ok(())
+    }
+
+    fn read_varint(&mut self) -> Result<u64> {
+        let mut at = self.runs_base + self.pos;
+        let v = read_uvarint(self.bytes, &mut at)?;
+        self.pos = at - self.runs_base;
+        Ok(v)
+    }
+
+    /// Drains the cursor into a `(start, end)` vector.  Test/API-edge
+    /// helper — kernel code streams instead (lint
+    /// `no-full-decode-in-kernel` bans this call there).
+    pub fn decode_all(mut self) -> Result<Vec<(u64, u64)>> {
+        let mut out = Vec::with_capacity(self.count);
+        while let Some(run) = self.peek() {
+            out.push(run);
+            self.advance()?;
+        }
+        Ok(out)
+    }
+}
+
+fn overflow() -> CodingError {
+    CodingError::Corrupt("run arithmetic overflows")
+}
+
+impl RunCursor for RunListCursor<'_> {
+    fn peek(&self) -> Option<(u64, u64)> {
+        self.current
+    }
+
+    fn advance(&mut self) -> Result<()> {
+        let Some((_, prev_end)) = self.current else {
+            return Ok(());
+        };
+        self.index += 1;
+        if self.index >= self.count {
+            self.current = None;
+            return Ok(());
+        }
+        if self.index.is_multiple_of(SKIP_BLOCK_RUNS) {
+            // Block boundary: deltas restart from the directory entry.
+            return self.enter_block(self.index / SKIP_BLOCK_RUNS);
+        }
+        let gap = self.read_varint()?;
+        let len = self.read_varint()?;
+        let start = prev_end.checked_add(gap + 2).ok_or(overflow())?;
+        self.current = Some((start, start.checked_add(len).ok_or(overflow())?));
+        Ok(())
+    }
+
+    fn seek(&mut self, target: u64) -> Result<()> {
+        loop {
+            let Some((_, end)) = self.current else {
+                return Ok(());
+            };
+            if end >= target {
+                return Ok(());
+            }
+            let block = self.index / SKIP_BLOCK_RUNS;
+            // Gallop: if this block cannot reach the target, binary
+            // search the directory's bounding ranges and jump, decoding
+            // nothing in between.
+            if self.skip_entry(block)?.last_end < target {
+                let mut lo = block + 1;
+                let mut hi = self.n_blocks;
+                while lo < hi {
+                    let mid = lo + (hi - lo) / 2;
+                    if self.skip_entry(mid)?.last_end < target {
+                        lo = mid + 1;
+                    } else {
+                        hi = mid;
+                    }
+                }
+                if lo >= self.n_blocks {
+                    self.index = self.count;
+                    self.current = None;
+                    return Ok(());
+                }
+                if lo > block {
+                    self.skips += (lo - block) as u64;
+                    self.enter_block(lo)?;
+                    continue;
+                }
+            }
+            self.advance()?;
+        }
+    }
+
+    fn skips(&self) -> u64 {
+        self.skips
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn canonical(mut ids: Vec<u64>) -> Vec<(u64, u64)> {
+        ids.sort_unstable();
+        ids.dedup();
+        let mut runs: Vec<(u64, u64)> = Vec::new();
+        for id in ids {
+            match runs.last_mut() {
+                Some((_, end)) if *end + 1 == id => *end = id,
+                _ => runs.push((id, id)),
+            }
+        }
+        runs
+    }
+
+    #[test]
+    fn roundtrips_including_block_boundaries() {
+        for n in [0usize, 1, 31, 32, 33, 200] {
+            let runs: Vec<(u64, u64)> = (0..n as u64).map(|i| (i * 10, i * 10 + 3)).collect();
+            let bytes = encode_runs(&runs).unwrap();
+            assert_eq!(bytes.len(), encoded_len(&runs));
+            let back = RunListCursor::new(&bytes).unwrap().decode_all().unwrap();
+            assert_eq!(back, runs, "n={n}");
+        }
+    }
+
+    #[test]
+    fn seek_gallops_over_blocks_without_decoding() {
+        let runs: Vec<(u64, u64)> = (0..10_000u64).map(|i| (i * 100, i * 100 + 5)).collect();
+        let bytes = encode_runs(&runs).unwrap();
+        let mut c = RunListCursor::new(&bytes).unwrap();
+        c.seek(900_000).unwrap();
+        assert_eq!(c.peek(), Some((900_000, 900_005)));
+        assert!(c.skips() > 100, "directory jumps expected, got {}", c.skips());
+        c.seek(999_905).unwrap();
+        assert_eq!(c.peek(), Some((999_900, 999_905)));
+        c.seek(1_000_000).unwrap();
+        assert_eq!(c.peek(), None);
+    }
+
+    #[test]
+    fn skip_entries_carry_bounds_and_max_run() {
+        let runs: Vec<(u64, u64)> = (0..64u64).map(|i| (i * 10, i * 10 + (i % 7))).collect();
+        let bytes = encode_runs(&runs).unwrap();
+        let c = RunListCursor::new(&bytes).unwrap();
+        let e0 = c.skip_entry(0).unwrap();
+        assert_eq!(e0.first_start, 0);
+        assert_eq!(e0.last_end, runs[31].1);
+        assert_eq!(e0.max_run_len, 7);
+        let e1 = c.skip_entry(1).unwrap();
+        assert_eq!(e1.first_start, 320);
+        assert_eq!(e1.last_end, runs[63].1);
+    }
+
+    #[test]
+    fn non_canonical_input_is_rejected() {
+        assert!(encode_runs(&[(5, 3)]).is_err());
+        assert!(encode_runs(&[(0, 3), (4, 6)]).is_err(), "adjacent runs must be merged");
+        assert!(encode_runs(&[(10, 12), (5, 7)]).is_err());
+        assert!(encode_runs(&[(0, 1u64 << 33)]).is_err(), "ids wider than u32");
+    }
+
+    #[test]
+    fn truncated_payloads_error_not_panic() {
+        let runs: Vec<(u64, u64)> = (0..100u64).map(|i| (i * 9, i * 9 + 2)).collect();
+        let bytes = encode_runs(&runs).unwrap();
+        for cut in 0..bytes.len() {
+            // Either drains fine (the prefix happened to parse) or
+            // errors while decoding — never panics.
+            if let Ok(mut c) = RunListCursor::new(&bytes[..cut]) {
+                while c.peek().is_some() {
+                    if c.advance().is_err() {
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn fuzz_roundtrip_random_regions(ids in proptest::collection::vec(0u64..200_000, 0..600)) {
+            let runs = canonical(ids);
+            let bytes = encode_runs(&runs).unwrap();
+            prop_assert_eq!(bytes.len(), encoded_len(&runs));
+            let back = RunListCursor::new(&bytes).unwrap().decode_all().unwrap();
+            prop_assert_eq!(back, runs);
+        }
+
+        #[test]
+        fn fuzz_seek_matches_linear_scan(
+            ids in proptest::collection::vec(0u64..50_000, 1..400),
+            targets in proptest::collection::vec(0u64..55_000, 1..20),
+        ) {
+            let runs = canonical(ids);
+            let bytes = encode_runs(&runs).unwrap();
+            let mut targets = targets;
+            targets.sort_unstable();
+            let mut c = RunListCursor::new(&bytes).unwrap();
+            for &t in &targets {
+                c.seek(t).unwrap();
+                let expect = runs.iter().find(|&&(_, e)| e >= t).copied();
+                prop_assert_eq!(c.peek(), expect, "target {}", t);
+            }
+        }
+
+        #[test]
+        fn fuzz_arbitrary_bytes_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..300)) {
+            if let Ok(mut c) = RunListCursor::new(&bytes) {
+                for _ in 0..400 {
+                    if c.peek().is_none() || c.advance().is_err() {
+                        break;
+                    }
+                }
+            }
+        }
+    }
+}

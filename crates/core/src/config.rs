@@ -32,6 +32,13 @@ pub struct QbismConfig {
     pub pet_blobs: usize,
     /// Long-field device capacity in bytes.
     pub device_capacity: u64,
+    /// Compressed tablespace: when `true`, atlas-structure and band
+    /// REGIONs persist in the smaller of the queryable compressed
+    /// codecs ([`RegionCodec::COMPRESSED`]) and the server merges them
+    /// in the compressed domain.  `false` (the default everywhere)
+    /// keeps the paper's storage layout and every deterministic
+    /// tablegen column byte-identical.
+    pub compressed_tablespace: bool,
 }
 
 impl QbismConfig {
@@ -51,6 +58,7 @@ impl QbismConfig {
             pet_blobs: 4,
             // volumes: (5+3) warped x 2 MiB + raws + regions; 1 GiB is roomy.
             device_capacity: 1 << 30,
+            compressed_tablespace: false,
         }
     }
 
@@ -68,6 +76,7 @@ impl QbismConfig {
             patients: 4,
             pet_blobs: 2,
             device_capacity: 1 << 24,
+            compressed_tablespace: false,
         }
     }
 
@@ -81,6 +90,13 @@ impl QbismConfig {
             device_capacity: 1 << 26,
             ..QbismConfig::small_test()
         }
+    }
+
+    /// The same installation with the compressed tablespace switched
+    /// on: REGIONs persist compact and merge in the compressed domain.
+    pub fn with_compressed_tablespace(mut self) -> Self {
+        self.compressed_tablespace = true;
+        self
     }
 
     /// Atlas grid side.

@@ -79,7 +79,7 @@ impl QbismSystem {
         for (idx, s) in atlas.structures().iter().enumerate() {
             let structure_id = (idx + 1) as i64;
             let stored = s.region.to_curve(config.curve);
-            let region_lf = db.create_long_field(&config.region_codec.encode(&stored)?)?;
+            let region_lf = store_region(&mut db, config, &stored)?;
             let mesh = extract_surface(&s.region);
             let mesh_lf = db.create_long_field(&mesh_to_long_field(&mesh))?;
             db.insert_row(
@@ -155,6 +155,18 @@ impl QbismSystem {
             pet_study_ids,
             mri_study_ids,
         })
+    }
+}
+
+/// Persists a REGION long field per the configured tablespace: the
+/// paper's configured codec by default, the smaller queryable
+/// compressed codec (run-vskip or k³-tree) when the compressed
+/// tablespace is on.
+fn store_region(db: &mut Database, config: &QbismConfig, region: &Region) -> Result<Value> {
+    if config.compressed_tablespace {
+        Ok(db.create_long_field_compressed(&qbism_region::encode_compressed(region)?)?)
+    } else {
+        Ok(db.create_long_field(&config.region_codec.encode(region)?)?)
     }
 }
 
@@ -277,7 +289,7 @@ fn load_study<F: qbism_phantom::ScalarField3>(
     )?;
     // Banding: the Intensity Band index entity, computed at load time.
     for (lo, hi, region) in warped.intensity_bands(config.band_width) {
-        let band_lf = db.create_long_field(&config.region_codec.encode(&region)?)?;
+        let band_lf = store_region(db, config, &region)?;
         db.insert_row(
             "intensityband",
             vec![

@@ -19,23 +19,85 @@
 //! byte arguments cost none.
 
 use crate::wire::encode_data_region;
-use qbism_region::{Region, RegionCodec};
+use qbism_lfm::LongFieldId;
+use qbism_region::compressed::{compressed_cursor, is_compressed, CompressedCursor};
+use qbism_region::kernel_compressed as kc;
+use qbism_region::{Region, RegionCodec, RegionEncodeError, Run};
 use qbism_starburst::{Database, DbError, UdfContext, Value};
 use qbism_volume::DataRegion;
+
+/// A fetched REGION operand: its raw encoded bytes plus the long field
+/// it came from (None for immediate byte-string arguments).
+type RegionArg = (Vec<u8>, Option<LongFieldId>);
+
+/// Fetches a region argument's raw bytes: a long field (read through
+/// the LFM, counting I/O) or an immediate byte string.
+fn fetch_region_arg(ctx: &mut UdfContext<'_>, v: &Value) -> Result<RegionArg, DbError> {
+    match v {
+        Value::Long(id) => Ok((ctx.lfm.read(*id)?, Some(*id))),
+        Value::Bytes(b) => Ok((b.clone(), None)),
+        other => {
+            Err(DbError::Type(format!("expected a REGION (long field or bytes), got {other}")))
+        }
+    }
+}
+
+fn decode_arg(bytes: &[u8]) -> Result<Region, DbError> {
+    RegionCodec::decode(bytes).map_err(|e| DbError::Exec(format!("malformed REGION operand: {e}")))
+}
 
 /// Decodes a region argument: a long field (read through the LFM,
 /// counting I/O) or an immediate byte string.
 fn fetch_region(ctx: &mut UdfContext<'_>, v: &Value) -> Result<Region, DbError> {
-    let bytes: Vec<u8> = match v {
-        Value::Long(id) => ctx.lfm.read(*id)?,
-        Value::Bytes(b) => b.clone(),
-        other => {
-            return Err(DbError::Type(format!(
-                "expected a REGION (long field or bytes), got {other}"
-            )))
+    let (bytes, _) = fetch_region_arg(ctx, v)?;
+    decode_arg(&bytes)
+}
+
+/// Compressed-domain fast path for a binary region operator: when both
+/// operands are queryable compressed byte strings on the same grid,
+/// stream-merge the payloads with `op` (no full decompression), credit
+/// the galloping skips to the LFM metrics, and re-encode the answer
+/// compactly so nested operators stay in the compressed domain.
+/// Returns `None` when either operand is not compressed — the caller
+/// falls back to the decoded kernels.
+fn compressed_pair(
+    ctx: &mut UdfContext<'_>,
+    a: &RegionArg,
+    b: &RegionArg,
+    op: impl FnOnce(
+        &mut CompressedCursor<'_>,
+        &mut CompressedCursor<'_>,
+    ) -> Result<Vec<Run>, RegionEncodeError>,
+) -> Option<Result<Value, DbError>> {
+    if !is_compressed(&a.0) || !is_compressed(&b.0) {
+        return None;
+    }
+    let opened = match (compressed_cursor(&a.0), compressed_cursor(&b.0)) {
+        (Ok(ca), Ok(cb)) => (ca, cb),
+        (Err(e), _) | (_, Err(e)) => {
+            return Some(Err(DbError::Exec(format!("malformed REGION operand: {e}"))))
         }
     };
-    RegionCodec::decode(&bytes).map_err(|e| DbError::Exec(format!("malformed REGION operand: {e}")))
+    let ((geom_a, mut ca), (geom_b, mut cb)) = opened;
+    if geom_a != geom_b {
+        return None; // mixed grids take the decoded transcoding path
+    }
+    let runs = match op(&mut ca, &mut cb) {
+        Ok(runs) => runs,
+        Err(e) => return Some(Err(DbError::Exec(format!("compressed merge failed: {e}")))),
+    };
+    if let Some(id) = a.1 {
+        ctx.lfm.note_decode_skips(id, ca.skip_count());
+    }
+    if let Some(id) = b.1 {
+        ctx.lfm.note_decode_skips(id, cb.skip_count());
+    }
+    let region = Region::from_runs(geom_a, runs);
+    Some(
+        qbism_region::encode_compressed(&region)
+            .map(Value::Bytes)
+            .map_err(|e| DbError::Exec(format!("cannot encode result REGION: {e}"))),
+    )
 }
 
 fn region_result(region: &Region, codec: RegionCodec) -> Result<Value, DbError> {
@@ -52,21 +114,30 @@ fn region_result(region: &Region, codec: RegionCodec) -> Result<Value, DbError> 
 pub fn register_spatial_ops(db: &mut Database, codec: RegionCodec) {
     db.register_udf("intersection", move |ctx, args| {
         expect_arity("intersection", args, 2)?;
-        let a = fetch_region(ctx, &args[0])?;
-        let b = fetch_region(ctx, &args[1])?;
-        region_result(&a.intersect(&b), codec)
+        let a = fetch_region_arg(ctx, &args[0])?;
+        let b = fetch_region_arg(ctx, &args[1])?;
+        if let Some(res) = compressed_pair(ctx, &a, &b, |ca, cb| kc::intersect_stream(ca, cb)) {
+            return res;
+        }
+        region_result(&decode_arg(&a.0)?.intersect(&decode_arg(&b.0)?), codec)
     });
     db.register_udf("runion", move |ctx, args| {
         expect_arity("runion", args, 2)?;
-        let a = fetch_region(ctx, &args[0])?;
-        let b = fetch_region(ctx, &args[1])?;
-        region_result(&a.union(&b), codec)
+        let a = fetch_region_arg(ctx, &args[0])?;
+        let b = fetch_region_arg(ctx, &args[1])?;
+        if let Some(res) = compressed_pair(ctx, &a, &b, |ca, cb| kc::union_stream(ca, cb)) {
+            return res;
+        }
+        region_result(&decode_arg(&a.0)?.union(&decode_arg(&b.0)?), codec)
     });
     db.register_udf("rdifference", move |ctx, args| {
         expect_arity("rdifference", args, 2)?;
-        let a = fetch_region(ctx, &args[0])?;
-        let b = fetch_region(ctx, &args[1])?;
-        region_result(&a.difference(&b), codec)
+        let a = fetch_region_arg(ctx, &args[0])?;
+        let b = fetch_region_arg(ctx, &args[1])?;
+        if let Some(res) = compressed_pair(ctx, &a, &b, |ca, cb| kc::difference_stream(ca, cb)) {
+            return res;
+        }
+        region_result(&decode_arg(&a.0)?.difference(&decode_arg(&b.0)?), codec)
     });
     db.register_udf("contains", |ctx, args| {
         expect_arity("contains", args, 2)?;

@@ -500,10 +500,13 @@ impl MedicalServer {
         // study order decides the error, as the join's scan order did.
         let mut cost = QueryCost::default();
         let mut blobs: Vec<Vec<u8>> = Vec::with_capacity(study_ids.len());
+        let mut field_ids: Vec<Option<qbism_lfm::LongFieldId>> =
+            Vec::with_capacity(study_ids.len());
         for fetch in fetched {
-            let (bytes, partial) = fetch?;
+            let (bytes, field_id, partial) = fetch?;
             cost.accumulate(&self.db_cost(&partial));
             blobs.push(bytes);
+            field_ids.push(field_id);
         }
         // One study degenerates to the stored band REGION bytes; more
         // studies intersect in a single k-way simultaneous merge over all
@@ -517,6 +520,31 @@ impl MedicalServer {
             let bytes = std::mem::take(bytes);
             let region = RegionCodec::decode(&bytes)?;
             (bytes, region)
+        } else if blobs.iter().all(|b| qbism_region::compressed::is_compressed(b)) {
+            // Compressed tablespace: k-way intersect straight over the
+            // compact payloads — cursors gallop past non-overlapping
+            // skip blocks and subtrees, and only the answer's runs are
+            // ever materialized.  Galloping skips are credited to the
+            // `qbism_lfm_compressed_decode_skips_total` metric.
+            let mut opened = Vec::with_capacity(blobs.len());
+            for blob in &blobs {
+                opened.push(qbism_region::compressed_cursor(blob)?);
+            }
+            let geom = opened[0].0;
+            if opened.iter().any(|(g, _)| *g != geom) {
+                return Err(QbismError::Wire("band REGIONs on mismatched grids".into()));
+            }
+            let mut refs: Vec<&mut dyn qbism_coding::RunCursor> =
+                opened.iter_mut().map(|(_, c)| c as &mut dyn qbism_coding::RunCursor).collect();
+            let runs = qbism_region::kernel_compressed::intersect_k_stream(&mut refs)?;
+            for (field_id, (_, cursor)) in field_ids.iter().zip(&opened) {
+                if let Some(id) = field_id {
+                    self.db.lfm_ref().note_decode_skips(*id, cursor.skip_count());
+                }
+            }
+            let acc = Region::from_runs(geom, runs);
+            let bytes = qbism_region::encode_compressed(&acc)?;
+            (bytes, acc)
         } else {
             let mut regions = Vec::with_capacity(blobs.len());
             for blob in &blobs {
@@ -543,7 +571,12 @@ impl MedicalServer {
 
     /// The per-study stage of the multi-study query: fetch one study's
     /// stored band REGION bytes under a measurement bracket.
-    fn band_region_fetch(&self, study_id: i64, lo: u8, hi: u8) -> Result<(Vec<u8>, PartialCost)> {
+    fn band_region_fetch(
+        &self,
+        study_id: i64,
+        lo: u8,
+        hi: u8,
+    ) -> Result<(Vec<u8>, Option<qbism_lfm::LongFieldId>, PartialCost)> {
         let bracket = IoBracket::begin();
         let start = std::time::Instant::now();
         let outcome = (|| {
@@ -556,21 +589,25 @@ impl MedicalServer {
                 .single_value()
                 .map_err(|_| QbismError::NotFound(format!("query returned {} rows", rs.len())))?
                 .clone();
-            let bytes: Vec<u8> = match value {
-                Value::Long(id) => self.db.read_long_field(id)?,
-                Value::Bytes(b) => b,
+            let (bytes, field_id): (Vec<u8>, _) = match value {
+                Value::Long(id) => (self.db.read_long_field(id)?, Some(id)),
+                Value::Bytes(b) => (b, None),
                 other => {
                     return Err(QbismError::Wire(format!(
                         "multi-study answer is not a REGION: {other}"
                     )))
                 }
             };
-            Ok((bytes, rows_scanned))
+            Ok((bytes, field_id, rows_scanned))
         })();
         let native = start.elapsed().as_secs_f64();
         let (lfm, fault_latency) = bracket.finish();
-        let (bytes, rows_scanned) = outcome?;
-        Ok((bytes, PartialCost { lfm, rows_scanned, native_db_seconds: native, fault_latency }))
+        let (bytes, field_id, rows_scanned) = outcome?;
+        Ok((
+            bytes,
+            field_id,
+            PartialCost { lfm, rows_scanned, native_db_seconds: native, fault_latency },
+        ))
     }
 
     /// The per-study stage of the multi-study band query, exposed for
@@ -581,7 +618,7 @@ impl MedicalServer {
     /// byte-identical.
     pub fn band_region_stage(&self, study_id: i64, lo: u8, hi: u8) -> StudyFetch {
         match self.band_region_fetch(study_id, lo, hi) {
-            Ok((bytes, partial)) => {
+            Ok((bytes, _, partial)) => {
                 StudyFetch { cost: Some(self.db_cost(&partial)), outcome: Ok(bytes) }
             }
             Err(e) => StudyFetch { cost: None, outcome: Err(e) },

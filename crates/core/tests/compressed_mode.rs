@@ -1,0 +1,158 @@
+//! Compressed-tablespace integration suite.
+//!
+//! Two pins, end to end:
+//!
+//! 1. **Phantom-derived equivalence** — the compressed-domain kernels
+//!    produce exactly the uncompressed kernels' results on *real* atlas
+//!    anatomy (the phantom's rasterized structures), not just random
+//!    id soup, at the paper's 64³ and 128³ scales.
+//! 2. **Mode equivalence** — a system installed with
+//!    `compressed_tablespace` answers every query class identically to
+//!    the default installation while persisting strictly fewer REGION
+//!    bytes and reading no more pages; the default installation's
+//!    storage layout is untouched (every REGION long field still holds
+//!    the configured paper codec).
+
+use qbism::{QbismConfig, QbismSystem};
+use qbism_phantom::build_atlas;
+use qbism_region::kernel_compressed::{difference_stream, intersect_stream, union_stream};
+use qbism_region::{compressed_cursor, encode_compressed, kernel, GridGeometry, Region};
+use qbism_sfc::CurveKind;
+use qbism_starburst::Value;
+
+fn open(bytes: &[u8]) -> qbism_region::CompressedCursor<'_> {
+    compressed_cursor(bytes).expect("open cursor").1
+}
+
+#[test]
+fn compressed_kernels_match_on_phantom_anatomy() {
+    let geom = GridGeometry::new(CurveKind::Hilbert, 3, 6);
+    let atlas = build_atlas(geom);
+    let regions: Vec<&Region> = atlas.structures().iter().map(|s| &s.region).collect();
+    assert!(regions.len() >= 3, "phantom should have several structures");
+    for a in &regions {
+        for b in &regions {
+            let ab = encode_compressed(a).expect("encode a");
+            let bb = encode_compressed(b).expect("encode b");
+            let got = intersect_stream(&mut open(&ab), &mut open(&bb)).expect("intersect");
+            assert_eq!(got, kernel::intersect_runs(a.runs(), b.runs()));
+            let got = union_stream(&mut open(&ab), &mut open(&bb)).expect("union");
+            assert_eq!(got, kernel::union_runs(a.runs(), b.runs()));
+            let got = difference_stream(&mut open(&ab), &mut open(&bb)).expect("difference");
+            assert_eq!(got, kernel::difference_runs(a.runs(), b.runs()));
+        }
+    }
+}
+
+#[test]
+fn compressed_kernels_match_on_phantom_anatomy_at_paper_scale() {
+    // One pair at the full 128³ grid keeps debug runtime bounded while
+    // still exercising deep octrees and multi-block skip directories.
+    let geom = GridGeometry::new(CurveKind::Hilbert, 3, 7);
+    let atlas = build_atlas(geom);
+    let a = &atlas.structures()[0].region;
+    let b = &atlas.structures()[1].region;
+    let ab = encode_compressed(a).expect("encode a");
+    let bb = encode_compressed(b).expect("encode b");
+    assert!(
+        ab.len() * 2 < qbism_region::RegionCodec::Naive.encode(a).expect("naive").len(),
+        "queryable codec should at least halve the paper's naive encoding"
+    );
+    let got = intersect_stream(&mut open(&ab), &mut open(&bb)).expect("intersect");
+    assert_eq!(got, kernel::intersect_runs(a.runs(), b.runs()));
+}
+
+/// Collects every stored REGION long field (atlas structures + bands)
+/// as raw bytes.
+fn region_fields(system: &mut QbismSystem) -> Vec<Vec<u8>> {
+    let mut out = Vec::new();
+    let db = system.server.database();
+    for sql in ["select ast.region from atlasStructure ast", "select b.region from intensityBand b"]
+    {
+        let rs = db.query(sql).expect("region query");
+        for row in rs.rows() {
+            match &row[0] {
+                Value::Long(id) => out.push(db.read_long_field(*id).expect("read field")),
+                other => panic!("region column is not a long field: {other}"),
+            }
+        }
+    }
+    out
+}
+
+#[test]
+fn compressed_mode_matches_default_answers_with_smaller_tablespace() {
+    let default_cfg = QbismConfig::medium();
+    let compressed_cfg = QbismConfig::medium().with_compressed_tablespace();
+    let mut plain = QbismSystem::install(&default_cfg).expect("install default");
+    let mut packed = QbismSystem::install(&compressed_cfg).expect("install compressed");
+    let study = plain.pet_study_ids[0];
+    assert_eq!(plain.pet_study_ids, packed.pet_study_ids);
+
+    // EQ1: full study (volume-only; the compressed tablespace must not
+    // perturb it at all).
+    let a = plain.server.full_study(study).expect("default full_study");
+    let b = packed.server.full_study(study).expect("compressed full_study");
+    assert_eq!(a.data, b.data);
+    assert_eq!(a.cost.lfm.pages_read, b.cost.lfm.pages_read);
+
+    // EQ2: band query — the band REGION now comes off compressed pages.
+    let a = plain.server.band_data(study, 32, 63).expect("default band");
+    let b = packed.server.band_data(study, 32, 63).expect("compressed band");
+    assert_eq!(a.data, b.data);
+    assert!(b.cost.lfm.pages_read <= a.cost.lfm.pages_read);
+
+    // Mixed query: band ∩ structure, intersected inside the DBMS — in
+    // compressed mode both operands are compressed and the merge stays
+    // in the compressed domain.
+    let a = plain.server.band_in_structure(study, 64, 95, "thalamus").expect("default mixed");
+    let b = packed.server.band_in_structure(study, 64, 95, "thalamus").expect("compressed mixed");
+    assert_eq!(a.data, b.data);
+    assert!(b.cost.lfm.pages_read <= a.cost.lfm.pages_read);
+
+    // Table 4's multi-study fold: k-way intersect over compressed
+    // streams must produce the identical REGION for fewer pages.
+    let ids = plain.pet_study_ids.clone();
+    let (ra, ca) = plain.server.multi_study_band_region(&ids, 32, 63).expect("default multi");
+    let (rb, cb) = packed.server.multi_study_band_region(&ids, 32, 63).expect("compressed multi");
+    assert_eq!(ra, rb);
+    assert!(cb.lfm.pages_read <= ca.lfm.pages_read);
+
+    // The compressed tablespace is strictly smaller on device, and its
+    // fields actually hold the queryable codecs; the default tablespace
+    // is untouched (paper codec, nothing compressed).
+    let plain_fields = region_fields(&mut plain);
+    let packed_fields = region_fields(&mut packed);
+    assert_eq!(plain_fields.len(), packed_fields.len());
+    let plain_bytes: usize = plain_fields.iter().map(Vec::len).sum();
+    let packed_bytes: usize = packed_fields.iter().map(Vec::len).sum();
+    assert!(
+        packed_bytes < plain_bytes,
+        "compressed tablespace must be smaller: {packed_bytes} vs {plain_bytes}"
+    );
+    assert!(plain_fields.iter().all(|f| !qbism_region::compressed::is_compressed(f)));
+    assert!(packed_fields.iter().all(|f| qbism_region::compressed::is_compressed(f)));
+
+    // And the decoded REGIONs are bit-identical across modes.
+    for (p, c) in plain_fields.iter().zip(&packed_fields) {
+        assert_eq!(
+            qbism_region::RegionCodec::decode(p).expect("decode default"),
+            qbism_region::RegionCodec::decode(c).expect("decode compressed"),
+        );
+    }
+}
+
+#[test]
+fn compressed_mode_counts_skips_and_compressed_pages() {
+    let cfg = QbismConfig::medium().with_compressed_tablespace();
+    let system = QbismSystem::install(&cfg).expect("install compressed");
+    let reg = system.server.metrics();
+    let pages = reg.counter("qbism_lfm_compressed_pages_read_total");
+    let bytes = reg.counter("qbism_lfm_compressed_bytes_on_device_total");
+    let before_pages = pages.get();
+    let ids = system.pet_study_ids.clone();
+    system.server.multi_study_band_region(&ids, 32, 63).expect("multi");
+    system.server.band_data(ids[0], 0, 31).expect("band");
+    assert!(pages.get() > before_pages, "compressed reads must be metered");
+    assert!(bytes.get() > 0, "loader must meter compressed bytes on device");
+}

@@ -59,6 +59,9 @@ struct LfmMetrics {
     extent_phys_reads: Counter,
     extent_coalesced_pages: Counter,
     extent_readahead_pages: Counter,
+    compressed_bytes_on_device: Counter,
+    compressed_pages_read: Counter,
+    compressed_decode_skips: Counter,
 }
 
 impl LfmMetrics {
@@ -110,6 +113,19 @@ impl LfmMetrics {
             "qbism_lfm_extent_readahead_pages_total",
             "Pages staged into the page cache by sequential readahead.",
         );
+        reg.describe(
+            "qbism_lfm_compressed_bytes_on_device_total",
+            "Bytes written into the compressed tablespace (compact REGION payloads).",
+        );
+        reg.describe(
+            "qbism_lfm_compressed_pages_read_total",
+            "Distinct 4 KiB pages read out of compressed-tablespace fields.",
+        );
+        reg.describe(
+            "qbism_lfm_compressed_decode_skips_total",
+            "Galloping skip-jumps taken by compressed-domain kernels (blocks or \
+             subtrees bypassed without decode).",
+        );
         LfmMetrics {
             pages_read: reg.counter("qbism_lfm_pages_read_total"),
             pages_written: reg.counter("qbism_lfm_pages_written_total"),
@@ -128,6 +144,9 @@ impl LfmMetrics {
             extent_phys_reads: reg.counter("qbism_lfm_extent_phys_reads_total"),
             extent_coalesced_pages: reg.counter("qbism_lfm_extent_coalesced_pages_total"),
             extent_readahead_pages: reg.counter("qbism_lfm_extent_readahead_pages_total"),
+            compressed_bytes_on_device: reg.counter("qbism_lfm_compressed_bytes_on_device_total"),
+            compressed_pages_read: reg.counter("qbism_lfm_compressed_pages_read_total"),
+            compressed_decode_skips: reg.counter("qbism_lfm_compressed_decode_skips_total"),
         }
     }
 }
@@ -302,6 +321,11 @@ pub struct LongFieldManager {
     journal_seq: u64,
     journal_cursor: usize,
     meta: MetaStats,
+    /// Ids of fields living in the compressed tablespace.  In-memory
+    /// only: the on-disk directory and journal formats are unchanged
+    /// (crash recovery proves byte-identical metadata), so the flag is
+    /// re-established by the loader, not by `recover`.
+    compressed: BTreeSet<u64>,
 }
 
 impl LongFieldManager {
@@ -329,6 +353,7 @@ impl LongFieldManager {
             journal_seq: 0,
             journal_cursor: 0,
             meta: MetaStats::default(),
+            compressed: BTreeSet::new(),
         };
         // Format: empty snapshot for epoch 1, then the superblock.
         lfm.write_snapshot(1)?;
@@ -605,6 +630,38 @@ impl LongFieldManager {
         Ok(LongFieldId(id))
     }
 
+    /// Creates a long field in the **compressed tablespace**: stored
+    /// bytes are a compact queryable payload, so reads of this field
+    /// count toward the `qbism_lfm_compressed_*` metrics and surface as
+    /// `CompressedScan` flight-recorder events.
+    ///
+    /// Storage-wise identical to [`LongFieldManager::create`] — same
+    /// allocator, journal records, cache and charge paths — the
+    /// tablespace membership is in-memory accounting only, so the
+    /// on-device metadata format (and crash recovery) is unchanged.
+    pub fn create_compressed(&mut self, data: &[u8]) -> Result<LongFieldId> {
+        let id = self.create(data)?;
+        self.compressed.insert(id.0);
+        self.metrics.compressed_bytes_on_device.add(data.len() as u64);
+        Ok(id)
+    }
+
+    /// Whether `id` lives in the compressed tablespace.
+    pub fn is_compressed(&self, id: LongFieldId) -> bool {
+        self.compressed.contains(&id.0)
+    }
+
+    /// Credits `skips` galloping skip-jumps (skip blocks or k³-tree
+    /// subtrees bypassed without decode) taken while merging field
+    /// `id`'s compressed payload, and journals them as a
+    /// `compressed_scan` event so traces show the avoided work.
+    pub fn note_decode_skips(&self, id: LongFieldId, skips: u64) {
+        if skips > 0 {
+            self.metrics.compressed_decode_skips.add(skips);
+            qbism_obs::event::compressed_scan(id.0 as i64, 0, skips);
+        }
+    }
+
     /// Deletes a long field, freeing its block (no data I/O is charged —
     /// deallocation is a metadata operation).
     pub fn delete(&mut self, id: LongFieldId) -> Result<()> {
@@ -613,6 +670,7 @@ impl LongFieldManager {
         self.fields.remove(&id.0);
         self.allocator.free(desc.first_page, desc.order)?;
         self.invalidate_cached_block(desc.first_page, desc.order);
+        self.compressed.remove(&id.0);
         self.sync_gauges();
         Ok(())
     }
@@ -724,6 +782,17 @@ impl LongFieldManager {
             read_calls: 1,
             ..IoStats::default()
         });
+        // Compressed-tablespace reads: same logical accounting, but the
+        // pages fetched are compact payloads — tally them and surface
+        // the scan in flight-recorder traces.
+        if self.compressed.contains(&id.0) {
+            self.metrics.compressed_pages_read.add(pages);
+            let cspan = trace::span("lfm.compressed_scan");
+            cspan.record_u64("pages", pages);
+            if cspan.is_recording() {
+                qbism_obs::event::compressed_scan(id.0 as i64, pages, 0);
+            }
+        }
         // Physical plan: coalesce the pieces' device-page ranges into
         // maximal contiguous extents — the simulated seek+transfer
         // units the copy phase below actually issues.  Purely physical:

@@ -76,6 +76,16 @@ pub enum EventKind {
         /// Page number evicted.
         page: u64,
     },
+    /// The LFM served a read out of the compressed tablespace:
+    /// compact pages touched and galloping skips taken in their place.
+    CompressedScan {
+        /// Long field that was scanned.
+        field: i64,
+        /// Distinct compact 4 KiB pages read.
+        pages: u64,
+        /// Skip-jumps (blocks or subtrees bypassed without decode).
+        skips: u64,
+    },
     /// The LFM metadata journal appended a record.
     JournalRecord {
         /// Record size in bytes.
@@ -154,6 +164,7 @@ impl EventKind {
             EventKind::CacheHit { .. } => "cache_hit",
             EventKind::CacheMiss { .. } => "cache_miss",
             EventKind::CacheEvict { .. } => "cache_evict",
+            EventKind::CompressedScan { .. } => "compressed_scan",
             EventKind::JournalRecord { .. } => "journal_record",
             EventKind::FaultInjected { .. } => "fault_injected",
             EventKind::Retry { .. } => "retry",
@@ -250,6 +261,12 @@ pub fn cache_miss(page: u64) {
 /// Records a page-cache eviction.
 pub fn cache_evict(page: u64) {
     record(EventKind::CacheEvict { page });
+}
+
+/// Records a compressed-tablespace scan of long field `field` touching
+/// `pages` compact pages with `skips` galloping skip-jumps.
+pub fn compressed_scan(field: i64, pages: u64, skips: u64) {
+    record(EventKind::CompressedScan { field, pages, skips });
 }
 
 /// Records an LFM metadata-journal append of `bytes` bytes.

@@ -61,6 +61,9 @@ fn append_kind_fields(out: &mut String, kind: &EventKind) {
         | EventKind::CacheEvict { page } => {
             let _ = write!(out, ",\"page\":{page}");
         }
+        EventKind::CompressedScan { field, pages, skips } => {
+            let _ = write!(out, ",\"field\":{field},\"pages\":{pages},\"skips\":{skips}");
+        }
         EventKind::JournalRecord { bytes } => {
             let _ = write!(out, ",\"bytes\":{bytes}");
         }

@@ -26,7 +26,10 @@ const MAGIC: u16 = 0x5152;
 /// Rank field width in packed octant words.
 const RANK_BITS: u32 = 5;
 
-/// The four REGION storage formats compared in the paper.
+/// The four REGION storage formats compared in the paper, plus the two
+/// *queryable* compressed formats added for compressed-domain execution
+/// (open those via [`crate::compressed::compressed_cursor`] to merge
+/// without decoding).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum RegionCodec {
     /// 8 bytes per run: `<start, end>` as two little-endian `u32`s.
@@ -35,16 +38,33 @@ pub enum RegionCodec {
     Elias,
     /// Packed 4-byte `<id, rank>` per block.
     Octant(OctantKind),
+    /// Delta+varint run list with fixed-interval skip blocks — seekable
+    /// without decode ([`qbism_coding::runcode`]).
+    RunVskip,
+    /// k³-tree octree bitmap for dense structures
+    /// ([`qbism_coding::k3tree`]).
+    K3Tree,
 }
 
 impl RegionCodec {
-    /// All codecs, in the order of the paper's Figure 4 ratio list.
+    /// The paper's codecs, in the order of the Figure 4 ratio list.
+    /// Deliberately excludes the queryable compressed formats so the
+    /// deterministic tablegen/fig4 output is unchanged.
     pub const ALL: [RegionCodec; 4] = [
         RegionCodec::Elias,
         RegionCodec::Naive,
         RegionCodec::Octant(OctantKind::Oblong),
         RegionCodec::Octant(OctantKind::Cubic),
     ];
+
+    /// The queryable compressed codecs of the compressed tablespace.
+    pub const COMPRESSED: [RegionCodec; 2] = [RegionCodec::RunVskip, RegionCodec::K3Tree];
+
+    /// True for codecs whose byte strings open as a streaming
+    /// [`crate::compressed::CompressedCursor`].
+    pub fn is_compressed(&self) -> bool {
+        matches!(self, RegionCodec::RunVskip | RegionCodec::K3Tree)
+    }
 
     /// Name used in benchmark tables (`h-run-elias`, `h-run-naive`,
     /// `oblong-octant`, `octant` in the paper's vocabulary, minus the
@@ -55,6 +75,8 @@ impl RegionCodec {
             RegionCodec::Elias => "run-elias",
             RegionCodec::Octant(OctantKind::Oblong) => "oblong-octant",
             RegionCodec::Octant(OctantKind::Cubic) => "octant",
+            RegionCodec::RunVskip => "run-vskip",
+            RegionCodec::K3Tree => "k3-tree",
         }
     }
 
@@ -64,6 +86,8 @@ impl RegionCodec {
             RegionCodec::Elias => 1,
             RegionCodec::Octant(OctantKind::Oblong) => 2,
             RegionCodec::Octant(OctantKind::Cubic) => 3,
+            RegionCodec::RunVskip => 4,
+            RegionCodec::K3Tree => 5,
         }
     }
 
@@ -73,6 +97,8 @@ impl RegionCodec {
             1 => RegionCodec::Elias,
             2 => RegionCodec::Octant(OctantKind::Oblong),
             3 => RegionCodec::Octant(OctantKind::Cubic),
+            4 => RegionCodec::RunVskip,
+            5 => RegionCodec::K3Tree,
             _ => return None,
         })
     }
@@ -120,6 +146,19 @@ impl RegionCodec {
                     out.extend_from_slice(&packed.to_le_bytes());
                 }
             }
+            RegionCodec::RunVskip => {
+                let runs = region.runs();
+                out.extend_from_slice(&(runs.len() as u32).to_le_bytes());
+                let pairs: Vec<(u64, u64)> = runs.iter().map(|r| (r.start, r.end)).collect();
+                out.extend_from_slice(&qbism_coding::runcode::encode_runs(&pairs)?);
+            }
+            RegionCodec::K3Tree => {
+                let runs = region.runs();
+                out.extend_from_slice(&(runs.len() as u32).to_le_bytes());
+                let pairs: Vec<(u64, u64)> = runs.iter().map(|r| (r.start, r.end)).collect();
+                let id_bits = geom.dims() * geom.bits();
+                out.extend_from_slice(&qbism_coding::k3tree::encode_runs(&pairs, id_bits)?);
+            }
         }
         Ok(out)
     }
@@ -144,6 +183,14 @@ impl RegionCodec {
                 header + (bits as usize).div_ceil(8)
             }
             RegionCodec::Octant(kind) => header + region.octant_count(*kind) * 4,
+            RegionCodec::RunVskip => {
+                let pairs: Vec<(u64, u64)> =
+                    region.runs().iter().map(|r| (r.start, r.end)).collect();
+                header + qbism_coding::runcode::encoded_len(&pairs)
+            }
+            // The k³-tree's size depends on subtree shape; measure by
+            // encoding (compressed payloads are small by construction).
+            RegionCodec::K3Tree => self.encode(region)?.len(),
         })
     }
 
@@ -232,8 +279,41 @@ impl RegionCodec {
                 let runs: Vec<Run> = octs.iter().map(Octant::as_run).collect();
                 build_checked(geom, runs)
             }
+            RegionCodec::RunVskip | RegionCodec::K3Tree => {
+                // Queryable payloads: open the streaming cursor and
+                // drain it (decode() is the decode-everything path;
+                // kernels use the cursor directly).
+                let (_, cursor) = crate::compressed::compressed_cursor(bytes)?;
+                let runs = cursor.to_runs_vec()?;
+                if runs.len() != count {
+                    return Err(RegionEncodeError::Corrupt("run count mismatch"));
+                }
+                build_checked(geom, runs)
+            }
         }
     }
+}
+
+/// Splits an encoded REGION into `(codec, geometry, run count, body)`
+/// without touching the payload — the shared header parse behind
+/// [`RegionCodec::decode`] and [`crate::compressed::compressed_cursor`].
+pub(crate) fn split_header(
+    bytes: &[u8],
+) -> Result<(RegionCodec, GridGeometry, usize, &[u8]), RegionEncodeError> {
+    let header = bytes.get(..10).ok_or(RegionEncodeError::Truncated)?;
+    let magic = u16::from_le_bytes([header[0], header[1]]);
+    if magic != MAGIC {
+        return Err(RegionEncodeError::BadMagic(magic));
+    }
+    let codec = RegionCodec::from_tag(header[2]).ok_or(RegionEncodeError::BadTag(header[2]))?;
+    let kind = kind_from_tag(header[3]).ok_or(RegionEncodeError::BadTag(header[3]))?;
+    let (dims, bits) = (u32::from(header[4]), u32::from(header[5]));
+    if dims == 0 || bits == 0 || dims * bits > qbism_sfc::MAX_INDEX_BITS {
+        return Err(RegionEncodeError::BadGeometry { dims, bits });
+    }
+    let geom = GridGeometry::new(kind, dims, bits);
+    let count = u32::from_le_bytes([header[6], header[7], header[8], header[9]]) as usize;
+    Ok((codec, geom, count, &bytes[10..]))
 }
 
 fn build_checked(geom: GridGeometry, runs: Vec<Run>) -> Result<Region, RegionEncodeError> {
@@ -249,6 +329,7 @@ fn check_width(codec: RegionCodec, geom: GridGeometry) -> Result<(), RegionEncod
     let limit = match codec {
         RegionCodec::Naive | RegionCodec::Elias => 32,
         RegionCodec::Octant(_) => 32 - RANK_BITS,
+        RegionCodec::RunVskip | RegionCodec::K3Tree => 32,
     };
     if id_bits > limit {
         Err(RegionEncodeError::IdTooWide { id_bits, limit })

@@ -42,9 +42,11 @@
 #![warn(missing_docs)]
 
 mod approx;
+pub mod compressed;
 mod encode;
 mod geometry;
 pub mod kernel;
+pub mod kernel_compressed;
 mod nway;
 mod octant;
 mod region;
@@ -52,6 +54,7 @@ mod run;
 mod stats;
 
 pub use approx::ApproxParams;
+pub use compressed::{compressed_cursor, encode_compressed, CompressedCursor};
 pub use encode::{RegionCodec, RegionEncodeError};
 pub use geometry::GridGeometry;
 pub use nway::intersect_all;

@@ -1,0 +1,208 @@
+//! Compressed-domain kernel equivalence suite.
+//!
+//! Pins the tentpole property of compressed-domain execution: every
+//! streaming merge over *compressed* operands
+//! ([`qbism_region::kernel_compressed`]) produces exactly the run list
+//! the uncompressed kernel ([`qbism_region::kernel`]) produces on the
+//! decoded operands — for both queryable codecs (run-vskip and
+//! k³-tree), in every pairing, at the paper's 64³ and 128³ grid scales.
+//! Round-trip identity of the codecs themselves is pinned alongside.
+
+use proptest::prelude::*;
+use qbism_region::kernel_compressed::{
+    difference_stream, intersect_k_stream, intersect_stream, restrict_box_stream,
+    restrict_range_stream, union_stream,
+};
+use qbism_region::{compressed_cursor, encode_compressed, kernel, CompressedCursor};
+use qbism_region::{GridGeometry, Region, RegionCodec, Run};
+use qbism_sfc::CurveKind;
+
+fn geom(bits: u32) -> GridGeometry {
+    GridGeometry::new(CurveKind::Hilbert, 3, bits)
+}
+
+/// Builds a region mixing scattered ids with a solid box, so payloads
+/// exercise both the sparse (run-list) and dense (octree) code paths.
+/// `bx` is `(has_box, min, size)` — the box is skipped when `has_box`
+/// is 0, and clamped into the grid otherwise.
+fn make_region(bits: u32, ids: &[u64], bx: (u8, [u32; 3], [u32; 3])) -> Region {
+    let g = geom(bits);
+    let cells = g.cell_count();
+    let mut r = Region::from_ids(g, ids.iter().map(|id| id % cells).collect());
+    let (has_box, min, size) = bx;
+    if has_box != 0 {
+        let side = 1u32 << bits;
+        let min = [min[0] % side, min[1] % side, min[2] % side];
+        let max = [
+            (min[0] + size[0] % (side / 2)).min(side - 1),
+            (min[1] + size[1] % (side / 2)).min(side - 1),
+            (min[2] + size[2] % (side / 2)).min(side - 1),
+        ];
+        if let Some(b) = Region::from_box(g, min, max) {
+            r = r.union(&b);
+        }
+    }
+    r
+}
+
+/// Encodes with the codec picked by `which` (0 = run-vskip, 1 =
+/// k³-tree, 2 = the auto policy) and opens a streaming cursor.
+fn encode_as(region: &Region, which: u8) -> Vec<u8> {
+    match which {
+        0 => RegionCodec::RunVskip.encode(region).expect("encode run-vskip"),
+        1 => RegionCodec::K3Tree.encode(region).expect("encode k3-tree"),
+        _ => encode_compressed(region).expect("encode auto"),
+    }
+}
+
+fn open(bytes: &[u8]) -> CompressedCursor<'_> {
+    compressed_cursor(bytes).expect("open compressed cursor").1
+}
+
+proptest! {
+    /// Both queryable codecs round-trip every region exactly, at both
+    /// paper grid scales.
+    #[test]
+    fn queryable_codecs_roundtrip(
+        bits_pick in 0u32..2,
+        ids in proptest::collection::vec(0u64..(1 << 21), 0..250),
+        bx in (0u8..2, proptest::array::uniform3(0u32..128), proptest::array::uniform3(0u32..64)),
+    ) {
+        let region = make_region(6 + bits_pick, &ids, bx);
+        for codec in RegionCodec::COMPRESSED {
+            let bytes = codec.encode(&region).expect("encode");
+            let back = RegionCodec::decode(&bytes).expect("decode");
+            prop_assert_eq!(&back, &region, "codec {} round-trip", codec.name());
+        }
+        let auto = encode_compressed(&region).expect("auto encode");
+        prop_assert_eq!(&RegionCodec::decode(&auto).expect("auto decode"), &region);
+    }
+
+    /// Pairwise streaming merges equal the uncompressed kernel oracle
+    /// for every codec pairing (run-vskip × k³-tree × auto).
+    #[test]
+    fn pair_merges_match_uncompressed_kernel(
+        bits_pick in 0u32..2,
+        a_ids in proptest::collection::vec(0u64..(1 << 21), 0..250),
+        b_ids in proptest::collection::vec(0u64..(1 << 21), 0..250),
+        a_bx in (0u8..2, proptest::array::uniform3(0u32..128), proptest::array::uniform3(0u32..64)),
+        b_bx in (0u8..2, proptest::array::uniform3(0u32..128), proptest::array::uniform3(0u32..64)),
+        a_codec in 0u8..3,
+        b_codec in 0u8..3,
+    ) {
+        let bits = 6 + bits_pick;
+        let a = make_region(bits, &a_ids, a_bx);
+        let b = make_region(bits, &b_ids, b_bx);
+        let a_bytes = encode_as(&a, a_codec);
+        let b_bytes = encode_as(&b, b_codec);
+
+        let got = intersect_stream(&mut open(&a_bytes), &mut open(&b_bytes)).expect("intersect");
+        prop_assert_eq!(got, kernel::intersect_runs(a.runs(), b.runs()));
+
+        let got = union_stream(&mut open(&a_bytes), &mut open(&b_bytes)).expect("union");
+        prop_assert_eq!(got, kernel::union_runs(a.runs(), b.runs()));
+
+        let got = difference_stream(&mut open(&a_bytes), &mut open(&b_bytes)).expect("difference");
+        prop_assert_eq!(got, kernel::difference_runs(a.runs(), b.runs()));
+    }
+
+    /// The k-way compressed intersect (the multi-study fold) equals the
+    /// uncompressed k-way kernel.
+    #[test]
+    fn kway_matches_uncompressed_kernel(
+        bits_pick in 0u32..2,
+        id_sets in proptest::collection::vec(
+            proptest::collection::vec(0u64..(1 << 21), 0..200), 1..5),
+        codec in 0u8..3,
+    ) {
+        let bits = 6 + bits_pick;
+        let regions: Vec<Region> =
+            id_sets.iter().map(|ids| make_region(bits, ids, (0, [0; 3], [0; 3]))).collect();
+        let blobs: Vec<Vec<u8>> = regions.iter().map(|r| encode_as(r, codec)).collect();
+        let mut cursors: Vec<CompressedCursor<'_>> = blobs.iter().map(|b| open(b)).collect();
+        let mut refs: Vec<&mut dyn qbism_coding::RunCursor> =
+            cursors.iter_mut().map(|c| c as &mut dyn qbism_coding::RunCursor).collect();
+        let got = intersect_k_stream(&mut refs).expect("k-way");
+        let lists: Vec<&[Run]> = regions.iter().map(|r| r.runs()).collect();
+        prop_assert_eq!(got, kernel::intersect_k(&lists));
+    }
+
+    /// Box restriction over a compressed stream equals intersecting the
+    /// decoded region with the box mask.
+    #[test]
+    fn box_restriction_matches_uncompressed_kernel(
+        bits_pick in 0u32..2,
+        ids in proptest::collection::vec(0u64..(1 << 21), 0..250),
+        bx in (0u8..2, proptest::array::uniform3(0u32..128), proptest::array::uniform3(0u32..64)),
+        min_raw in proptest::array::uniform3(0u32..128),
+        size in proptest::array::uniform3(0u32..32),
+        codec in 0u8..3,
+    ) {
+        let bits = 6 + bits_pick;
+        let region = make_region(bits, &ids, bx);
+        let side = 1u32 << bits;
+        let min = [min_raw[0] % side, min_raw[1] % side, min_raw[2] % side];
+        let max = [
+            (min[0] + size[0]).min(side - 1),
+            (min[1] + size[1]).min(side - 1),
+            (min[2] + size[2]).min(side - 1),
+        ];
+        let bytes = encode_as(&region, codec);
+        let curve = geom(bits).curve();
+        let got =
+            restrict_box_stream(&mut open(&bytes), &curve, min, max).expect("box restrict");
+        let mask = kernel::box_runs3(&curve, min, max);
+        prop_assert_eq!(got, kernel::intersect_runs(region.runs(), &mask));
+    }
+
+    /// Band (contiguous id range) restriction equals clipping the
+    /// decoded run list.
+    #[test]
+    fn range_restriction_matches_decoded_clip(
+        bits_pick in 0u32..2,
+        ids in proptest::collection::vec(0u64..(1 << 21), 0..250),
+        bx in (0u8..2, proptest::array::uniform3(0u32..128), proptest::array::uniform3(0u32..64)),
+        bounds in proptest::array::uniform2(0u64..(1 << 21)),
+        codec in 0u8..3,
+    ) {
+        let bits = 6 + bits_pick;
+        let region = make_region(bits, &ids, bx);
+        let cells = geom(bits).cell_count();
+        let (lo, hi) = (bounds[0] % cells, bounds[1] % cells);
+        let bytes = encode_as(&region, codec);
+        let got = restrict_range_stream(&mut open(&bytes), lo, hi).expect("range restrict");
+        let want: Vec<Run> = region
+            .runs()
+            .iter()
+            .filter(|r| lo <= hi && r.end >= lo && r.start <= hi)
+            .map(|r| Run::new(r.start.max(lo), r.end.min(hi)))
+            .collect();
+        prop_assert_eq!(got, want);
+    }
+}
+
+/// Deterministic spot check: the auto policy picks the octree for a
+/// dense solid, and a far seek gallops instead of scanning.
+#[test]
+fn auto_policy_and_gallop_observable() {
+    let g = geom(6);
+    let dense = Region::from_box(g, [0, 0, 0], [63, 63, 63]).expect("full box");
+    let dense_bytes = encode_compressed(&dense).expect("encode dense");
+    let sparse = Region::from_ids(g, (0..(1u64 << 18)).step_by(97).collect());
+    let sparse_bytes = encode_compressed(&sparse).expect("encode sparse");
+    assert!(
+        dense_bytes.len() < RegionCodec::RunVskip.encode(&dense).expect("vskip").len(),
+        "octree should win on the full grid"
+    );
+
+    use qbism_coding::RunCursor;
+    for bytes in [&dense_bytes, &sparse_bytes] {
+        let mut cursor = open(bytes);
+        cursor.seek(1 << 17).expect("seek");
+        assert!(cursor.peek().is_some());
+    }
+    let mut cursor = open(&sparse_bytes);
+    cursor.seek(97 * 2_700).expect("seek far");
+    assert_eq!(cursor.peek(), Some((97 * 2_700, 97 * 2_700)));
+    assert!(cursor.skip_count() > 0, "far seek should gallop, not scan");
+}

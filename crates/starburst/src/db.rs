@@ -346,6 +346,13 @@ impl Database {
         Ok(Value::Long(self.lfm.create(bytes)?))
     }
 
+    /// Stores bytes as a new long field in the compressed tablespace
+    /// (compact queryable payloads; reads tallied in the
+    /// `qbism_lfm_compressed_*` metrics).
+    pub fn create_long_field_compressed(&mut self, bytes: &[u8]) -> Result<Value> {
+        Ok(Value::Long(self.lfm.create_compressed(bytes)?))
+    }
+
     /// Reads a long field fully (a read-path operation: `&self`).
     pub fn read_long_field(&self, id: LongFieldId) -> Result<Vec<u8>> {
         let span = qbism_obs::trace::root("db.read_long_field");
