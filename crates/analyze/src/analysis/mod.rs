@@ -1,0 +1,38 @@
+//! The four call-graph analyses.
+//!
+//! Each takes the same [`Ctx`] (workspace, per-function marks,
+//! deduplicated adjacency, config) and returns [`Finding`]s with
+//! stable keys; `lib.rs` runs them all and applies the allowlist.
+
+pub mod determinism;
+pub mod locks;
+pub mod panics;
+pub mod transitive;
+
+use crate::graph::Workspace;
+use crate::marks::FnMarks;
+use crate::AnalysisConfig;
+
+/// Shared read-only analysis context.
+pub struct Ctx<'a> {
+    pub ws: &'a Workspace,
+    pub marks: &'a [FnMarks],
+    pub adj: &'a [Vec<usize>],
+    pub cfg: &'a AnalysisConfig,
+}
+
+impl Ctx<'_> {
+    /// Short stable location used in allowlist keys: `file:fn`.
+    pub fn loc(&self, id: usize) -> String {
+        let (file, _) = self.ws.location(id);
+        format!("{file}:{}", self.ws.funcs[id].item.name)
+    }
+
+    pub fn crate_of(&self, id: usize) -> &str {
+        &self.ws.files[self.ws.funcs[id].file].crate_name
+    }
+
+    pub fn file_of(&self, id: usize) -> &str {
+        &self.ws.files[self.ws.funcs[id].file].rel
+    }
+}

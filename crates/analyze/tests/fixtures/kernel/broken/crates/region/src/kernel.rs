@@ -1,0 +1,8 @@
+//! Seeded bug: the kernel launders a banned materialization through a
+//! helper in another file.  The line linter cannot see it — no
+//! `from_ids` token appears here — but the call graph can.
+
+pub fn intersect(a: &RunList, b: &RunList) -> RunList {
+    let lhs = crate::support::normalize(a);
+    lhs
+}

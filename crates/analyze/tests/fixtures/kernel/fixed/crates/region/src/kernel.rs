@@ -1,0 +1,6 @@
+//! Fixed form: the kernel merges through the streaming cursor helper
+//! instead of the materializing one.
+
+pub fn intersect(a: &RunList, b: &RunList) -> RunList {
+    crate::support::merge_streams(a, b)
+}

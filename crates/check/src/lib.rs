@@ -49,6 +49,7 @@ mod lockorder;
 mod race;
 mod sched;
 
+pub mod lexer;
 pub mod lint;
 pub mod sync;
 pub mod thread;

@@ -46,11 +46,17 @@
 //!   types opens a root span (`trace::root(` or `query_span(`), so no
 //!   query entrypoint can silently fall out of the flight recorder.
 //!
-//! The scanner is line-based with just enough lexing to strip `//` and
-//! `/* */` comments and string literals (so tokens inside strings or
-//! docs never count), track `#[cfg(test)]` blocks by brace depth, and
-//! associate fault-API calls with their site-name literal.
+//! The scanner is line-based on top of the shared workspace lexer
+//! ([`crate::lexer::LineScanner`]), which strips `//` and *nested*
+//! `/* */` comments and both ordinary and raw (`r#"…"#`) string
+//! literals (so tokens inside strings or docs never count); this
+//! module then tracks `#[cfg(test)]` blocks by brace depth and
+//! associates fault-API calls with their site-name literal.  The
+//! whole-program analyzer (`qbism-analyze`) builds its call graph on
+//! the same lexer, so the two layers cannot disagree about what is
+//! code.
 
+use crate::lexer::LineScanner;
 use std::fmt;
 use std::path::{Path, PathBuf};
 
@@ -168,7 +174,7 @@ pub fn lint_source(source: &str, rel: &str, crate_name: &str, cfg: &LintConfig) 
     let check_traced = in_scope(&cfg.traced_crates);
 
     let mut findings = Vec::new();
-    let mut scanner = Scanner::default();
+    let mut scanner = LineScanner::default();
     let mut test_state = TestBlockState::default();
     let mut traced_state = TracedEntrypoints::default();
 
@@ -317,93 +323,6 @@ fn crate_of(rel: &str) -> &str {
     match (parts.next(), parts.next()) {
         (Some("crates"), Some(name)) => name,
         _ => "suite",
-    }
-}
-
-// ---------------------------------------------------------------------------
-// Line scanner
-// ---------------------------------------------------------------------------
-
-struct ParsedLine {
-    /// The line with comments removed and string-literal *contents*
-    /// removed (the quotes remain, so `call("")` shape survives).
-    code: String,
-    /// String literal contents, in order of appearance.
-    literals: Vec<String>,
-}
-
-#[derive(Default)]
-struct Scanner {
-    in_block_comment: bool,
-}
-
-impl Scanner {
-    fn strip(&mut self, line: &str) -> ParsedLine {
-        let mut code = String::with_capacity(line.len());
-        let mut literals = Vec::new();
-        let bytes: Vec<char> = line.chars().collect();
-        let mut i = 0;
-        while i < bytes.len() {
-            if self.in_block_comment {
-                if bytes[i] == '*' && bytes.get(i + 1) == Some(&'/') {
-                    self.in_block_comment = false;
-                    i += 2;
-                } else {
-                    i += 1;
-                }
-                continue;
-            }
-            match bytes[i] {
-                '/' if bytes.get(i + 1) == Some(&'/') => break, // line comment
-                '/' if bytes.get(i + 1) == Some(&'*') => {
-                    self.in_block_comment = true;
-                    i += 2;
-                }
-                '"' => {
-                    code.push('"');
-                    let mut lit = String::new();
-                    i += 1;
-                    while i < bytes.len() {
-                        match bytes[i] {
-                            '\\' => {
-                                lit.push(bytes[i]);
-                                if let Some(&next) = bytes.get(i + 1) {
-                                    lit.push(next);
-                                }
-                                i += 2;
-                            }
-                            '"' => break,
-                            c => {
-                                lit.push(c);
-                                i += 1;
-                            }
-                        }
-                    }
-                    // Unterminated literal (multi-line string): treat
-                    // the rest of the line as its content.
-                    literals.push(lit);
-                    code.push('"');
-                    i += 1;
-                }
-                '\'' => {
-                    // Char literal vs lifetime: a quote closing within
-                    // two chars (three for escapes) is a char literal.
-                    let close = if bytes.get(i + 1) == Some(&'\\') { i + 3 } else { i + 2 };
-                    if bytes.get(close) == Some(&'\'') {
-                        code.push_str("' '");
-                        i = close + 1;
-                    } else {
-                        code.push('\'');
-                        i += 1;
-                    }
-                }
-                c => {
-                    code.push(c);
-                    i += 1;
-                }
-            }
-        }
-        ParsedLine { code, literals }
     }
 }
 
@@ -663,12 +582,15 @@ fn banned_sync_uses(code: &str) -> Vec<String> {
 }
 
 fn check_sync_item(name: &str, banned: &mut Vec<String>) {
-    if name.is_empty() || name == "self" {
-        return;
-    }
-    if !RAW_SYNC_ALLOWED.contains(&name) && !banned.iter().any(|b| b == name) {
+    if is_banned_sync(name) && !banned.iter().any(|b| b == name) {
         banned.push(name.to_string());
     }
+}
+
+/// Is `name` a `std::sync` item the facade rule bans?  Shared with the
+/// whole-program analyzer so the two layers agree on the banned set.
+pub fn is_banned_sync(name: &str) -> bool {
+    !name.is_empty() && name != "self" && !RAW_SYNC_ALLOWED.contains(&name)
 }
 
 /// `(api, literal)` for every fault-registry call whose first argument

@@ -1,0 +1,39 @@
+// Fixture: raw strings and nested block comments.  The pre-lexer
+// scanner ended a raw string at the first inner quote (so banned
+// tokens after it leaked into "code") and treated nested block
+// comments as flat (so code after the inner `*/` was swallowed).
+// Lines marked `LINT:` must be flagged; everything else must not be.
+
+fn raw_string_contents_never_count() -> &'static str {
+    // The banned tokens live inside the raw literal, including past an
+    // embedded quote — none of this is code.
+    r#"x.unwrap() "inner quote" y.expect(msg) Instant::now()"#
+}
+
+fn raw_string_with_comment_marker() -> &'static str {
+    r"not // a comment: z.unwrap()"
+}
+
+fn hashed_raw_string_then_real_violation() -> u32 {
+    let _s = r##"a "# tricky "## ;
+    Some(1u32).unwrap() // LINT: no-unwrap
+}
+
+/* A nested /* block comment */ still comments this out: a.unwrap() */
+fn after_nested_comment(x: Option<u32>) -> u32 {
+    /* inner /* deeper */ done */
+    x.unwrap() // LINT: no-unwrap
+}
+
+fn multiline_string_tail_is_not_code() -> String {
+    let s = "first line
+        second.unwrap() still inside the literal
+    ";
+    s.to_string()
+}
+
+fn raw_fault_site_names_are_checked(plane: &Plane) {
+    // The site literal is extracted from a raw string too.
+    plane.fail_nth(r"BadSite", 1); // LINT: fault-site-name
+    plane.fail_nth(r#"lfm.meta.write"#, 1);
+}

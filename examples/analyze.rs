@@ -1,0 +1,62 @@
+//! Static-analysis tour: link the workspace call graph, run the four
+//! whole-program analyses (determinism taint, transitive rule
+//! lifting, panic reachability, static lock order), apply the
+//! checked-in allowlist, and print what each layer saw.
+//!
+//! ```sh
+//! cargo run --release --example analyze
+//! ```
+
+use qbism_analyze::{allowlist, analyze_root, AnalysisConfig};
+use std::path::Path;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let root = Path::new(".");
+    let started = std::time::Instant::now();
+    let mut report = analyze_root(root, &AnalysisConfig::workspace())?;
+    report.stats.scan_ms = started.elapsed().as_millis();
+
+    let s = &report.stats;
+    println!("call graph: {} files, {} functions, {} edges", s.files, s.functions, s.edges);
+    println!(
+        "            {}/{} call sites name-resolved, linked + analyzed in {} ms\n",
+        s.resolved_call_sites, s.call_sites, s.scan_ms
+    );
+
+    println!("raw findings per rule (before the allowlist):");
+    for (rule, n) in &s.per_rule {
+        println!("  {rule:<20} {n}");
+    }
+
+    let allow_path = root.join("analyze-allowlist.txt");
+    let entries =
+        allowlist::parse(&std::fs::read_to_string(&allow_path)?).map_err(std::io::Error::other)?;
+    let unused = allowlist::apply(&mut report, &entries);
+    report.finalize();
+
+    println!(
+        "\nallowlist: {} entries, {} findings suppressed with justification, {} stale",
+        entries.len(),
+        report.allowlisted.len(),
+        unused.len()
+    );
+
+    // A few allowlisted examples, to show what the traces look like.
+    println!("\nsample allowlisted findings:");
+    for (finding, justification) in report.allowlisted.iter().take(3) {
+        println!();
+        print!("{}", finding.render());
+        println!("  justified: {justification}");
+    }
+
+    if report.findings.is_empty() {
+        println!("\nverdict: clean — every finding is fixed or justified");
+    } else {
+        println!("\nverdict: {} unallowlisted finding(s):", report.findings.len());
+        for finding in &report.findings {
+            println!();
+            print!("{}", finding.render());
+        }
+    }
+    Ok(())
+}
